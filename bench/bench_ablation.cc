@@ -1,0 +1,120 @@
+// Ablation study: which robustness mechanism buys what. The same
+// trap-mixed workload (30% redundant-predicate queries, the rest ordinary
+// star joins) is run under every single-feature configuration and under
+// the combined robust engine. Complements the per-experiment benches: E1–3
+// show POP alone, E9 CORDS alone, E11 the percentile dial — this table
+// puts them side by side, including their overheads on the healthy
+// queries.
+
+#include "bench/bench_util.h"
+#include "metrics/robustness.h"
+#include "util/summary.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+void Run() {
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 80000;
+  sspec.dim_rows = 15000;
+  sspec.num_dimensions = 3;
+  bench::BuildIndexedStar(&catalog, sspec);
+
+  Rng rng(2027);
+  const auto queries =
+      workload::PopWorkload(&rng, 40, 0.3, 3, sspec.dim_rows);
+
+  struct Config {
+    const char* name;
+    EngineOptions options;
+    bool detect_correlations = false;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"baseline", EngineOptions(), false});
+  {
+    EngineOptions o;
+    o.cardinality.estimator.normalize_predicates = true;
+    configs.push_back({"+ normalizing rewriter", o, false});
+  }
+  {
+    EngineOptions o;
+    o.cardinality.estimator.use_correlations = true;
+    configs.push_back({"+ CORDS correlations", o, true});
+  }
+  {
+    EngineOptions o;
+    o.cardinality.percentile = 0.9;
+    o.cardinality.sigma_per_term = 2.0;
+    configs.push_back({"+ percentile 0.9", o, false});
+  }
+  {
+    EngineOptions o;
+    o.use_pop = true;
+    configs.push_back({"+ POP", o, false});
+  }
+  {
+    EngineOptions o;
+    o.use_pop = true;
+    o.use_rio = true;
+    o.cardinality.sigma_per_term = 1.5;
+    configs.push_back({"+ POP + Rio box check", o, false});
+  }
+  {
+    EngineOptions o;
+    o.optimizer.use_gjoin = true;
+    configs.push_back({"+ g-join repertoire", o, false});
+  }
+  {
+    EngineOptions o;
+    o.use_pop = true;
+    o.use_rio = true;
+    o.cardinality.sigma_per_term = 1.5;
+    o.cardinality.estimator.use_correlations = true;
+    o.cardinality.estimator.normalize_predicates = true;
+    o.collect_feedback = true;
+    o.cardinality.estimator.use_feedback = true;
+    configs.push_back({"all combined", o, true});
+  }
+
+  bench::Banner("Ablation", "Robustness mechanisms side by side",
+                "design-choice ablation across the seminar's techniques");
+
+  TablePrinter t({"configuration", "mean", "p95", "max", "Metric1/query",
+                  "reopts", "robust boxes"});
+  for (const auto& config : configs) {
+    Engine engine(&catalog, config.options);
+    engine.AnalyzeAll();
+    if (config.detect_correlations) engine.DetectAllCorrelations();
+    Summary costs, metric1;
+    int reopts = 0, robust_boxes = 0;
+    for (const auto& q : queries) {
+      auto r = bench::ValueOrDie(engine.Run(q), "run");
+      costs.Add(r.cost);
+      metric1.Add(CardinalityErrorSum(r.node_cards));
+      reopts += r.reoptimizations;
+      if (r.rio_robust_box) ++robust_boxes;
+    }
+    t.AddRow({config.name, TablePrinter::Num(costs.Mean(), 0),
+              TablePrinter::Num(costs.Percentile(95), 0),
+              TablePrinter::Num(costs.Max(), 0),
+              TablePrinter::Num(metric1.Mean(), 2),
+              TablePrinter::Int(reopts), TablePrinter::Int(robust_boxes)});
+  }
+  t.Print();
+  std::printf(
+      "\nReading guide: CORDS and the percentile dial fix the estimates (or\n"
+      "hedge them) before execution; POP repairs them during execution at a\n"
+      "checkpoint cost; Rio removes that cost on queries whose plan is\n"
+      "optimal across the whole uncertainty box; g-join removes the\n"
+      "join-method component of the mistake without touching estimates.\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

@@ -1,0 +1,145 @@
+// E13 — "Deferring optimization decisions to query execution time" (§5.3):
+// adaptive selection ordering (A-Greedy / eddies-lite). The compile-time
+// predicate order is wrong, and the data drifts mid-scan so *no* static
+// order is right everywhere; the adaptive filter re-ranks predicates from
+// observed pass rates and tracks the drift.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "exec/filter_ops.h"
+#include "exec/shared_scan.h"
+#include "exec/scan_ops.h"
+
+namespace rqp {
+namespace {
+
+constexpr int64_t kRows = 400000;
+
+/// Drifting table: in the first half, column a is selective and b passes
+/// everything; in the second half the roles flip. Column c is mildly
+/// selective throughout.
+std::unique_ptr<Table> BuildDriftTable() {
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                   {"b", LogicalType::kInt64, 0, nullptr},
+                   {"c", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(55);
+  std::vector<int64_t> a(kRows), b(kRows), c(kRows);
+  for (int64_t r = 0; r < kRows; ++r) {
+    const bool first_half = r < kRows / 2;
+    // Pass rates: first half a ~5%, b ~95%; second half flipped.
+    a[static_cast<size_t>(r)] = rng.Uniform(0, 99) < (first_half ? 5 : 95);
+    b[static_cast<size_t>(r)] = rng.Uniform(0, 99) < (first_half ? 95 : 5);
+    c[static_cast<size_t>(r)] = rng.Uniform(0, 99) < 50;
+  }
+  t->SetColumnData(0, std::move(a));
+  t->SetColumnData(1, std::move(b));
+  t->SetColumnData(2, std::move(c));
+  return t;
+}
+
+void Run() {
+  auto table = BuildDriftTable();
+  const std::vector<PredicatePtr> preds{
+      MakeCmp("t.b", CmpOp::kEq, 1),  // statically looks unselective first
+      MakeCmp("t.c", CmpOp::kEq, 1),
+      MakeCmp("t.a", CmpOp::kEq, 1),
+  };
+
+  bench::Banner("E13", "Adaptive selection ordering under drift",
+                "Dagstuhl 10381 §5.3 'Deferring optimization decisions to "
+                "query execution time'");
+
+  TablePrinter t({"configuration", "predicate evals", "evals/row",
+                  "cost units", "output rows"});
+  int64_t reference_rows = -1;
+  double static_best = 0, adaptive_cost = 0;
+  for (int mode = 0; mode < 4; ++mode) {
+    AdaptiveFilterOp::Options opts;
+    std::vector<PredicatePtr> order = preds;
+    std::string name;
+    switch (mode) {
+      case 0:
+        opts.adaptive = false;
+        name = "static, compile-time order (b,c,a)";
+        break;
+      case 1:
+        opts.adaptive = false;
+        order = {preds[2], preds[1], preds[0]};  // a,c,b
+        name = "static, best-for-first-half (a,c,b)";
+        break;
+      case 2:
+        opts.adaptive = false;
+        order = {preds[0], preds[1], preds[2]};  // b,c,a
+        name = "static, best-for-second-half (b,c,a)";
+        break;
+      default:
+        opts.adaptive = true;
+        name = "adaptive (A-Greedy re-ranking)";
+        break;
+    }
+    AdaptiveFilterOp filter(std::make_unique<TableScanOp>(table.get()),
+                            order, opts);
+    ExecContext ctx;
+    const int64_t rows =
+        bench::ValueOrDie(DrainOperator(&filter, &ctx, nullptr), "drain");
+    if (reference_rows < 0) reference_rows = rows;
+    if (rows != reference_rows) {
+      std::fprintf(stderr, "FATAL: adaptive filter changed the result\n");
+      std::abort();
+    }
+    t.AddRow({name, TablePrinter::Int(ctx.counters().predicate_evals),
+              TablePrinter::Num(static_cast<double>(
+                                    ctx.counters().predicate_evals) /
+                                    kRows, 2),
+              TablePrinter::Num(ctx.cost(), 1), TablePrinter::Int(rows)});
+    if (mode == 1 || mode == 2) {
+      static_best = static_best == 0 ? ctx.cost()
+                                     : std::min(static_best, ctx.cost());
+    }
+    if (mode == 3) adaptive_cost = ctx.cost();
+  }
+  t.Print();
+  std::printf(
+      "\nNo static order wins both halves; the adaptive filter converges to\n"
+      "each phase's best order (adaptive vs best static: %.2fx).\n",
+      adaptive_cost / static_best);
+
+  // --- Part 2: shared (cooperative) scans -------------------------------
+  bench::Banner("E13b", "Shared scans: per-query cost vs concurrency",
+                "Dagstuhl 10381 §3.1 'shared & coordinated scans' + QPipe/"
+                "Crescando (reading list)");
+  TablePrinter st({"concurrent queries", "independent total",
+                   "shared total", "per-query (independent)",
+                   "per-query (shared)", "sharing gain"});
+  Rng rng(66);
+  for (int k : {1, 4, 16, 64}) {
+    SharedScan scan(table.get());
+    for (int i = 0; i < k; ++i) {
+      scan.Attach(MakeBetween("a", 0, rng.Uniform(0, 1))).value();
+    }
+    ExecContext ctx;
+    bench::CheckOk(scan.Execute(&ctx), "shared scan");
+    const double independent =
+        SharedScan::IndependentScansCost(*table, k, ctx.cost_model());
+    st.AddRow({TablePrinter::Int(k), TablePrinter::Num(independent, 0),
+               TablePrinter::Num(ctx.cost(), 0),
+               TablePrinter::Num(independent / k, 0),
+               TablePrinter::Num(ctx.cost() / k, 0),
+               TablePrinter::Num(independent / ctx.cost(), 1) + "x"});
+  }
+  st.Print();
+  std::printf(
+      "\nOne pass serves everyone: per-query cost falls with concurrency\n"
+      "instead of total cost rising linearly — the predictable-performance\n"
+      "design the execution sessions highlighted.\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

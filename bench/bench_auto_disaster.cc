@@ -1,0 +1,133 @@
+// E0 — the paper's opening anecdote (§1 Motivation): "insertion of a few
+// new rows into a large table might trigger an automatic update of
+// statistics, which uses a different sample than the prior one, which
+// leads to slightly different histograms, which results in slightly
+// different cardinality or cost estimates, which leads to an entirely
+// different query execution plan, which might actually perform much worse
+// than the prior one ... occasional 'automatic disasters'".
+//
+// Reproduction: a recurring report query whose (redundant-conjunct)
+// estimate sits right at the index-NL/hash decision boundary. Every
+// iteration a trickle of inserts triggers auto-ANALYZE with a fresh 5%
+// sample; the sampling jitter nudges the estimate across the boundary at
+// unpredictable iterations and the plan flips into a disaster an order of
+// magnitude slower. The robust configurations (percentile hedging; POP)
+// keep the same workload stable.
+
+#include "bench/bench_util.h"
+#include "util/summary.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+constexpr int kIterations = 24;
+constexpr int64_t kInsertBatch = 200;
+
+void TrickleInsert(Table* fact, Rng* rng, int64_t dim_rows,
+                   int num_dimensions) {
+  for (int64_t i = 0; i < kInsertBatch; ++i) {
+    std::vector<int64_t> row;
+    const int64_t fk0 = rng->Uniform(0, dim_rows - 1);
+    row.push_back(fk0);
+    for (int d = 1; d < num_dimensions; ++d) {
+      row.push_back(rng->Uniform(0, dim_rows - 1));
+    }
+    row.push_back(rng->Uniform(0, 10000));  // measure
+    row.push_back(fk0 * 1000 + 7);          // corr
+    row.push_back(fk0 * 7 + 13);            // corr2
+    fact->AppendRow(row);
+  }
+}
+
+void Run() {
+  bench::Banner("E0", "The 'automatic disaster': auto-stats plan flips",
+                "Dagstuhl 10381 §1 Motivation (opening anecdote)");
+
+  struct Config {
+    const char* name;
+    double percentile;
+    bool pop;
+  };
+  const std::vector<Config> configs{
+      {"naive (auto-stats, expected-value plans)", 0.5, false},
+      {"robust estimates (percentile 0.9)", 0.9, false},
+      {"POP safety net", 0.5, true},
+  };
+
+  TablePrinter t({"config", "iterations", "plan flips", "disasters (>3x)",
+                  "mean cost", "max cost", "max/min"});
+  std::string flip_log;
+  for (const auto& config : configs) {
+    Catalog catalog;
+    StarSchemaSpec sspec;
+    sspec.fact_rows = 100000;
+    sspec.dim_rows = 20000;
+    sspec.num_dimensions = 2;
+    Table* fact = bench::BuildIndexedStar(&catalog, sspec);
+
+    EngineOptions opts;
+    opts.cardinality.percentile = config.percentile;
+    opts.cardinality.sigma_per_term = 1.2;
+    opts.use_pop = config.pop;
+    Engine engine(&catalog, opts);
+
+    // The recurring report: a trap query whose independence estimate lands
+    // near the INLJ/hash break-even point, so sampling jitter decides.
+    const QuerySpec query =
+        workload::TrapStarQuery(2, 3200, {200000, 200000});
+
+    Rng insert_rng(4242);
+    Summary costs;
+    int flips = 0;
+    std::string last_signature;
+    for (int iter = 0; iter < kIterations; ++iter) {
+      TrickleInsert(fact, &insert_rng, sspec.dim_rows,
+                    sspec.num_dimensions);
+      // Auto-ANALYZE: a *different sample* every time.
+      AnalyzeOptions auto_stats;
+      auto_stats.sample_rate = 0.05;
+      auto_stats.seed = 1000 + static_cast<uint64_t>(iter);
+      engine.AnalyzeAll(auto_stats);
+
+      auto r = bench::ValueOrDie(engine.Run(query), "run");
+      costs.Add(r.cost);
+      // Plan signature without estimates: structural flips only.
+      auto plan = bench::ValueOrDie(engine.Plan(query), "plan");
+      const std::string signature = plan->Explain(false);
+      if (!last_signature.empty() && signature != last_signature) ++flips;
+      last_signature = signature;
+    }
+    // Disasters: iterations costing >3x the best iteration.
+    int disasters = 0;
+    for (double c : costs.values()) {
+      if (c > 3 * costs.Min()) ++disasters;
+    }
+    if (config.percentile == 0.5 && !config.pop) {
+      flip_log.clear();
+      for (double c : costs.values()) {
+        flip_log += c > 3 * costs.Min() ? 'X' : '.';
+      }
+    }
+    t.AddRow({config.name, TablePrinter::Int(kIterations),
+              TablePrinter::Int(flips), TablePrinter::Int(disasters),
+              TablePrinter::Num(costs.Mean(), 0),
+              TablePrinter::Num(costs.Max(), 0),
+              TablePrinter::Num(costs.Max() / costs.Min(), 1) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "\nnaive timeline (X = disaster iteration): %s\n"
+      "The report ran 'flawlessly for weeks' — until an automatic\n"
+      "statistics refresh sampled differently. Hedged estimates stay on\n"
+      "the safe side of the boundary; POP repairs the flip at run time.\n",
+      flip_log.c_str());
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+// E9/E10/E11 — the "Black Hat Query Optimization" session (§5.1) and the
+// §5.2 risk-reduction working groups:
+//   E9:  Lohman's war story — a redundant pseudo-key predicate makes the
+//        independence assumption underestimate by orders of magnitude and
+//        the optimizer picks a disastrous index-nested-loops plan;
+//        correlation detection (CORDS) repairs the estimate and the plan.
+//   E10: maximum-entropy selectivity combination (Markl et al.) produces
+//        consistent multi-predicate estimates where ad-hoc rules do not.
+//   E11: Babcock–Chaudhuri robust (percentile) plan choice trades a little
+//        average-case time for a collapsed tail.
+
+#include <cmath>
+
+#include "bench/bench_util.h"
+#include "stats/max_entropy.h"
+#include "util/summary.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+void RunWarStory(Catalog* catalog) {
+  bench::Banner("E9", "Redundant-predicate war story (cardinality trap)",
+                "Dagstuhl 10381 §5.1 'Black Hat Query Optimization'");
+
+  // fk0 BETWEEN 0..h plus two redundant correlated ranges: the true
+  // selectivity is s = (h+1)/20000; independence estimates ~s^3.
+  const int64_t h = 999;  // s = 0.05
+  QuerySpec spec = workload::TrapStarQuery(3, h, {200000, 200000, 200000});
+
+  EngineOptions naive_opts;
+  Engine naive(catalog, naive_opts);
+  naive.AnalyzeAll();
+  auto naive_plan = bench::ValueOrDie(naive.Plan(spec), "naive plan");
+  auto naive_run = bench::ValueOrDie(naive.Run(spec), "naive run");
+
+  EngineOptions aware_opts;
+  aware_opts.cardinality.estimator.use_correlations = true;
+  Engine aware(catalog, aware_opts);
+  aware.AnalyzeAll();
+  aware.DetectAllCorrelations();
+  auto aware_plan = bench::ValueOrDie(aware.Plan(spec), "aware plan");
+  auto aware_run = bench::ValueOrDie(aware.Run(spec), "aware run");
+
+  // The fact-side estimates: find the scan node estimate from node cards.
+  const double actual_rows = [&] {
+    for (const auto& nc : naive_run.node_cards) {
+      if (nc.node_id == 0) return static_cast<double>(nc.actual);
+    }
+    return 0.0;
+  }();
+
+  TablePrinter t({"estimator", "fact-side est rows", "actual rows",
+                  "error (orders of magnitude)", "join plan", "measured cost"});
+  auto scan_est = [](const PlanNode& plan) {
+    const PlanNode* n = &plan;
+    while (!n->children.empty()) n = n->children.back().get();
+    return n->est_rows;
+  };
+  const double naive_est = scan_est(*naive_plan);
+  const double aware_est = scan_est(*aware_plan);
+  auto join_kind = [](const std::string& explain) {
+    return explain.find("IndexNLJoin") != std::string::npos
+               ? std::string("index nested loops (3x)")
+               : std::string("hash joins");
+  };
+  t.AddRow({"independence", TablePrinter::Num(naive_est, 2),
+            TablePrinter::Num(actual_rows, 0),
+            TablePrinter::Num(std::log10(actual_rows /
+                                         std::max(1e-9, naive_est)), 1),
+            join_kind(naive_run.final_plan),
+            TablePrinter::Num(naive_run.cost, 0)});
+  t.AddRow({"correlation-aware (CORDS)", TablePrinter::Num(aware_est, 2),
+            TablePrinter::Num(actual_rows, 0),
+            TablePrinter::Num(std::log10(actual_rows /
+                                         std::max(1e-9, aware_est)), 1),
+            join_kind(aware_run.final_plan),
+            TablePrinter::Num(aware_run.cost, 0)});
+  t.Print();
+  std::printf("\ndisaster factor repaired: %.1fx\n",
+              naive_run.cost / aware_run.cost);
+}
+
+void RunMaxEntropy() {
+  bench::Banner("E10", "Consistent selectivity via maximum entropy",
+                "Markl et al., VLDB J. 16(1), presented at the seminar");
+
+  // Three predicates; known: singletons s1 = s2 = 0.1, s3 = 0.5 and the
+  // joint s12. We compare estimates of s123 for various true correlation
+  // levels between p1 and p2 (p3 independent): truth = s12 * 0.5.
+  TablePrinter t({"true s12", "independence s1*s2*s3", "ad-hoc min(s)*s3",
+                  "max entropy", "truth"});
+  for (double s12 : {0.01, 0.04, 0.07, 0.10}) {
+    MaxEntropyCombiner me(3);
+    bench::CheckOk(me.AddConstraint(0b001, 0.1), "c1");
+    bench::CheckOk(me.AddConstraint(0b010, 0.1), "c2");
+    bench::CheckOk(me.AddConstraint(0b011, s12), "c12");
+    bench::CheckOk(me.AddConstraint(0b100, 0.5), "c3");
+    bench::CheckOk(me.Solve(), "solve");
+    const double truth = s12 * 0.5;
+    t.AddRow({TablePrinter::Num(s12, 3),
+              TablePrinter::Num(0.1 * 0.1 * 0.5, 4),
+              TablePrinter::Num(0.1 * 0.5, 4),
+              TablePrinter::Num(me.Selectivity(0b111), 4),
+              TablePrinter::Num(truth, 4)});
+  }
+  t.Print();
+  std::printf("\nmax entropy exploits the pairwise statistic exactly; the\n"
+              "fixed rules are right only by accident at one point each.\n");
+}
+
+void RunRisk(Catalog* catalog) {
+  bench::Banner("E11", "Risk reduction via percentile plan choice",
+                "Dagstuhl 10381 §5.2 'Risk Reduction in Database Query "
+                "Optimizers' + Babcock/Chaudhuri SIGMOD'05");
+
+  Rng rng_traps(99), rng_clean(99);
+  auto trap_heavy = workload::PopWorkload(&rng_traps, 40, 0.3, 3, 20000);
+  auto trap_free = workload::PopWorkload(&rng_clean, 40, 0.0, 3, 20000);
+
+  TablePrinter t({"workload", "plan-choice percentile", "mean cost",
+                  "p95 cost", "max cost"});
+  for (const auto& [name, queries] :
+       {std::pair<const char*, const std::vector<QuerySpec>&>{"trap-heavy",
+                                                              trap_heavy},
+        {"trap-free", trap_free}}) {
+    for (double percentile : {0.5, 0.8, 0.99}) {
+      EngineOptions opts;
+      opts.cardinality.percentile = percentile;
+      opts.cardinality.sigma_per_term = 2.0;
+      Engine engine(catalog, opts);
+      engine.AnalyzeAll();
+      Summary costs;
+      for (const auto& q : queries) {
+        costs.Add(bench::ValueOrDie(engine.Run(q), "risk run").cost);
+      }
+      t.AddRow({name, TablePrinter::Num(percentile, 2),
+                TablePrinter::Num(costs.Mean(), 0),
+                TablePrinter::Num(costs.Percentile(95), 0),
+                TablePrinter::Num(costs.Max(), 0)});
+    }
+  }
+  t.Print();
+  std::printf("\nhigher percentiles hedge uncertain (multi-conjunct)\n"
+              "estimates upward, avoiding fragile index-nested-loops plans.\n"
+              "On the trap-free workload the hedge costs a small premium —\n"
+              "the aggressive/conservative trade-off of the session report.\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Catalog catalog;
+  rqp::StarSchemaSpec spec;
+  spec.fact_rows = 100000;
+  spec.dim_rows = 20000;
+  spec.num_dimensions = 3;
+  rqp::bench::BuildIndexedStar(&catalog, spec);
+
+  rqp::RunWarStory(&catalog);
+  rqp::RunMaxEntropy();
+  rqp::RunRisk(&catalog);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// E15 — "A generalized join algorithm" (Graefe, §5.3): end mistaken choices
+// among index-nested-loops, merge, and hash join by replacing all three
+// with one algorithm that decides from *actual* input sizes at run time.
+// We sweep the outer size across four orders of magnitude: each
+// traditional algorithm has a region where it is the winner and a region
+// where a mistaken (compile-time) commitment to it is a disaster; g-join
+// tracks the winner within a small factor everywhere.
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/sort_agg_ops.h"
+
+namespace rqp {
+namespace {
+
+constexpr int64_t kInnerRows = 50000;
+constexpr int64_t kOuterRows = 100000;
+
+struct Fixture {
+  Catalog catalog;
+  Table* inner;
+  Table* outer;
+  SortedIndex* inner_index;
+
+  Fixture() {
+    inner = catalog
+                .AddTable("r", Schema({{"id", LogicalType::kInt64, 0, nullptr},
+                                       {"v", LogicalType::kInt64, 0, nullptr}}))
+                .value();
+    inner->SetColumnData(0, gen::Sequential(kInnerRows));
+    Rng rng(77);
+    inner->SetColumnData(1, gen::Uniform(&rng, kInnerRows, 0, 999));
+    outer = catalog
+                .AddTable("s", Schema({{"fk", LogicalType::kInt64, 0, nullptr},
+                                       {"w", LogicalType::kInt64, 0, nullptr}}))
+                .value();
+    outer->SetColumnData(0, gen::Uniform(&rng, kOuterRows, 0, kInnerRows - 1));
+    outer->SetColumnData(1, gen::Sequential(kOuterRows));
+    inner_index = catalog.BuildIndex("r", "id").value();
+  }
+
+  /// Outer scan filtered to about `rows` rows (w < rows).
+  OperatorPtr OuterScan(int64_t rows) const {
+    return std::make_unique<TableScanOp>(
+        outer, MakeCmp("w", CmpOp::kLt, rows));
+  }
+  OperatorPtr InnerScan() const {
+    return std::make_unique<TableScanOp>(inner);
+  }
+};
+
+void Run() {
+  Fixture f;
+  bench::Banner("E15", "Generalized join vs committed algorithm choices",
+                "Dagstuhl 10381 §5.3 'A generalized join algorithm'");
+
+  TablePrinter t({"outer rows", "INLJ", "merge join", "hash join",
+                  "g-join", "g-join strategy", "g-join vs winner"});
+  double worst_gjoin_ratio = 1.0;
+  double worst_committed_ratio = 1.0;
+  for (int64_t outer_rows : {100L, 1000L, 10000L, 100000L}) {
+    auto measure = [&](Operator* op) {
+      ExecContext ctx;
+      bench::ValueOrDie(DrainOperator(op, &ctx, nullptr), "drain");
+      return ctx.cost();
+    };
+
+    IndexNLJoinOp inlj(f.OuterScan(outer_rows), f.inner, f.inner_index,
+                       "s.fk");
+    const double t_inlj = measure(&inlj);
+
+    MergeJoinOp merge(
+        std::make_unique<SortOp>(f.OuterScan(outer_rows), "s.fk"),
+        std::make_unique<SortOp>(f.InnerScan(), "r.id"), "s.fk", "r.id");
+    const double t_merge = measure(&merge);
+
+    HashJoinOp hash(f.OuterScan(outer_rows), f.InnerScan(), "s.fk", "r.id");
+    const double t_hash = measure(&hash);
+
+    GJoinOp::Hints hints;
+    hints.right_table = f.inner;
+    hints.right_index = f.inner_index;
+    GJoinOp gjoin(f.OuterScan(outer_rows), f.InnerScan(), "s.fk", "r.id",
+                  hints);
+    const double t_gjoin = measure(&gjoin);
+
+    const double winner = std::min({t_inlj, t_merge, t_hash});
+    const double loser = std::max({t_inlj, t_merge, t_hash});
+    worst_gjoin_ratio = std::max(worst_gjoin_ratio, t_gjoin / winner);
+    worst_committed_ratio = std::max(worst_committed_ratio, loser / winner);
+    t.AddRow({TablePrinter::Int(outer_rows), TablePrinter::Num(t_inlj, 0),
+              TablePrinter::Num(t_merge, 0), TablePrinter::Num(t_hash, 0),
+              TablePrinter::Num(t_gjoin, 0), gjoin.chosen_strategy(),
+              TablePrinter::Num(t_gjoin / winner, 2) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "\nA mistaken compile-time commitment costs up to %.0fx; g-join stays\n"
+      "within %.2fx of the per-region winner with a single algorithm.\n",
+      worst_committed_ratio, worst_gjoin_ratio);
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

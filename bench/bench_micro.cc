@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark, wall-clock): component throughput of
+// the engine's building blocks. Unlike the experiment harnesses (which use
+// the deterministic simulated cost clock), these measure real CPU time of
+// this implementation.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "adaptive/cracking.h"
+#include "engine/engine.h"
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+#include "expr/rewriter.h"
+#include "stats/max_entropy.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+std::unique_ptr<Table> MakeTable(int64_t rows) {
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                   {"b", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(1);
+  t->SetColumnData(0, gen::Uniform(&rng, rows, 0, 99999));
+  t->SetColumnData(1, gen::Uniform(&rng, rows, 0, 999));
+  return t;
+}
+
+void BM_TableScan(benchmark::State& state) {
+  auto t = MakeTable(state.range(0));
+  for (auto _ : state) {
+    TableScanOp scan(t.get(), MakeBetween("b", 0, 499));
+    ExecContext ctx;
+    benchmark::DoNotOptimize(DrainOperator(&scan, &ctx, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableScan)->Arg(10000)->Arg(100000);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto build = MakeTable(state.range(0));
+  auto probe = MakeTable(state.range(0) * 4);
+  for (auto _ : state) {
+    HashJoinOp join(std::make_unique<TableScanOp>(probe.get()),
+                    std::make_unique<TableScanOp>(build.get()), "t.a", "t.a");
+    ExecContext ctx;
+    benchmark::DoNotOptimize(DrainOperator(&join, &ctx, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5);
+}
+BENCHMARK(BM_HashJoin)->Arg(10000)->Arg(50000);
+
+void BM_HistogramBuild(benchmark::State& state) {
+  Rng rng(2);
+  auto values = gen::Uniform(&rng, state.range(0), 0, 999999);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Histogram::Build(values, 64));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HistogramBuild)->Arg(100000);
+
+void BM_NormalizePredicate(benchmark::State& state) {
+  auto p = MakeNot(MakeOr({MakeCmp("a", CmpOp::kLt, 10),
+                           MakeAnd({MakeCmp("a", CmpOp::kGt, 100),
+                                    MakeIn("b", {1, 2, 3, 4, 5})})}));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Normalize(p));
+  }
+}
+BENCHMARK(BM_NormalizePredicate);
+
+void BM_CrackingQuery(benchmark::State& state) {
+  Rng rng(3);
+  auto values = gen::Uniform(&rng, 1000000, 0, 99999);
+  CrackerColumn cracker(values);
+  Rng qrng(4);
+  for (auto _ : state) {
+    const int64_t lo = qrng.Uniform(0, 99000);
+    ExecContext ctx;
+    benchmark::DoNotOptimize(cracker.SelectRange(lo, lo + 500, &ctx, nullptr));
+  }
+}
+BENCHMARK(BM_CrackingQuery);
+
+void BM_MaxEntropySolve(benchmark::State& state) {
+  for (auto _ : state) {
+    MaxEntropyCombiner me(4);
+    me.AddConstraint(0b0001, 0.1);
+    me.AddConstraint(0b0010, 0.2);
+    me.AddConstraint(0b0100, 0.3);
+    me.AddConstraint(0b1000, 0.4);
+    me.AddConstraint(0b0011, 0.05);
+    benchmark::DoNotOptimize(me.Solve());
+  }
+}
+BENCHMARK(BM_MaxEntropySolve);
+
+void BM_OptimizeStarQuery(benchmark::State& state) {
+  static Catalog* catalog = [] {
+    auto* c = new Catalog();
+    StarSchemaSpec spec;
+    spec.fact_rows = 10000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = static_cast<int>(6);
+    BuildStarSchema(c, spec);
+    return c;
+  }();
+  static StatsCatalog* stats = [] {
+    auto* s = new StatsCatalog();
+    s->AnalyzeAll(*catalog, AnalyzeOptions{});
+    return s;
+  }();
+  CardinalityModel model(stats);
+  Optimizer optimizer(catalog, &model, OptimizerOptions());
+  const int dims = static_cast<int>(state.range(0));
+  QuerySpec spec = workload::StarQuery(
+      dims, std::vector<int64_t>(static_cast<size_t>(dims), 500));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.Optimize(spec));
+  }
+}
+BENCHMARK(BM_OptimizeStarQuery)->Arg(3)->Arg(6);
+
+}  // namespace
+}  // namespace rqp
+
+BENCHMARK_MAIN();

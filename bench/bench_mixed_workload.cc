@@ -1,0 +1,132 @@
+// E18 — "Benchmarking Hybrid OLTP & OLAP Database Workloads" (Kemper,
+// Kuno, Paulley et al.; §5.4, the TPC-CH proposal): a transactional
+// order-entry stream and a BI query suite run against the same database.
+// We measure OLTP throughput-proxy (mean transaction response time) and
+// OLAP latency in isolation and mixed, with and without workload
+// management (MPL limit + priorities for the short transactions).
+
+#include "bench/bench_util.h"
+#include "engine/workload_manager.h"
+#include "util/summary.h"
+
+namespace rqp {
+namespace {
+
+void Run() {
+  Catalog catalog;
+  OrdersSchemaSpec ospec;
+  ospec.num_customers = 20000;
+  ospec.num_orders = 120000;
+  BuildOrdersSchema(&catalog, ospec);
+  catalog.BuildIndex("orders", "id").value();
+  catalog.BuildIndex("orders", "cust_id").value();
+  catalog.BuildIndex("customer", "id").value();
+  catalog.BuildIndex("lineitem", "order_id").value();
+
+  Engine engine(&catalog);
+  engine.AnalyzeAll();
+
+  // OLTP transaction: fetch one order with its lines (point lookups).
+  auto oltp_cost = [&](int64_t order_id) {
+    QuerySpec q;
+    q.tables.push_back({"orders", MakeCmp("id", CmpOp::kEq, order_id)});
+    q.tables.push_back({"lineitem", nullptr});
+    q.joins.push_back({"orders", "id", "lineitem", "order_id"});
+    return bench::ValueOrDie(engine.Run(q), "oltp").cost;
+  };
+  // OLAP query: revenue by customer region over a date range.
+  auto olap_cost = [&](int64_t date_lo) {
+    QuerySpec q;
+    q.tables.push_back({"customer", nullptr});
+    q.tables.push_back(
+        {"orders", MakeBetween("date", date_lo, date_lo + 365)});
+    q.tables.push_back({"lineitem", nullptr});
+    q.joins.push_back({"customer", "id", "orders", "cust_id"});
+    q.joins.push_back({"orders", "id", "lineitem", "order_id"});
+    q.group_by = {"customer.region"};
+    q.aggregates = {{AggFn::kSum, "lineitem.price", "revenue"},
+                    {AggFn::kCount, "", "orders"}};
+    return bench::ValueOrDie(engine.Run(q), "olap").cost;
+  };
+
+  // Job costs from the engine's simulated clock.
+  Rng rng(61);
+  std::vector<double> txn_costs, bi_costs;
+  for (int i = 0; i < 40; ++i) {
+    txn_costs.push_back(oltp_cost(rng.Uniform(0, ospec.num_orders - 1)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    bi_costs.push_back(olap_cost(rng.Uniform(0, 3000)));
+  }
+
+  // Mixed arrival schedule: transactions every 300 cost units, BI queries
+  // every 2500.
+  auto make_jobs = [&](bool include_oltp, bool include_olap) {
+    std::vector<Job> jobs;
+    if (include_oltp) {
+      for (size_t i = 0; i < txn_costs.size(); ++i) {
+        jobs.push_back({"txn" + std::to_string(i),
+                        static_cast<double>(i) * 300.0, txn_costs[i], 1, 5});
+      }
+    }
+    if (include_olap) {
+      for (size_t i = 0; i < bi_costs.size(); ++i) {
+        jobs.push_back({"bi" + std::to_string(i),
+                        static_cast<double>(i) * 2500.0, bi_costs[i], 4, 1});
+      }
+    }
+    return jobs;
+  };
+
+  auto summarize = [](const std::vector<JobOutcome>& outcomes,
+                      const char* prefix) {
+    Summary s;
+    for (const auto& o : outcomes) {
+      if (o.name.rfind(prefix, 0) == 0) s.Add(o.response_time());
+    }
+    return s;
+  };
+
+  bench::Banner("E18", "Hybrid OLTP & OLAP (TPC-CH-style) mixed workload",
+                "Dagstuhl 10381 §5.4 'Benchmarking Hybrid OLTP & OLAP "
+                "Database Workloads'");
+
+  TablePrinter t({"configuration", "txn mean resp", "txn p95 resp",
+                  "BI mean resp"});
+  auto report = [&](const char* name, const std::vector<Job>& jobs,
+                    const WorkloadManagerOptions& options) {
+    auto outcomes = SimulateWorkload(jobs, options);
+    Summary txn = summarize(outcomes, "txn");
+    Summary bi = summarize(outcomes, "bi");
+    t.AddRow({name,
+              txn.empty() ? "-" : TablePrinter::Num(txn.Mean(), 0),
+              txn.empty() ? "-" : TablePrinter::Num(txn.Percentile(95), 0),
+              bi.empty() ? "-" : TablePrinter::Num(bi.Mean(), 0)});
+  };
+
+  WorkloadManagerOptions base;
+  base.max_mpl = 8;
+  base.capacity_slots = 4;
+  report("OLTP alone", make_jobs(true, false), base);
+  report("OLAP alone", make_jobs(false, true), base);
+  report("mixed, no management", make_jobs(true, true), base);
+
+  WorkloadManagerOptions managed = base;
+  managed.priority_scheduling = true;
+  managed.priority_weighted_sharing = true;
+  report("mixed, managed (txn priority shares)", make_jobs(true, true),
+         managed);
+  t.Print();
+  std::printf(
+      "\nUnmanaged mixing lets long BI scans crowd the short transactions;\n"
+      "admission control plus priorities restores transaction latency at a\n"
+      "modest BI cost — the gap the TPC-CH proposal exists to measure.\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

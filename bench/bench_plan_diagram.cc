@@ -1,0 +1,107 @@
+// E12 — plan diagrams and anorexic reduction (§4 sessions on risk and plan
+// management; Reddy & Haritsa VLDB'05 and Harish et al. PVLDB'08 from the
+// reading list): the optimizer's decision surface over a 2-D selectivity
+// grid, then the greedy reduction that swallows small plans while bounding
+// every cell's cost blow-up by (1 + lambda). Expected shape: dozens of
+// plans collapse to a handful at lambda = 20% — plan choice is robust to
+// coarse plan sets.
+
+#include "bench/bench_util.h"
+#include "optimizer/plan_diagram.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+void PrintDiagram(const PlanDiagram& diagram, const std::vector<int>& colors) {
+  // y grows upward; letters identify plans.
+  for (int y = diagram.grid - 1; y >= 0; --y) {
+    std::printf("  sel_y=%7.4f  ", diagram.sel_y[static_cast<size_t>(y)]);
+    for (int x = 0; x < diagram.grid; ++x) {
+      const int p = colors[static_cast<size_t>(diagram.cell(x, y))];
+      std::printf("%c", 'A' + (p % 26));
+    }
+    std::printf("\n");
+  }
+  std::printf("                  x: sel %.4f .. %.4f (log scale)\n",
+              diagram.sel_x.front(), diagram.sel_x.back());
+}
+
+void Run() {
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 80000;
+  sspec.dim_rows = 10000;
+  sspec.num_dimensions = 2;
+  bench::BuildIndexedStar(&catalog, sspec);
+  catalog.BuildIndex("fact", "fk1").value();
+  StatsCatalog stats;
+  stats.AnalyzeAll(catalog, AnalyzeOptions{});
+
+  QuerySpec spec;
+  spec.tables.push_back({"fact", nullptr});
+  spec.tables.push_back({"dim0", MakeBetween("attr", 0, 100)});
+  spec.tables.push_back({"dim1", MakeBetween("attr", 0, 100)});
+  spec.joins.push_back({"fact", "fk0", "dim0", "id"});
+  spec.joins.push_back({"fact", "fk1", "dim1", "id"});
+
+  PlanDiagramOptions options;
+  options.grid = 16;
+  options.x_table = "dim0";
+  options.y_table = "dim1";
+  options.min_selectivity = 0.0005;
+  OptimizerOptions opt_options;
+
+  bench::Banner("E12", "Plan diagram and anorexic reduction",
+                "Dagstuhl 10381 §4/§5 + Harish et al. PVLDB'08 (reading "
+                "list)");
+
+  auto diagram = bench::ValueOrDie(
+      ComputePlanDiagram(&catalog, &stats, spec, options, opt_options),
+      "diagram");
+  std::printf("plan diagram (%dx%d grid, %d distinct plans):\n\n",
+              options.grid, options.grid, diagram.num_plans());
+  PrintDiagram(diagram, diagram.plan_at);
+
+  std::printf("\nplan areas:\n");
+  TablePrinter areas({"plan", "area", "signature (first line)"});
+  for (int p = 0; p < diagram.num_plans(); ++p) {
+    std::string first_line = diagram.signatures[static_cast<size_t>(p)];
+    first_line = first_line.substr(0, first_line.find('\n'));
+    areas.AddRow({std::string(1, static_cast<char>('A' + p % 26)),
+                  TablePrinter::Num(diagram.AreaFraction(p) * 100, 1) + "%",
+                  first_line});
+  }
+  areas.Print();
+
+  TablePrinter t({"lambda", "plans before", "plans after",
+                  "worst-case cost blow-up"});
+  std::vector<int> best_colors;
+  for (double lambda : {0.1, 0.2, 0.3}) {
+    auto reduced = bench::ValueOrDie(
+        ReducePlanDiagram(diagram, lambda, &catalog, &stats, options,
+                          opt_options),
+        "reduce");
+    t.AddRow({TablePrinter::Num(lambda, 1),
+              TablePrinter::Int(reduced.plans_before),
+              TablePrinter::Int(reduced.plans_after),
+              TablePrinter::Num(reduced.max_blowup, 3)});
+    if (lambda == 0.2) best_colors = reduced.plan_at;
+  }
+  t.Print();
+
+  std::printf("\nreduced diagram (lambda = 0.2):\n\n");
+  PrintDiagram(diagram, best_colors);
+  std::printf(
+      "\nAnorexic reduction: a handful of plans covers the whole space\n"
+      "within 1+lambda of optimal everywhere — choosing among few robust\n"
+      "plans beats choosing precisely among many brittle ones.\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

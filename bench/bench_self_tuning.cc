@@ -1,0 +1,112 @@
+// Self-tuning histograms (Aboulnaga & Chaudhuri SIGMOD'99, summarized in
+// the seminar's reading list): refine range estimates from query feedback
+// without ever scanning the data. Scenario: the column's distribution
+// drifted (updates turned a uniform column heavily skewed) after ANALYZE,
+// so the base histogram is consistently wrong and — absent a re-ANALYZE —
+// stays wrong. The workload's ranges never repeat, so LEO's
+// exact-predicate memory rarely hits; the ST histogram generalizes every
+// observation across the column. We report the geometric-mean relative
+// estimation error per window of queries.
+
+#include "bench/bench_util.h"
+#include "metrics/robustness.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+constexpr int kQueries = 200;
+constexpr int kWindow = 40;
+
+void Run() {
+  bench::Banner("Self-tuning histograms",
+                "Feedback-refined range estimates without data access",
+                "reading list #2 (Aboulnaga/Chaudhuri), seminar §5.2");
+
+  // Stats collected while fk0 was uniform; then updates skew it heavily.
+  auto build_engine = [&](Catalog* catalog, bool feedback, bool st) {
+    EngineOptions opts;
+    opts.collect_feedback = feedback;
+    opts.cardinality.estimator.use_feedback = feedback;
+    opts.cardinality.estimator.normalize_predicates = feedback;
+    opts.use_st_histograms = st;
+    auto engine = std::make_unique<Engine>(catalog, opts);
+    engine->AnalyzeAll();  // sees the pre-drift (uniform) column
+    // The drift: the workload's updates concentrate fk0 into the hot head.
+    Table* fact = catalog->GetTable("fact").value();
+    Rng drift(909);
+    fact->SetColumnData(
+        0, gen::Zipf(&drift, fact->num_rows(), 20000, 0.9));
+    return engine;
+  };
+
+  struct Config {
+    const char* name;
+    bool feedback, st;
+  };
+  const std::vector<Config> configs{
+      {"static statistics (2 buckets)", false, false},
+      {"LEO exact-predicate memory", true, false},
+      {"LEO + self-tuning histograms", true, true},
+  };
+
+  TablePrinter t({"queries seen", "static stats", "LEO only", "LEO + ST"});
+  std::vector<std::vector<double>> window_errors(
+      configs.size());  // per config, per window geomean
+
+  for (size_t c = 0; c < configs.size(); ++c) {
+    Catalog catalog;
+    StarSchemaSpec sspec;
+    sspec.fact_rows = 100000;
+    sspec.dim_rows = 20000;
+    sspec.num_dimensions = 1;
+    BuildStarSchema(&catalog, sspec);  // fk0 uniform at ANALYZE time
+    auto engine = build_engine(&catalog, configs[c].feedback, configs[c].st);
+
+    Rng rng(202);  // identical query stream per config
+    std::vector<double> est, act;
+    for (int q = 0; q < kQueries; ++q) {
+      const int64_t lo = rng.Uniform(0, 19000);
+      const int64_t hi = lo + rng.Uniform(100, 2000);
+      QuerySpec spec;
+      spec.tables.push_back({"fact", MakeBetween("fk0", lo, hi)});
+      spec.aggregates = {{AggFn::kCount, "", "cnt"}};
+      auto plan = bench::ValueOrDie(engine->Plan(spec), "plan");
+      const PlanNode* leaf = plan.get();
+      while (!leaf->children.empty()) leaf = leaf->children[0].get();
+      auto r = bench::ValueOrDie(engine->Run(spec), "run");
+      double actual = 0;
+      for (const auto& nc : r.node_cards) {
+        if (nc.node_id == leaf->id) actual = static_cast<double>(nc.actual);
+      }
+      est.push_back(leaf->est_rows);
+      act.push_back(actual);
+      if ((q + 1) % kWindow == 0) {
+        std::vector<double> we(est.end() - kWindow, est.end());
+        std::vector<double> wa(act.end() - kWindow, act.end());
+        window_errors[c].push_back(GeometricMeanCardError(we, wa));
+      }
+    }
+  }
+
+  for (size_t w = 0; w < window_errors[0].size(); ++w) {
+    t.AddRow({TablePrinter::Int(static_cast<long long>((w + 1) * kWindow)),
+              TablePrinter::Num(window_errors[0][w], 3),
+              TablePrinter::Num(window_errors[1][w], 3),
+              TablePrinter::Num(window_errors[2][w], 3)});
+  }
+  t.Print();
+  std::printf(
+      "\n(geometric mean of |est-actual|/actual per window of %d queries;\n"
+      "ranges never repeat, so exact-predicate memory rarely helps, while\n"
+      "the self-tuning histogram converges on the skew it observes.)\n",
+      kWindow);
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E4 — the "Tractor Pulling" benchmark (Kersten, Kemper, Markl, Nica,
+// Poess, Sattler; §5.1): the system drags an increasingly heavy workload
+// level by level; its score is the last level it sustains with the
+// response-time coefficient of variation below a bound. Load grows in two
+// dimensions per level: more concurrent work (memory per query shrinks) and
+// a higher share of estimation-hostile (trap) queries. The robust engine
+// (POP + correlation detection) sustains more levels than the naive one.
+
+#include "bench/bench_util.h"
+#include "metrics/robustness.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+constexpr int kLevels = 8;
+constexpr int kQueriesPerLevel = 10;
+constexpr double kCvBound = 0.35;
+
+void Run() {
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 60000;
+  sspec.dim_rows = 10000;
+  sspec.num_dimensions = 3;
+  bench::BuildIndexedStar(&catalog, sspec);
+
+  // Per-level workloads, shared by both contestants (same seed).
+  std::vector<std::vector<QuerySpec>> level_queries;
+  for (int level = 1; level <= kLevels; ++level) {
+    Rng rng(1000 + static_cast<uint64_t>(level));
+    const double trap_fraction = 0.08 * (level - 1);  // heavier sled every level
+    level_queries.push_back(workload::PopWorkload(
+        &rng, kQueriesPerLevel, trap_fraction, 3, sspec.dim_rows));
+  }
+
+  auto pull = [&](const char* name, bool robust) {
+    std::vector<std::vector<double>> times(static_cast<size_t>(kLevels));
+    for (int level = 1; level <= kLevels; ++level) {
+      EngineOptions opts;
+      opts.use_pop = robust;
+      if (robust) {
+        opts.cardinality.estimator.use_correlations = true;
+      }
+      // The sled gets heavier: less memory per query at higher levels.
+      opts.memory_pages = 2048 / level;
+      Engine engine(&catalog, opts);
+      engine.AnalyzeAll();
+      if (robust) engine.DetectAllCorrelations();
+      for (const auto& q : level_queries[static_cast<size_t>(level - 1)]) {
+        times[static_cast<size_t>(level - 1)].push_back(
+            bench::ValueOrDie(engine.Run(q), "pull").cost);
+      }
+    }
+    auto score = TractorPullScore(times, kCvBound);
+    TablePrinter t({"level", "trap share", "mem pages", "mean time",
+                    "CV", "verdict"});
+    for (int level = 1; level <= kLevels; ++level) {
+      const size_t i = static_cast<size_t>(level - 1);
+      t.AddRow({TablePrinter::Int(level),
+                TablePrinter::Num(0.08 * (level - 1), 2),
+                TablePrinter::Int(2048 / level),
+                TablePrinter::Num(score.level_mean[i], 0),
+                TablePrinter::Num(score.level_cv[i], 3),
+                level <= score.max_level_sustained ? "sustained"
+                                                   : "lost the pull"});
+    }
+    std::printf("--- contestant: %s ---\n", name);
+    t.Print();
+    std::printf("score: sustained through level %d (CV bound %.2f)\n\n",
+                score.max_level_sustained, kCvBound);
+    return score.max_level_sustained;
+  };
+
+  bench::Banner("E4", "Tractor-pull robustness benchmark",
+                "Dagstuhl 10381 §5.1 'Tractor Pulling'");
+  const int naive_score = pull("naive optimizer", false);
+  const int robust_score = pull("robust engine (POP + CORDS)", true);
+  std::printf("final: naive pulled to level %d, robust to level %d\n",
+              naive_score, robust_score);
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef RQP_BENCH_BENCH_UTIL_H_
+#define RQP_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "engine/engine.h"
+#include "storage/data_generator.h"
+#include "util/table_printer.h"
+
+namespace rqp {
+namespace bench {
+
+/// Prints the experiment banner (experiment id + paper reference).
+inline void Banner(const std::string& id, const std::string& title,
+                   const std::string& paper_ref) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), title.c_str());
+  std::printf("paper: %s\n\n", paper_ref.c_str());
+}
+
+/// Builds the standard star schema with indexes on every dimension key and
+/// on fact.fk0 (the default experimental substrate).
+inline Table* BuildIndexedStar(Catalog* catalog, const StarSchemaSpec& spec) {
+  Table* fact = BuildStarSchema(catalog, spec);
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    catalog->BuildIndex("dim" + std::to_string(d), "id").value();
+  }
+  catalog->BuildIndex("fact", "fk0").value();
+  return fact;
+}
+
+/// Aborts the bench with a message when a status is unexpected.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(StatusOr<T> v, const char* what) {
+  CheckOk(v.status(), what);
+  return std::move(v).value();
+}
+
+}  // namespace bench
+}  // namespace rqp
+
+#endif  // RQP_BENCH_BENCH_UTIL_H_

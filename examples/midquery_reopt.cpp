@@ -1,0 +1,56 @@
+// Mid-query re-optimization (POP) walkthrough: a correlated-predicate trap
+// makes the optimizer underestimate an intermediate result by orders of
+// magnitude; with POP enabled a CHECK operator trips at run time, the
+// engine re-plans around the materialized intermediate, and the final plan
+// is printed next to the first one.
+//
+//   ./build/examples/midquery_reopt
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+int main() {
+  using namespace rqp;
+
+  Catalog catalog;
+  StarSchemaSpec schema;
+  schema.fact_rows = 100000;
+  schema.dim_rows = 20000;
+  schema.num_dimensions = 2;
+  BuildStarSchema(&catalog, schema);
+  catalog.BuildIndex("dim0", "id").value();
+  catalog.BuildIndex("dim1", "id").value();
+
+  // The trap: fk0 range conjoined with two redundant ranges on columns that
+  // are functions of fk0. True selectivity s; independence estimates s^3.
+  QuerySpec query = workload::TrapStarQuery(2, 1200, {200000, 200000});
+
+  // Without POP: the optimizer trusts the tiny estimate and commits to
+  // index-nested-loops joins over what is actually a large outer.
+  Engine naive(&catalog);
+  naive.AnalyzeAll();
+  auto naive_result = naive.Run(query);
+  if (!naive_result.ok()) return 1;
+  std::printf("--- without POP ---\n%s\ncost: %.0f units\n\n",
+              naive_result->final_plan.c_str(), naive_result->cost);
+
+  // With POP: CHECK operators guard the uncertain estimates.
+  EngineOptions pop_options;
+  pop_options.use_pop = true;
+  Engine pop(&catalog, pop_options);
+  pop.AnalyzeAll();
+  auto pop_result = pop.Run(query);
+  if (!pop_result.ok()) return 1;
+  std::printf("--- with POP: first plan ---\n%s\n",
+              pop_result->first_plan.c_str());
+  std::printf("--- with POP: plan after %d re-optimization(s) ---\n%s\n",
+              pop_result->reoptimizations, pop_result->final_plan.c_str());
+  std::printf("cost: %.0f units (%.1fx faster than the committed plan)\n",
+              pop_result->cost, naive_result->cost / pop_result->cost);
+  std::printf("both returned %lld rows\n",
+              static_cast<long long>(pop_result->output_rows));
+  return 0;
+}

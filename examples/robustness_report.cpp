@@ -1,0 +1,76 @@
+// Robustness report: score two engine configurations with the paper's
+// metrics on the same workload — the kind of regression test the seminar
+// argued every engine should run ("to ensure that progress, once achieved
+// in a code base, is not lost").
+//
+//   ./build/examples/robustness_report
+
+#include <cstdio>
+
+#include "engine/engine.h"
+#include "metrics/plan_space.h"
+#include "metrics/robustness.h"
+#include "storage/data_generator.h"
+#include "util/table_printer.h"
+#include "workload/workloads.h"
+
+int main() {
+  using namespace rqp;
+
+  Catalog catalog;
+  StarSchemaSpec schema;
+  schema.fact_rows = 60000;
+  schema.dim_rows = 10000;
+  schema.num_dimensions = 2;
+  BuildStarSchema(&catalog, schema);
+  catalog.BuildIndex("dim0", "id").value();
+  catalog.BuildIndex("dim1", "id").value();
+
+  Rng rng(12);
+  auto workload = workload::PopWorkload(&rng, 20, 0.25, 2, schema.dim_rows);
+
+  TablePrinter report({"configuration", "mean cost", "p95 cost",
+                       "Metric1 (card error)", "Metric3 (vs optimal)",
+                       "reoptimizations"});
+
+  for (int config = 0; config < 2; ++config) {
+    EngineOptions options;
+    const char* name = "baseline";
+    if (config == 1) {
+      name = "robust (POP + CORDS + feedback)";
+      options.use_pop = true;
+      options.collect_feedback = true;
+      options.cardinality.estimator.use_feedback = true;
+      options.cardinality.estimator.use_correlations = true;
+      options.cardinality.estimator.normalize_predicates = true;
+    }
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    if (config == 1) engine.DetectAllCorrelations();
+
+    Summary costs, metric1, metric3;
+    int reopts = 0;
+    for (const auto& q : workload) {
+      auto result = engine.Run(q);
+      if (!result.ok()) {
+        std::fprintf(stderr, "run failed: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      costs.Add(result->cost);
+      metric1.Add(CardinalityErrorSum(result->node_cards));
+      reopts += result->reoptimizations;
+      auto samples = SamplePlanSpace(&engine, q);
+      if (samples.ok()) {
+        metric3.Add(Metric3(result->cost, BestMeasuredCost(*samples)));
+      }
+    }
+    report.AddRow({name, TablePrinter::Num(costs.Mean(), 0),
+                   TablePrinter::Num(costs.Percentile(95), 0),
+                   TablePrinter::Num(metric1.Mean(), 2),
+                   TablePrinter::Num(metric3.Mean(), 3),
+                   TablePrinter::Int(reopts)});
+  }
+  report.Print();
+  return 0;
+}

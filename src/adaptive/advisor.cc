@@ -1,0 +1,91 @@
+#include "adaptive/advisor.h"
+
+#include <algorithm>
+#include <set>
+
+namespace rqp {
+
+StatusOr<double> EstimateWorkloadCost(const Catalog* catalog,
+                                      const StatsCatalog* stats,
+                                      const std::vector<QuerySpec>& workload,
+                                      const OptimizerOptions& opt_options) {
+  CardinalityModel model(stats);
+  Optimizer optimizer(catalog, &model, opt_options);
+  double total = 0;
+  for (const auto& spec : workload) {
+    auto plan = optimizer.Optimize(spec);
+    if (!plan.ok()) return plan.status();
+    total += plan->plan->est_cost;
+  }
+  return total;
+}
+
+StatusOr<std::vector<IndexChoice>> AdviseIndexes(
+    Catalog* catalog, const StatsCatalog* stats,
+    const std::vector<QuerySpec>& training,
+    const std::vector<QuerySpec>& variations, const AdvisorOptions& options,
+    const OptimizerOptions& opt_options) {
+  // Candidate generation: columns referenced by predicates or join keys.
+  std::set<IndexChoice> candidates;
+  auto add_candidates = [&](const QuerySpec& spec) {
+    for (const auto& ref : spec.tables) {
+      if (ref.predicate == nullptr) continue;
+      for (const auto& col : ReferencedColumns(ref.predicate)) {
+        candidates.insert({ref.table, col});
+      }
+    }
+    for (const auto& j : spec.joins) {
+      candidates.insert({j.left_table, j.left_column});
+      candidates.insert({j.right_table, j.right_column});
+    }
+  };
+  for (const auto& q : training) add_candidates(q);
+
+  // Existing indexes are neither candidates nor recommendations.
+  for (auto it = candidates.begin(); it != candidates.end();) {
+    if (catalog->FindIndex(it->first, it->second) != nullptr) {
+      it = candidates.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Scoring workload.
+  std::vector<QuerySpec> scoring = training;
+  if (options.robust) {
+    scoring.insert(scoring.end(), variations.begin(), variations.end());
+  }
+
+  std::vector<IndexChoice> chosen;
+  auto base_cost = EstimateWorkloadCost(catalog, stats, scoring, opt_options);
+  if (!base_cost.ok()) return base_cost.status();
+  double current_cost = *base_cost;
+
+  for (int round = 0; round < options.max_indexes && !candidates.empty();
+       ++round) {
+    IndexChoice best_choice;
+    double best_cost = current_cost;
+    for (const auto& cand : candidates) {
+      // What-if: build for real, price the workload, drop.
+      auto built = catalog->BuildIndex(cand.first, cand.second);
+      if (!built.ok()) return built.status();
+      auto cost = EstimateWorkloadCost(catalog, stats, scoring, opt_options);
+      Status dropped = catalog->DropIndex(cand.first, cand.second);
+      if (!cost.ok()) return cost.status();
+      if (!dropped.ok()) return dropped;
+      if (*cost < best_cost) {
+        best_cost = *cost;
+        best_choice = cand;
+      }
+    }
+    if (best_choice.first.empty()) break;  // no candidate helps
+    auto built = catalog->BuildIndex(best_choice.first, best_choice.second);
+    if (!built.ok()) return built.status();
+    candidates.erase(best_choice);
+    chosen.push_back(best_choice);
+    current_cost = best_cost;
+  }
+  return chosen;
+}
+
+}  // namespace rqp

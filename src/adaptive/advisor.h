@@ -1,0 +1,48 @@
+#ifndef RQP_ADAPTIVE_ADVISOR_H_
+#define RQP_ADAPTIVE_ADVISOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "stats/table_stats.h"
+#include "storage/table.h"
+
+namespace rqp {
+
+/// An index recommendation: (table, column).
+using IndexChoice = std::pair<std::string, std::string>;
+
+struct AdvisorOptions {
+  int max_indexes = 3;
+  /// Plain advisors optimize the training workload only. The robust
+  /// advisor (Gebaly & Aboulnaga's generality idea, seminar §5.4) scores
+  /// candidates on the training workload *plus* the provided variations,
+  /// preferring indexes that stay useful when the workload drifts.
+  bool robust = false;
+};
+
+/// Greedy what-if index advisor: candidates are every (table, column) used
+/// in a sargable predicate or join key of the workload; each round builds
+/// the candidate index for real, re-optimizes the scoring workload, and
+/// keeps the index with the largest estimated-cost reduction.
+///
+/// On return the recommended indexes EXIST in `catalog` (the caller may
+/// drop them). Existing indexes are left untouched and not recommended.
+StatusOr<std::vector<IndexChoice>> AdviseIndexes(
+    Catalog* catalog, const StatsCatalog* stats,
+    const std::vector<QuerySpec>& training,
+    const std::vector<QuerySpec>& variations, const AdvisorOptions& options,
+    const OptimizerOptions& opt_options);
+
+/// Total optimizer-estimated cost of a workload under the current physical
+/// design.
+StatusOr<double> EstimateWorkloadCost(const Catalog* catalog,
+                                      const StatsCatalog* stats,
+                                      const std::vector<QuerySpec>& workload,
+                                      const OptimizerOptions& opt_options);
+
+}  // namespace rqp
+
+#endif  // RQP_ADAPTIVE_ADVISOR_H_

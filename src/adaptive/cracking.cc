@@ -1,0 +1,200 @@
+#include "adaptive/cracking.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "storage/table.h"
+
+namespace rqp {
+
+CrackerColumn::CrackerColumn(const std::vector<int64_t>& values)
+    : values_(values) {
+  row_ids_.resize(values_.size());
+  for (size_t i = 0; i < row_ids_.size(); ++i) {
+    row_ids_[i] = static_cast<int64_t>(i);
+  }
+}
+
+size_t CrackerColumn::CrackAt(int64_t v, ExecContext* ctx) {
+  auto it = boundaries_.find(v);
+  if (it != boundaries_.end()) return it->second;
+
+  // Piece containing the crack position: between the previous and the next
+  // existing boundary.
+  size_t piece_begin = 0;
+  size_t piece_end = values_.size();
+  auto next = boundaries_.lower_bound(v);
+  if (next != boundaries_.end()) piece_end = next->second;
+  if (next != boundaries_.begin()) {
+    auto prev = std::prev(next);
+    piece_begin = prev->second;
+  }
+
+  // Partition the piece in place: values < v first. Only this piece is
+  // touched — the essence of cracking's pay-as-you-go cost.
+  size_t i = piece_begin, j = piece_end;
+  while (i < j) {
+    if (values_[i] < v) {
+      ++i;
+    } else {
+      --j;
+      std::swap(values_[i], values_[j]);
+      std::swap(row_ids_[i], row_ids_[j]);
+    }
+  }
+  const size_t touched = piece_end - piece_begin;
+  if (ctx != nullptr) {
+    ctx->ChargeRowCpu(static_cast<int64_t>(touched));
+    ctx->ChargeSeqPages(
+        (static_cast<int64_t>(touched) + kRowsPerPage - 1) / kRowsPerPage);
+  }
+  boundaries_[v] = i;
+  return i;
+}
+
+int64_t CrackerColumn::SelectRange(int64_t lo, int64_t hi, ExecContext* ctx,
+                                   std::vector<int64_t>* row_ids) {
+  if (lo > hi) return 0;
+  const size_t begin = CrackAt(lo, ctx);
+  // hi inclusive: crack at hi + 1 (values >= hi+1 move right).
+  const size_t end =
+      hi == std::numeric_limits<int64_t>::max() ? values_.size()
+                                                : CrackAt(hi + 1, ctx);
+  assert(begin <= end);
+  if (ctx != nullptr) {
+    ctx->ChargeRowCpu(static_cast<int64_t>(end - begin));
+  }
+  if (row_ids != nullptr) {
+    row_ids->insert(row_ids->end(), row_ids_.begin() + static_cast<long>(begin),
+                    row_ids_.begin() + static_cast<long>(end));
+  }
+  return static_cast<int64_t>(end - begin);
+}
+
+bool CrackerColumn::CheckInvariant() const {
+  size_t prev_pos = 0;
+  int64_t prev_value = std::numeric_limits<int64_t>::min();
+  for (const auto& [v, pos] : boundaries_) {
+    if (pos < prev_pos) return false;
+    // All values in [prev_pos, pos) must be in [prev_value, v).
+    for (size_t i = prev_pos; i < pos; ++i) {
+      if (values_[i] < prev_value || values_[i] >= v) return false;
+    }
+    prev_pos = pos;
+    prev_value = v;
+  }
+  for (size_t i = prev_pos; i < values_.size(); ++i) {
+    if (values_[i] < prev_value) return false;
+  }
+  return true;
+}
+
+AdaptiveMergeColumn::AdaptiveMergeColumn(const std::vector<int64_t>& values,
+                                         int num_runs, ExecContext* ctx) {
+  assert(num_runs > 0);
+  const size_t n = values.size();
+  const size_t run_size = (n + static_cast<size_t>(num_runs) - 1) /
+                          static_cast<size_t>(num_runs);
+  for (size_t start = 0; start < n; start += run_size) {
+    const size_t end = std::min(n, start + run_size);
+    std::vector<Entry> run;
+    run.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      run.push_back({values[i], static_cast<int64_t>(i)});
+    }
+    std::sort(run.begin(), run.end());
+    if (ctx != nullptr) {
+      // Run generation: one pass plus in-memory sort.
+      const auto run_n = static_cast<int64_t>(run.size());
+      ctx->ChargeSeqPages((run_n + kRowsPerPage - 1) / kRowsPerPage);
+      ctx->ChargeCompareOps(static_cast<int64_t>(
+          static_cast<double>(run_n) *
+          std::log2(static_cast<double>(run_n) + 1.0)));
+    }
+    runs_.push_back(std::move(run));
+  }
+}
+
+bool AdaptiveMergeColumn::IsCovered(int64_t lo, int64_t hi) const {
+  // Find a merged range [a, b] with a <= lo and b >= hi.
+  auto it = merged_ranges_.upper_bound(lo);
+  if (it == merged_ranges_.begin()) return false;
+  --it;
+  return it->first <= lo && it->second >= hi;
+}
+
+void AdaptiveMergeColumn::AddMergedRange(int64_t lo, int64_t hi) {
+  // Coalesce with overlapping/adjacent ranges.
+  auto it = merged_ranges_.upper_bound(lo);
+  if (it != merged_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo - 1) {
+      lo = prev->first;
+      hi = std::max(hi, prev->second);
+      it = merged_ranges_.erase(prev);
+    }
+  }
+  while (it != merged_ranges_.end() && it->first <= hi + 1) {
+    hi = std::max(hi, it->second);
+    it = merged_ranges_.erase(it);
+  }
+  merged_ranges_[lo] = hi;
+}
+
+int64_t AdaptiveMergeColumn::SelectRange(int64_t lo, int64_t hi,
+                                         ExecContext* ctx,
+                                         std::vector<int64_t>* row_ids) {
+  if (lo > hi) return 0;
+  if (!IsCovered(lo, hi)) {
+    // Extract the key range from every run and merge it into the final
+    // partition. Only qualifying keys move — adaptive merging's
+    // pay-as-you-go step.
+    std::vector<Entry> extracted;
+    for (auto& run : runs_) {
+      auto begin = std::lower_bound(run.begin(), run.end(),
+                                    Entry{lo, 0});
+      auto end = std::upper_bound(
+          begin, run.end(), Entry{hi, std::numeric_limits<int64_t>::max()});
+      if (ctx != nullptr) ctx->ChargeIndexDescend();
+      if (begin == end) continue;
+      extracted.insert(extracted.end(), begin, end);
+      run.erase(begin, end);
+    }
+    std::sort(extracted.begin(), extracted.end());
+    const size_t old_size = merged_.size();
+    merged_.insert(merged_.end(), extracted.begin(), extracted.end());
+    std::inplace_merge(merged_.begin(),
+                       merged_.begin() + static_cast<long>(old_size),
+                       merged_.end());
+    if (ctx != nullptr) {
+      const auto moved = static_cast<int64_t>(extracted.size());
+      ctx->ChargeRowCpu(2 * moved);  // move + merge
+      ctx->ChargeCompareOps(moved);
+    }
+    AddMergedRange(lo, hi);
+  }
+  // Answer from the final partition.
+  auto begin = std::lower_bound(merged_.begin(), merged_.end(), Entry{lo, 0});
+  auto end = std::upper_bound(
+      begin, merged_.end(), Entry{hi, std::numeric_limits<int64_t>::max()});
+  if (ctx != nullptr) {
+    ctx->ChargeIndexDescend();
+    ctx->ChargeRowCpu(static_cast<int64_t>(end - begin));
+  }
+  if (row_ids != nullptr) {
+    for (auto it = begin; it != end; ++it) row_ids->push_back(it->row);
+  }
+  return static_cast<int64_t>(end - begin);
+}
+
+int AdaptiveMergeColumn::num_runs_remaining() const {
+  int n = 0;
+  for (const auto& run : runs_) {
+    if (!run.empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace rqp

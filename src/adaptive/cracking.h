@@ -1,0 +1,82 @@
+#ifndef RQP_ADAPTIVE_CRACKING_H_
+#define RQP_ADAPTIVE_CRACKING_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "exec/context.h"
+
+namespace rqp {
+
+/// Database cracking (Idreos, Kersten & Manegold, CIDR'07 — seminar §4.3
+/// "adaptive index tuning"): a copy of the column is physically reorganized
+/// as a side effect of range queries. Each query partitions only the pieces
+/// its bounds fall into, so the first query costs about a scan and later
+/// queries approach index performance on the ranges the workload touches.
+class CrackerColumn {
+ public:
+  /// Copies the column; row ids are positions in `values`.
+  explicit CrackerColumn(const std::vector<int64_t>& values);
+
+  /// Answers SELECT ... WHERE value BETWEEN lo AND hi, cracking along the
+  /// way. Returns the number of qualifying rows; appends their row ids to
+  /// `row_ids` when non-null. Work is charged to `ctx`.
+  int64_t SelectRange(int64_t lo, int64_t hi, ExecContext* ctx,
+                      std::vector<int64_t>* row_ids = nullptr);
+
+  /// Number of pieces the column is currently cracked into.
+  size_t num_pieces() const { return boundaries_.size() + 1; }
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+  /// Verifies the cracking invariant (all values in piece i < crack value
+  /// of boundary i); exposed for property tests.
+  bool CheckInvariant() const;
+
+ private:
+  /// Ensures a crack at `v`: after return, positions [0, idx) hold values
+  /// < v and [idx, n) hold values >= v. Returns idx.
+  size_t CrackAt(int64_t v, ExecContext* ctx);
+
+  std::vector<int64_t> values_;
+  std::vector<int64_t> row_ids_;
+  /// crack value -> first position with value >= crack value.
+  std::map<int64_t, size_t> boundaries_;
+};
+
+/// Adaptive merging (Graefe & Kuno, EDBT'10): the column starts as sorted
+/// runs; each range query extracts the qualifying keys from every run and
+/// merges them into the final sorted partition, so regions converge to a
+/// full index after a few touching queries.
+class AdaptiveMergeColumn {
+ public:
+  AdaptiveMergeColumn(const std::vector<int64_t>& values, int num_runs,
+                      ExecContext* ctx);
+
+  /// Range select; merges the qualifying key range out of the runs into
+  /// the final partition on first touch.
+  int64_t SelectRange(int64_t lo, int64_t hi, ExecContext* ctx,
+                      std::vector<int64_t>* row_ids = nullptr);
+
+  int64_t merged_size() const { return static_cast<int64_t>(merged_.size()); }
+  int num_runs_remaining() const;
+
+ private:
+  struct Entry {
+    int64_t value;
+    int64_t row;
+    bool operator<(const Entry& o) const { return value < o.value; }
+  };
+  std::vector<std::vector<Entry>> runs_;
+  std::vector<Entry> merged_;  // fully sorted
+  /// Disjoint key ranges already merged (value space, inclusive).
+  std::map<int64_t, int64_t> merged_ranges_;
+
+  bool IsCovered(int64_t lo, int64_t hi) const;
+  void AddMergedRange(int64_t lo, int64_t hi);
+};
+
+}  // namespace rqp
+
+#endif  // RQP_ADAPTIVE_CRACKING_H_

@@ -1,0 +1,15 @@
+#include "adaptive/index_tuner.h"
+
+namespace rqp {
+
+bool IndexTuner::ObserveMissedIndex(const std::string& table,
+                                    const std::string& column,
+                                    double missed_benefit,
+                                    double build_cost) {
+  if (missed_benefit <= 0) return false;
+  double& acc = accrued_[{table, column}];
+  acc += missed_benefit;
+  return acc >= build_cost * options_.threshold_factor;
+}
+
+}  // namespace rqp

@@ -1,0 +1,53 @@
+#ifndef RQP_ADAPTIVE_INDEX_TUNER_H_
+#define RQP_ADAPTIVE_INDEX_TUNER_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rqp {
+
+/// QUIET-style autonomous "soft" index tuning (Sattler/Geist/Schallehn,
+/// VLDB'03; seminar §4.3 "index tuning by ... query execution"): every
+/// executed scan that *could* have used an absent index accrues the benefit
+/// it missed; once a column's accrued benefit exceeds the index build cost,
+/// the tuner recommends building it. Index creation thus emerges from the
+/// workload instead of a DBA's forecast.
+class IndexTuner {
+ public:
+  struct Options {
+    /// Accrued benefit must exceed build_cost * this factor.
+    double threshold_factor = 1.0;
+  };
+
+  IndexTuner() : IndexTuner(Options()) {}
+  explicit IndexTuner(Options options) : options_(options) {}
+
+  /// Reports a scan that evaluated a sargable predicate on
+  /// `table`.`column` without an index. `missed_benefit` is the cost the
+  /// scan paid beyond what an index scan would have (0 if the scan was the
+  /// right plan anyway). Returns true if the accrued benefit now justifies
+  /// building the index (the caller builds it and should then call
+  /// `MarkBuilt`).
+  bool ObserveMissedIndex(const std::string& table, const std::string& column,
+                          double missed_benefit, double build_cost);
+
+  void MarkBuilt(const std::string& table, const std::string& column) {
+    accrued_.erase({table, column});
+  }
+
+  double AccruedBenefit(const std::string& table,
+                        const std::string& column) const {
+    auto it = accrued_.find({table, column});
+    return it == accrued_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  Options options_;
+  std::map<std::pair<std::string, std::string>, double> accrued_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_ADAPTIVE_INDEX_TUNER_H_

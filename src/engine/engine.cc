@@ -1,0 +1,341 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace rqp {
+
+Engine::Engine(Catalog* catalog, EngineOptions options)
+    : catalog_(catalog), options_(std::move(options)),
+      memory_(options_.memory_pages), index_tuner_(options_.index_tuner),
+      plan_cache_([&] {
+        PlanCache::Options po = options_.plan_cache;
+        // Skip-verification mode: accept any drift.
+        if (options_.plan_cache_skip_verification) po.verify_factor = 1e18;
+        return po;
+      }()) {}
+
+void Engine::AnalyzeAll(const AnalyzeOptions& options) {
+  stats_.AnalyzeAll(*catalog_, options);
+}
+
+void Engine::DetectAllCorrelations(
+    const CorrelationDetectorOptions& options) {
+  correlations_storage_.clear();
+  correlations_.clear();
+  for (const auto& name : catalog_->TableNames()) {
+    const Table* t = catalog_->GetTable(name).value();
+    correlations_storage_[name] = DetectCorrelations(*t, options);
+    correlations_[name] = &correlations_storage_[name];
+  }
+}
+
+CardinalityModel Engine::MakeCardinalityModel() const {
+  return CardinalityModel(
+      &stats_, options_.cardinality,
+      correlations_.empty() ? nullptr : &correlations_,
+      options_.cardinality.estimator.use_feedback ? &feedback_ : nullptr,
+      options_.use_st_histograms ? &st_store_ : nullptr);
+}
+
+Optimizer Engine::MakeOptimizer(const CardinalityModel* model) const {
+  OptimizerOptions opts = options_.optimizer;
+  opts.add_pop_checks = options_.use_pop;
+  opts.cost.memory_pages = memory_.capacity();
+  opts.cost.exec = options_.cost_model;
+  return Optimizer(catalog_, model, opts);
+}
+
+StatusOr<PlanNodePtr> Engine::Plan(const QuerySpec& spec) const {
+  CardinalityModel model = MakeCardinalityModel();
+  Optimizer optimizer = MakeOptimizer(&model);
+  auto result = optimizer.Optimize(spec);
+  if (!result.ok()) return result.status();
+  return std::move(result.value().plan);
+}
+
+namespace {
+
+/// Finds the plan node with the given id; returns nullptr if absent.
+const PlanNode* FindNode(const PlanNode& node, int id) {
+  if (node.id == id) return &node;
+  for (const auto& c : node.children) {
+    if (const PlanNode* f = FindNode(*c, id)) return f;
+  }
+  return nullptr;
+}
+
+/// Disables all CHECK validity ranges (used once the re-optimization budget
+/// is exhausted: execute to completion, however bad the estimates are).
+void WidenChecks(PlanNode* node) {
+  if (node->op == PlanOp::kCheck) {
+    node->check_lo = 0;
+    node->check_hi = std::numeric_limits<int64_t>::max();
+  }
+  for (auto& c : node->children) WidenChecks(c.get());
+}
+
+}  // namespace
+
+void Engine::CollectNodeCards(const PlanNode& plan,
+                              const std::map<int, int64_t>& actuals,
+                              std::vector<QueryResult::NodeCard>* out) const {
+  auto it = actuals.find(plan.id);
+  if (it != actuals.end()) {
+    out->push_back({plan.id, plan.est_rows, it->second});
+  }
+  for (const auto& c : plan.children) CollectNodeCards(*c, actuals, out);
+}
+
+void Engine::HarvestFeedback(const PlanNode& plan,
+                             const std::map<int, int64_t>& actuals) {
+  // Record observed scan selectivities for LEO.
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    auto it = actuals.find(node.id);
+    if (it != actuals.end()) {
+      TableStats* ts = stats_.FindMutable(node.table);
+      if (ts != nullptr && node.op == PlanOp::kTableScan) {
+        // A full scan observed the true table size; repair a stale believed
+        // row count (LEO corrects statistics from execution observations).
+        auto live = catalog_->GetTable(node.table);
+        if (live.ok()) ts->set_row_count(live.value()->num_rows());
+      }
+      const double table_rows =
+          ts != nullptr ? static_cast<double>(ts->row_count()) : 0.0;
+      // Self-tuning histograms: single-column range observations refine
+      // the per-column feedback histogram.
+      if (options_.use_st_histograms && ts != nullptr) {
+        PredicatePtr pred = node.predicate;
+        if (node.op == PlanOp::kIndexScan) {
+          pred = MakeBetween(node.index_column, node.index_lo, node.index_hi);
+          if (node.predicate != nullptr) pred = nullptr;  // residual: skip
+        } else if (node.op != PlanOp::kTableScan) {
+          pred = nullptr;
+        }
+        if (pred != nullptr) {
+          auto cols = ReferencedColumns(pred);
+          int64_t lo, hi;
+          PredicatePtr residual;
+          if (cols.size() == 1 && ts->HasColumn(cols[0]) &&
+              ExtractSargableRange(pred, cols[0], &lo, &hi, &residual) &&
+              residual == nullptr) {
+            const ColumnStats& cs = ts->column(cols[0]);
+            st_store_.Observe(node.table, cols[0], std::max(lo, cs.min),
+                              std::min(hi, cs.max), it->second, cs.min,
+                              cs.max, ts->row_count());
+          }
+        }
+      }
+      if (table_rows > 0) {
+        if (node.op == PlanOp::kTableScan && node.predicate != nullptr) {
+          feedback_.Record(node.table, node.predicate,
+                           static_cast<double>(it->second) / table_rows);
+        } else if (node.op == PlanOp::kIndexScan) {
+          PredicatePtr full = MakeBetween(node.index_column, node.index_lo,
+                                          node.index_hi);
+          if (node.predicate != nullptr) {
+            full = MakeAnd({full, node.predicate});
+          }
+          feedback_.Record(node.table, full,
+                           static_cast<double>(it->second) / table_rows);
+        }
+      }
+    }
+    for (const auto& c : node.children) walk(*c);
+  };
+  walk(plan);
+}
+
+void Engine::TuneIndexes(const PlanNode& plan,
+                         const std::map<int, int64_t>& actuals,
+                         std::vector<std::string>* built) {
+  const CostModel& cm = options_.cost_model;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    for (const auto& c : node.children) walk(*c);
+    if (node.op != PlanOp::kTableScan || node.predicate == nullptr) return;
+    auto it = actuals.find(node.id);
+    if (it == actuals.end()) return;
+    auto table_or = catalog_->GetTable(node.table);
+    if (!table_or.ok()) return;
+    const Table* table = table_or.value();
+    const double matches = static_cast<double>(it->second);
+    const double rows = static_cast<double>(table->num_rows());
+    const double pages = static_cast<double>(table->num_pages());
+
+    for (const auto& column : ReferencedColumns(node.predicate)) {
+      int64_t lo, hi;
+      PredicatePtr residual;
+      if (!ExtractSargableRange(node.predicate, column, &lo, &hi,
+                                &residual)) {
+        continue;  // no contiguous range on this column
+      }
+      if (catalog_->FindIndex(node.table, column) != nullptr) continue;
+      // What the scan paid vs what an index probe would have cost for the
+      // *observed* result size (a lower bound on the range's matches).
+      const double scan_cost = pages * cm.seq_page_read + 2 * rows * cm.row_cpu;
+      const double index_cost =
+          cm.index_descend + matches * (cm.random_page_read + cm.row_cpu);
+      const double build_cost =
+          rows * std::log2(rows + 1.0) * cm.compare_op +
+          pages * cm.spill_page_write;
+      if (index_tuner_.ObserveMissedIndex(node.table, column,
+                                          scan_cost - index_cost,
+                                          build_cost)) {
+        auto built_index = catalog_->BuildIndex(node.table, column);
+        if (built_index.ok()) {
+          index_tuner_.MarkBuilt(node.table, column);
+          if (built != nullptr) built->push_back(node.table + "." + column);
+        }
+      }
+    }
+  };
+  walk(plan);
+}
+
+StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
+  QueryResult result;
+
+  // Rio proactive box check: is one plan optimal across the whole
+  // cardinality-uncertainty box?
+  bool rio_skip_checks = false;
+  bool rio_conservative = false;
+  if (options_.use_rio) {
+    auto signature_at = [&](double percentile) -> StatusOr<std::string> {
+      CardinalityOptions card_opts = options_.cardinality;
+      card_opts.percentile = percentile;
+      CardinalityModel corner_model(
+          &stats_, card_opts,
+          correlations_.empty() ? nullptr : &correlations_,
+          card_opts.estimator.use_feedback ? &feedback_ : nullptr,
+          options_.use_st_histograms ? &st_store_ : nullptr);
+      OptimizerOptions oo = options_.optimizer;
+      oo.add_pop_checks = false;
+      oo.cost.memory_pages = memory_.capacity();
+      oo.cost.exec = options_.cost_model;
+      Optimizer corner_opt(catalog_, &corner_model, oo);
+      auto r = corner_opt.Optimize(spec);
+      if (!r.ok()) return r.status();
+      return r.value().plan->Explain(false);
+    };
+    auto lo = signature_at(options_.rio_low_percentile);
+    if (!lo.ok()) return lo.status();
+    auto mid = signature_at(0.5);
+    if (!mid.ok()) return mid.status();
+    auto hi = signature_at(options_.rio_high_percentile);
+    if (!hi.ok()) return hi.status();
+    rio_skip_checks = *lo == *mid && *mid == *hi;
+    result.rio_robust_box = rio_skip_checks;
+    // Box check failed and there is no reactive net: hedge with the
+    // conservative corner plan.
+    rio_conservative = !rio_skip_checks && !options_.use_pop;
+  }
+
+  CardinalityOptions card_opts = options_.cardinality;
+  if (rio_conservative) card_opts.percentile = options_.rio_high_percentile;
+  CardinalityModel model(
+      &stats_, card_opts, correlations_.empty() ? nullptr : &correlations_,
+      card_opts.estimator.use_feedback ? &feedback_ : nullptr,
+      options_.use_st_histograms ? &st_store_ : nullptr);
+  OptimizerOptions final_opts = options_.optimizer;
+  final_opts.add_pop_checks = options_.use_pop && !rio_skip_checks;
+  final_opts.cost.memory_pages = memory_.capacity();
+  final_opts.cost.exec = options_.cost_model;
+  Optimizer optimizer(catalog_, &model, final_opts);
+
+  PlanNodePtr plan;
+  std::string cache_key;
+  if (options_.use_plan_cache) {
+    cache_key = PlanCache::Key(spec);
+    PlanCoster verifier(&model, final_opts.cost);
+    bool failed = false;
+    plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
+    result.plan_cache_hit = plan != nullptr;
+    result.plan_verification_failed = failed;
+  }
+  if (plan == nullptr) {
+    auto opt = optimizer.Optimize(spec);
+    if (!opt.ok()) return opt.status();
+    plan = std::move(opt.value().plan);
+    result.plans_considered = opt.value().plans_considered;
+    if (options_.use_plan_cache) plan_cache_.Put(cache_key, *plan);
+  }
+  result.first_plan = plan->Explain();
+
+  std::vector<MaterializedLeaf> leaves;
+  ExecCounters accumulated;
+
+  for (int attempt = 0;; ++attempt) {
+    ExecContext ctx(&memory_);
+    ctx.set_cost_model(options_.cost_model);
+
+    auto op = BuildExecutable(*plan, catalog_, spec.params);
+    if (!op.ok()) return op.status();
+
+    std::vector<RowBatch> rows;
+    auto drained =
+        DrainOperator(op.value().get(), &ctx, keep_rows ? &rows : nullptr);
+
+    if (!drained.ok()) {
+      if (!ctx.has_reopt_request()) return drained.status();
+      // POP: a checkpoint fired. Keep the spent work both physically (the
+      // materialized intermediate) and in the accounting (cost so far).
+      const ExecContext::ReoptRequest& req = *ctx.reopt_request();
+      accumulated.cost_units += ctx.counters().cost_units;
+      accumulated.pages_read += ctx.counters().pages_read;
+      accumulated.spill_pages += ctx.counters().spill_pages;
+      ++result.reoptimizations;
+
+      const PlanNode* check = FindNode(*plan, req.plan_node_id);
+      if (check == nullptr || check->children.empty()) {
+        return Status::Internal("re-optimization request for unknown node");
+      }
+      MaterializedLeaf leaf;
+      leaf.covered_tables = check->children[0]->BaseTables();
+      leaf.slots = req.slots;
+      leaf.rows = req.actual_rows;
+      leaf.batches = req.materialized;
+      // Drop leaves subsumed by the new one.
+      leaves.erase(std::remove_if(leaves.begin(), leaves.end(),
+                                  [&](const MaterializedLeaf& old) {
+                                    return std::includes(
+                                        leaf.covered_tables.begin(),
+                                        leaf.covered_tables.end(),
+                                        old.covered_tables.begin(),
+                                        old.covered_tables.end());
+                                  }),
+                   leaves.end());
+      leaves.push_back(std::move(leaf));
+
+      auto reopt = optimizer.Optimize(spec, leaves);
+      if (!reopt.ok()) return reopt.status();
+      plan = std::move(reopt.value().plan);
+      if (attempt + 1 >= options_.max_reoptimizations) {
+        WidenChecks(plan.get());
+      }
+      continue;
+    }
+
+    // Success.
+    result.output_rows = *drained;
+    result.counters = ctx.counters();
+    result.counters.cost_units += accumulated.cost_units;
+    result.counters.pages_read += accumulated.pages_read;
+    result.counters.spill_pages += accumulated.spill_pages;
+    result.cost = result.counters.cost_units;
+    result.final_plan = plan->Explain();
+    CollectNodeCards(*plan, ctx.actual_cardinalities(), &result.node_cards);
+    if (options_.collect_feedback) {
+      HarvestFeedback(*plan, ctx.actual_cardinalities());
+    }
+    if (options_.auto_index_tuning) {
+      TuneIndexes(*plan, ctx.actual_cardinalities(), &result.indexes_built);
+    }
+    if (keep_rows) result.rows = std::move(rows);
+    return result;
+  }
+}
+
+}  // namespace rqp

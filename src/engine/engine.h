@@ -1,0 +1,146 @@
+#ifndef RQP_ENGINE_ENGINE_H_
+#define RQP_ENGINE_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaptive/index_tuner.h"
+#include "engine/plan_cache.h"
+#include "optimizer/builder.h"
+#include "optimizer/optimizer.h"
+#include "stats/correlation.h"
+#include "stats/feedback.h"
+#include "stats/table_stats.h"
+#include "storage/table.h"
+
+namespace rqp {
+
+/// Engine-level configuration: which robustness features are on. Each
+/// experiment toggles a subset and measures the difference.
+struct EngineOptions {
+  OptimizerOptions optimizer;
+  CardinalityOptions cardinality;
+  /// Progressive optimization: plant CHECK operators and re-optimize
+  /// mid-query when a validity range is violated.
+  bool use_pop = false;
+  int max_reoptimizations = 5;
+  /// Rio-style proactive robustness check (Babu/Bizarro/DeWitt, SIGMOD'05):
+  /// optimize at the low/high corners of the cardinality uncertainty box;
+  /// if the same plan wins at both corners it is declared robust and POP
+  /// checkpoints are omitted (no pipeline-breaker overhead). When the box
+  /// check fails and POP is off, the conservative high-corner plan is used.
+  bool use_rio = false;
+  double rio_low_percentile = 0.05;
+  double rio_high_percentile = 0.95;
+  /// LEO: after execution, remember observed selectivities and prefer them
+  /// over statistics in later optimizations.
+  bool collect_feedback = false;
+  /// Consult feedback-refined self-tuning histograms (Aboulnaga &
+  /// Chaudhuri) for range estimates; updated from execution feedback when
+  /// collect_feedback is on. Generalizes LEO beyond exact repeats.
+  bool use_st_histograms = false;
+  /// QUIET-style soft index tuning: scans that would have benefited from an
+  /// absent index accrue the missed benefit; once it exceeds the build
+  /// cost, the index is created as a side effect of query execution.
+  bool auto_index_tuning = false;
+  IndexTuner::Options index_tuner;
+  /// Plan cache with verification (Session 5.3 "Plan management"): reuse
+  /// compiled plans for repeated queries; re-cost on reuse and re-optimize
+  /// when statistics drift invalidates the cached choice.
+  bool use_plan_cache = false;
+  /// Reuse cached plans *without* verification — the fragile configuration
+  /// the plan-management experiment contrasts against.
+  bool plan_cache_skip_verification = false;
+  PlanCache::Options plan_cache;
+  /// Query memory capacity (pages) of the shared broker.
+  int64_t memory_pages = 1 << 20;
+  CostModel cost_model;
+};
+
+/// Result of one query execution.
+struct QueryResult {
+  int64_t output_rows = 0;
+  double cost = 0;  ///< simulated cost units ("response time")
+  ExecCounters counters;
+  int reoptimizations = 0;
+  /// Rio verdict (only meaningful when EngineOptions::use_rio is set):
+  /// true = the same plan was optimal across the uncertainty box, so no
+  /// checkpoints were planted.
+  bool rio_robust_box = false;
+  std::string first_plan;  ///< EXPLAIN before any re-optimization
+  std::string final_plan;
+  /// (node id, estimated rows, actual rows) for every plan node that
+  /// reported an actual cardinality — the Metric1 inputs.
+  struct NodeCard { int node_id; double estimated; int64_t actual; };
+  std::vector<NodeCard> node_cards;
+  std::vector<RowBatch> rows;  ///< filled only when requested
+  /// Indexes auto-created by the soft index tuner during this query
+  /// ("table.column").
+  std::vector<std::string> indexes_built;
+  /// Plan-cache outcome (when EngineOptions::use_plan_cache is set).
+  bool plan_cache_hit = false;
+  bool plan_verification_failed = false;
+  /// Plans costed by the optimizer for this query (0 on a cache hit).
+  int64_t plans_considered = 0;
+};
+
+/// The query engine facade: statistics, correlations, feedback, optimizer,
+/// executor, and the POP re-optimization driver.
+class Engine {
+ public:
+  Engine(Catalog* catalog, EngineOptions options = EngineOptions());
+
+  /// Collects statistics for every table.
+  void AnalyzeAll(const AnalyzeOptions& options = AnalyzeOptions());
+  /// Runs the CORDS-style correlation detector on every table.
+  void DetectAllCorrelations(
+      const CorrelationDetectorOptions& options = CorrelationDetectorOptions());
+
+  /// Optimizes `spec` and returns the plan (EXPLAIN entry point).
+  StatusOr<PlanNodePtr> Plan(const QuerySpec& spec) const;
+
+  /// Optimizes and executes `spec`, driving POP re-optimization when
+  /// enabled. `keep_rows` materializes the output into the result.
+  StatusOr<QueryResult> Run(const QuerySpec& spec, bool keep_rows = false);
+
+  /// Builds the cardinality model the optimizer currently sees.
+  CardinalityModel MakeCardinalityModel() const;
+  /// Builds an optimizer over the current model (borrows `model`).
+  Optimizer MakeOptimizer(const CardinalityModel* model) const;
+
+  Catalog* catalog() { return catalog_; }
+  StatsCatalog* stats() { return &stats_; }
+  FeedbackCache* feedback() { return &feedback_; }
+  StHistogramStore* st_histograms() { return &st_store_; }
+  PlanCache* plan_cache() { return &plan_cache_; }
+  MemoryBroker* memory() { return &memory_; }
+  EngineOptions* mutable_options() { return &options_; }
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  void HarvestFeedback(const PlanNode& plan,
+                       const std::map<int, int64_t>& actuals);
+  void TuneIndexes(const PlanNode& plan,
+                   const std::map<int, int64_t>& actuals,
+                   std::vector<std::string>* built);
+  void CollectNodeCards(const PlanNode& plan,
+                        const std::map<int, int64_t>& actuals,
+                        std::vector<QueryResult::NodeCard>* out) const;
+
+  Catalog* catalog_;
+  EngineOptions options_;
+  StatsCatalog stats_;
+  FeedbackCache feedback_;
+  std::map<std::string, CorrelationInfo> correlations_storage_;
+  std::map<std::string, const CorrelationInfo*> correlations_;
+  MemoryBroker memory_;
+  IndexTuner index_tuner_;
+  StHistogramStore st_store_;
+  PlanCache plan_cache_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_ENGINE_ENGINE_H_

@@ -1,0 +1,75 @@
+#include "engine/plan_cache.h"
+
+#include <sstream>
+
+#include "expr/rewriter.h"
+
+namespace rqp {
+
+std::string PlanCache::Key(const QuerySpec& spec) {
+  std::ostringstream os;
+  for (const auto& t : spec.tables) {
+    os << t.table << "{"
+       << (t.predicate ? ToString(Normalize(t.predicate)) : "") << "}";
+  }
+  os << "|";
+  for (const auto& j : spec.joins) {
+    os << j.LeftSlot() << "=" << j.RightSlot() << ";";
+  }
+  os << "|";
+  for (const auto& g : spec.group_by) os << g << ",";
+  os << "|";
+  for (const auto& a : spec.aggregates) {
+    os << static_cast<int>(a.fn) << ":" << a.slot << ",";
+  }
+  os << "|";
+  for (int64_t p : spec.params) os << p << ",";
+  return os.str();
+}
+
+namespace {
+bool ContainsMaterialized(const PlanNode& node) {
+  if (node.op == PlanOp::kMaterializedSource) return true;
+  for (const auto& c : node.children) {
+    if (ContainsMaterialized(*c)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+PlanNodePtr PlanCache::LookupVerified(const std::string& key,
+                                      const PlanCoster& coster,
+                                      bool* verification_failed) {
+  if (verification_failed != nullptr) *verification_failed = false;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  // Verification: re-cost the cached structure under the current
+  // cardinality model.
+  PlanNodePtr clone = it->second.plan->Clone();
+  coster.Cost(clone.get());
+  const double cached = std::max(1e-9, it->second.cached_cost);
+  const double ratio = clone->est_cost / cached;
+  if (ratio > options_.verify_factor || ratio < 1.0 / options_.verify_factor) {
+    ++verification_failures_;
+    if (verification_failed != nullptr) *verification_failed = true;
+    entries_.erase(it);  // stale: correct by re-optimizing
+    return nullptr;
+  }
+  ++hits_;
+  return clone;
+}
+
+void PlanCache::Put(const std::string& key, const PlanNode& plan) {
+  if (ContainsMaterialized(plan)) return;
+  if (entries_.size() >= options_.max_entries &&
+      entries_.count(key) == 0) {
+    // Simple capacity policy: drop the lexicographically first entry.
+    entries_.erase(entries_.begin());
+  }
+  Entry entry;
+  entry.plan = plan.Clone();
+  entry.cached_cost = plan.est_cost;
+  entries_[key] = std::move(entry);
+}
+
+}  // namespace rqp

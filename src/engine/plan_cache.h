@@ -1,0 +1,67 @@
+#ifndef RQP_ENGINE_PLAN_CACHE_H_
+#define RQP_ENGINE_PLAN_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "optimizer/optimizer.h"
+
+namespace rqp {
+
+/// Plan cache with verification (§5.5 Session 5.3 "Plan management": plan
+/// caching, persistent plans, verification and correction of plans).
+/// Compiled plans are reused for textually identical queries; before reuse
+/// a cached plan is *verified* by re-costing it under the current
+/// statistics — if its believed cost has drifted beyond a threshold (data
+/// grew, statistics were refreshed, feedback corrected an estimate), the
+/// entry is discarded and the query re-optimized. This is the mechanism
+/// behind "plan stability with change management" (Ziauddin et al., the
+/// Oracle 11g paper in the reading list).
+class PlanCache {
+ public:
+  struct Options {
+    /// A cached plan whose re-costed estimate deviates from its
+    /// cache-time estimate by more than this factor (either direction)
+    /// fails verification.
+    double verify_factor = 2.0;
+    size_t max_entries = 256;
+  };
+
+  PlanCache() : PlanCache(Options()) {}
+  explicit PlanCache(Options options) : options_(options) {}
+
+  /// Canonical cache key for a query spec (normalized predicates, tables,
+  /// joins, grouping, parameters).
+  static std::string Key(const QuerySpec& spec);
+
+  /// Looks up and verifies. Returns a clone of the cached plan when the
+  /// entry exists and passes verification under `coster`; otherwise null
+  /// (a failed verification also evicts the stale entry).
+  PlanNodePtr LookupVerified(const std::string& key, const PlanCoster& coster,
+                             bool* verification_failed = nullptr);
+
+  /// Caches `plan` (cloned). Plans containing re-optimization intermediates
+  /// are rejected (they reference one execution's materialized state).
+  void Put(const std::string& key, const PlanNode& plan);
+
+  size_t size() const { return entries_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t verification_failures() const { return verification_failures_; }
+  void Clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    PlanNodePtr plan;
+    double cached_cost = 0;
+  };
+
+  Options options_;
+  std::map<std::string, Entry> entries_;
+  int64_t hits_ = 0;
+  int64_t verification_failures_ = 0;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_ENGINE_PLAN_CACHE_H_

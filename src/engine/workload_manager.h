@@ -1,0 +1,58 @@
+#ifndef RQP_ENGINE_WORKLOAD_MANAGER_H_
+#define RQP_ENGINE_WORKLOAD_MANAGER_H_
+
+#include <string>
+#include <vector>
+
+namespace rqp {
+
+/// A job submitted to the workload manager: `cost` units of work (as
+/// measured by the engine's simulated clock) arriving at `arrival`.
+struct Job {
+  std::string name;
+  double arrival = 0;
+  double cost = 0;
+  /// Degree of parallelism requested (process slots; FPT experiments).
+  int requested_slots = 1;
+  /// Larger = more important (used with priority_scheduling).
+  int priority = 0;
+};
+
+struct JobOutcome {
+  std::string name;
+  double arrival = 0;
+  double start = 0;   ///< admission time
+  double finish = 0;
+  double response_time() const { return finish - arrival; }
+  double slowdown(double isolated_time) const {
+    return isolated_time > 0 ? response_time() / isolated_time : 0;
+  }
+};
+
+/// Workload-management policy (seminar §5.5: contention between running and
+/// waiting jobs; priorities; wait queues; dynamic DOP).
+struct WorkloadManagerOptions {
+  /// Queries admitted concurrently; arrivals beyond this wait in the queue.
+  int max_mpl = 4;
+  /// Process slots shared by running jobs. Each running job is allocated
+  /// slots proportional to its request (capped by the request); a job
+  /// progresses `allocated_slots` work units per time unit. A query that
+  /// "requires more processes than available" therefore slows every
+  /// concurrent query — the FPT scenario.
+  int capacity_slots = 4;
+  /// Admit highest priority first instead of FIFO.
+  bool priority_scheduling = false;
+  /// Weight the capacity shares of *running* jobs by (1 + priority), so
+  /// high-priority transactions keep their speed when long scans are
+  /// admitted (the workload-management knob of §5.5).
+  bool priority_weighted_sharing = false;
+};
+
+/// Event-driven simulation of admission + processor sharing. Returns one
+/// outcome per job (input order preserved).
+std::vector<JobOutcome> SimulateWorkload(const std::vector<Job>& jobs,
+                                         const WorkloadManagerOptions& options);
+
+}  // namespace rqp
+
+#endif  // RQP_ENGINE_WORKLOAD_MANAGER_H_

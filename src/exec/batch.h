@@ -1,0 +1,63 @@
+#ifndef RQP_EXEC_BATCH_H_
+#define RQP_EXEC_BATCH_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace rqp {
+
+/// Number of rows per executor batch.
+inline constexpr size_t kBatchRows = 1024;
+
+/// A batch of fixed-width rows (row-major int64 cells). The unit of data
+/// flow between executor operators.
+class RowBatch {
+ public:
+  RowBatch() = default;
+  explicit RowBatch(size_t num_cols) : num_cols_(num_cols) {}
+
+  size_t num_cols() const { return num_cols_; }
+  size_t num_rows() const {
+    return num_cols_ == 0 ? 0 : data_.size() / num_cols_;
+  }
+  bool empty() const { return data_.empty(); }
+  bool full() const { return num_rows() >= kBatchRows; }
+
+  const int64_t* row(size_t i) const {
+    assert(i < num_rows());
+    return data_.data() + i * num_cols_;
+  }
+
+  void AppendRow(const int64_t* values) {
+    data_.insert(data_.end(), values, values + num_cols_);
+  }
+  void AppendRow(const std::vector<int64_t>& values) {
+    assert(values.size() == num_cols_);
+    AppendRow(values.data());
+  }
+  /// Appends the concatenation of two partial rows (join output).
+  void AppendConcat(const int64_t* left, size_t left_n, const int64_t* right,
+                    size_t right_n) {
+    assert(left_n + right_n == num_cols_);
+    data_.insert(data_.end(), left, left + left_n);
+    data_.insert(data_.end(), right, right + right_n);
+  }
+
+  void Clear() { data_.clear(); }
+  void Reset(size_t num_cols) {
+    num_cols_ = num_cols;
+    data_.clear();
+  }
+
+  std::vector<int64_t>& mutable_data() { return data_; }
+  const std::vector<int64_t>& data() const { return data_; }
+
+ private:
+  size_t num_cols_ = 0;
+  std::vector<int64_t> data_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_BATCH_H_

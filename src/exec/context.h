@@ -1,0 +1,179 @@
+#ifndef RQP_EXEC_CONTEXT_H_
+#define RQP_EXEC_CONTEXT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "util/status.h"
+
+namespace rqp {
+
+/// Simulated cost-model constants (in abstract "cost units"; one unit = one
+/// sequential page read). All experiment "response times" are expressed in
+/// these units, making every table in the harness exactly reproducible —
+/// the substitution for the authors' wall-clock measurements documented in
+/// DESIGN.md.
+struct CostModel {
+  double seq_page_read = 1.0;    ///< sequential page read
+  double random_page_read = 1.5; ///< random page fetch (index probe target)
+  double index_descend = 0.5;    ///< B-tree root-to-leaf traversal
+  double row_cpu = 1.0 / 512;    ///< per-row CPU work (predicate, copy)
+  double hash_op = 1.0 / 256;    ///< hash probe per row
+  double hash_build_factor = 1.5; ///< build-row cost relative to a probe
+  double compare_op = 1.0 / 512; ///< comparison (sort/merge) per op
+  double spill_page_write = 1.0; ///< spill partition write per page
+  double spill_page_read = 1.0;  ///< spill partition re-read per page
+};
+
+/// Execution counters; the deterministic clock plus diagnostics.
+struct ExecCounters {
+  double cost_units = 0;
+  int64_t pages_read = 0;
+  int64_t random_reads = 0;
+  int64_t rows_processed = 0;
+  int64_t hash_ops = 0;
+  int64_t compare_ops = 0;
+  int64_t spill_pages = 0;
+  int64_t predicate_evals = 0;
+};
+
+/// Grants query memory (in pages). Capacity may be changed while queries
+/// run (the FMT fluctuating-memory test); operators observe the new limit
+/// at their next phase boundary when the dynamic policy is enabled.
+class MemoryBroker {
+ public:
+  explicit MemoryBroker(int64_t capacity_pages = 1 << 20)
+      : capacity_(capacity_pages) {}
+
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t available() const { return capacity_ > used_ ? capacity_ - used_ : 0; }
+
+  /// Changes capacity (may drop below current usage; new grants shrink).
+  void set_capacity(int64_t pages) { capacity_ = pages; }
+
+  /// Grants up to `requested` pages, at least 1. Returns the grant size.
+  int64_t Grant(int64_t requested) {
+    const int64_t g = std::max<int64_t>(1, std::min(requested, available()));
+    used_ += g;
+    return g;
+  }
+  void Release(int64_t pages) { used_ -= std::min(pages, used_); }
+
+ private:
+  int64_t capacity_;
+  int64_t used_ = 0;
+};
+
+/// Per-query execution context: cost clock, memory, and the re-optimization
+/// mailbox used by POP CHECK operators.
+class ExecContext {
+ public:
+  explicit ExecContext(MemoryBroker* memory = nullptr)
+      : memory_(memory ? memory : &own_memory_) {}
+
+  const CostModel& cost_model() const { return cost_model_; }
+  void set_cost_model(const CostModel& cm) { cost_model_ = cm; }
+
+  ExecCounters& counters() { return counters_; }
+  const ExecCounters& counters() const { return counters_; }
+  double cost() const { return counters_.cost_units; }
+
+  MemoryBroker* memory() { return memory_; }
+
+  /// FMT (fluctuating memory test) support: once the simulated clock passes
+  /// `threshold` cost units, the broker capacity is set to the paired
+  /// value. Thresholds must be ascending. Operators with dynamic memory
+  /// policies observe the change at their next grant.
+  void SetMemorySchedule(std::vector<std::pair<double, int64_t>> schedule) {
+    memory_schedule_ = std::move(schedule);
+    next_schedule_ = 0;
+  }
+
+  // -- charging helpers ----------------------------------------------------
+  void ChargeSeqPages(int64_t pages) {
+    counters_.pages_read += pages;
+    counters_.cost_units += cost_model_.seq_page_read * pages;
+    ApplyMemorySchedule();
+  }
+  void ChargeRandomReads(int64_t reads) {
+    counters_.random_reads += reads;
+    counters_.cost_units += cost_model_.random_page_read * reads;
+  }
+  void ChargeIndexDescend(int64_t descends = 1) {
+    counters_.cost_units += cost_model_.index_descend * descends;
+  }
+  void ChargeRowCpu(int64_t rows) {
+    counters_.rows_processed += rows;
+    counters_.cost_units += cost_model_.row_cpu * rows;
+  }
+  void ChargeHashOps(int64_t ops) {
+    counters_.hash_ops += ops;
+    counters_.cost_units += cost_model_.hash_op * ops;
+  }
+  void ChargeCompareOps(int64_t ops) {
+    counters_.compare_ops += ops;
+    counters_.cost_units += cost_model_.compare_op * ops;
+  }
+  void ChargeSpill(int64_t pages_written, int64_t pages_reread) {
+    counters_.spill_pages += pages_written;
+    counters_.cost_units += cost_model_.spill_page_write * pages_written +
+                            cost_model_.spill_page_read * pages_reread;
+    ApplyMemorySchedule();
+  }
+  void ChargePredicateEvals(int64_t evals) {
+    counters_.predicate_evals += evals;
+    counters_.cost_units += cost_model_.row_cpu * evals;
+    ApplyMemorySchedule();
+  }
+
+  // -- POP re-optimization mailbox ------------------------------------------
+  /// Set by a CHECK operator when actual cardinality escapes its validity
+  /// range. The engine aborts execution, re-optimizes with the corrected
+  /// cardinality, and resumes from the materialized intermediate.
+  struct ReoptRequest {
+    int plan_node_id = -1;
+    int64_t estimated_rows = 0;
+    int64_t actual_rows = 0;
+    std::vector<std::string> slots;
+    std::shared_ptr<std::vector<RowBatch>> materialized;
+  };
+
+  bool has_reopt_request() const { return reopt_ != nullptr; }
+  const ReoptRequest* reopt_request() const { return reopt_.get(); }
+  void RaiseReopt(ReoptRequest req) {
+    reopt_ = std::make_unique<ReoptRequest>(std::move(req));
+  }
+  void ClearReopt() { reopt_.reset(); }
+
+  /// Actual output cardinalities keyed by plan-node id (filled by operators
+  /// on Close; consumed by the Metric1/LEO feedback machinery).
+  std::map<int, int64_t>& actual_cardinalities() { return actuals_; }
+
+ private:
+  void ApplyMemorySchedule() {
+    while (next_schedule_ < memory_schedule_.size() &&
+           counters_.cost_units >= memory_schedule_[next_schedule_].first) {
+      memory_->set_capacity(memory_schedule_[next_schedule_].second);
+      ++next_schedule_;
+    }
+  }
+
+  CostModel cost_model_;
+  ExecCounters counters_;
+  MemoryBroker own_memory_;
+  MemoryBroker* memory_;
+  std::vector<std::pair<double, int64_t>> memory_schedule_;
+  size_t next_schedule_ = 0;
+  std::unique_ptr<ReoptRequest> reopt_;
+  std::map<int, int64_t> actuals_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_CONTEXT_H_

@@ -1,0 +1,123 @@
+#include "exec/filter_ops.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rqp {
+
+Status FilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  auto compiled =
+      CompiledPredicate::Compile(predicate_, child_->output_slots());
+  if (!compiled.ok()) return compiled.status();
+  compiled_ = std::move(compiled.value());
+  return Status::OK();
+}
+
+Status FilterOp::Next(RowBatch* out) {
+  out->Reset(output_slots().size());
+  while (!out->full()) {
+    RowBatch in;
+    RQP_RETURN_IF_ERROR(child_->Next(&in));
+    if (in.empty()) break;
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      ctx_->ChargePredicateEvals(1);
+      if (compiled_->Eval(in.row(r))) out->AppendRow(in.row(r));
+    }
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+Status ProjectOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  mapping_.clear();
+  const auto& in_slots = child_->output_slots();
+  for (const auto& s : slots_) {
+    auto it = std::find(in_slots.begin(), in_slots.end(), s);
+    if (it == in_slots.end()) {
+      return Status::NotFound("projection slot '" + s + "' not in input");
+    }
+    mapping_.push_back(static_cast<size_t>(it - in_slots.begin()));
+  }
+  return Status::OK();
+}
+
+Status ProjectOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  RowBatch in;
+  RQP_RETURN_IF_ERROR(child_->Next(&in));
+  std::vector<int64_t> row(mapping_.size());
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    const int64_t* src = in.row(r);
+    for (size_t c = 0; c < mapping_.size(); ++c) row[c] = src[mapping_[c]];
+    out->AppendRow(row);
+  }
+  ctx_->ChargeRowCpu(static_cast<int64_t>(in.num_rows()));
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+Status AdaptiveFilterOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  compiled_.clear();
+  for (const auto& p : predicates_) {
+    auto c = CompiledPredicate::Compile(p, child_->output_slots());
+    if (!c.ok()) return c.status();
+    compiled_.push_back(std::move(c.value()));
+  }
+  order_.resize(compiled_.size());
+  std::iota(order_.begin(), order_.end(), 0);
+  evals_.assign(compiled_.size(), 1.0);   // Laplace prior
+  passes_.assign(compiled_.size(), 0.5);
+  rows_since_reorder_ = 0;
+  return Status::OK();
+}
+
+void AdaptiveFilterOp::MaybeReorder() {
+  if (!options_.adaptive) return;
+  if (rows_since_reorder_ < options_.reorder_interval) return;
+  rows_since_reorder_ = 0;
+  // Rank by observed pass rate ascending: evaluate the most selective
+  // predicate first (all predicates have unit cost here, so A-Greedy's
+  // rank (1 - selectivity)/cost ordering reduces to pass-rate order).
+  std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+    return passes_[a] / evals_[a] < passes_[b] / evals_[b];
+  });
+  for (size_t i = 0; i < evals_.size(); ++i) {
+    evals_[i] *= options_.decay;
+    passes_[i] *= options_.decay;
+  }
+}
+
+Status AdaptiveFilterOp::Next(RowBatch* out) {
+  out->Reset(output_slots().size());
+  while (!out->full()) {
+    RowBatch in;
+    RQP_RETURN_IF_ERROR(child_->Next(&in));
+    if (in.empty()) break;
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      bool pass = true;
+      for (size_t k : order_) {
+        ctx_->ChargePredicateEvals(1);
+        evals_[k] += 1.0;
+        const bool ok = compiled_[k].Eval(in.row(r));
+        if (ok) passes_[k] += 1.0;
+        if (!ok) { pass = false; break; }
+      }
+      if (pass) out->AppendRow(in.row(r));
+      ++rows_since_reorder_;
+      MaybeReorder();
+    }
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+}  // namespace rqp

@@ -1,0 +1,105 @@
+#ifndef RQP_EXEC_FILTER_OPS_H_
+#define RQP_EXEC_FILTER_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/predicate.h"
+
+namespace rqp {
+
+/// Filters child rows by a predicate over qualified slot names.
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, PredicatePtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override { child_->Close(); }
+  const std::vector<std::string>& output_slots() const override {
+    return child_->output_slots();
+  }
+  std::string name() const override { return "Filter"; }
+
+ private:
+  OperatorPtr child_;
+  PredicatePtr predicate_;
+  std::optional<CompiledPredicate> compiled_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Projects/reorders child slots by qualified name.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<std::string> slots)
+      : child_(std::move(child)), slots_(std::move(slots)) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override { child_->Close(); }
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "Project"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> slots_;
+  std::vector<size_t> mapping_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Conjunctive filter with run-time predicate reordering — the A-Greedy /
+/// eddies-lite adaptive selection ordering of §5.3 ("deferring optimization
+/// decisions to execution"). In static mode the predicates run in the given
+/// order; in adaptive mode observed pass rates (exponentially decayed, so
+/// drifting data shifts the order) re-rank the evaluation order every
+/// `reorder_interval` input rows. The work metric is
+/// ExecCounters::predicate_evals.
+class AdaptiveFilterOp : public Operator {
+ public:
+  struct Options {
+    bool adaptive = true;
+    int64_t reorder_interval = 512;
+    double decay = 0.98;  ///< per-interval decay of historical pass rates
+  };
+
+  AdaptiveFilterOp(OperatorPtr child, std::vector<PredicatePtr> predicates,
+                   Options options)
+      : child_(std::move(child)), predicates_(std::move(predicates)),
+        options_(options) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override { child_->Close(); }
+  const std::vector<std::string>& output_slots() const override {
+    return child_->output_slots();
+  }
+  std::string name() const override {
+    return options_.adaptive ? "AdaptiveFilter" : "StaticFilter";
+  }
+
+  /// Current evaluation order (for tests/EXPLAIN).
+  const std::vector<size_t>& evaluation_order() const { return order_; }
+
+ private:
+  void MaybeReorder();
+
+  OperatorPtr child_;
+  std::vector<PredicatePtr> predicates_;
+  Options options_;
+  std::vector<CompiledPredicate> compiled_;
+  std::vector<size_t> order_;
+  std::vector<double> evals_;   // decayed evaluation counts per predicate
+  std::vector<double> passes_;  // decayed pass counts per predicate
+  int64_t rows_since_reorder_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_FILTER_OPS_H_

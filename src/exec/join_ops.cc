@@ -1,0 +1,549 @@
+#include "exec/join_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rqp {
+namespace {
+
+/// Finds a slot index by name; returns -1 if absent.
+int FindSlot(const std::vector<std::string>& slots, const std::string& name) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> ConcatSlots(const std::vector<std::string>& a,
+                                     const std::vector<std::string>& b) {
+  std::vector<std::string> out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+}  // namespace
+
+Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf) {
+  buf->num_cols = child->output_slots().size();
+  buf->data.clear();
+  RQP_RETURN_IF_ERROR(child->Open(ctx));
+  while (true) {
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(child->Next(&batch));
+    if (batch.empty()) break;
+    buf->data.insert(buf->data.end(), batch.data().begin(),
+                     batch.data().end());
+  }
+  child->Close();
+  return Status::OK();
+}
+
+// ---- HashJoinOp ------------------------------------------------------------
+
+HashJoinOp::HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
+                       std::string probe_key_slot, std::string build_key_slot)
+    : probe_child_(std::move(probe_child)),
+      build_child_(std::move(build_child)),
+      probe_key_(std::move(probe_key_slot)),
+      build_key_(std::move(build_key_slot)) {
+  slots_ = ConcatSlots(probe_child_->output_slots(),
+                       build_child_->output_slots());
+}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  done_ = false;
+  probe_row_ = 0;
+  match_next_ = 0;
+  match_rows_.clear();
+  probe_batch_.Clear();
+  pending_spill_pages_ = 0;
+
+  const int pk = FindSlot(probe_child_->output_slots(), probe_key_);
+  const int bk = FindSlot(build_child_->output_slots(), build_key_);
+  if (pk < 0 || bk < 0) {
+    return Status::InvalidArgument("hash join key slot not found: " +
+                                   (pk < 0 ? probe_key_ : build_key_));
+  }
+  probe_key_idx_ = static_cast<size_t>(pk);
+  build_key_idx_ = static_cast<size_t>(bk);
+
+  RQP_RETURN_IF_ERROR(MaterializeChild(build_child_.get(), ctx, &build_));
+  const int64_t build_pages = std::max<int64_t>(1, build_.num_pages());
+  granted_pages_ = ctx->memory()->Grant(build_pages);
+  spill_fraction_ =
+      granted_pages_ >= build_pages
+          ? 0.0
+          : 1.0 - static_cast<double>(granted_pages_) /
+                      static_cast<double>(build_pages);
+  if (spill_fraction_ > 0.0) {
+    // Grace partitioning: the overflow fraction of the build side is
+    // written out and re-read once.
+    const double spilled =
+        spill_fraction_ * static_cast<double>(build_pages);
+    ctx->ChargeSpill(static_cast<int64_t>(std::ceil(spilled)),
+                     static_cast<int64_t>(std::ceil(spilled)));
+  }
+  table_.clear();
+  table_.reserve(build_.num_rows());
+  for (size_t r = 0; r < build_.num_rows(); ++r) {
+    table_.emplace(build_.row(r)[build_key_idx_], r);
+  }
+  ctx->ChargeHashOps(static_cast<int64_t>(
+      static_cast<double>(build_.num_rows()) *
+      ctx->cost_model().hash_build_factor));
+
+  RQP_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  return Status::OK();
+}
+
+Status HashJoinOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  const size_t left_n = probe_child_->output_slots().size();
+  while (!out->full() && !done_) {
+    if (match_next_ < match_rows_.size()) {
+      const int64_t* lrow = probe_batch_.row(probe_row_);
+      const int64_t* rrow = build_.row(match_rows_[match_next_++]);
+      out->AppendConcat(lrow, left_n, rrow, build_.num_cols);
+      continue;
+    }
+    // Advance to next probe row.
+    ++probe_row_;
+    if (probe_batch_.empty() || probe_row_ >= probe_batch_.num_rows()) {
+      RQP_RETURN_IF_ERROR(probe_child_->Next(&probe_batch_));
+      if (probe_batch_.empty()) { done_ = true; break; }
+      probe_row_ = 0;
+      // Spilled probe fraction pays partition I/O.
+      if (spill_fraction_ > 0.0) {
+        pending_spill_pages_ +=
+            spill_fraction_ *
+            static_cast<double>(probe_batch_.num_rows()) / kRowsPerPage;
+        const int64_t whole = static_cast<int64_t>(pending_spill_pages_);
+        if (whole > 0) {
+          ctx_->ChargeSpill(whole, whole);
+          pending_spill_pages_ -= static_cast<double>(whole);
+        }
+      }
+    }
+    ctx_->ChargeHashOps(1);
+    match_rows_.clear();
+    match_next_ = 0;
+    auto [begin, end] =
+        table_.equal_range(probe_batch_.row(probe_row_)[probe_key_idx_]);
+    for (auto it = begin; it != end; ++it) match_rows_.push_back(it->second);
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void HashJoinOp::Close() {
+  if (ctx_ != nullptr) ctx_->memory()->Release(granted_pages_);
+  granted_pages_ = 0;
+  table_.clear();
+  build_ = RowBuffer{};
+}
+
+// ---- MergeJoinOp -----------------------------------------------------------
+
+MergeJoinOp::MergeJoinOp(OperatorPtr left, OperatorPtr right,
+                         std::string left_key_slot,
+                         std::string right_key_slot)
+    : left_child_(std::move(left)), right_child_(std::move(right)),
+      left_key_(std::move(left_key_slot)),
+      right_key_(std::move(right_key_slot)) {
+  slots_ = ConcatSlots(left_child_->output_slots(),
+                       right_child_->output_slots());
+}
+
+Status MergeJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  li_ = ri_ = 0;
+  in_group_ = false;
+  const int lk = FindSlot(left_child_->output_slots(), left_key_);
+  const int rk = FindSlot(right_child_->output_slots(), right_key_);
+  if (lk < 0 || rk < 0) {
+    return Status::InvalidArgument("merge join key slot not found");
+  }
+  left_key_idx_ = static_cast<size_t>(lk);
+  right_key_idx_ = static_cast<size_t>(rk);
+  RQP_RETURN_IF_ERROR(MaterializeChild(left_child_.get(), ctx, &left_));
+  RQP_RETURN_IF_ERROR(MaterializeChild(right_child_.get(), ctx, &right_));
+  return Status::OK();
+}
+
+Status MergeJoinOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  const size_t ln = left_.num_cols;
+  while (!out->full()) {
+    if (in_group_) {
+      // Emit the cross product of the current equal-key group.
+      if (group_r_ < group_r_end_) {
+        out->AppendConcat(left_.row(group_l_), ln, right_.row(group_r_),
+                          right_.num_cols);
+        ++group_r_;
+        continue;
+      }
+      // Next left row of the group (same key) restarts the right group.
+      ++group_l_;
+      if (group_l_ < left_.num_rows() &&
+          left_.row(group_l_)[left_key_idx_] ==
+              right_.row(ri_)[right_key_idx_]) {
+        group_r_ = ri_;
+        continue;
+      }
+      // Group exhausted.
+      li_ = group_l_;
+      ri_ = group_r_end_;
+      in_group_ = false;
+      continue;
+    }
+    if (li_ >= left_.num_rows() || ri_ >= right_.num_rows()) break;
+    const int64_t lk = left_.row(li_)[left_key_idx_];
+    const int64_t rk = right_.row(ri_)[right_key_idx_];
+    ctx_->ChargeCompareOps(1);
+    if (lk < rk) {
+      ++li_;
+    } else if (lk > rk) {
+      ++ri_;
+    } else {
+      // Found an equal-key group: [ri_, group_r_end_) on the right.
+      group_r_end_ = ri_;
+      while (group_r_end_ < right_.num_rows() &&
+             right_.row(group_r_end_)[right_key_idx_] == rk) {
+        ++group_r_end_;
+        ctx_->ChargeCompareOps(1);
+      }
+      group_l_ = li_;
+      group_r_ = ri_;
+      in_group_ = true;
+    }
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void MergeJoinOp::Close() {
+  left_ = RowBuffer{};
+  right_ = RowBuffer{};
+}
+
+// ---- NestedLoopsJoinOp -----------------------------------------------------
+
+NestedLoopsJoinOp::NestedLoopsJoinOp(OperatorPtr left, OperatorPtr right,
+                                     PredicatePtr join_predicate)
+    : left_child_(std::move(left)), right_child_(std::move(right)),
+      predicate_(std::move(join_predicate)) {
+  slots_ = ConcatSlots(left_child_->output_slots(),
+                       right_child_->output_slots());
+}
+
+Status NestedLoopsJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  done_ = false;
+  left_row_ = 0;
+  right_row_ = 0;
+  left_batch_.Clear();
+  if (predicate_ != nullptr) {
+    auto compiled = CompiledPredicate::Compile(predicate_, slots_);
+    if (!compiled.ok()) return compiled.status();
+    compiled_ = std::move(compiled.value());
+  }
+  RQP_RETURN_IF_ERROR(MaterializeChild(right_child_.get(), ctx, &right_));
+  RQP_RETURN_IF_ERROR(left_child_->Open(ctx));
+  return Status::OK();
+}
+
+Status NestedLoopsJoinOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  const size_t ln = left_child_->output_slots().size();
+  std::vector<int64_t> joined(slots_.size());
+  while (!out->full() && !done_) {
+    if (left_batch_.empty() || left_row_ >= left_batch_.num_rows()) {
+      RQP_RETURN_IF_ERROR(left_child_->Next(&left_batch_));
+      if (left_batch_.empty()) { done_ = true; break; }
+      left_row_ = 0;
+      right_row_ = 0;
+    }
+    const int64_t* lrow = left_batch_.row(left_row_);
+    while (right_row_ < right_.num_rows() && !out->full()) {
+      const int64_t* rrow = right_.row(right_row_++);
+      bool pass = true;
+      if (compiled_) {
+        std::copy(lrow, lrow + ln, joined.begin());
+        std::copy(rrow, rrow + right_.num_cols,
+                  joined.begin() + static_cast<long>(ln));
+        ctx_->ChargePredicateEvals(1);
+        pass = compiled_->Eval(joined.data());
+      } else {
+        ctx_->ChargeRowCpu(1);
+      }
+      if (pass) out->AppendConcat(lrow, ln, rrow, right_.num_cols);
+    }
+    if (right_row_ >= right_.num_rows()) {
+      ++left_row_;
+      right_row_ = 0;
+    }
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void NestedLoopsJoinOp::Close() { right_ = RowBuffer{}; }
+
+// ---- IndexNLJoinOp ---------------------------------------------------------
+
+IndexNLJoinOp::IndexNLJoinOp(OperatorPtr outer, const Table* inner,
+                             const SortedIndex* inner_index,
+                             std::string outer_key_slot)
+    : outer_child_(std::move(outer)), inner_(inner), index_(inner_index),
+      outer_key_(std::move(outer_key_slot)) {
+  std::vector<std::string> inner_slots;
+  for (size_t c = 0; c < inner_->schema().num_columns(); ++c) {
+    inner_slots.push_back(inner_->name() + "." +
+                          inner_->schema().column(c).name);
+  }
+  slots_ = ConcatSlots(outer_child_->output_slots(), inner_slots);
+}
+
+Status IndexNLJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  done_ = false;
+  outer_row_ = 0;
+  match_next_ = 0;
+  inner_matches_.clear();
+  outer_batch_.Clear();
+  const int ok = FindSlot(outer_child_->output_slots(), outer_key_);
+  if (ok < 0) {
+    return Status::InvalidArgument("index NL join outer key slot not found: " +
+                                   outer_key_);
+  }
+  outer_key_idx_ = static_cast<size_t>(ok);
+  RQP_RETURN_IF_ERROR(outer_child_->Open(ctx));
+  return Status::OK();
+}
+
+Status IndexNLJoinOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  const size_t ln = outer_child_->output_slots().size();
+  const size_t in_cols = inner_->schema().num_columns();
+  std::vector<int64_t> inner_row(in_cols);
+  while (!out->full() && !done_) {
+    if (match_next_ < inner_matches_.size()) {
+      const int64_t r = inner_matches_[match_next_++];
+      // Random page fetch for the inner row.
+      ctx_->ChargeRandomReads(1);
+      for (size_t c = 0; c < in_cols; ++c) {
+        inner_row[c] = inner_->Value(c, r);
+      }
+      out->AppendConcat(outer_batch_.row(outer_row_), ln, inner_row.data(),
+                        in_cols);
+      continue;
+    }
+    ++outer_row_;
+    if (outer_batch_.empty() || outer_row_ >= outer_batch_.num_rows()) {
+      RQP_RETURN_IF_ERROR(outer_child_->Next(&outer_batch_));
+      if (outer_batch_.empty()) { done_ = true; break; }
+      outer_row_ = 0;
+    }
+    const int64_t key = outer_batch_.row(outer_row_)[outer_key_idx_];
+    inner_matches_.clear();
+    match_next_ = 0;
+    ctx_->ChargeIndexDescend();
+    index_->LookupRange(key, key, &inner_matches_);
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void IndexNLJoinOp::Close() {}
+
+// ---- GJoinOp ---------------------------------------------------------------
+
+GJoinOp::GJoinOp(OperatorPtr left, OperatorPtr right,
+                 std::string left_key_slot, std::string right_key_slot,
+                 Hints hints)
+    : left_child_(std::move(left)), right_child_(std::move(right)),
+      left_key_(std::move(left_key_slot)),
+      right_key_(std::move(right_key_slot)), hints_(hints) {
+  slots_ = ConcatSlots(left_child_->output_slots(),
+                       right_child_->output_slots());
+}
+
+Status GJoinOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  spool_.clear();
+  spool_next_ = 0;
+  const int lk = FindSlot(left_child_->output_slots(), left_key_);
+  const int rk = FindSlot(right_child_->output_slots(), right_key_);
+  if (lk < 0 || rk < 0) {
+    return Status::InvalidArgument("g-join key slot not found");
+  }
+  left_key_idx_ = static_cast<size_t>(lk);
+  right_key_idx_ = static_cast<size_t>(rk);
+  // The left (outer) input is always consumed first; its *actual* size then
+  // drives the strategy choice — this is what makes the operator robust
+  // against optimizer size-estimate mistakes.
+  RQP_RETURN_IF_ERROR(MaterializeChild(left_child_.get(), ctx, &left_));
+
+  const CostModel& cm = ctx->cost_model();
+  const bool can_index =
+      hints_.right_index != nullptr && hints_.right_table != nullptr;
+  if (can_index) {
+    // Probing the persistent index avoids reading the inner input at all;
+    // compare against the cheapest alternative that must consume it.
+    const double nl = static_cast<double>(left_.num_rows());
+    const double nr = static_cast<double>(hints_.right_table->num_rows());
+    const double index_cost =
+        nl * (cm.index_descend + cm.random_page_read);
+    const double consume_inner_cost =
+        static_cast<double>(hints_.right_table->num_pages()) *
+            cm.seq_page_read +
+        (std::min(nl, nr) + nl + nr) * cm.hash_op;
+    if (index_cost < consume_inner_cost) {
+      right_.num_cols = right_child_->output_slots().size();
+      return EmitAll();  // EmitAll sees an empty right_ and probes the index
+    }
+  }
+  RQP_RETURN_IF_ERROR(MaterializeChild(right_child_.get(), ctx, &right_));
+  return EmitAll();
+}
+
+Status GJoinOp::EmitAll() {
+  const double nl = static_cast<double>(left_.num_rows());
+  const double nr = static_cast<double>(right_.num_rows());
+  const CostModel& cm = ctx_->cost_model();
+
+  const bool index_mode = right_.data.empty() && hints_.right_index != nullptr &&
+                          hints_.right_table != nullptr &&
+                          hints_.right_table->num_rows() > 0;
+  const bool can_merge =
+      !index_mode && hints_.left_sorted && hints_.right_sorted;
+  const double merge_cost = can_merge ? (nl + nr) * cm.compare_op : 1e300;
+  const double hash_cost =
+      index_mode ? 1e300 : (std::min(nl, nr) + nl + nr) * cm.hash_op;
+
+  RowBatch batch(slots_.size());
+  auto flush = [&]() {
+    if (!batch.empty()) {
+      spool_.push_back(std::move(batch));
+      batch = RowBatch(slots_.size());
+    }
+  };
+  const size_t right_cols = right_.num_cols;
+  auto emit = [&](const int64_t* l, const int64_t* r) {
+    batch.AppendConcat(l, left_.num_cols, r, right_cols);
+    if (batch.full()) flush();
+  };
+
+  if (index_mode) {
+    strategy_ = "index";
+    std::vector<int64_t> matches;
+    std::vector<int64_t> inner_row(right_cols);
+    for (size_t a = 0; a < left_.num_rows(); ++a) {
+      matches.clear();
+      ctx_->ChargeIndexDescend();
+      hints_.right_index->LookupRange(left_.row(a)[left_key_idx_],
+                                      left_.row(a)[left_key_idx_], &matches);
+      for (int64_t r : matches) {
+        ctx_->ChargeRandomReads(1);
+        for (size_t c = 0; c < right_cols; ++c) {
+          inner_row[c] = hints_.right_table->Value(c, r);
+        }
+        emit(left_.row(a), inner_row.data());
+      }
+    }
+    flush();
+    return Status::OK();
+  }
+
+  if (can_merge && merge_cost <= hash_cost) {
+    strategy_ = "merge";
+    size_t li = 0, ri = 0;
+    while (li < left_.num_rows() && ri < right_.num_rows()) {
+      const int64_t lk = left_.row(li)[left_key_idx_];
+      const int64_t rk = right_.row(ri)[right_key_idx_];
+      ctx_->ChargeCompareOps(1);
+      if (lk < rk) { ++li; continue; }
+      if (lk > rk) { ++ri; continue; }
+      size_t r_end = ri;
+      while (r_end < right_.num_rows() &&
+             right_.row(r_end)[right_key_idx_] == lk) {
+        ++r_end;
+      }
+      size_t l_end = li;
+      while (l_end < left_.num_rows() &&
+             left_.row(l_end)[left_key_idx_] == lk) {
+        ++l_end;
+      }
+      for (size_t a = li; a < l_end; ++a) {
+        for (size_t b = ri; b < r_end; ++b) {
+          emit(left_.row(a), right_.row(b));
+        }
+      }
+      li = l_end;
+      ri = r_end;
+    }
+  } else {
+    // Hash with the build on the actually-smaller side.
+    const bool build_left = left_.num_rows() <= right_.num_rows();
+    strategy_ = build_left ? "hash(build=left)" : "hash(build=right)";
+    const RowBuffer& build = build_left ? left_ : right_;
+    const RowBuffer& probe = build_left ? right_ : left_;
+    const size_t build_key = build_left ? left_key_idx_ : right_key_idx_;
+    const size_t probe_key = build_left ? right_key_idx_ : left_key_idx_;
+    const int64_t build_pages = std::max<int64_t>(1, build.num_pages());
+    const int64_t granted = ctx_->memory()->Grant(build_pages);
+    if (granted < build_pages) {
+      const double f = 1.0 - static_cast<double>(granted) /
+                                 static_cast<double>(build_pages);
+      const int64_t spill = static_cast<int64_t>(
+          std::ceil(f * static_cast<double>(build_pages + probe.num_pages())));
+      ctx_->ChargeSpill(spill, spill);
+    }
+    std::unordered_multimap<int64_t, size_t> table;
+    table.reserve(build.num_rows());
+    for (size_t r = 0; r < build.num_rows(); ++r) {
+      table.emplace(build.row(r)[build_key], r);
+    }
+    ctx_->ChargeHashOps(static_cast<int64_t>(
+        static_cast<double>(build.num_rows()) * cm.hash_build_factor));
+    for (size_t p = 0; p < probe.num_rows(); ++p) {
+      ctx_->ChargeHashOps(1);
+      auto [begin, end] = table.equal_range(probe.row(p)[probe_key]);
+      for (auto it = begin; it != end; ++it) {
+        const int64_t* l =
+            build_left ? build.row(it->second) : probe.row(p);
+        const int64_t* r =
+            build_left ? probe.row(p) : build.row(it->second);
+        emit(l, r);
+      }
+    }
+    ctx_->memory()->Release(granted);
+  }
+  flush();
+  return Status::OK();
+}
+
+Status GJoinOp::Next(RowBatch* out) {
+  if (spool_next_ < spool_.size()) {
+    *out = spool_[spool_next_++];
+  } else {
+    out->Reset(slots_.size());
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void GJoinOp::Close() {
+  left_ = RowBuffer{};
+  right_ = RowBuffer{};
+  spool_.clear();
+}
+
+}  // namespace rqp

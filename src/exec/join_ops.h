@@ -1,0 +1,221 @@
+#ifndef RQP_EXEC_JOIN_OPS_H_
+#define RQP_EXEC_JOIN_OPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace rqp {
+
+/// Materialized rows with a fixed slot layout — the internal buffer shared
+/// by the blocking join implementations.
+struct RowBuffer {
+  size_t num_cols = 0;
+  std::vector<int64_t> data;  // row-major
+
+  size_t num_rows() const { return num_cols == 0 ? 0 : data.size() / num_cols; }
+  const int64_t* row(size_t i) const { return data.data() + i * num_cols; }
+  void Append(const int64_t* row) {
+    data.insert(data.end(), row, row + num_cols);
+  }
+  int64_t num_pages() const {
+    return (static_cast<int64_t>(num_rows()) + kRowsPerPage - 1) /
+           kRowsPerPage;
+  }
+};
+
+/// Drains `child` into `buf`. Sets buf.num_cols from the child's slots.
+Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf);
+
+/// Hybrid hash join: builds on the right child, probes with the left.
+/// When the memory grant is smaller than the build side, the overflow
+/// fraction of both inputs is charged as spill I/O (grace partitioning) —
+/// the knob behind the memory-adaptation experiments.
+class HashJoinOp : public Operator {
+ public:
+  HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
+             std::string probe_key_slot, std::string build_key_slot);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "HashJoin"; }
+
+  /// Fraction of the build side that did not fit in memory (diagnostics).
+  double spill_fraction() const { return spill_fraction_; }
+
+ private:
+  OperatorPtr probe_child_, build_child_;
+  std::string probe_key_, build_key_;
+  std::vector<std::string> slots_;
+  size_t probe_key_idx_ = 0, build_key_idx_ = 0;
+  RowBuffer build_;
+  std::unordered_multimap<int64_t, size_t> table_;
+  ExecContext* ctx_ = nullptr;
+  int64_t granted_pages_ = 0;
+  double spill_fraction_ = 0;
+  double pending_spill_pages_ = 0;
+  // probe state
+  RowBatch probe_batch_;
+  size_t probe_row_ = 0;
+  std::vector<size_t> match_rows_;
+  size_t match_next_ = 0;
+  bool done_ = false;
+};
+
+/// Sort-merge join over inputs already sorted on their key slots.
+/// Materializes both sides (its natural upstream, SortOp, is blocking
+/// anyway) and merges with duplicate-group handling.
+class MergeJoinOp : public Operator {
+ public:
+  MergeJoinOp(OperatorPtr left, OperatorPtr right, std::string left_key_slot,
+              std::string right_key_slot);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "MergeJoin"; }
+
+ private:
+  OperatorPtr left_child_, right_child_;
+  std::string left_key_, right_key_;
+  std::vector<std::string> slots_;
+  size_t left_key_idx_ = 0, right_key_idx_ = 0;
+  RowBuffer left_, right_;
+  size_t li_ = 0, ri_ = 0;
+  size_t group_l_ = 0, group_r_end_ = 0, group_r_ = 0;
+  bool in_group_ = false;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Block nested-loops join with an arbitrary (possibly empty = cross) join
+/// predicate over the concatenated slots. The robust-last-resort and the
+/// deliberate disaster plan in several experiments.
+class NestedLoopsJoinOp : public Operator {
+ public:
+  NestedLoopsJoinOp(OperatorPtr left, OperatorPtr right,
+                    PredicatePtr join_predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "NestedLoopsJoin"; }
+
+ private:
+  OperatorPtr left_child_, right_child_;
+  PredicatePtr predicate_;
+  std::optional<CompiledPredicate> compiled_;
+  std::vector<std::string> slots_;
+  RowBuffer right_;
+  ExecContext* ctx_ = nullptr;
+  RowBatch left_batch_;
+  size_t left_row_ = 0;
+  size_t right_row_ = 0;
+  bool done_ = false;
+};
+
+/// Index nested-loops join: for each outer row, an index descend plus one
+/// random page fetch per match on the inner table. Unbeatable for tiny
+/// outers, catastrophic for large ones — the plan the Black-Hat
+/// underestimate tricks the optimizer into.
+class IndexNLJoinOp : public Operator {
+ public:
+  IndexNLJoinOp(OperatorPtr outer, const Table* inner,
+                const SortedIndex* inner_index, std::string outer_key_slot);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override {
+    return "IndexNLJoin(" + inner_->name() + ")";
+  }
+
+ private:
+  OperatorPtr outer_child_;
+  const Table* inner_;
+  const SortedIndex* index_;
+  std::string outer_key_;
+  size_t outer_key_idx_ = 0;
+  std::vector<std::string> slots_;
+  ExecContext* ctx_ = nullptr;
+  RowBatch outer_batch_;
+  size_t outer_row_ = 0;
+  std::vector<int64_t> inner_matches_;
+  size_t match_next_ = 0;
+  bool done_ = false;
+};
+
+/// Graefe's generalized join (§5.3 "A generalized join algorithm"): one
+/// operator that replaces the mistaken-choice risk among hash, merge, and
+/// index nested-loops joins. It materializes both inputs, then picks the
+/// cheapest strategy from *actual* input sizes at run time:
+///   - merge pass when both inputs arrive sorted on the key,
+///   - index probes into a persistent inner index when the outer is tiny,
+///   - otherwise an in-memory/hybrid hash join built on the truly smaller
+///     input.
+class GJoinOp : public Operator {
+ public:
+  struct Hints {
+    bool left_sorted = false;   ///< left input sorted on its key slot
+    bool right_sorted = false;  ///< right input sorted on its key slot
+    /// Persistent index on the right table's key column (optional).
+    const Table* right_table = nullptr;
+    const SortedIndex* right_index = nullptr;
+  };
+
+  GJoinOp(OperatorPtr left, OperatorPtr right, std::string left_key_slot,
+          std::string right_key_slot, Hints hints);
+  GJoinOp(OperatorPtr left, OperatorPtr right, std::string left_key_slot,
+          std::string right_key_slot)
+      : GJoinOp(std::move(left), std::move(right), std::move(left_key_slot),
+                std::move(right_key_slot), Hints()) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "GJoin"; }
+
+  /// Strategy chosen at Open (for tests/EXPLAIN): "merge", "index", or
+  /// "hash(build=left)" / "hash(build=right)".
+  const std::string& chosen_strategy() const { return strategy_; }
+
+ private:
+  Status EmitAll();
+
+  OperatorPtr left_child_, right_child_;
+  std::string left_key_, right_key_;
+  Hints hints_;
+  std::vector<std::string> slots_;
+  size_t left_key_idx_ = 0, right_key_idx_ = 0;
+  RowBuffer left_, right_;
+  std::string strategy_;
+  ExecContext* ctx_ = nullptr;
+  // Results are produced eagerly into a spool replayed by Next().
+  std::vector<RowBatch> spool_;
+  size_t spool_next_ = 0;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_JOIN_OPS_H_

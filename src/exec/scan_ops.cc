@@ -1,0 +1,180 @@
+#include "exec/scan_ops.h"
+
+#include <algorithm>
+
+namespace rqp {
+
+Status ResolveProjection(const Table& table,
+                         const std::vector<std::string>& projection,
+                         std::vector<size_t>* columns,
+                         std::vector<std::string>* slots) {
+  columns->clear();
+  slots->clear();
+  if (projection.empty()) {
+    for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+      columns->push_back(c);
+      slots->push_back(table.name() + "." + table.schema().column(c).name);
+    }
+    return Status::OK();
+  }
+  for (const auto& name : projection) {
+    auto idx = table.ColumnIndex(name);
+    if (!idx.ok()) return idx.status();
+    columns->push_back(idx.value());
+    slots->push_back(table.name() + "." + name);
+  }
+  return Status::OK();
+}
+
+TableScanOp::TableScanOp(const Table* table, PredicatePtr filter,
+                         std::vector<std::string> projection)
+    : table_(table), filter_(std::move(filter)) {
+  Status s = ResolveProjection(*table_, projection, &columns_, &slots_);
+  (void)s;  // projection errors surface in Open
+  projection_error_ = !s.ok();
+}
+
+Status TableScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_row_ = 0;
+  ResetCount();
+  if (projection_error_) {
+    return Status::InvalidArgument("bad projection for table " +
+                                   table_->name());
+  }
+  if (filter_ != nullptr) {
+    // The filter references unqualified column names; compile it against
+    // the *full* table layout so residual columns outside the projection
+    // still resolve.
+    std::vector<std::string> all;
+    for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+      all.push_back(table_->schema().column(c).name);
+    }
+    auto compiled = CompiledPredicate::Compile(filter_, all);
+    if (!compiled.ok()) return compiled.status();
+    compiled_ = std::move(compiled.value());
+  }
+  return Status::OK();
+}
+
+Status TableScanOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  const int64_t n = table_->num_rows();
+  std::vector<int64_t> full_row(table_->schema().num_columns());
+  std::vector<int64_t> proj_row(columns_.size());
+  while (next_row_ < n && !out->full()) {
+    const int64_t chunk_end =
+        std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
+    const int64_t chunk = chunk_end - next_row_;
+    // Sequential I/O for the chunk plus per-row CPU.
+    ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage);
+    ctx_->ChargeRowCpu(chunk);
+    for (int64_t r = next_row_; r < chunk_end; ++r) {
+      if (compiled_) {
+        for (size_t c = 0; c < full_row.size(); ++c) {
+          full_row[c] = table_->Value(c, r);
+        }
+        ctx_->ChargePredicateEvals(1);
+        if (!compiled_->Eval(full_row.data())) continue;
+      }
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        proj_row[c] = table_->Value(columns_[c], r);
+      }
+      out->AppendRow(proj_row);
+    }
+    next_row_ = chunk_end;
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void TableScanOp::Close() {}
+
+IndexScanOp::IndexScanOp(const Table* table, const SortedIndex* index,
+                         int64_t lo, int64_t hi, PredicatePtr residual_filter,
+                         std::vector<std::string> projection)
+    : table_(table), index_(index), lo_(lo), hi_(hi),
+      filter_(std::move(residual_filter)) {
+  Status s = ResolveProjection(*table_, projection, &columns_, &slots_);
+  projection_error_ = !s.ok();
+}
+
+Status IndexScanOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  next_ = 0;
+  row_ids_.clear();
+  ResetCount();
+  if (projection_error_) {
+    return Status::InvalidArgument("bad projection for table " +
+                                   table_->name());
+  }
+  if (filter_ != nullptr) {
+    std::vector<std::string> all;
+    for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+      all.push_back(table_->schema().column(c).name);
+    }
+    auto compiled = CompiledPredicate::Compile(filter_, all);
+    if (!compiled.ok()) return compiled.status();
+    compiled_ = std::move(compiled.value());
+  }
+  ctx_->ChargeIndexDescend();
+  const int64_t matches = index_->LookupRange(lo_, hi_, &row_ids_);
+  // Index leaf pages are read sequentially.
+  ctx_->ChargeSeqPages((matches + kRowsPerPage - 1) / kRowsPerPage);
+  return Status::OK();
+}
+
+Status IndexScanOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  std::vector<int64_t> full_row(table_->schema().num_columns());
+  std::vector<int64_t> proj_row(columns_.size());
+  while (next_ < row_ids_.size() && !out->full()) {
+    const int64_t r = row_ids_[next_++];
+    // Each qualifying row costs one random page fetch (unclustered index).
+    ctx_->ChargeRandomReads(1);
+    ctx_->ChargeRowCpu(1);
+    if (compiled_) {
+      for (size_t c = 0; c < full_row.size(); ++c) {
+        full_row[c] = table_->Value(c, r);
+      }
+      ctx_->ChargePredicateEvals(1);
+      if (!compiled_->Eval(full_row.data())) continue;
+    }
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      proj_row[c] = table_->Value(columns_[c], r);
+    }
+    out->AppendRow(proj_row);
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void IndexScanOp::Close() {}
+
+Status VectorSourceOp::Next(RowBatch* out) {
+  if (next_ < batches_->size()) {
+    *out = (*batches_)[next_++];
+    ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
+  } else {
+    out->Reset(slots_.size());
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+StatusOr<int64_t> DrainOperator(Operator* op, ExecContext* ctx,
+                                std::vector<RowBatch>* out) {
+  RQP_RETURN_IF_ERROR(op->Open(ctx));
+  int64_t total = 0;
+  while (true) {
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(op->Next(&batch));
+    if (batch.empty()) break;
+    total += static_cast<int64_t>(batch.num_rows());
+    if (out != nullptr) out->push_back(std::move(batch));
+  }
+  op->Close();
+  return total;
+}
+
+}  // namespace rqp

@@ -1,0 +1,48 @@
+#include "exec/shared_scan.h"
+
+namespace rqp {
+
+StatusOr<int> SharedScan::Attach(PredicatePtr predicate, bool collect_rows) {
+  std::vector<std::string> slots;
+  for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+    slots.push_back(table_->schema().column(c).name);
+  }
+  auto compiled = CompiledPredicate::Compile(predicate, slots);
+  if (!compiled.ok()) return compiled.status();
+  Attached attached{std::move(compiled.value()), collect_rows, 0, {}};
+  queries_.push_back(std::move(attached));
+  return static_cast<int>(queries_.size()) - 1;
+}
+
+Status SharedScan::Execute(ExecContext* ctx) {
+  for (auto& q : queries_) {
+    q.count = 0;
+    q.rows.clear();
+  }
+  const size_t num_cols = table_->schema().num_columns();
+  std::vector<int64_t> row(num_cols);
+  // One sequential pass, shared by every attached query.
+  ctx->ChargeSeqPages(table_->num_pages());
+  ctx->ChargeRowCpu(table_->num_rows());
+  for (int64_t r = 0; r < table_->num_rows(); ++r) {
+    for (size_t c = 0; c < num_cols; ++c) row[c] = table_->Value(c, r);
+    for (auto& q : queries_) {
+      ctx->ChargePredicateEvals(1);
+      if (q.compiled.Eval(row.data())) {
+        ++q.count;
+        if (q.collect_rows) q.rows.push_back(r);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+double SharedScan::IndependentScansCost(const Table& table, int num_queries,
+                                        const CostModel& cm) {
+  const double per_query =
+      static_cast<double>(table.num_pages()) * cm.seq_page_read +
+      2.0 * static_cast<double>(table.num_rows()) * cm.row_cpu;
+  return per_query * num_queries;
+}
+
+}  // namespace rqp

@@ -1,0 +1,254 @@
+#include "exec/sort_agg_ops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace rqp {
+namespace {
+int FindSlotIdx(const std::vector<std::string>& slots,
+                const std::string& name) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+}  // namespace
+
+// ---- SortOp ----------------------------------------------------------------
+
+SortOp::SortOp(OperatorPtr child, std::string key_slot, Options options)
+    : child_(std::move(child)), key_(std::move(key_slot)), options_(options) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  next_ = 0;
+  external_passes_ = 0;
+  const int k = FindSlotIdx(child_->output_slots(), key_);
+  if (k < 0) return Status::InvalidArgument("sort key slot not found: " + key_);
+  key_idx_ = static_cast<size_t>(k);
+  RQP_RETURN_IF_ERROR(MaterializeChild(child_.get(), ctx, &rows_));
+
+  const int64_t n = static_cast<int64_t>(rows_.num_rows());
+  const int64_t pages = std::max<int64_t>(1, rows_.num_pages());
+
+  // In-memory sort work: n log2 n comparisons.
+  if (n > 1) {
+    ctx->ChargeCompareOps(static_cast<int64_t>(
+        static_cast<double>(n) * std::log2(static_cast<double>(n))));
+  }
+  order_.resize(static_cast<size_t>(n));
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](size_t a, size_t b) {
+                     return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
+                   });
+
+  // External merge passes: initial run size = memory grant; each pass
+  // multiplies the run size by the merge fan-in and re-reads + re-writes
+  // every page once. With dynamic memory the grant is renegotiated before
+  // each pass, so a capacity change mid-sort takes effect immediately.
+  int64_t grant = ctx->memory()->Grant(pages);
+  int64_t run_pages = std::max<int64_t>(1, grant);
+  while (run_pages < pages) {
+    ++external_passes_;
+    ctx->ChargeSpill(pages, pages);
+    run_pages *= options_.merge_fanin;
+    if (options_.dynamic_memory) {
+      ctx->memory()->Release(grant);
+      grant = ctx->memory()->Grant(pages);
+      run_pages = std::max(run_pages, grant);
+    }
+  }
+  ctx->memory()->Release(grant);
+  return Status::OK();
+}
+
+Status SortOp::Next(RowBatch* out) {
+  out->Reset(output_slots().size());
+  while (next_ < order_.size() && !out->full()) {
+    out->AppendRow(rows_.row(order_[next_++]));
+  }
+  ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void SortOp::Close() {
+  rows_ = RowBuffer{};
+  order_.clear();
+}
+
+// ---- HashAggOp -------------------------------------------------------------
+
+HashAggOp::HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
+                     std::vector<AggSpec> aggregates)
+    : child_(std::move(child)), group_slots_(std::move(group_slots)),
+      aggs_(std::move(aggregates)) {
+  slots_ = group_slots_;
+  for (const auto& a : aggs_) slots_.push_back(a.output_name);
+}
+
+Status HashAggOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  groups_.clear();
+  emitting_ = false;
+  group_idx_.clear();
+  agg_idx_.clear();
+  const auto& in_slots = child_->output_slots();
+  for (const auto& g : group_slots_) {
+    const int i = FindSlotIdx(in_slots, g);
+    if (i < 0) return Status::InvalidArgument("group slot not found: " + g);
+    group_idx_.push_back(static_cast<size_t>(i));
+  }
+  for (const auto& a : aggs_) {
+    if (a.fn == AggFn::kCount) {
+      agg_idx_.push_back(0);  // unused
+      continue;
+    }
+    const int i = FindSlotIdx(in_slots, a.slot);
+    if (i < 0) return Status::InvalidArgument("agg slot not found: " + a.slot);
+    agg_idx_.push_back(static_cast<size_t>(i));
+  }
+
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  std::vector<int64_t> key(group_idx_.size());
+  while (true) {
+    RowBatch in;
+    RQP_RETURN_IF_ERROR(child_->Next(&in));
+    if (in.empty()) break;
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      const int64_t* row = in.row(r);
+      for (size_t g = 0; g < group_idx_.size(); ++g) {
+        key[g] = row[group_idx_[g]];
+      }
+      ctx->ChargeHashOps(1);
+      auto [it, inserted] = groups_.try_emplace(key);
+      if (inserted) {
+        it->second.resize(aggs_.size());
+        for (size_t a = 0; a < aggs_.size(); ++a) {
+          switch (aggs_[a].fn) {
+            case AggFn::kCount: it->second[a] = 0; break;
+            case AggFn::kSum: it->second[a] = 0; break;
+            case AggFn::kMin:
+              it->second[a] = std::numeric_limits<int64_t>::max();
+              break;
+            case AggFn::kMax:
+              it->second[a] = std::numeric_limits<int64_t>::min();
+              break;
+          }
+        }
+      }
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        int64_t& acc = it->second[a];
+        switch (aggs_[a].fn) {
+          case AggFn::kCount: ++acc; break;
+          case AggFn::kSum: acc += row[agg_idx_[a]]; break;
+          case AggFn::kMin: acc = std::min(acc, row[agg_idx_[a]]); break;
+          case AggFn::kMax: acc = std::max(acc, row[agg_idx_[a]]); break;
+        }
+      }
+    }
+  }
+  child_->Close();
+  // Group state memory (transient; charged as hash-table pages).
+  const int64_t group_pages =
+      (static_cast<int64_t>(groups_.size()) + kRowsPerPage - 1) / kRowsPerPage;
+  const int64_t grant = ctx->memory()->Grant(std::max<int64_t>(1, group_pages));
+  ctx->memory()->Release(grant);
+  emit_it_ = groups_.begin();
+  emitting_ = true;
+  // Global aggregation over an empty input still yields one row.
+  if (group_slots_.empty() && groups_.empty()) {
+    std::vector<int64_t> accs(aggs_.size(), 0);
+    for (size_t a = 0; a < aggs_.size(); ++a) {
+      if (aggs_[a].fn == AggFn::kMin) {
+        accs[a] = std::numeric_limits<int64_t>::max();
+      } else if (aggs_[a].fn == AggFn::kMax) {
+        accs[a] = std::numeric_limits<int64_t>::min();
+      }
+    }
+    groups_.emplace(std::vector<int64_t>{}, std::move(accs));
+    emit_it_ = groups_.begin();
+  }
+  return Status::OK();
+}
+
+Status HashAggOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  std::vector<int64_t> row(slots_.size());
+  while (emitting_ && emit_it_ != groups_.end() && !out->full()) {
+    size_t c = 0;
+    for (int64_t g : emit_it_->first) row[c++] = g;
+    for (int64_t a : emit_it_->second) row[c++] = a;
+    out->AppendRow(row);
+    ++emit_it_;
+  }
+  ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void HashAggOp::Close() { groups_.clear(); }
+
+// ---- CheckOp ---------------------------------------------------------------
+
+CheckOp::CheckOp(OperatorPtr child, int64_t estimated_rows, int64_t valid_lo,
+                 int64_t valid_hi)
+    : child_(std::move(child)), estimated_rows_(estimated_rows),
+      valid_lo_(valid_lo), valid_hi_(valid_hi) {}
+
+Status CheckOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  next_ = 0;
+  buffer_ = std::make_shared<std::vector<RowBatch>>();
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  int64_t actual = 0;
+  while (true) {
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(child_->Next(&batch));
+    if (batch.empty()) break;
+    actual += static_cast<int64_t>(batch.num_rows());
+    buffer_->push_back(std::move(batch));
+  }
+  child_->Close();
+  // Materialization I/O: the intermediate is written once (and re-read by
+  // whoever consumes it — charged on replay below).
+  const int64_t pages = (actual + kRowsPerPage - 1) / kRowsPerPage;
+  ctx->ChargeSpill(pages, 0);
+
+  if (actual < valid_lo_ || actual > valid_hi_) {
+    ExecContext::ReoptRequest req;
+    req.plan_node_id = plan_node_id();
+    req.estimated_rows = estimated_rows_;
+    req.actual_rows = actual;
+    req.slots = child_->output_slots();
+    req.materialized = buffer_;
+    ctx->RaiseReopt(std::move(req));
+    return Status::FailedPrecondition(
+        "POP checkpoint violated: actual cardinality outside validity range");
+  }
+  return Status::OK();
+}
+
+Status CheckOp::Next(RowBatch* out) {
+  if (next_ < buffer_->size()) {
+    *out = (*buffer_)[next_++];
+    ctx_->ChargeSeqPages(
+        (static_cast<int64_t>(out->num_rows()) + kRowsPerPage - 1) /
+        kRowsPerPage);
+  } else {
+    out->Reset(output_slots().size());
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+void CheckOp::Close() {}
+
+}  // namespace rqp

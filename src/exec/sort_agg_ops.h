@@ -1,0 +1,117 @@
+#ifndef RQP_EXEC_SORT_AGG_OPS_H_
+#define RQP_EXEC_SORT_AGG_OPS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exec/join_ops.h"
+#include "exec/operator.h"
+
+namespace rqp {
+
+/// Blocking sort on one key slot (ascending). When the memory grant is
+/// smaller than the input, external merge passes are charged: each extra
+/// pass re-reads and re-writes the whole input once. Supports the dynamic
+/// "grow & shrink" policy: with `dynamic_memory`, the grant is re-negotiated
+/// per merge pass, so a mid-query capacity change (the FMT test) changes
+/// the number of passes instead of failing or thrashing.
+class SortOp : public Operator {
+ public:
+  struct Options {
+    bool dynamic_memory = true;
+    int merge_fanin = 8;  ///< runs merged per external pass
+  };
+
+  SortOp(OperatorPtr child, std::string key_slot, Options options);
+  SortOp(OperatorPtr child, std::string key_slot)
+      : SortOp(std::move(child), std::move(key_slot), Options()) {}
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return child_->output_slots();
+  }
+  std::string name() const override { return "Sort(" + key_ + ")"; }
+
+  int external_passes() const { return external_passes_; }
+
+ private:
+  OperatorPtr child_;
+  std::string key_;
+  Options options_;
+  size_t key_idx_ = 0;
+  RowBuffer rows_;
+  std::vector<size_t> order_;
+  size_t next_ = 0;
+  int external_passes_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Aggregate functions.
+enum class AggFn { kCount, kSum, kMin, kMax };
+
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string slot;  ///< input slot (ignored for COUNT)
+  std::string output_name;
+};
+
+/// Hash aggregation on zero or more group-by slots.
+class HashAggOp : public Operator {
+ public:
+  HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
+            std::vector<AggSpec> aggregates);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "HashAgg"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<std::string> group_slots_;
+  std::vector<AggSpec> aggs_;
+  std::vector<std::string> slots_;
+  std::vector<size_t> group_idx_;
+  std::vector<size_t> agg_idx_;
+  std::map<std::vector<int64_t>, std::vector<int64_t>> groups_;
+  std::map<std::vector<int64_t>, std::vector<int64_t>>::iterator emit_it_;
+  bool emitting_ = false;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// POP CHECK operator (Markl et al., SIGMOD'04; Figures 1–3 of the paper):
+/// a pipeline breaker that materializes its input, compares the actual row
+/// count against the optimizer's validity range, and — on violation —
+/// parks the materialized rows in the ExecContext re-optimization mailbox
+/// and fails Open with FailedPrecondition so the engine can re-plan without
+/// losing the work below the checkpoint.
+class CheckOp : public Operator {
+ public:
+  CheckOp(OperatorPtr child, int64_t estimated_rows, int64_t valid_lo,
+          int64_t valid_hi);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override;
+  const std::vector<std::string>& output_slots() const override {
+    return child_->output_slots();
+  }
+  std::string name() const override { return "Check"; }
+
+ private:
+  OperatorPtr child_;
+  int64_t estimated_rows_, valid_lo_, valid_hi_;
+  std::shared_ptr<std::vector<RowBatch>> buffer_;
+  size_t next_ = 0;
+  ExecContext* ctx_ = nullptr;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_SORT_AGG_OPS_H_

@@ -1,0 +1,30 @@
+#ifndef RQP_EXPR_REWRITER_H_
+#define RQP_EXPR_REWRITER_H_
+
+#include "expr/predicate.h"
+
+namespace rqp {
+
+/// Normalizes a predicate tree into a canonical form so that semantically
+/// equivalent formulations (the §5.1 "Benchmarking Robustness" test sets:
+/// NOT(x != c) vs x = c, OR-of-equalities vs IN, overlapping ranges, child
+/// ordering, strict vs non-strict bounds over integers) produce the same
+/// tree — and therefore the same cardinality estimate and the same plan.
+///
+/// Rules applied (to fixpoint in one structured pass):
+///  1. Negation pushdown / elimination (De Morgan; NOT over comparisons).
+///  2. Strict bounds canonicalized: x < c  →  x <= c-1, x > c → x >= c+1.
+///  3. AND flattening; per-column interval intersection (Eq/Between/
+///     bounds/IN combine; contradictions fold to FALSE).
+///  4. OR flattening; per-column Eq/IN union; TRUE/FALSE folding.
+///  5. Deterministic child ordering.
+PredicatePtr Normalize(const PredicatePtr& p);
+
+/// True if the two predicates normalize to the identical canonical string.
+/// (A syntactic equivalence check — sound but incomplete, which matches how
+/// real optimizers detect equivalence.)
+bool EquivalentNormalized(const PredicatePtr& a, const PredicatePtr& b);
+
+}  // namespace rqp
+
+#endif  // RQP_EXPR_REWRITER_H_

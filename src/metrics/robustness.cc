@@ -1,0 +1,102 @@
+#include "metrics/robustness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rqp {
+
+double CardinalityErrorSum(const std::vector<QueryResult::NodeCard>& cards) {
+  double sum = 0;
+  for (const auto& c : cards) {
+    const double actual =
+        std::max<double>(1.0, static_cast<double>(c.actual));
+    sum += std::abs(c.estimated - static_cast<double>(c.actual)) / actual;
+  }
+  return sum;
+}
+
+double Metric3(double runtime_best, double runtime_opt) {
+  if (runtime_best <= 0) return 0;
+  return std::abs(runtime_opt - runtime_best) / runtime_best;
+}
+
+double GeometricMeanCardError(const std::vector<double>& estimated,
+                              const std::vector<double>& actual) {
+  assert(estimated.size() == actual.size());
+  Summary errors;
+  for (size_t i = 0; i < estimated.size(); ++i) {
+    const double a = std::max(1.0, actual[i]);
+    errors.Add(std::abs(actual[i] - estimated[i]) / a);
+  }
+  return errors.GeometricMean();
+}
+
+SmoothnessResult Smoothness(const std::vector<double>& measured,
+                            const std::vector<double>& optimal) {
+  assert(measured.size() == optimal.size());
+  Summary penalties;
+  for (size_t i = 0; i < measured.size(); ++i) {
+    penalties.Add(std::abs(optimal[i] - measured[i]));
+  }
+  SmoothnessResult result;
+  if (penalties.empty()) return result;
+  result.s_metric = penalties.CoefficientOfVariation();
+  result.mean_penalty = penalties.Mean();
+  result.max_penalty = penalties.Max();
+  return result;
+}
+
+VariabilityDecomposition DecomposeVariability(
+    const std::vector<double>& ideal, const std::vector<double>& produced) {
+  assert(ideal.size() == produced.size());
+  VariabilityDecomposition out;
+  Summary ideal_summary;
+  Summary divergence;
+  for (size_t i = 0; i < ideal.size(); ++i) {
+    ideal_summary.Add(ideal[i]);
+    const double base = std::max(1e-9, ideal[i]);
+    divergence.Add(std::max(0.0, produced[i] / base - 1.0));
+  }
+  if (ideal_summary.empty()) return out;
+  out.intrinsic_cv = ideal_summary.CoefficientOfVariation();
+  out.mean_divergence = divergence.Mean();
+  out.max_divergence = divergence.Max();
+  return out;
+}
+
+TractorPullResult TractorPullScore(
+    const std::vector<std::vector<double>>& per_level_times,
+    double cv_bound) {
+  TractorPullResult result;
+  bool still_pulling = true;
+  for (const auto& level : per_level_times) {
+    Summary s;
+    s.AddAll(level);
+    const double cv = s.CoefficientOfVariation();
+    result.level_cv.push_back(cv);
+    result.level_mean.push_back(s.Mean());
+    if (still_pulling && cv <= cv_bound && !level.empty()) {
+      ++result.max_level_sustained;
+    } else {
+      still_pulling = false;
+    }
+  }
+  return result;
+}
+
+EquivalenceRobustness MeasureEquivalence(
+    const std::vector<double>& times, const std::vector<double>& estimates) {
+  EquivalenceRobustness out;
+  Summary ts, es;
+  ts.AddAll(times);
+  es.AddAll(estimates);
+  if (!ts.empty()) {
+    out.time_cv = ts.CoefficientOfVariation();
+    out.max_time_ratio = ts.Min() > 0 ? ts.Max() / ts.Min() : 1.0;
+  }
+  if (!es.empty()) out.estimate_cv = es.CoefficientOfVariation();
+  return out;
+}
+
+}  // namespace rqp

@@ -1,0 +1,90 @@
+#ifndef RQP_METRICS_ROBUSTNESS_H_
+#define RQP_METRICS_ROBUSTNESS_H_
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "util/summary.h"
+
+namespace rqp {
+
+/// The robustness metrics defined in the seminar report, §5.2.
+///
+/// Nica et al. ("Cardinality estimation for queries with complex
+/// expressions"):
+///   Metric1 = Σ over physical operators of the best plan
+///             |est cardinality − actual cardinality| / actual cardinality
+///   Metric2 = the same sum over *all enumerated* plans
+///   Metric3 = |RunTimeOpt − RunTimeBest| / RunTimeBest
+///
+/// Sattler et al. ("Towards a Robustness Metric"):
+///   P(q)  = |O(q) − E(q)|        (penalty vs. optimal execution time)
+///   S(Q)  = coefficient of variation of P(q) over the query family
+///   C(Q)  = geometric mean over queries of |a_i − e_i| / a_i
+///
+/// Agrawal et al. ("Measuring end to end robustness"): performance
+/// variability decomposed into *intrinsic* (the ideal plan's own variation
+/// across environments — any system pays it) and *extrinsic* (divergence of
+/// the produced plan from the ideal plan — the robustness deficit).
+
+/// Metric1/Metric2 body: Σ |est−act|/act over the given (est, act) pairs.
+/// Pairs with actual == 0 use max(actual, 1) to stay defined.
+double CardinalityErrorSum(const std::vector<QueryResult::NodeCard>& cards);
+
+/// Metric3. `runtime_best` is the measured time of the plan the optimizer
+/// chose; `runtime_opt` the minimum measured time over enumerated plans.
+double Metric3(double runtime_best, double runtime_opt);
+
+/// C(Q): geometric mean of |a−e|/a over parallel vectors of top-level
+/// estimated and actual cardinalities.
+double GeometricMeanCardError(const std::vector<double>& estimated,
+                              const std::vector<double>& actual);
+
+struct SmoothnessResult {
+  double s_metric = 0;       ///< S(Q), CV of the penalties
+  double mean_penalty = 0;   ///< mean P(q)
+  double max_penalty = 0;
+};
+
+/// S(Q) over parallel vectors of measured E(q) and optimal O(q) times.
+SmoothnessResult Smoothness(const std::vector<double>& measured,
+                            const std::vector<double>& optimal);
+
+struct VariabilityDecomposition {
+  double intrinsic_cv = 0;          ///< CV of ideal times across environments
+  double mean_divergence = 0;       ///< mean (produced/ideal − 1)
+  double max_divergence = 0;        ///< worst (produced/ideal − 1)
+};
+
+/// Decomposes end-to-end variability. Vectors are parallel over
+/// environments: `ideal[i]` is the best achievable time in environment i,
+/// `produced[i]` the time of the plan the system actually ran.
+VariabilityDecomposition DecomposeVariability(
+    const std::vector<double>& ideal, const std::vector<double>& produced);
+
+struct TractorPullResult {
+  int max_level_sustained = 0;       ///< 1-based; 0 = failed at level 1
+  std::vector<double> level_cv;      ///< response-time CV per level
+  std::vector<double> level_mean;    ///< mean response time per level
+};
+
+/// Tractor-pull scoring: the system sustains a level while the
+/// response-time coefficient of variation stays below `cv_bound`.
+/// `per_level_times[l]` holds the individual response times at level l.
+TractorPullResult TractorPullScore(
+    const std::vector<std::vector<double>>& per_level_times, double cv_bound);
+
+struct EquivalenceRobustness {
+  double time_cv = 0;        ///< CV of execution times across formulations
+  double estimate_cv = 0;    ///< CV of top-level cardinality estimates
+  double max_time_ratio = 1; ///< slowest/fastest formulation
+};
+
+/// Robustness against semantically equivalent reformulations (§5.1
+/// "Benchmarking Robustness"): an ideal system shows zero variance.
+EquivalenceRobustness MeasureEquivalence(
+    const std::vector<double>& times, const std::vector<double>& estimates);
+
+}  // namespace rqp
+
+#endif  // RQP_METRICS_ROBUSTNESS_H_

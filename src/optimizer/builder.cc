@@ -1,0 +1,165 @@
+#include "optimizer/builder.h"
+
+#include "exec/filter_ops.h"
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/sort_agg_ops.h"
+
+namespace rqp {
+namespace {
+
+PredicatePtr Bind(const PredicatePtr& p, const std::vector<int64_t>& params) {
+  if (p == nullptr) return nullptr;
+  if (!HasParams(p)) return p;
+  return BindParams(p, params);
+}
+
+}  // namespace
+
+StatusOr<OperatorPtr> BuildExecutable(const PlanNode& plan,
+                                      const Catalog* catalog,
+                                      const std::vector<int64_t>& params) {
+  auto build_child = [&](size_t i) -> StatusOr<OperatorPtr> {
+    return BuildExecutable(*plan.children[i], catalog, params);
+  };
+
+  OperatorPtr op;
+  switch (plan.op) {
+    case PlanOp::kTableScan: {
+      auto table = catalog->GetTable(plan.table);
+      if (!table.ok()) return table.status();
+      op = std::make_unique<TableScanOp>(table.value(),
+                                         Bind(plan.predicate, params));
+      break;
+    }
+    case PlanOp::kIndexScan: {
+      auto table = catalog->GetTable(plan.table);
+      if (!table.ok()) return table.status();
+      const SortedIndex* index =
+          catalog->FindIndex(plan.table, plan.index_column);
+      if (index == nullptr) {
+        return Status::NotFound("no index on " + plan.table + "." +
+                                plan.index_column);
+      }
+      int64_t lo = plan.index_lo, hi = plan.index_hi;
+      if (plan.index_lo_param >= 0) {
+        if (static_cast<size_t>(plan.index_lo_param) >= params.size()) {
+          return Status::InvalidArgument("missing index bound parameter");
+        }
+        lo = params[static_cast<size_t>(plan.index_lo_param)];
+      }
+      if (plan.index_hi_param >= 0) {
+        if (static_cast<size_t>(plan.index_hi_param) >= params.size()) {
+          return Status::InvalidArgument("missing index bound parameter");
+        }
+        hi = params[static_cast<size_t>(plan.index_hi_param)];
+      }
+      op = std::make_unique<IndexScanOp>(table.value(), index, lo, hi,
+                                         Bind(plan.predicate, params));
+      break;
+    }
+    case PlanOp::kMaterializedSource: {
+      op = std::make_unique<VectorSourceOp>(plan.materialized,
+                                            plan.materialized_slots);
+      break;
+    }
+    case PlanOp::kFilter: {
+      auto child = build_child(0);
+      if (!child.ok()) return child.status();
+      op = std::make_unique<FilterOp>(std::move(child.value()),
+                                      Bind(plan.predicate, params));
+      break;
+    }
+    case PlanOp::kHashJoin: {
+      auto probe = build_child(0);
+      if (!probe.ok()) return probe.status();
+      auto build = build_child(1);
+      if (!build.ok()) return build.status();
+      op = std::make_unique<HashJoinOp>(std::move(probe.value()),
+                                        std::move(build.value()),
+                                        plan.left_key, plan.right_key);
+      break;
+    }
+    case PlanOp::kMergeJoin: {
+      auto left = build_child(0);
+      if (!left.ok()) return left.status();
+      auto right = build_child(1);
+      if (!right.ok()) return right.status();
+      op = std::make_unique<MergeJoinOp>(std::move(left.value()),
+                                         std::move(right.value()),
+                                         plan.left_key, plan.right_key);
+      break;
+    }
+    case PlanOp::kIndexNLJoin: {
+      auto outer = build_child(0);
+      if (!outer.ok()) return outer.status();
+      auto table = catalog->GetTable(plan.table);
+      if (!table.ok()) return table.status();
+      const SortedIndex* index =
+          catalog->FindIndex(plan.table, plan.index_column);
+      if (index == nullptr) {
+        return Status::NotFound("no index on " + plan.table + "." +
+                                plan.index_column);
+      }
+      op = std::make_unique<IndexNLJoinOp>(std::move(outer.value()),
+                                           table.value(), index,
+                                           plan.left_key);
+      break;
+    }
+    case PlanOp::kNestedLoopsJoin: {
+      auto left = build_child(0);
+      if (!left.ok()) return left.status();
+      auto right = build_child(1);
+      if (!right.ok()) return right.status();
+      op = std::make_unique<NestedLoopsJoinOp>(std::move(left.value()),
+                                               std::move(right.value()),
+                                               Bind(plan.predicate, params));
+      break;
+    }
+    case PlanOp::kGJoin: {
+      auto left = build_child(0);
+      if (!left.ok()) return left.status();
+      auto right = build_child(1);
+      if (!right.ok()) return right.status();
+      GJoinOp::Hints hints;
+      if (!plan.table.empty()) {
+        auto table = catalog->GetTable(plan.table);
+        if (!table.ok()) return table.status();
+        hints.right_table = table.value();
+        hints.right_index = catalog->FindIndex(plan.table, plan.index_column);
+      }
+      // Sort children announce sortedness to enable the merge strategy.
+      hints.left_sorted = plan.children[0]->op == PlanOp::kSort;
+      hints.right_sorted = plan.children[1]->op == PlanOp::kSort;
+      op = std::make_unique<GJoinOp>(std::move(left.value()),
+                                     std::move(right.value()), plan.left_key,
+                                     plan.right_key, hints);
+      break;
+    }
+    case PlanOp::kSort: {
+      auto child = build_child(0);
+      if (!child.ok()) return child.status();
+      op = std::make_unique<SortOp>(std::move(child.value()), plan.sort_key);
+      break;
+    }
+    case PlanOp::kHashAgg: {
+      auto child = build_child(0);
+      if (!child.ok()) return child.status();
+      op = std::make_unique<HashAggOp>(std::move(child.value()),
+                                       plan.group_by, plan.aggregates);
+      break;
+    }
+    case PlanOp::kCheck: {
+      auto child = build_child(0);
+      if (!child.ok()) return child.status();
+      op = std::make_unique<CheckOp>(std::move(child.value()),
+                                     static_cast<int64_t>(plan.est_rows),
+                                     plan.check_lo, plan.check_hi);
+      break;
+    }
+  }
+  op->set_plan_node_id(plan.id);
+  return op;
+}
+
+}  // namespace rqp

@@ -1,0 +1,23 @@
+#ifndef RQP_OPTIMIZER_BUILDER_H_
+#define RQP_OPTIMIZER_BUILDER_H_
+
+#include <vector>
+
+#include "exec/operator.h"
+#include "optimizer/plan.h"
+#include "storage/table.h"
+
+namespace rqp {
+
+/// Lowers a physical plan to an executable operator tree. Parameter markers
+/// remaining in predicates — and parameter-typed index-scan bounds — are
+/// bound with `params` here (run time), so a generic plan optimized with
+/// magic numbers, or a cached parametric plan, executes with the real
+/// values.
+StatusOr<OperatorPtr> BuildExecutable(const PlanNode& plan,
+                                      const Catalog* catalog,
+                                      const std::vector<int64_t>& params = {});
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_BUILDER_H_

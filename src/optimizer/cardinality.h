@@ -1,0 +1,109 @@
+#ifndef RQP_OPTIMIZER_CARDINALITY_H_
+#define RQP_OPTIMIZER_CARDINALITY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/correlation.h"
+#include "stats/feedback.h"
+#include "stats/selectivity.h"
+#include "stats/table_stats.h"
+
+namespace rqp {
+
+/// Inverse of the standard normal CDF (Acklam's rational approximation).
+/// Used to shift selectivity estimates to a confidence percentile for the
+/// Babcock–Chaudhuri robust plan choice.
+double InverseNormalCdf(double p);
+
+struct CardinalityOptions {
+  EstimatorOptions estimator;
+  /// Plan-choice percentile over the selectivity uncertainty distribution.
+  /// 0.5 = classical expected-value optimization. Higher values inflate
+  /// uncertain estimates (log-normal model whose spread grows with the
+  /// number of independence multiplications and magic-number guesses),
+  /// trading average-case speed for tail robustness.
+  double percentile = 0.5;
+  /// Log-scale spread contributed by each uncertain derivation step.
+  double sigma_per_term = 0.8;
+};
+
+/// The optimizer's view of cardinalities: per-table row counts, selection
+/// selectivities, join selectivities, and distinct counts — everything the
+/// DP enumeration and the PlanCoster need. Supports per-table scan
+/// selectivity overrides (plan-diagram recosting, POP corrected estimates).
+class CardinalityModel {
+ public:
+  CardinalityModel(const StatsCatalog* stats, CardinalityOptions options = {},
+                   const std::map<std::string, const CorrelationInfo*>*
+                       correlations = nullptr,
+                   const FeedbackCache* feedback = nullptr,
+                   const StHistogramStore* st_store = nullptr)
+      : stats_(stats), options_(options), correlations_(correlations),
+        feedback_(feedback), st_store_(st_store) {}
+
+  /// Believed row count of a base table.
+  double TableRows(const std::string& table) const;
+
+  /// Selectivity of an (unqualified) predicate against `table`, with the
+  /// percentile shift applied. Honors overrides.
+  double ScanSelectivity(const std::string& table,
+                         const PredicatePtr& pred) const;
+
+  /// Selectivity of a predicate whose columns are qualified "table.column"
+  /// (join residuals, post-join filters). And/Or/Not combine with the same
+  /// rules as the single-table estimator; leaves dispatch to their table's
+  /// statistics.
+  double QualifiedSelectivity(const PredicatePtr& pred) const;
+
+  /// Distinct count of `table.column` (>= 1).
+  double DistinctValues(const std::string& table,
+                        const std::string& column) const;
+
+  /// Equi-join selectivity 1 / max(ndv(left), ndv(right)); keys qualified.
+  double JoinSelectivity(const std::string& left_slot,
+                         const std::string& right_slot) const;
+
+  /// Forces the selectivity of *any* scan predicate on `table` (the plan
+  /// diagram's axis knob).
+  void SetScanSelectivityOverride(const std::string& table, double s) {
+    scan_override_[table] = s;
+  }
+  void ClearOverrides() { scan_override_.clear(); }
+
+  /// Bind peeking (Session 2.3 "late binding"): supply the current call's
+  /// parameter values so that parameterized predicates are estimated with
+  /// real literals while the produced plan keeps its parameter markers.
+  void SetParamPeek(std::vector<int64_t> params) {
+    peek_params_ = std::move(params);
+  }
+  bool has_peek() const { return !peek_params_.empty(); }
+  int64_t PeekParam(int index) const {
+    return peek_params_[static_cast<size_t>(index)];
+  }
+
+  const CardinalityOptions& options() const { return options_; }
+
+ private:
+  /// Applies the percentile shift to an estimate with pedigree `e`.
+  double Shift(const SelEstimate& e) const;
+  SelectivityEstimator MakeEstimator(const std::string& table) const;
+
+  const StatsCatalog* stats_;
+  CardinalityOptions options_;
+  const std::map<std::string, const CorrelationInfo*>* correlations_;
+  const FeedbackCache* feedback_;
+  const StHistogramStore* st_store_ = nullptr;
+  std::map<std::string, double> scan_override_;
+  std::vector<int64_t> peek_params_;
+};
+
+/// Splits a qualified slot "table.column" into its parts; returns false if
+/// there is no dot.
+bool SplitSlot(const std::string& slot, std::string* table,
+               std::string* column);
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_CARDINALITY_H_

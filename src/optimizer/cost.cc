@@ -1,0 +1,201 @@
+#include "optimizer/cost.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rqp {
+
+double PlanCoster::SortSpillCost(double pages) const {
+  const double mem = static_cast<double>(std::max<int64_t>(1, params_.memory_pages));
+  if (pages <= mem) return 0.0;
+  double run_pages = mem;
+  double cost = 0.0;
+  while (run_pages < pages) {
+    cost += pages * (params_.exec.spill_page_write + params_.exec.spill_page_read);
+    run_pages *= params_.sort_merge_fanin;
+  }
+  return cost;
+}
+
+double PlanCoster::HashSpillCost(double build_pages, double probe_pages) const {
+  const double mem = static_cast<double>(std::max<int64_t>(1, params_.memory_pages));
+  if (build_pages <= mem) return 0.0;
+  const double f = 1.0 - mem / build_pages;
+  return f * (build_pages + probe_pages) *
+         (params_.exec.spill_page_write + params_.exec.spill_page_read);
+}
+
+void PlanCoster::Cost(PlanNode* node) const {
+  for (auto& c : node->children) Cost(c.get());
+  const CostModel& cm = params_.exec;
+
+  switch (node->op) {
+    case PlanOp::kTableScan: {
+      const double in_rows = card_->TableRows(node->table);
+      double cost = PagesOf(in_rows) * cm.seq_page_read + in_rows * cm.row_cpu;
+      double sel = 1.0;
+      if (node->predicate != nullptr) {
+        cost += in_rows * cm.row_cpu;  // predicate evaluation
+        sel = card_->ScanSelectivity(node->table, node->predicate);
+      }
+      node->est_rows = in_rows * sel;
+      node->est_cost = cost;
+      break;
+    }
+    case PlanOp::kIndexScan: {
+      const double in_rows = card_->TableRows(node->table);
+      double range_sel;
+      if (node->index_lo_param >= 0 || node->index_hi_param >= 0) {
+        // Parameter-typed bounds: peeked literals when available,
+        // otherwise the magic-number range selectivity.
+        if (card_->has_peek()) {
+          const int64_t lo = node->index_lo_param >= 0
+                                 ? card_->PeekParam(node->index_lo_param)
+                                 : node->index_lo;
+          const int64_t hi = node->index_hi_param >= 0
+                                 ? card_->PeekParam(node->index_hi_param)
+                                 : node->index_hi;
+          range_sel = card_->ScanSelectivity(
+              node->table, MakeBetween(node->index_column, lo, hi));
+        } else {
+          range_sel =
+              card_->options().estimator.default_range_selectivity;
+        }
+      } else {
+        range_sel = card_->ScanSelectivity(
+            node->table,
+            MakeBetween(node->index_column, node->index_lo, node->index_hi));
+      }
+      const double matches = in_rows * range_sel;
+      double cost = cm.index_descend +
+                    PagesOf(matches) * cm.seq_page_read +  // leaf pages
+                    matches * (cm.random_page_read + cm.row_cpu);
+      double residual_sel = 1.0;
+      if (node->predicate != nullptr) {
+        cost += matches * cm.row_cpu;
+        // The residual is estimated against the full table; conditioning on
+        // the range is ignored (the usual independence simplification).
+        residual_sel = card_->ScanSelectivity(node->table, node->predicate);
+      }
+      node->est_rows = matches * residual_sel;
+      node->est_cost = cost;
+      break;
+    }
+    case PlanOp::kMaterializedSource: {
+      const double rows = static_cast<double>(node->materialized_rows);
+      node->est_rows = rows;
+      node->est_cost = PagesOf(rows) * cm.seq_page_read + rows * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kFilter: {
+      assert(node->children.size() == 1);
+      const PlanNode& child = *node->children[0];
+      const double sel = card_->QualifiedSelectivity(node->predicate);
+      node->est_rows = child.est_rows * sel;
+      node->est_cost = child.est_cost + child.est_rows * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kHashJoin: {
+      assert(node->children.size() == 2);
+      const PlanNode& probe = *node->children[0];
+      const PlanNode& build = *node->children[1];
+      const double jsel =
+          card_->JoinSelectivity(node->left_key, node->right_key);
+      node->est_rows = probe.est_rows * build.est_rows * jsel;
+      node->est_cost = probe.est_cost + build.est_cost +
+                       (build.est_rows * cm.hash_build_factor +
+                        probe.est_rows) * cm.hash_op +
+                       node->est_rows * cm.row_cpu +
+                       HashSpillCost(PagesOf(build.est_rows),
+                                     PagesOf(probe.est_rows));
+      break;
+    }
+    case PlanOp::kMergeJoin: {
+      assert(node->children.size() == 2);
+      const PlanNode& l = *node->children[0];
+      const PlanNode& r = *node->children[1];
+      const double jsel =
+          card_->JoinSelectivity(node->left_key, node->right_key);
+      node->est_rows = l.est_rows * r.est_rows * jsel;
+      node->est_cost = l.est_cost + r.est_cost +
+                       (l.est_rows + r.est_rows) * cm.compare_op +
+                       node->est_rows * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kIndexNLJoin: {
+      assert(node->children.size() == 1);
+      const PlanNode& outer = *node->children[0];
+      const double inner_rows = card_->TableRows(node->table);
+      const double jsel = card_->JoinSelectivity(
+          node->left_key, node->table + "." + node->index_column);
+      node->est_rows = outer.est_rows * inner_rows * jsel;
+      node->est_cost = outer.est_cost + outer.est_rows * cm.index_descend +
+                       node->est_rows * (cm.random_page_read + cm.row_cpu);
+      break;
+    }
+    case PlanOp::kNestedLoopsJoin: {
+      assert(node->children.size() == 2);
+      const PlanNode& l = *node->children[0];
+      const PlanNode& r = *node->children[1];
+      const double sel =
+          node->predicate ? card_->QualifiedSelectivity(node->predicate) : 1.0;
+      node->est_rows = l.est_rows * r.est_rows * sel;
+      node->est_cost = l.est_cost + r.est_cost +
+                       l.est_rows * r.est_rows * cm.row_cpu +
+                       node->est_rows * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kGJoin: {
+      assert(node->children.size() == 2);
+      const PlanNode& l = *node->children[0];
+      const PlanNode& r = *node->children[1];
+      const double jsel =
+          card_->JoinSelectivity(node->left_key, node->right_key);
+      node->est_rows = l.est_rows * r.est_rows * jsel;
+      // Priced as a hash join that always builds on the smaller input.
+      const double build = std::min(l.est_rows, r.est_rows);
+      node->est_cost = l.est_cost + r.est_cost +
+                       (build * cm.hash_build_factor + l.est_rows +
+                        r.est_rows) * cm.hash_op +
+                       node->est_rows * cm.row_cpu +
+                       HashSpillCost(PagesOf(build),
+                                     PagesOf(std::max(l.est_rows, r.est_rows)));
+      break;
+    }
+    case PlanOp::kSort: {
+      assert(node->children.size() == 1);
+      const PlanNode& child = *node->children[0];
+      const double n = std::max(1.0, child.est_rows);
+      node->est_rows = child.est_rows;
+      node->est_cost = child.est_cost + n * std::log2(n + 1.0) * cm.compare_op +
+                       SortSpillCost(PagesOf(n)) + n * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kHashAgg: {
+      assert(node->children.size() == 1);
+      const PlanNode& child = *node->children[0];
+      double groups = 1.0;
+      for (const auto& g : node->group_by) {
+        std::string t, c;
+        if (SplitSlot(g, &t, &c)) groups *= card_->DistinctValues(t, c);
+      }
+      node->est_rows = std::min(std::max(1.0, child.est_rows), groups);
+      node->est_cost = child.est_cost + child.est_rows * cm.hash_op +
+                       node->est_rows * cm.row_cpu;
+      break;
+    }
+    case PlanOp::kCheck: {
+      assert(node->children.size() == 1);
+      const PlanNode& child = *node->children[0];
+      node->est_rows = child.est_rows;
+      // Materialize once, replay once.
+      node->est_cost = child.est_cost +
+                       PagesOf(child.est_rows) *
+                           (cm.spill_page_write + cm.seq_page_read);
+      break;
+    }
+  }
+}
+
+}  // namespace rqp

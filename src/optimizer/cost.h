@@ -1,0 +1,50 @@
+#ifndef RQP_OPTIMIZER_COST_H_
+#define RQP_OPTIMIZER_COST_H_
+
+#include "exec/context.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/plan.h"
+
+namespace rqp {
+
+/// Optimizer-side cost parameters. The per-operation constants mirror the
+/// executor's CostModel so estimated and measured cost agree when the
+/// cardinality estimates are right — which makes cardinality error the
+/// *only* source of plan mistakes, exactly the experimental isolation the
+/// paper's "three levels to measure" discussion calls for.
+struct CostParams {
+  CostModel exec;
+  int64_t memory_pages = 1 << 20;  ///< grant assumed for spill estimation
+  int sort_merge_fanin = 8;
+};
+
+/// Prices a physical plan bottom-up, filling est_rows/est_cost on every
+/// node. A pure function of (plan structure, cardinality model, params) —
+/// reused by the DP enumeration, the plan-diagram recoster, validity-range
+/// probing, and the Metric3 ideal-plan search.
+class PlanCoster {
+ public:
+  PlanCoster(const CardinalityModel* card, CostParams params)
+      : card_(card), params_(params) {}
+
+  /// Computes est_rows and cumulative est_cost for `node` and its subtree.
+  void Cost(PlanNode* node) const;
+
+  const CostParams& params() const { return params_; }
+
+ private:
+  double PagesOf(double rows) const {
+    return std::max(1.0, std::ceil(rows / static_cast<double>(kRowsPerPage)));
+  }
+  /// External-sort spill cost for `pages` of input.
+  double SortSpillCost(double pages) const;
+  /// Grace-hash spill cost when the build side exceeds memory.
+  double HashSpillCost(double build_pages, double probe_pages) const;
+
+  const CardinalityModel* card_;
+  CostParams params_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_COST_H_

@@ -1,0 +1,152 @@
+#include "optimizer/plan.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace rqp {
+
+const char* PlanOpName(PlanOp op) {
+  switch (op) {
+    case PlanOp::kTableScan: return "TableScan";
+    case PlanOp::kIndexScan: return "IndexScan";
+    case PlanOp::kMaterializedSource: return "MaterializedSource";
+    case PlanOp::kFilter: return "Filter";
+    case PlanOp::kHashJoin: return "HashJoin";
+    case PlanOp::kMergeJoin: return "MergeJoin";
+    case PlanOp::kIndexNLJoin: return "IndexNLJoin";
+    case PlanOp::kNestedLoopsJoin: return "NestedLoopsJoin";
+    case PlanOp::kGJoin: return "GJoin";
+    case PlanOp::kSort: return "Sort";
+    case PlanOp::kHashAgg: return "HashAgg";
+    case PlanOp::kCheck: return "Check";
+  }
+  return "?";
+}
+
+PlanNodePtr NewPlanNode(PlanOp op, int* counter) {
+  auto node = std::make_unique<PlanNode>();
+  node->op = op;
+  node->id = (*counter)++;
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto copy = std::make_unique<PlanNode>();
+  copy->op = op;
+  copy->id = id;
+  copy->table = table;
+  copy->predicate = predicate;
+  copy->index_column = index_column;
+  copy->index_lo = index_lo;
+  copy->index_hi = index_hi;
+  copy->index_lo_param = index_lo_param;
+  copy->index_hi_param = index_hi_param;
+  copy->left_key = left_key;
+  copy->right_key = right_key;
+  copy->sort_key = sort_key;
+  copy->group_by = group_by;
+  copy->aggregates = aggregates;
+  copy->check_lo = check_lo;
+  copy->check_hi = check_hi;
+  copy->materialized = materialized;
+  copy->materialized_slots = materialized_slots;
+  copy->materialized_rows = materialized_rows;
+  copy->covered_tables = covered_tables;
+  copy->est_rows = est_rows;
+  copy->est_cost = est_cost;
+  for (const auto& c : children) copy->children.push_back(c->Clone());
+  return copy;
+}
+
+namespace {
+void ExplainRec(const PlanNode& node, bool with_estimates, int depth,
+                std::ostringstream* os) {
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  *os << PlanOpName(node.op);
+  switch (node.op) {
+    case PlanOp::kTableScan:
+      *os << "(" << node.table;
+      if (node.predicate) *os << ", " << ToString(node.predicate);
+      *os << ")";
+      break;
+    case PlanOp::kIndexScan:
+      *os << "(" << node.table << "." << node.index_column << " in [";
+      if (node.index_lo_param >= 0) *os << "?" << node.index_lo_param;
+      else *os << node.index_lo;
+      *os << ", ";
+      if (node.index_hi_param >= 0) *os << "?" << node.index_hi_param;
+      else *os << node.index_hi;
+      *os << "]";
+      if (node.predicate) *os << ", " << ToString(node.predicate);
+      *os << ")";
+      break;
+    case PlanOp::kMaterializedSource:
+      *os << "(rows=" << node.materialized_rows << ")";
+      break;
+    case PlanOp::kFilter:
+      *os << "(" << (node.predicate ? ToString(node.predicate) : "") << ")";
+      break;
+    case PlanOp::kHashJoin:
+    case PlanOp::kMergeJoin:
+    case PlanOp::kGJoin:
+      *os << "(" << node.left_key << " = " << node.right_key << ")";
+      break;
+    case PlanOp::kIndexNLJoin:
+      *os << "(" << node.left_key << " -> " << node.table << "."
+          << node.index_column << ")";
+      break;
+    case PlanOp::kNestedLoopsJoin:
+      *os << "(" << (node.predicate ? ToString(node.predicate) : "cross")
+          << ")";
+      break;
+    case PlanOp::kSort:
+      *os << "(" << node.sort_key << ")";
+      break;
+    case PlanOp::kHashAgg: {
+      *os << "(groups=";
+      for (size_t i = 0; i < node.group_by.size(); ++i) {
+        if (i) *os << ",";
+        *os << node.group_by[i];
+      }
+      *os << ")";
+      break;
+    }
+    case PlanOp::kCheck:
+      if (with_estimates) {
+        *os << "(valid=[" << node.check_lo << ", " << node.check_hi << "])";
+      } else {
+        *os << "()";  // validity ranges are estimate-dependent
+      }
+      break;
+  }
+  if (with_estimates) {
+    *os << "  [rows=" << static_cast<long long>(node.est_rows)
+        << " cost=" << node.est_cost << "]";
+  }
+  *os << "\n";
+  for (const auto& c : node.children) {
+    ExplainRec(*c, with_estimates, depth + 1, os);
+  }
+}
+
+void CollectTables(const PlanNode& node, std::set<std::string>* out) {
+  if (!node.table.empty()) out->insert(node.table);
+  for (const auto& t : node.covered_tables) out->insert(t);
+  for (const auto& c : node.children) CollectTables(*c, out);
+}
+}  // namespace
+
+std::string PlanNode::Explain(bool with_estimates) const {
+  std::ostringstream os;
+  ExplainRec(*this, with_estimates, 0, &os);
+  return os.str();
+}
+
+std::vector<std::string> PlanNode::BaseTables() const {
+  std::set<std::string> tables;
+  CollectTables(*this, &tables);
+  return {tables.begin(), tables.end()};
+}
+
+}  // namespace rqp

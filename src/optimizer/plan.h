@@ -1,0 +1,91 @@
+#ifndef RQP_OPTIMIZER_PLAN_H_
+#define RQP_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "exec/sort_agg_ops.h"
+#include "expr/predicate.h"
+
+namespace rqp {
+
+/// Physical plan operators.
+enum class PlanOp {
+  kTableScan,
+  kIndexScan,
+  kMaterializedSource,  ///< re-optimization restart from a POP checkpoint
+  kFilter,
+  kHashJoin,     ///< right child is the build side
+  kMergeJoin,    ///< children must be sort-producing
+  kIndexNLJoin,  ///< left = outer, inner named by `table`
+  kNestedLoopsJoin,
+  kGJoin,
+  kSort,
+  kHashAgg,
+  kCheck,  ///< POP checkpoint with a validity range
+};
+
+const char* PlanOpName(PlanOp op);
+
+/// One node of a physical plan. A passive description: the executor builder
+/// lowers it to operators, the PlanCoster prices it, EXPLAIN prints it.
+struct PlanNode {
+  PlanOp op = PlanOp::kTableScan;
+  int id = -1;  ///< unique within a plan; keys est->actual matching
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // Scans / IndexNLJoin inner.
+  std::string table;
+  PredicatePtr predicate;  ///< scan filter, join residual, or NLJ predicate
+  // Index scans. When index_lo_param/index_hi_param are >= 0 the bounds
+  // are run-time parameters resolved by the builder (late binding).
+  std::string index_column;
+  int64_t index_lo = 0, index_hi = 0;
+  int index_lo_param = -1, index_hi_param = -1;
+  // Joins (qualified slot names).
+  std::string left_key, right_key;
+  // Sort.
+  std::string sort_key;
+  // Aggregation.
+  std::vector<std::string> group_by;
+  std::vector<AggSpec> aggregates;
+  // Check (POP) validity range on the child's actual cardinality.
+  int64_t check_lo = 0, check_hi = 0;
+  // Materialized source (restart after re-optimization).
+  std::shared_ptr<std::vector<RowBatch>> materialized;
+  std::vector<std::string> materialized_slots;
+  int64_t materialized_rows = 0;
+  /// Base tables covered by a materialized source (so re-planning knows
+  /// which joins are already done).
+  std::vector<std::string> covered_tables;
+
+  // Filled by the PlanCoster / optimizer.
+  double est_rows = 0;
+  double est_cost = 0;  ///< cumulative cost of the subtree
+
+  PlanNode() = default;
+  PlanNode(const PlanNode&) = delete;
+  PlanNode& operator=(const PlanNode&) = delete;
+
+  std::unique_ptr<PlanNode> Clone() const;
+
+  /// Multi-line EXPLAIN rendering. With `with_estimates`, appends
+  /// rows/cost annotations; without, the output is a *structural signature*
+  /// (used to identify identical plans across plan-diagram points).
+  std::string Explain(bool with_estimates = true) const;
+
+  /// All base table names under this node (including covered_tables of
+  /// materialized sources), sorted.
+  std::vector<std::string> BaseTables() const;
+};
+
+using PlanNodePtr = std::unique_ptr<PlanNode>;
+
+/// Creates a node with the next id from `counter`.
+PlanNodePtr NewPlanNode(PlanOp op, int* counter);
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_PLAN_H_

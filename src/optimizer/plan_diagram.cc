@@ -1,0 +1,167 @@
+#include "optimizer/plan_diagram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "optimizer/cost.h"
+
+namespace rqp {
+namespace {
+
+std::vector<double> Axis(const PlanDiagramOptions& o) {
+  std::vector<double> sels(static_cast<size_t>(o.grid));
+  for (int i = 0; i < o.grid; ++i) {
+    const double t =
+        o.grid == 1 ? 0.0 : static_cast<double>(i) / (o.grid - 1);
+    if (o.log_scale) {
+      sels[static_cast<size_t>(i)] =
+          o.min_selectivity *
+          std::pow(o.max_selectivity / o.min_selectivity, t);
+    } else {
+      sels[static_cast<size_t>(i)] =
+          o.min_selectivity + t * (o.max_selectivity - o.min_selectivity);
+    }
+  }
+  return sels;
+}
+
+}  // namespace
+
+double PlanDiagram::AreaFraction(int plan) const {
+  if (plan_at.empty()) return 0.0;
+  int64_t n = 0;
+  for (int p : plan_at) {
+    if (p == plan) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(plan_at.size());
+}
+
+StatusOr<PlanDiagram> ComputePlanDiagram(const Catalog* catalog,
+                                         const StatsCatalog* stats,
+                                         const QuerySpec& spec,
+                                         const PlanDiagramOptions& options,
+                                         const OptimizerOptions& opt_options) {
+  PlanDiagram diagram;
+  diagram.grid = options.grid;
+  diagram.sel_x = Axis(options);
+  diagram.sel_y = Axis(options);
+  diagram.plan_at.assign(static_cast<size_t>(options.grid) * options.grid, -1);
+  diagram.optimal_cost_at.assign(diagram.plan_at.size(), 0.0);
+
+  std::map<std::string, int> index_of;
+  for (int y = 0; y < options.grid; ++y) {
+    for (int x = 0; x < options.grid; ++x) {
+      CardinalityModel model(stats);
+      model.SetScanSelectivityOverride(options.x_table,
+                                       diagram.sel_x[static_cast<size_t>(x)]);
+      model.SetScanSelectivityOverride(options.y_table,
+                                       diagram.sel_y[static_cast<size_t>(y)]);
+      Optimizer optimizer(catalog, &model, opt_options);
+      auto result = optimizer.Optimize(spec);
+      if (!result.ok()) return result.status();
+      const std::string sig = result->plan->Explain(false);
+      auto [it, inserted] =
+          index_of.emplace(sig, static_cast<int>(diagram.signatures.size()));
+      if (inserted) {
+        diagram.signatures.push_back(sig);
+        diagram.plans.push_back(result->plan->Clone());
+      }
+      const int cell = diagram.cell(x, y);
+      diagram.plan_at[static_cast<size_t>(cell)] = it->second;
+      diagram.optimal_cost_at[static_cast<size_t>(cell)] =
+          result->plan->est_cost;
+    }
+  }
+  return diagram;
+}
+
+StatusOr<ReductionResult> ReducePlanDiagram(
+    const PlanDiagram& diagram, double lambda, const Catalog* catalog,
+    const StatsCatalog* stats, const PlanDiagramOptions& options,
+    const OptimizerOptions& opt_options) {
+  (void)catalog;
+  ReductionResult result;
+  result.plan_at = diagram.plan_at;
+  result.plans_before = diagram.num_plans();
+
+  // Cost of every plan at every cell (recosted with that cell's
+  // selectivities).
+  const size_t cells = diagram.plan_at.size();
+  const int num_plans = diagram.num_plans();
+  std::vector<std::vector<double>> cost(
+      static_cast<size_t>(num_plans), std::vector<double>(cells, 0.0));
+  for (int p = 0; p < num_plans; ++p) {
+    for (int y = 0; y < diagram.grid; ++y) {
+      for (int x = 0; x < diagram.grid; ++x) {
+        CardinalityModel model(stats);
+        model.SetScanSelectivityOverride(
+            options.x_table, diagram.sel_x[static_cast<size_t>(x)]);
+        model.SetScanSelectivityOverride(
+            options.y_table, diagram.sel_y[static_cast<size_t>(y)]);
+        PlanCoster coster(&model, opt_options.cost);
+        auto clone = diagram.plans[static_cast<size_t>(p)]->Clone();
+        coster.Cost(clone.get());
+        cost[static_cast<size_t>(p)]
+            [static_cast<size_t>(diagram.cell(x, y))] = clone->est_cost;
+      }
+    }
+  }
+
+  // Greedy swallowing, smallest-area plans first (CostGreedy flavor): a
+  // plan is eliminated if every one of its cells can be recolored to some
+  // surviving plan within the (1 + lambda) cost threshold.
+  std::vector<int> order(static_cast<size_t>(num_plans));
+  for (int p = 0; p < num_plans; ++p) order[static_cast<size_t>(p)] = p;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return diagram.AreaFraction(a) < diagram.AreaFraction(b);
+  });
+  std::vector<bool> alive(static_cast<size_t>(num_plans), true);
+
+  for (int victim : order) {
+    // Tentative recoloring of the victim's cells.
+    std::vector<std::pair<size_t, int>> recolor;
+    bool can_swallow = true;
+    for (size_t c = 0; c < cells; ++c) {
+      if (result.plan_at[c] != victim) continue;
+      const double budget =
+          (1.0 + lambda) * diagram.optimal_cost_at[c];
+      int best_plan = -1;
+      double best_cost = 0;
+      for (int p = 0; p < num_plans; ++p) {
+        if (p == victim || !alive[static_cast<size_t>(p)]) continue;
+        const double pc = cost[static_cast<size_t>(p)][c];
+        if (pc <= budget && (best_plan < 0 || pc < best_cost)) {
+          best_plan = p;
+          best_cost = pc;
+        }
+      }
+      if (best_plan < 0) {
+        can_swallow = false;
+        break;
+      }
+      recolor.push_back({c, best_plan});
+    }
+    if (can_swallow && !recolor.empty()) {
+      for (const auto& [c, p] : recolor) result.plan_at[c] = p;
+      alive[static_cast<size_t>(victim)] = false;
+    }
+  }
+
+  result.plans_after = 0;
+  std::vector<bool> used(static_cast<size_t>(num_plans), false);
+  for (int p : result.plan_at) used[static_cast<size_t>(p)] = true;
+  for (int p = 0; p < num_plans; ++p) {
+    if (used[static_cast<size_t>(p)]) ++result.plans_after;
+  }
+  result.max_blowup = 1.0;
+  for (size_t c = 0; c < cells; ++c) {
+    const double base = std::max(1e-12, diagram.optimal_cost_at[c]);
+    result.max_blowup = std::max(
+        result.max_blowup,
+        cost[static_cast<size_t>(result.plan_at[c])][c] / base);
+  }
+  return result;
+}
+
+}  // namespace rqp

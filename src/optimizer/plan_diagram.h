@@ -1,0 +1,69 @@
+#ifndef RQP_OPTIMIZER_PLAN_DIAGRAM_H_
+#define RQP_OPTIMIZER_PLAN_DIAGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+
+namespace rqp {
+
+/// Plan diagram machinery (Reddy & Haritsa VLDB'05; reduction per Harish et
+/// al. PVLDB'08, both in the seminar's reading list and its §4 sessions):
+/// a 2-D grid over the selectivities of two query dimensions, colored by
+/// the optimizer's plan choice; "anorexic" reduction recolors cells to a
+/// small set of plans such that no cell's cost degrades by more than
+/// (1 + lambda).
+struct PlanDiagramOptions {
+  int grid = 16;             ///< grid resolution per axis
+  std::string x_table;       ///< table whose scan selectivity is the x axis
+  std::string y_table;       ///< table whose scan selectivity is the y axis
+  double min_selectivity = 0.001;
+  double max_selectivity = 1.0;
+  bool log_scale = true;
+};
+
+class PlanDiagram {
+ public:
+  int grid = 0;
+  std::vector<double> sel_x, sel_y;       ///< axis selectivities
+  std::vector<int> plan_at;               ///< grid*grid cell -> plan index
+  std::vector<std::string> signatures;    ///< distinct plan signatures
+  std::vector<PlanNodePtr> plans;         ///< representative plan instances
+  std::vector<double> optimal_cost_at;    ///< optimizer's cost per cell
+
+  int num_plans() const { return static_cast<int>(signatures.size()); }
+  int cell(int x, int y) const { return y * grid + x; }
+  /// Fraction of cells colored with `plan`.
+  double AreaFraction(int plan) const;
+};
+
+/// Computes the plan diagram for `spec`. The per-cell selectivities are
+/// injected through CardinalityModel scan-selectivity overrides, so the
+/// diagram explores exactly the optimizer's decision surface.
+StatusOr<PlanDiagram> ComputePlanDiagram(const Catalog* catalog,
+                                         const StatsCatalog* stats,
+                                         const QuerySpec& spec,
+                                         const PlanDiagramOptions& options,
+                                         const OptimizerOptions& opt_options);
+
+struct ReductionResult {
+  std::vector<int> plan_at;  ///< recolored diagram
+  int plans_before = 0;
+  int plans_after = 0;
+  /// max over cells of cost(new plan at cell) / cost(original optimal),
+  /// the realized worst-case penalty (<= 1 + lambda by construction).
+  double max_blowup = 1.0;
+};
+
+/// Greedy anorexic reduction with swallowing threshold `lambda`
+/// (e.g. 0.2 = 20%). Needs the catalog/stats to recost plans at foreign
+/// cells.
+StatusOr<ReductionResult> ReducePlanDiagram(
+    const PlanDiagram& diagram, double lambda, const Catalog* catalog,
+    const StatsCatalog* stats, const PlanDiagramOptions& options,
+    const OptimizerOptions& opt_options);
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_PLAN_DIAGRAM_H_

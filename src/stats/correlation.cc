@@ -1,0 +1,62 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace rqp {
+
+void CorrelationInfo::AddDependency(const std::string& determinant,
+                                    const std::string& dependent,
+                                    double strength) {
+  deps_[{determinant, dependent}] = strength;
+}
+
+double CorrelationInfo::DependencyStrength(const std::string& determinant,
+                                           const std::string& dependent) const {
+  auto it = deps_.find({determinant, dependent});
+  return it == deps_.end() ? 0.0 : it->second;
+}
+
+bool CorrelationInfo::AreCorrelated(const std::string& a,
+                                    const std::string& b,
+                                    double threshold) const {
+  return DependencyStrength(a, b) >= threshold ||
+         DependencyStrength(b, a) >= threshold;
+}
+
+CorrelationInfo DetectCorrelations(
+    const Table& table, const CorrelationDetectorOptions& options) {
+  CorrelationInfo info;
+  const int64_t n = table.num_rows();
+  if (n == 0) return info;
+  Rng rng(options.seed);
+  const int64_t sample_size = std::min(options.sample_size, n);
+  std::vector<int64_t> rows(static_cast<size_t>(sample_size));
+  for (auto& r : rows) r = rng.Uniform(0, n - 1);
+
+  const size_t num_cols = table.schema().num_columns();
+  for (size_t a = 0; a < num_cols; ++a) {
+    for (size_t b = 0; b < num_cols; ++b) {
+      if (a == b) continue;
+      // distinct(a) / distinct(a,b) on the sample.
+      std::set<int64_t> da;
+      std::set<std::pair<int64_t, int64_t>> dab;
+      for (int64_t r : rows) {
+        const int64_t va = table.Value(a, r);
+        const int64_t vb = table.Value(b, r);
+        da.insert(va);
+        dab.insert({va, vb});
+      }
+      if (dab.empty()) continue;
+      const double strength =
+          static_cast<double>(da.size()) / static_cast<double>(dab.size());
+      if (strength >= options.min_strength) {
+        info.AddDependency(table.schema().column(a).name,
+                           table.schema().column(b).name, strength);
+      }
+    }
+  }
+  return info;
+}
+
+}  // namespace rqp

@@ -1,0 +1,57 @@
+#ifndef RQP_STATS_CORRELATION_H_
+#define RQP_STATS_CORRELATION_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace rqp {
+
+/// Sample-based discovery of soft functional dependencies between column
+/// pairs (a CORDS-style detector; Ilyas et al., SIGMOD'04 — in the seminar
+/// reading list). The correlation-aware estimator uses the result to avoid
+/// the independence assumption's multiplicative underestimation on
+/// redundant predicates (the Black-Hat war story).
+class CorrelationInfo {
+ public:
+  /// Records that `determinant -> dependent` holds with the given strength
+  /// in [0, 1] (1 = exact functional dependency).
+  void AddDependency(const std::string& determinant,
+                     const std::string& dependent, double strength);
+
+  /// Strength of determinant -> dependent, or 0 if unknown.
+  double DependencyStrength(const std::string& determinant,
+                            const std::string& dependent) const;
+
+  /// True if the two columns are correlated (in either direction) with
+  /// strength >= threshold.
+  bool AreCorrelated(const std::string& a, const std::string& b,
+                     double threshold = 0.9) const;
+
+  size_t num_dependencies() const { return deps_.size(); }
+
+ private:
+  std::map<std::pair<std::string, std::string>, double> deps_;
+};
+
+struct CorrelationDetectorOptions {
+  int64_t sample_size = 2000;
+  /// Dependencies weaker than this are not reported.
+  double min_strength = 0.8;
+  uint64_t seed = 5;
+};
+
+/// Scans a sample of `table` and reports column pairs with (near-)functional
+/// dependencies. Strength of a->b is measured as
+///   (|distinct(a)| ) / (|distinct(a,b)|)
+/// on the sample: 1.0 means each a-value maps to exactly one b-value.
+CorrelationInfo DetectCorrelations(const Table& table,
+                                   const CorrelationDetectorOptions& options);
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_CORRELATION_H_

@@ -1,0 +1,30 @@
+#include "stats/feedback.h"
+
+#include "expr/rewriter.h"
+
+namespace rqp {
+
+std::string FeedbackCache::Key(const std::string& table,
+                               const PredicatePtr& pred) {
+  return table + "|" + ToString(Normalize(pred));
+}
+
+void FeedbackCache::Record(const std::string& table, const PredicatePtr& pred,
+                           double actual_selectivity) {
+  const std::string key = Key(table, pred);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    cache_[key] = actual_selectivity;
+  } else {
+    it->second = smoothing_ * actual_selectivity +
+                 (1.0 - smoothing_) * it->second;
+  }
+}
+
+double FeedbackCache::Lookup(const std::string& table,
+                             const PredicatePtr& pred) const {
+  auto it = cache_.find(Key(table, pred));
+  return it == cache_.end() ? -1.0 : it->second;
+}
+
+}  // namespace rqp

@@ -1,0 +1,42 @@
+#ifndef RQP_STATS_FEEDBACK_H_
+#define RQP_STATS_FEEDBACK_H_
+
+#include <map>
+#include <string>
+
+#include "expr/predicate.h"
+
+namespace rqp {
+
+/// LEO-style execution-feedback repository (Stillger et al., VLDB'01,
+/// discussed throughout the seminar). After a query runs, the engine posts
+/// (table, normalized predicate) -> observed selectivity. The estimator
+/// consults the cache before falling back to statistics, closing the
+/// optimize-execute loop: repeated workloads converge to accurate estimates
+/// even when base statistics are wrong.
+class FeedbackCache {
+ public:
+  /// Exponential smoothing weight for repeated observations of the same key.
+  explicit FeedbackCache(double smoothing = 0.5) : smoothing_(smoothing) {}
+
+  /// Records an observed selectivity for `pred` on `table`.
+  void Record(const std::string& table, const PredicatePtr& pred,
+              double actual_selectivity);
+
+  /// Returns the remembered selectivity, or a negative value if unknown.
+  double Lookup(const std::string& table, const PredicatePtr& pred) const;
+
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.clear(); }
+
+  /// Canonical cache key (exposed for tests).
+  static std::string Key(const std::string& table, const PredicatePtr& pred);
+
+ private:
+  double smoothing_;
+  std::map<std::string, double> cache_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_FEEDBACK_H_

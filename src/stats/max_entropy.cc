@@ -1,0 +1,95 @@
+#include "stats/max_entropy.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rqp {
+
+MaxEntropyCombiner::MaxEntropyCombiner(int num_predicates)
+    : n_(num_predicates) {
+  assert(n_ >= 1 && n_ <= 16);
+  atoms_.assign(static_cast<size_t>(1) << n_,
+                1.0 / static_cast<double>(static_cast<size_t>(1) << n_));
+}
+
+Status MaxEntropyCombiner::AddConstraint(uint32_t mask, double selectivity) {
+  if (mask == 0 || mask >= (1u << n_)) {
+    return Status::InvalidArgument("constraint mask out of range");
+  }
+  if (selectivity < 0.0 || selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in [0,1]");
+  }
+  constraints_[mask] = selectivity;
+  solved_ = false;
+  return Status::OK();
+}
+
+Status MaxEntropyCombiner::Solve(int max_iterations, double tolerance) {
+  const size_t num_atoms = atoms_.size();
+  // Iterative proportional fitting: for each constraint, scale the atoms
+  // that satisfy the conjunction (atom & mask == mask) to sum to s, and the
+  // rest to sum to 1-s. Converges to the max-entropy distribution for
+  // consistent constraint sets.
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    double worst = 0.0;
+    for (const auto& [mask, s] : constraints_) {
+      double in_sum = 0.0;
+      for (size_t a = 0; a < num_atoms; ++a) {
+        if ((a & mask) == mask) in_sum += atoms_[a];
+      }
+      const double out_sum = 1.0 - in_sum;
+      worst = std::max(worst, std::abs(in_sum - s));
+      const double in_scale = in_sum > 0.0 ? s / in_sum : 0.0;
+      const double out_scale = out_sum > 0.0 ? (1.0 - s) / out_sum : 0.0;
+      for (size_t a = 0; a < num_atoms; ++a) {
+        atoms_[a] *= ((a & mask) == mask) ? in_scale : out_scale;
+      }
+      if (in_sum <= 0.0 && s > 0.0) {
+        // Degenerate: the constrained region lost all mass (conflicting
+        // constraints drove it to zero). Re-seed it uniformly.
+        size_t count = 0;
+        for (size_t a = 0; a < num_atoms; ++a) {
+          if ((a & mask) == mask) ++count;
+        }
+        for (size_t a = 0; a < num_atoms; ++a) {
+          if ((a & mask) == mask) atoms_[a] = s / static_cast<double>(count);
+          else atoms_[a] *= (1.0 - s);
+        }
+      }
+    }
+    if (worst < tolerance) break;
+  }
+  // Check residual feasibility.
+  for (const auto& [mask, s] : constraints_) {
+    double in_sum = 0.0;
+    for (size_t a = 0; a < num_atoms; ++a) {
+      if ((a & mask) == mask) in_sum += atoms_[a];
+    }
+    if (std::abs(in_sum - s) > 1e-3) {
+      return Status::FailedPrecondition(
+          "max-entropy constraints are inconsistent (no converging "
+          "distribution)");
+    }
+  }
+  solved_ = true;
+  return Status::OK();
+}
+
+double MaxEntropyCombiner::Selectivity(uint32_t mask) const {
+  assert(solved_);
+  double s = 0.0;
+  for (size_t a = 0; a < atoms_.size(); ++a) {
+    if ((a & mask) == mask) s += atoms_[a];
+  }
+  return s;
+}
+
+double MaxEntropyCombiner::Entropy() const {
+  double h = 0.0;
+  for (double p : atoms_) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace rqp

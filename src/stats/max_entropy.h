@@ -1,0 +1,53 @@
+#ifndef RQP_STATS_MAX_ENTROPY_H_
+#define RQP_STATS_MAX_ENTROPY_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rqp {
+
+/// Maximum-entropy selectivity combination (Markl et al., VLDB J. 2007,
+/// presented at the seminar): given selectivities for *some* subsets of n
+/// predicates (singletons always, possibly pairs from multivariate stats),
+/// computes the distribution over the 2^n predicate-truth atoms that
+/// maximizes entropy subject to the known constraints, then reads off any
+/// requested conjunction's selectivity. With only singleton knowledge this
+/// reduces exactly to the independence assumption; with pairwise knowledge
+/// it produces *consistent* estimates that exploit all information.
+class MaxEntropyCombiner {
+ public:
+  /// `num_predicates` = n, at most 16.
+  explicit MaxEntropyCombiner(int num_predicates);
+
+  /// Declares sel(AND of predicates in `mask`) = s. Mask bit i set means
+  /// predicate i participates. The empty mask is implicit (s = 1).
+  Status AddConstraint(uint32_t mask, double selectivity);
+
+  /// Runs iterative proportional fitting until convergence. Boundary
+  /// solutions (atoms driven to zero mass by e.g. fully-correlated
+  /// predicates) converge only linearly, hence the generous default budget;
+  /// the loop exits early once all constraints are met within `tolerance`.
+  Status Solve(int max_iterations = 20000, double tolerance = 1e-10);
+
+  /// Selectivity of the conjunction of predicates in `mask` under the
+  /// fitted distribution. Requires Solve().
+  double Selectivity(uint32_t mask) const;
+
+  /// Entropy of the fitted atom distribution (diagnostic).
+  double Entropy() const;
+
+  bool solved() const { return solved_; }
+
+ private:
+  int n_;
+  std::map<uint32_t, double> constraints_;
+  std::vector<double> atoms_;  ///< probability per truth-assignment atom
+  bool solved_ = false;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_MAX_ENTROPY_H_

@@ -1,0 +1,218 @@
+#include "stats/selectivity.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "expr/rewriter.h"
+
+namespace rqp {
+namespace {
+constexpr int64_t kMinV = std::numeric_limits<int64_t>::min();
+constexpr int64_t kMaxV = std::numeric_limits<int64_t>::max();
+
+double Clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
+}  // namespace
+
+SelEstimate SelectivityEstimator::EstimateWithPedigree(
+    const PredicatePtr& p) const {
+  PredicatePtr pred = options_.normalize_predicates ? Normalize(p) : p;
+  if (options_.use_feedback && feedback_ != nullptr) {
+    const double remembered = feedback_->Lookup(table_name_, pred);
+    if (remembered >= 0.0) {
+      return SelEstimate{Clamp01(remembered), 0, 0};
+    }
+  }
+  return EstimateNode(pred);
+}
+
+SelEstimate SelectivityEstimator::EstimateLeafColumnRange(
+    const std::string& column, int64_t lo, int64_t hi) const {
+  // Feedback-refined self-tuning histogram first: it reflects what
+  // executions actually observed, including ranges the base statistics
+  // never could (stale/skewed data).
+  if (st_store_ != nullptr && st_store_->Has(table_name_, column)) {
+    const double s = st_store_->EstimateRangeFraction(table_name_, column,
+                                                      lo, hi);
+    if (s >= 0.0) return SelEstimate{s, 0, 0};
+  }
+  if (stats_ == nullptr || !stats_->HasColumn(column)) {
+    return SelEstimate{options_.default_range_selectivity, 0, 1};
+  }
+  const ColumnStats& cs = stats_->column(column);
+  if (cs.histogram.empty()) {
+    return SelEstimate{options_.default_range_selectivity, 0, 1};
+  }
+  return SelEstimate{cs.histogram.EstimateRangeFraction(lo, hi), 0, 0};
+}
+
+SelEstimate SelectivityEstimator::EstimateComparison(
+    const Comparison& cmp) const {
+  if (cmp.param_index >= 0) {
+    // Unbound parameter: System-R magic numbers. This is the compile-time
+    // blind spot that the late-binding experiments exercise.
+    const double s = cmp.op == CmpOp::kEq ? options_.default_eq_selectivity
+                     : cmp.op == CmpOp::kNe
+                         ? 1.0 - options_.default_eq_selectivity
+                         : options_.default_range_selectivity;
+    return SelEstimate{s, 0, 1};
+  }
+  const bool have_stats = stats_ != nullptr && stats_->HasColumn(cmp.column) &&
+                          !stats_->column(cmp.column).histogram.empty();
+  switch (cmp.op) {
+    case CmpOp::kEq: {
+      if (!have_stats) return SelEstimate{options_.default_eq_selectivity, 0, 1};
+      return SelEstimate{
+          stats_->column(cmp.column).histogram.EstimateEqFraction(cmp.value),
+          0, 0};
+    }
+    case CmpOp::kNe: {
+      SelEstimate eq = EstimateComparison(
+          Comparison{cmp.column, CmpOp::kEq, cmp.value, -1});
+      eq.value = Clamp01(1.0 - eq.value);
+      return eq;
+    }
+    case CmpOp::kLt:
+      return EstimateLeafColumnRange(
+          cmp.column, kMinV, cmp.value == kMinV ? kMinV : cmp.value - 1);
+    case CmpOp::kLe:
+      return EstimateLeafColumnRange(cmp.column, kMinV, cmp.value);
+    case CmpOp::kGt:
+      return EstimateLeafColumnRange(
+          cmp.column, cmp.value == kMaxV ? kMaxV : cmp.value + 1, kMaxV);
+    case CmpOp::kGe:
+      return EstimateLeafColumnRange(cmp.column, cmp.value, kMaxV);
+  }
+  return SelEstimate{options_.default_range_selectivity, 0, 1};
+}
+
+SelEstimate SelectivityEstimator::EstimateNode(const PredicatePtr& p) const {
+  return std::visit(
+      [&](const auto& n) -> SelEstimate {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Comparison>) {
+          return EstimateComparison(n);
+        } else if constexpr (std::is_same_v<T, Between>) {
+          return EstimateLeafColumnRange(n.column, n.lo, n.hi);
+        } else if constexpr (std::is_same_v<T, InList>) {
+          SelEstimate out{0.0, 0, 0};
+          for (int64_t v : n.values) {
+            SelEstimate e =
+                EstimateComparison(Comparison{n.column, CmpOp::kEq, v, -1});
+            out.value += e.value;
+            out.guessed_terms += e.guessed_terms;
+          }
+          out.value = Clamp01(out.value);
+          return out;
+        } else if constexpr (std::is_same_v<T, ColumnCmp>) {
+          // Column-to-column comparison within one table: equality selects
+          // about one value of the higher-cardinality column; inequalities
+          // default to the 1/3 magic number.
+          if (n.op == CmpOp::kEq || n.op == CmpOp::kNe) {
+            double ndv = 1.0 / options_.default_eq_selectivity;
+            if (stats_ != nullptr && stats_->HasColumn(n.left_column) &&
+                stats_->HasColumn(n.right_column)) {
+              ndv = std::max<double>(
+                  {1.0,
+                   static_cast<double>(
+                       stats_->column(n.left_column).num_distinct),
+                   static_cast<double>(
+                       stats_->column(n.right_column).num_distinct)});
+            }
+            const double eq = 1.0 / ndv;
+            return SelEstimate{n.op == CmpOp::kEq ? eq : Clamp01(1.0 - eq),
+                               0, 1};
+          }
+          return SelEstimate{options_.default_range_selectivity, 0, 1};
+        } else if constexpr (std::is_same_v<T, Conjunction>) {
+          // Estimate each child, tracking the (single) column of leaf
+          // children so correlated columns can be combined with MIN.
+          struct Child { SelEstimate est; std::string column; };
+          std::vector<Child> kids;
+          kids.reserve(n.children.size());
+          for (const auto& c : n.children) {
+            Child k;
+            k.est = EstimateNode(c);
+            auto cols = ReferencedColumns(c);
+            if (cols.size() == 1) k.column = cols[0];
+            kids.push_back(std::move(k));
+          }
+          // Union-find style clustering over correlated columns.
+          std::vector<int> cluster(kids.size());
+          for (size_t i = 0; i < kids.size(); ++i) {
+            cluster[i] = static_cast<int>(i);
+          }
+          if (options_.use_correlations && correlations_ != nullptr) {
+            for (size_t i = 0; i < kids.size(); ++i) {
+              if (kids[i].column.empty()) continue;
+              for (size_t j = 0; j < i; ++j) {
+                if (kids[j].column.empty()) continue;
+                const bool same = kids[i].column == kids[j].column;
+                if (same || correlations_->AreCorrelated(
+                                kids[i].column, kids[j].column,
+                                options_.correlation_threshold)) {
+                  cluster[i] = cluster[j];
+                  break;
+                }
+              }
+            }
+          }
+          // MIN within a cluster, product across clusters.
+          std::map<int, double> cluster_sel;
+          SelEstimate out{1.0, 0, 0};
+          for (size_t i = 0; i < kids.size(); ++i) {
+            out.independence_terms += kids[i].est.independence_terms;
+            out.guessed_terms += kids[i].est.guessed_terms;
+            auto it = cluster_sel.find(cluster[i]);
+            if (it == cluster_sel.end()) {
+              cluster_sel[cluster[i]] = kids[i].est.value;
+            } else {
+              it->second = std::min(it->second, kids[i].est.value);
+            }
+          }
+          bool first = true;
+          for (const auto& [_, s] : cluster_sel) {
+            out.value *= s;
+            if (!first) ++out.independence_terms;
+            first = false;
+          }
+          out.value = Clamp01(out.value);
+          return out;
+        } else if constexpr (std::is_same_v<T, Disjunction>) {
+          // Inclusion-exclusion under independence: 1 - prod(1 - s_i).
+          SelEstimate out{1.0, 0, 0};
+          bool first = true;
+          for (const auto& c : n.children) {
+            SelEstimate e = EstimateNode(c);
+            out.value *= (1.0 - e.value);
+            out.independence_terms += e.independence_terms;
+            out.guessed_terms += e.guessed_terms;
+            if (!first) ++out.independence_terms;
+            first = false;
+          }
+          out.value = Clamp01(1.0 - out.value);
+          return out;
+        } else if constexpr (std::is_same_v<T, Negation>) {
+          SelEstimate e = EstimateNode(n.child);
+          e.value = Clamp01(1.0 - e.value);
+          return e;
+        } else {  // ConstPred
+          return SelEstimate{std::get<ConstPred>(p->node).value ? 1.0 : 0.0,
+                             0, 0};
+        }
+      },
+      p->node);
+}
+
+double ActualSelectivity(const PredicatePtr& p, const Table& table) {
+  if (table.num_rows() == 0) return 0.0;
+  int64_t matches = 0;
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    if (EvalOnTable(p, table, r)) ++matches;
+  }
+  return static_cast<double>(matches) / static_cast<double>(table.num_rows());
+}
+
+}  // namespace rqp

@@ -1,0 +1,84 @@
+#ifndef RQP_STATS_SELECTIVITY_H_
+#define RQP_STATS_SELECTIVITY_H_
+
+#include <string>
+
+#include "expr/predicate.h"
+#include "stats/correlation.h"
+#include "stats/feedback.h"
+#include "stats/st_store.h"
+#include "stats/table_stats.h"
+
+namespace rqp {
+
+/// A selectivity estimate together with a crude uncertainty pedigree: how
+/// many independence-assumption multiplications and guessed (parameter /
+/// out-of-stats) terms went into it. Rio-style proactive re-optimization
+/// and the Babcock–Chaudhuri robust plan choice both key off this.
+struct SelEstimate {
+  double value = 1.0;
+  int independence_terms = 0;  ///< # of s_a * s_b combinations applied
+  int guessed_terms = 0;       ///< # of magic-number fallbacks used
+};
+
+struct EstimatorOptions {
+  /// Combine conjuncts on correlated columns with MIN instead of the
+  /// independence product (uses CorrelationInfo).
+  bool use_correlations = false;
+  /// Consult the LEO feedback cache before statistics.
+  bool use_feedback = false;
+  /// Normalize the predicate before estimating so equivalent formulations
+  /// get identical estimates (the §5.1 equivalence-robustness fix).
+  bool normalize_predicates = false;
+  /// System-R magic numbers used for unbound parameters.
+  double default_eq_selectivity = 0.01;
+  double default_range_selectivity = 1.0 / 3.0;
+  /// Correlation strength required to treat two columns as redundant.
+  double correlation_threshold = 0.9;
+};
+
+/// Estimates selection-predicate selectivities against one table's
+/// statistics. Stateless; all inputs are borrowed.
+class SelectivityEstimator {
+ public:
+  SelectivityEstimator(std::string table_name, const TableStats* stats,
+                       EstimatorOptions options = {},
+                       const CorrelationInfo* correlations = nullptr,
+                       const FeedbackCache* feedback = nullptr,
+                       const StHistogramStore* st_store = nullptr)
+      : table_name_(std::move(table_name)),
+        stats_(stats),
+        options_(options),
+        correlations_(correlations),
+        feedback_(feedback),
+        st_store_(st_store) {}
+
+  /// Estimated fraction of the table's rows satisfying `p`.
+  double Estimate(const PredicatePtr& p) const {
+    return EstimateWithPedigree(p).value;
+  }
+
+  /// Estimate plus derivation pedigree.
+  SelEstimate EstimateWithPedigree(const PredicatePtr& p) const;
+
+ private:
+  SelEstimate EstimateNode(const PredicatePtr& p) const;
+  SelEstimate EstimateLeafColumnRange(const std::string& column, int64_t lo,
+                                      int64_t hi) const;
+  SelEstimate EstimateComparison(const Comparison& cmp) const;
+
+  std::string table_name_;
+  const TableStats* stats_;
+  EstimatorOptions options_;
+  const CorrelationInfo* correlations_;
+  const FeedbackCache* feedback_;
+  const StHistogramStore* st_store_;
+};
+
+/// Convenience: exact selectivity by scanning the table (ground truth for
+/// the error metrics).
+double ActualSelectivity(const PredicatePtr& p, const Table& table);
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_SELECTIVITY_H_

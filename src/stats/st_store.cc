@@ -1,0 +1,35 @@
+#include "stats/st_store.h"
+
+namespace rqp {
+
+void StHistogramStore::Observe(const std::string& table,
+                               const std::string& column, int64_t lo,
+                               int64_t hi, int64_t actual_rows,
+                               int64_t domain_min, int64_t domain_max,
+                               int64_t believed_rows) {
+  if (lo > hi || domain_min > domain_max) return;
+  auto key = std::make_pair(table, column);
+  auto it = histograms_.find(key);
+  if (it == histograms_.end()) {
+    auto entry = std::make_unique<Entry>(Entry{
+        SelfTuningHistogram(domain_min, domain_max, believed_rows,
+                            options_.num_buckets),
+        0});
+    it = histograms_.emplace(std::move(key), std::move(entry)).first;
+  }
+  Entry& entry = *it->second;
+  entry.histogram.Update(lo, hi, actual_rows, options_.learning_rate);
+  if (++entry.observations % options_.restructure_interval == 0) {
+    entry.histogram.Restructure();
+  }
+}
+
+double StHistogramStore::EstimateRangeFraction(const std::string& table,
+                                               const std::string& column,
+                                               int64_t lo, int64_t hi) const {
+  auto it = histograms_.find({table, column});
+  if (it == histograms_.end()) return -1.0;
+  return it->second->histogram.EstimateRangeFraction(lo, hi);
+}
+
+}  // namespace rqp

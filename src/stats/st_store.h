@@ -1,0 +1,62 @@
+#ifndef RQP_STATS_ST_STORE_H_
+#define RQP_STATS_ST_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "stats/histogram.h"
+
+namespace rqp {
+
+/// Registry of self-tuning histograms per (table, column), refined from
+/// execution feedback (Aboulnaga & Chaudhuri, SIGMOD'99 — summarized in
+/// the seminar's reading list). Where the LEO cache remembers *exact*
+/// predicates, the ST histograms generalize the observations to ranges the
+/// workload has never issued, without ever scanning the data.
+class StHistogramStore {
+ public:
+  struct Options {
+    int num_buckets = 32;
+    /// Restructure (merge/split buckets) every this many observations.
+    int restructure_interval = 16;
+    double learning_rate = 0.5;
+  };
+
+  StHistogramStore() : StHistogramStore(Options()) {}
+  explicit StHistogramStore(Options options) : options_(options) {}
+
+  /// Feeds one observation: a query saw `actual_rows` rows of `table` with
+  /// `column` in [lo, hi]. On first contact the histogram is seeded as
+  /// uniform over [domain_min, domain_max] with `believed_rows` total.
+  void Observe(const std::string& table, const std::string& column,
+               int64_t lo, int64_t hi, int64_t actual_rows,
+               int64_t domain_min, int64_t domain_max, int64_t believed_rows);
+
+  bool Has(const std::string& table, const std::string& column) const {
+    return histograms_.count({table, column}) != 0;
+  }
+
+  /// Estimated fraction of the table's rows with `column` in [lo, hi];
+  /// negative when the column has never been observed.
+  double EstimateRangeFraction(const std::string& table,
+                               const std::string& column, int64_t lo,
+                               int64_t hi) const;
+
+  size_t size() const { return histograms_.size(); }
+
+ private:
+  struct Entry {
+    SelfTuningHistogram histogram;
+    int observations = 0;
+  };
+
+  Options options_;
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<Entry>>
+      histograms_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_ST_STORE_H_

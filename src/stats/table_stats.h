@@ -1,0 +1,84 @@
+#ifndef RQP_STATS_TABLE_STATS_H_
+#define RQP_STATS_TABLE_STATS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace rqp {
+
+/// Per-column statistics.
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t num_distinct = 0;
+  Histogram histogram;
+};
+
+/// Controls statistics quality; the knobs used to *degrade* statistics in
+/// the robustness experiments (few buckets, sampling, staleness).
+struct AnalyzeOptions {
+  int num_buckets = 64;
+  /// Fraction of rows sampled for histogram construction (1.0 = full scan).
+  double sample_rate = 1.0;
+  /// Only the first `stale_fraction` of the table is visible to ANALYZE,
+  /// simulating statistics collected before recent inserts (1.0 = fresh).
+  double stale_fraction = 1.0;
+  uint64_t seed = 1;
+};
+
+/// Statistics for one table.
+class TableStats {
+ public:
+  TableStats() = default;
+
+  /// Scans `table` (subject to `options`) and builds stats for all columns.
+  static TableStats Analyze(const Table& table, const AnalyzeOptions& options);
+
+  int64_t row_count() const { return row_count_; }
+  /// Row count believed by the optimizer; with stale stats this undercounts
+  /// the real table.
+  void set_row_count(int64_t n) { row_count_ = n; }
+
+  bool HasColumn(const std::string& name) const {
+    return columns_.count(name) != 0;
+  }
+  const ColumnStats& column(const std::string& name) const;
+  ColumnStats* mutable_column(const std::string& name);
+  void SetColumn(const std::string& name, ColumnStats stats);
+
+ private:
+  int64_t row_count_ = 0;
+  std::map<std::string, ColumnStats> columns_;
+};
+
+/// Statistics registry keyed by table name.
+class StatsCatalog {
+ public:
+  void Put(const std::string& table, TableStats stats) {
+    stats_[table] = std::move(stats);
+  }
+  const TableStats* Find(const std::string& table) const {
+    auto it = stats_.find(table);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+  TableStats* FindMutable(const std::string& table) {
+    auto it = stats_.find(table);
+    return it == stats_.end() ? nullptr : &it->second;
+  }
+
+  /// Analyzes every table in `catalog` with the same options.
+  void AnalyzeAll(const Catalog& catalog, const AnalyzeOptions& options);
+
+ private:
+  std::map<std::string, TableStats> stats_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_TABLE_STATS_H_

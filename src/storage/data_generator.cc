@@ -1,0 +1,175 @@
+#include "storage/data_generator.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace rqp {
+namespace gen {
+
+std::vector<int64_t> Uniform(Rng* rng, int64_t n, int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (auto& v : out) v = rng->Uniform(lo, hi);
+  return out;
+}
+
+std::vector<int64_t> Zipf(Rng* rng, int64_t n, int64_t domain, double theta) {
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  for (auto& v : out) v = rng->Zipf(domain, theta);
+  return out;
+}
+
+std::vector<int64_t> Sequential(int64_t n, int64_t start) {
+  std::vector<int64_t> out(static_cast<size_t>(n));
+  std::iota(out.begin(), out.end(), start);
+  return out;
+}
+
+std::vector<int64_t> Correlated(Rng* rng, const std::vector<int64_t>& base,
+                                int64_t slope, int64_t offset, double noise,
+                                int64_t lo, int64_t hi) {
+  std::vector<int64_t> out(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    if (noise > 0.0 && rng->Bernoulli(noise)) {
+      out[i] = rng->Uniform(lo, hi);
+    } else {
+      out[i] = base[i] * slope + offset;
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> Permutation(Rng* rng, int64_t n) {
+  std::vector<int64_t> out = Sequential(n);
+  rng->Shuffle(&out);
+  return out;
+}
+
+}  // namespace gen
+
+Table* BuildStarSchema(Catalog* catalog, const StarSchemaSpec& spec) {
+  Rng rng(spec.seed);
+
+  // Dimensions.
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    Schema schema({{"id", LogicalType::kInt64, 0, nullptr},
+                   {"attr", LogicalType::kInt64, 0, nullptr},
+                   {"band", LogicalType::kInt64, 0, nullptr}});
+    auto table_or =
+        catalog->AddTable("dim" + std::to_string(d), std::move(schema));
+    assert(table_or.ok());
+    Table* dim = table_or.value();
+    auto ids = gen::Sequential(spec.dim_rows);
+    std::vector<int64_t> attr(ids.size()), band(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      attr[i] = ids[i] * 10;
+      band[i] = ids[i] / 10;
+    }
+    dim->SetColumnData(0, std::move(ids));
+    dim->SetColumnData(1, std::move(attr));
+    dim->SetColumnData(2, std::move(band));
+  }
+
+  // Fact table.
+  std::vector<ColumnDef> fact_cols;
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    fact_cols.push_back(
+        {"fk" + std::to_string(d), LogicalType::kInt64, 0, nullptr});
+  }
+  fact_cols.push_back({"measure", LogicalType::kInt64, 0, nullptr});
+  if (spec.add_correlated_columns) {
+    fact_cols.push_back({"corr", LogicalType::kInt64, 0, nullptr});
+    fact_cols.push_back({"corr2", LogicalType::kInt64, 0, nullptr});
+  }
+  auto fact_or = catalog->AddTable("fact", Schema(std::move(fact_cols)));
+  assert(fact_or.ok());
+  Table* fact = fact_or.value();
+
+  std::vector<int64_t> fk0;
+  for (int d = 0; d < spec.num_dimensions; ++d) {
+    std::vector<int64_t> fk =
+        spec.fk_zipf_theta > 0.0
+            ? gen::Zipf(&rng, spec.fact_rows, spec.dim_rows,
+                        spec.fk_zipf_theta)
+            : gen::Uniform(&rng, spec.fact_rows, 0, spec.dim_rows - 1);
+    if (d == 0) fk0 = fk;
+    fact->SetColumnData(static_cast<size_t>(d), std::move(fk));
+  }
+  fact->SetColumnData(
+      static_cast<size_t>(spec.num_dimensions),
+      gen::Uniform(&rng, spec.fact_rows, 0,
+                   static_cast<int64_t>(spec.measure_max)));
+  if (spec.add_correlated_columns) {
+    // corr = fk0 * 1000 + 7 and corr2 = fk0 * 7 + 13: fully determined by
+    // fk0 — predicates on them are redundant with an fk0 predicate, which
+    // an independence-assuming estimator multiplies in anyway (the
+    // Black-Hat pseudo-key trap; two redundant conjuncts cube the error).
+    fact->SetColumnData(static_cast<size_t>(spec.num_dimensions) + 1,
+                        gen::Correlated(&rng, fk0, 1000, 7, 0.0, 0, 0));
+    fact->SetColumnData(static_cast<size_t>(spec.num_dimensions) + 2,
+                        gen::Correlated(&rng, fk0, 7, 13, 0.0, 0, 0));
+  }
+  return fact;
+}
+
+Table* BuildOrdersSchema(Catalog* catalog, const OrdersSchemaSpec& spec) {
+  Rng rng(spec.seed);
+
+  {
+    Schema schema({{"id", LogicalType::kInt64, 0, nullptr},
+                   {"region", LogicalType::kInt64, 0, nullptr},
+                   {"balance", LogicalType::kDecimal, 2, nullptr}});
+    Table* customer =
+        catalog->AddTable("customer", std::move(schema)).value();
+    customer->SetColumnData(0, gen::Sequential(spec.num_customers));
+    customer->SetColumnData(
+        1, gen::Uniform(&rng, spec.num_customers, 0, 9));
+    customer->SetColumnData(
+        2, gen::Uniform(&rng, spec.num_customers, 0, 1000000));
+  }
+
+  {
+    Schema schema({{"id", LogicalType::kInt64, 0, nullptr},
+                   {"cust_id", LogicalType::kInt64, 0, nullptr},
+                   {"date", LogicalType::kDate, 0, nullptr},
+                   {"status", LogicalType::kInt64, 0, nullptr}});
+    Table* orders = catalog->AddTable("orders", std::move(schema)).value();
+    orders->SetColumnData(0, gen::Sequential(spec.num_orders));
+    orders->SetColumnData(
+        1, spec.customer_zipf_theta > 0.0
+               ? gen::Zipf(&rng, spec.num_orders, spec.num_customers,
+                           spec.customer_zipf_theta)
+               : gen::Uniform(&rng, spec.num_orders, 0,
+                              spec.num_customers - 1));
+    orders->SetColumnData(2, gen::Uniform(&rng, spec.num_orders, 0, 3650));
+    orders->SetColumnData(3, gen::Uniform(&rng, spec.num_orders, 0, 4));
+  }
+
+  {
+    Schema schema({{"order_id", LogicalType::kInt64, 0, nullptr},
+                   {"item_id", LogicalType::kInt64, 0, nullptr},
+                   {"qty", LogicalType::kInt64, 0, nullptr},
+                   {"price", LogicalType::kDecimal, 2, nullptr},
+                   {"shipdate", LogicalType::kDate, 0, nullptr}});
+    Table* lineitem =
+        catalog->AddTable("lineitem", std::move(schema)).value();
+    std::vector<int64_t> order_id, item_id, qty, price, shipdate;
+    for (int64_t o = 0; o < spec.num_orders; ++o) {
+      const int64_t lines = rng.Uniform(1, spec.max_lines_per_order);
+      for (int64_t l = 0; l < lines; ++l) {
+        order_id.push_back(o);
+        item_id.push_back(rng.Uniform(0, 9999));
+        qty.push_back(rng.Uniform(1, 50));
+        price.push_back(rng.Uniform(100, 100000));
+        shipdate.push_back(rng.Uniform(0, 3650));
+      }
+    }
+    lineitem->SetColumnData(0, std::move(order_id));
+    lineitem->SetColumnData(1, std::move(item_id));
+    lineitem->SetColumnData(2, std::move(qty));
+    lineitem->SetColumnData(3, std::move(price));
+    lineitem->SetColumnData(4, std::move(shipdate));
+    return lineitem;
+  }
+}
+
+}  // namespace rqp

@@ -1,0 +1,78 @@
+#ifndef RQP_STORAGE_DATA_GENERATOR_H_
+#define RQP_STORAGE_DATA_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace rqp {
+
+/// Column-level synthetic data generators. All generators are deterministic
+/// given the Rng state, which each experiment seeds explicitly.
+namespace gen {
+
+/// n values uniform in [lo, hi].
+std::vector<int64_t> Uniform(Rng* rng, int64_t n, int64_t lo, int64_t hi);
+
+/// n values Zipf(theta) over domain [0, domain).
+std::vector<int64_t> Zipf(Rng* rng, int64_t n, int64_t domain, double theta);
+
+/// 0, 1, ..., n-1 (dense key column).
+std::vector<int64_t> Sequential(int64_t n, int64_t start = 0);
+
+/// A column functionally correlated with `base`: value = base*slope + offset,
+/// with probability `noise` replaced by a uniform value in [lo, hi].
+/// noise = 0 gives a perfectly redundant ("pseudo-key") column — the
+/// Black-Hat war story's 7-orders-of-magnitude trap.
+std::vector<int64_t> Correlated(Rng* rng, const std::vector<int64_t>& base,
+                                int64_t slope, int64_t offset, double noise,
+                                int64_t lo, int64_t hi);
+
+/// A permutation of [0, n) (unique unclustered key).
+std::vector<int64_t> Permutation(Rng* rng, int64_t n);
+
+}  // namespace gen
+
+/// Parameters for the synthetic star schema used by the join experiments
+/// (the controllable stand-in for the TPC-H-style workloads the seminar's
+/// proposed benchmarks assume).
+struct StarSchemaSpec {
+  int64_t fact_rows = 100000;
+  int64_t dim_rows = 1000;       ///< rows per dimension table
+  int num_dimensions = 3;        ///< d0..d{k-1}
+  double fk_zipf_theta = 0.0;    ///< skew of foreign keys into dimensions
+  double measure_max = 10000;    ///< fact measure domain
+  /// If true, fact gets columns `corr` (= fk0*1000+7) and `corr2`
+  /// (= fk0*7+13), both perfectly correlated with `fk0` — the
+  /// redundant-predicate (pseudo-key) trap of the Black-Hat war story.
+  bool add_correlated_columns = true;
+  uint64_t seed = 42;
+};
+
+/// Builds `fact(fk0..fk{k-1}, measure, corr?, corr2?)` and `dim_i(id, attr, band)`
+/// in `catalog`. dim attr = id * 10 (so attr predicates translate to key
+/// ranges); band = id / 10 (low-cardinality grouping column).
+/// Returns the fact table.
+Table* BuildStarSchema(Catalog* catalog, const StarSchemaSpec& spec);
+
+/// Parameters for the OLTP-ish orders schema used by the mixed-workload and
+/// utility experiments (TPC-C/CH stand-in).
+struct OrdersSchemaSpec {
+  int64_t num_customers = 10000;
+  int64_t num_orders = 50000;
+  int64_t max_lines_per_order = 7;
+  double customer_zipf_theta = 0.5;  ///< skew of orders over customers
+  uint64_t seed = 7;
+};
+
+/// Builds customer(id, region, balance), orders(id, cust_id, date, status),
+/// lineitem(order_id, item_id, qty, price, shipdate) in `catalog`.
+/// Returns the lineitem table.
+Table* BuildOrdersSchema(Catalog* catalog, const OrdersSchemaSpec& spec);
+
+}  // namespace rqp
+
+#endif  // RQP_STORAGE_DATA_GENERATOR_H_

@@ -1,0 +1,144 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace rqp {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+void Table::AppendRow(const std::vector<int64_t>& values) {
+  assert(values.size() == schema_.num_columns());
+  for (size_t i = 0; i < values.size(); ++i) {
+    columns_[i].push_back(values[i]);
+  }
+  ++num_rows_;
+}
+
+void Table::SetColumnData(size_t i, std::vector<int64_t> data) {
+  assert(i < columns_.size());
+  num_rows_ = static_cast<int64_t>(data.size());
+  columns_[i] = std::move(data);
+}
+
+void SortedIndex::Build(const Table& table) {
+  const auto& col = table.column(column_);
+  const size_t n = col.size();
+  row_ids_.resize(n);
+  std::iota(row_ids_.begin(), row_ids_.end(), 0);
+  std::stable_sort(row_ids_.begin(), row_ids_.end(),
+                   [&col](int64_t a, int64_t b) {
+                     return col[static_cast<size_t>(a)] <
+                            col[static_cast<size_t>(b)];
+                   });
+  keys_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys_[i] = col[static_cast<size_t>(row_ids_[i])];
+  }
+}
+
+int64_t SortedIndex::LookupRange(int64_t lo, int64_t hi,
+                                 std::vector<int64_t>* out) const {
+  if (lo > hi) return 0;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::upper_bound(begin, keys_.end(), hi);
+  const size_t first = static_cast<size_t>(begin - keys_.begin());
+  const size_t last = static_cast<size_t>(end - keys_.begin());
+  out->reserve(out->size() + (last - first));
+  for (size_t i = first; i < last; ++i) out->push_back(row_ids_[i]);
+  return static_cast<int64_t>(last - first);
+}
+
+int64_t SortedIndex::CountRange(int64_t lo, int64_t hi) const {
+  if (lo > hi) return 0;
+  auto begin = std::lower_bound(keys_.begin(), keys_.end(), lo);
+  auto end = std::upper_bound(begin, keys_.end(), hi);
+  return static_cast<int64_t>(end - begin);
+}
+
+StatusOr<Table*> Catalog::AddTable(std::string name, Schema schema) {
+  if (tables_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(std::move(name), std::move(table));
+  return ptr;
+}
+
+StatusOr<Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  // Drop dependent indexes.
+  for (auto it = indexes_.begin(); it != indexes_.end();) {
+    if (it->first.rfind(name + ".", 0) == 0) {
+      it = indexes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<SortedIndex*> Catalog::BuildIndex(const std::string& table,
+                                           const std::string& column) {
+  auto table_or = GetTable(table);
+  if (!table_or.ok()) return table_or.status();
+  Table* t = table_or.value();
+  auto col_or = t->ColumnIndex(column);
+  if (!col_or.ok()) return col_or.status();
+  const std::string key = table + "." + column;
+  auto index = std::make_unique<SortedIndex>(key, col_or.value());
+  index->Build(*t);
+  SortedIndex* ptr = index.get();
+  indexes_[key] = std::move(index);
+  return ptr;
+}
+
+Status Catalog::DropIndex(const std::string& table,
+                          const std::string& column) {
+  if (indexes_.erase(table + "." + column) == 0) {
+    return Status::NotFound("no index on " + table + "." + column);
+  }
+  return Status::OK();
+}
+
+SortedIndex* Catalog::FindIndex(const std::string& table,
+                                const std::string& column) const {
+  auto it = indexes_.find(table + "." + column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::vector<std::string> Catalog::IndexedColumns(
+    const std::string& table) const {
+  std::vector<std::string> cols;
+  const std::string prefix = table + ".";
+  for (const auto& [key, _] : indexes_) {
+    if (key.rfind(prefix, 0) == 0) cols.push_back(key.substr(prefix.size()));
+  }
+  std::sort(cols.begin(), cols.end());
+  return cols;
+}
+
+}  // namespace rqp

@@ -1,0 +1,121 @@
+#ifndef RQP_STORAGE_TABLE_H_
+#define RQP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/schema.h"
+#include "util/status.h"
+
+namespace rqp {
+
+/// Number of tuples the simulated cost model packs into one "page".
+/// All I/O costing in the engine is expressed in page touches. Together
+/// with CostModel::random_page_read this places the unclustered-index-scan
+/// vs. full-scan cost crossover at roughly 2% selectivity — the classic
+/// region where real optimizers switch plans.
+inline constexpr int64_t kRowsPerPage = 32;
+
+/// In-memory columnar table. Columns are append-only vectors of int64_t
+/// (see Schema for the logical-type mapping). Row ids are dense [0, n).
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int64_t num_pages() const {
+    return (num_rows_ + kRowsPerPage - 1) / kRowsPerPage;
+  }
+
+  const std::vector<int64_t>& column(size_t i) const { return columns_[i]; }
+  std::vector<int64_t>& mutable_column(size_t i) { return columns_[i]; }
+
+  StatusOr<size_t> ColumnIndex(const std::string& name) const {
+    return schema_.ColumnIndex(name);
+  }
+
+  /// Appends one row; `values` must match the schema arity.
+  void AppendRow(const std::vector<int64_t>& values);
+
+  /// Bulk-moves a full column's data in. All columns must end up with equal
+  /// lengths before the table is used; `SetColumnData` updates num_rows to
+  /// the provided column's length.
+  void SetColumnData(size_t i, std::vector<int64_t> data);
+
+  int64_t Value(size_t col, int64_t row) const {
+    return columns_[col][static_cast<size_t>(row)];
+  }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<int64_t>> columns_;
+  int64_t num_rows_ = 0;
+};
+
+/// Sorted secondary index over one column: (key, row_id) pairs in key order.
+/// Supports range scans; models a B-tree's leaf level. Lookup cost is
+/// charged by the executor, not here.
+class SortedIndex {
+ public:
+  SortedIndex(std::string name, size_t column)
+      : name_(std::move(name)), column_(column) {}
+
+  const std::string& name() const { return name_; }
+  size_t column() const { return column_; }
+  int64_t num_entries() const { return static_cast<int64_t>(keys_.size()); }
+
+  /// (Re)builds the index from the table's current contents.
+  void Build(const Table& table);
+
+  /// Appends the row ids with key in [lo, hi] to `out`, in key order.
+  /// Returns the number of index entries touched.
+  int64_t LookupRange(int64_t lo, int64_t hi,
+                      std::vector<int64_t>* out) const;
+
+  /// Number of matching entries without materializing them.
+  int64_t CountRange(int64_t lo, int64_t hi) const;
+
+  const std::vector<int64_t>& keys() const { return keys_; }
+  const std::vector<int64_t>& row_ids() const { return row_ids_; }
+
+ private:
+  std::string name_;
+  size_t column_;
+  std::vector<int64_t> keys_;     // sorted
+  std::vector<int64_t> row_ids_;  // parallel to keys_
+};
+
+/// Name → table/index registry. Owns all storage objects.
+class Catalog {
+ public:
+  /// Adds a table; fails if the name exists.
+  StatusOr<Table*> AddTable(std::string name, Schema schema);
+  StatusOr<Table*> GetTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  /// Builds (or rebuilds) a sorted index on `table.column`.
+  StatusOr<SortedIndex*> BuildIndex(const std::string& table,
+                                    const std::string& column);
+  Status DropIndex(const std::string& table, const std::string& column);
+  /// Returns the index on `table.column` or nullptr.
+  SortedIndex* FindIndex(const std::string& table,
+                         const std::string& column) const;
+
+  std::vector<std::string> TableNames() const;
+  /// Names of indexed columns on `table`.
+  std::vector<std::string> IndexedColumns(const std::string& table) const;
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  // key: "table.column"
+  std::unordered_map<std::string, std::unique_ptr<SortedIndex>> indexes_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STORAGE_TABLE_H_

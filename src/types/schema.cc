@@ -1,0 +1,91 @@
+#include "types/schema.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace rqp {
+
+const char* LogicalTypeName(LogicalType t) {
+  switch (t) {
+    case LogicalType::kInt64: return "INT64";
+    case LogicalType::kDecimal: return "DECIMAL";
+    case LogicalType::kDate: return "DATE";
+    case LogicalType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+int64_t Dictionary::Intern(const std::string& s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  const int64_t code = static_cast<int64_t>(strings_.size());
+  strings_.push_back(s);
+  index_.emplace(s, code);
+  return code;
+}
+
+int64_t Dictionary::Lookup(const std::string& s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::string& Dictionary::Decode(int64_t code) const {
+  assert(code >= 0 && static_cast<size_t>(code) < strings_.size());
+  return strings_[static_cast<size_t>(code)];
+}
+
+Schema::Schema(std::vector<ColumnDef> columns) {
+  for (auto& c : columns) AddColumn(std::move(c));
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : static_cast<int>(it->second);
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  const int idx = FindColumn(name);
+  if (idx < 0) return Status::NotFound("no column named '" + name + "'");
+  return static_cast<size_t>(idx);
+}
+
+size_t Schema::AddColumn(ColumnDef def) {
+  const size_t idx = columns_.size();
+  by_name_.emplace(def.name, idx);
+  columns_.push_back(std::move(def));
+  return idx;
+}
+
+std::string Schema::FormatValue(size_t i, int64_t value) const {
+  assert(i < columns_.size());
+  const ColumnDef& def = columns_[i];
+  char buf[64];
+  switch (def.type) {
+    case LogicalType::kInt64:
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+      return buf;
+    case LogicalType::kDecimal: {
+      const double scaled =
+          static_cast<double>(value) / std::pow(10.0, def.scale);
+      std::snprintf(buf, sizeof(buf), "%.*f", def.scale, scaled);
+      return buf;
+    }
+    case LogicalType::kDate: {
+      // Render as days-since-epoch; exact calendars are irrelevant to the
+      // experiments, and this keeps output deterministic.
+      std::snprintf(buf, sizeof(buf), "d%lld", static_cast<long long>(value));
+      return buf;
+    }
+    case LogicalType::kString:
+      if (def.dictionary && value >= 0 &&
+          static_cast<size_t>(value) < def.dictionary->size()) {
+        return def.dictionary->Decode(value);
+      }
+      std::snprintf(buf, sizeof(buf), "#%lld", static_cast<long long>(value));
+      return buf;
+  }
+  return "?";
+}
+
+}  // namespace rqp

@@ -1,0 +1,75 @@
+#ifndef RQP_TYPES_SCHEMA_H_
+#define RQP_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rqp {
+
+/// Logical column types. Every column is physically an int64_t; the logical
+/// type controls interpretation and printing:
+///  - kInt64: plain integer.
+///  - kDecimal: fixed-point with `scale` decimal digits.
+///  - kDate: days since epoch.
+///  - kString: dictionary code into the column's Dictionary.
+enum class LogicalType : uint8_t { kInt64, kDecimal, kDate, kString };
+
+const char* LogicalTypeName(LogicalType t);
+
+/// Order-preserving string dictionary (codes assigned in insertion order;
+/// use `SortedDictionary` helpers in the generator when order matters).
+class Dictionary {
+ public:
+  /// Returns the code for `s`, inserting it if absent.
+  int64_t Intern(const std::string& s);
+  /// Returns the code for `s` or -1 if absent.
+  int64_t Lookup(const std::string& s) const;
+  const std::string& Decode(int64_t code) const;
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+/// One column's metadata.
+struct ColumnDef {
+  std::string name;
+  LogicalType type = LogicalType::kInt64;
+  int scale = 0;  ///< decimal digits for kDecimal.
+  std::shared_ptr<Dictionary> dictionary;  ///< for kString columns.
+};
+
+/// Ordered list of column definitions with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Column index by name, or -1 if absent.
+  int FindColumn(const std::string& name) const;
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Appends a column; returns its index.
+  size_t AddColumn(ColumnDef def);
+
+  /// Renders `value` of column `i` for human consumption.
+  std::string FormatValue(size_t i, int64_t value) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_TYPES_SCHEMA_H_

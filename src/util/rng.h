@@ -1,0 +1,132 @@
+#ifndef RQP_UTIL_RNG_H_
+#define RQP_UTIL_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rqp {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Every experiment in the benchmark harness derives its data and workloads
+/// from an explicit seed so that all reported tables are exactly
+/// reproducible; std::mt19937 is avoided because its distributions are not
+/// specified bit-exactly across standard libraries.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-distributed value in [0, n) with exponent `theta`.
+  /// Uses the rejection-free inverse-CDF approximation of Gray et al.
+  /// ("Quickly generating billion-record synthetic databases").
+  int64_t Zipf(int64_t n, double theta) {
+    assert(n > 0);
+    if (theta <= 0.0) return Uniform(0, n - 1);
+    // Cache the normalization constants for (n, theta).
+    if (n != zipf_n_ || theta != zipf_theta_) {
+      zipf_n_ = n;
+      zipf_theta_ = theta;
+      zipf_zetan_ = Zeta(n, theta);
+      zipf_alpha_ = 1.0 / (1.0 - theta);
+      const double zeta2 = Zeta(2, theta);
+      zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                  (1.0 - zeta2 / zipf_zetan_);
+    }
+    const double u = NextDouble();
+    const double uz = u * zipf_zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+    const double v =
+        zipf_eta_ * u - zipf_eta_ + 1.0;
+    int64_t result = static_cast<int64_t>(
+        static_cast<double>(n) * std::pow(v, zipf_alpha_));
+    if (result < 0) result = 0;
+    if (result >= n) result = n - 1;
+    return result;
+  }
+
+  /// Gaussian via Box–Muller.
+  double Gaussian(double mean, double stddev) {
+    double u1 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = NextDouble();
+    const double z = std::sqrt(-2.0 * std::log(u1)) *
+                     std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Next() % i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static double Zeta(int64_t n, double theta) {
+    double sum = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+    return sum;
+  }
+
+  uint64_t state_[4] = {};
+  int64_t zipf_n_ = -1;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_UTIL_RNG_H_

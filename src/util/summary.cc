@@ -1,0 +1,85 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rqp {
+
+double Summary::Sum() const {
+  double s = 0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Summary::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Summary::StdDev() const {
+  const size_t n = values_.size();
+  if (n < 2) return 0.0;
+  const double mu = Mean();
+  double ss = 0;
+  for (double v : values_) ss += (v - mu) * (v - mu);
+  return std::sqrt(ss / static_cast<double>(n - 1));
+}
+
+double Summary::CoefficientOfVariation() const {
+  const double mu = Mean();
+  if (mu == 0.0) return 0.0;
+  return StdDev() / mu;
+}
+
+double Summary::Min() const {
+  assert(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::Max() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+void Summary::EnsureSorted() const {
+  if (sorted_) return;
+  sorted_values_ = values_;
+  std::sort(sorted_values_.begin(), sorted_values_.end());
+  sorted_ = true;
+}
+
+double Summary::Percentile(double p) const {
+  assert(!values_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  const size_t n = sorted_values_.size();
+  if (n == 1) return sorted_values_[0];
+  const double rank = (p / 100.0) * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, n - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values_[lo] * (1.0 - frac) + sorted_values_[hi] * frac;
+}
+
+double Summary::GeometricMean(double floor) const {
+  if (values_.empty()) return 0.0;
+  double log_sum = 0;
+  for (double v : values_) {
+    log_sum += std::log(std::max(v, floor));
+  }
+  return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+BoxSummary MakeBoxSummary(const Summary& s) {
+  BoxSummary b;
+  if (s.empty()) return b;
+  b.min = s.Min();
+  b.q1 = s.Percentile(25);
+  b.median = s.Median();
+  b.q3 = s.Percentile(75);
+  b.max = s.Max();
+  return b;
+}
+
+}  // namespace rqp

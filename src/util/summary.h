@@ -1,0 +1,63 @@
+#ifndef RQP_UTIL_SUMMARY_H_
+#define RQP_UTIL_SUMMARY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rqp {
+
+/// Order statistics and moments over a sample of measurements.
+///
+/// Implements the aggregate quantities used by the paper's robustness
+/// metrics: mean, standard deviation, coefficient of variation (the
+/// smoothness metric S(Q) of Sattler et al.), percentiles for the Figure-1
+/// style box summaries, and the geometric mean used by the cardinality-error
+/// metric C(Q).
+class Summary {
+ public:
+  Summary() = default;
+
+  void Add(double v) { values_.push_back(v); sorted_ = false; }
+  void AddAll(const std::vector<double>& vs) {
+    values_.insert(values_.end(), vs.begin(), vs.end());
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double Sum() const;
+  double Mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double StdDev() const;
+  /// Coefficient of variation sigma/mu; 0 when the mean is 0.
+  double CoefficientOfVariation() const;
+  double Min() const;
+  double Max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  /// Geometric mean; requires all values > 0 (non-positive values are
+  /// clamped to `floor` to keep the metric defined, mirroring the common
+  /// practice for |a-e|/a error terms that can be zero).
+  double GeometricMean(double floor = 1e-12) const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_values_;
+  mutable bool sorted_ = false;
+};
+
+/// Five-number summary used for the Figure 1 box rendering.
+struct BoxSummary {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+
+BoxSummary MakeBoxSummary(const Summary& s);
+
+}  // namespace rqp
+
+#endif  // RQP_UTIL_SUMMARY_H_

@@ -1,0 +1,56 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace rqp {
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s", static_cast<int>(widths[c] + 2), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::printf("%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string TablePrinter::Num(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string TablePrinter::Int(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  std::string raw = buf;
+  // Insert thousands separators from the right, skipping a leading '-'.
+  std::string out;
+  const size_t start = raw[0] == '-' ? 1 : 0;
+  size_t digits = raw.size() - start;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    out.push_back(raw[i]);
+    if (i >= start) {
+      const size_t remaining = digits - (i - start + 1);
+      if (remaining > 0 && remaining % 3 == 0) out.push_back(',');
+    }
+  }
+  return out;
+}
+
+}  // namespace rqp

@@ -1,0 +1,36 @@
+#ifndef RQP_UTIL_TABLE_PRINTER_H_
+#define RQP_UTIL_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rqp {
+
+/// Minimal aligned text-table printer used by the benchmark harness to emit
+/// paper-style result tables to stdout.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Prints the table with a separator line under the header.
+  void Print() const;
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string Num(double v, int prec = 2);
+  /// Formats an integer with thousands grouping for readability.
+  static std::string Int(long long v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,186 @@
+#include "workload/workloads.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rqp {
+namespace workload {
+
+QuerySpec StarQuery(int num_dimensions,
+                    const std::vector<int64_t>& attr_hi) {
+  QuerySpec spec;
+  spec.tables.push_back({"fact", nullptr});
+  for (int d = 0; d < num_dimensions; ++d) {
+    if (static_cast<size_t>(d) < attr_hi.size() && attr_hi[d] < 0) continue;
+    const std::string dim = "dim" + std::to_string(d);
+    PredicatePtr pred = nullptr;
+    if (static_cast<size_t>(d) < attr_hi.size()) {
+      pred = MakeBetween("attr", 0, attr_hi[static_cast<size_t>(d)]);
+    }
+    spec.tables.push_back({dim, pred});
+    spec.joins.push_back({"fact", "fk" + std::to_string(d), dim, "id"});
+  }
+  return spec;
+}
+
+QuerySpec RandomStarQuery(Rng* rng, int num_dimensions, int64_t dim_rows,
+                          double dim_probability, double min_sel,
+                          double max_sel) {
+  std::vector<int64_t> attr_hi;
+  bool any = false;
+  for (int d = 0; d < num_dimensions; ++d) {
+    if (rng->Bernoulli(dim_probability)) {
+      const double sel = min_sel + rng->NextDouble() * (max_sel - min_sel);
+      // dim attr = id * 10, ids in [0, dim_rows).
+      attr_hi.push_back(
+          static_cast<int64_t>(sel * static_cast<double>(dim_rows)) * 10);
+      any = true;
+    } else {
+      attr_hi.push_back(-1);
+    }
+  }
+  if (!any && num_dimensions > 0) {
+    attr_hi[0] = dim_rows * 10 / 4;  // ensure at least one join
+  }
+  return StarQuery(num_dimensions, attr_hi);
+}
+
+QuerySpec TrapStarQuery(int num_dimensions, int64_t fk0_hi,
+                        const std::vector<int64_t>& attr_hi) {
+  QuerySpec spec = StarQuery(num_dimensions, attr_hi);
+  // Redundant conjuncts: corr = fk0*1000+7 and corr2 = fk0*7+13, so each
+  // extra range holds exactly when fk0 <= fk0_hi. True selectivity is the
+  // fk0 range's s; independence estimates s^3 — the multiplicative
+  // underestimation of the war story.
+  spec.tables[0].predicate =
+      MakeAnd({MakeBetween("fk0", 0, fk0_hi),
+               MakeBetween("corr", 0, fk0_hi * 1000 + 7),
+               MakeBetween("corr2", 0, fk0_hi * 7 + 13)});
+  return spec;
+}
+
+std::vector<QuerySpec> PopWorkload(Rng* rng, int num_queries,
+                                   double trap_fraction, int num_dimensions,
+                                   int64_t dim_rows) {
+  std::vector<QuerySpec> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int q = 0; q < num_queries; ++q) {
+    if (rng->Bernoulli(trap_fraction)) {
+      // Trap query: a moderate fk0 range whose estimate the two redundant
+      // conjuncts drive down by 1/s^2 — small enough to trick the
+      // optimizer into index-nested-loops plans over a large actual outer.
+      const int64_t fk0_hi =
+          rng->Uniform(dim_rows / 20, dim_rows / 10);
+      std::vector<int64_t> attr_hi;
+      for (int d = 0; d < num_dimensions; ++d) {
+        attr_hi.push_back(d == 0 ? dim_rows * 10
+                                 : rng->Uniform(2, dim_rows) * 10);
+      }
+      queries.push_back(TrapStarQuery(num_dimensions, fk0_hi, attr_hi));
+    } else {
+      queries.push_back(RandomStarQuery(rng, num_dimensions, dim_rows, 0.7,
+                                        0.02, 0.6));
+    }
+  }
+  return queries;
+}
+
+std::vector<EquivalenceFamily> EquivalenceSuite(int64_t a_max) {
+  std::vector<EquivalenceFamily> suite;
+  const int64_t c = a_max / 2;
+  // Narrow range so the access-path choice (index vs scan) is at stake.
+  const int64_t lo = a_max / 4, hi = a_max / 4 + std::max<int64_t>(1, a_max / 64);
+
+  suite.push_back(
+      {"negated inequality vs equality",
+       {MakeNot(MakeCmp("a", CmpOp::kNe, c)), MakeCmp("a", CmpOp::kEq, c)}});
+
+  suite.push_back(
+      {"IN list vs OR of equalities vs reordered IN",
+       {MakeIn("a", {lo, c, hi + 1}),
+        MakeOr({MakeCmp("a", CmpOp::kEq, c), MakeCmp("a", CmpOp::kEq, lo),
+                MakeCmp("a", CmpOp::kEq, hi + 1)}),
+        MakeIn("a", {hi + 1, lo, c})}});
+
+  suite.push_back(
+      {"range phrasings",
+       {MakeBetween("a", lo, hi),
+        MakeAnd({MakeCmp("a", CmpOp::kGe, lo), MakeCmp("a", CmpOp::kLe, hi)}),
+        MakeAnd({MakeCmp("a", CmpOp::kLe, hi), MakeCmp("a", CmpOp::kGe, lo)}),
+        MakeNot(MakeOr({MakeCmp("a", CmpOp::kLt, lo),
+                        MakeCmp("a", CmpOp::kGt, hi)})),
+        MakeAnd({MakeCmp("a", CmpOp::kGt, lo - 1),
+                 MakeCmp("a", CmpOp::kLt, hi + 1)})}});
+
+  suite.push_back(
+      {"conjunct order across columns",
+       {MakeAnd({MakeBetween("a", lo, hi), MakeBetween("b", 0, 100)}),
+        MakeAnd({MakeBetween("b", 0, 100), MakeBetween("a", lo, hi)})}});
+
+  suite.push_back(
+      {"tautological padding",
+       {MakeBetween("a", lo, hi),
+        MakeAnd({MakeBetween("a", lo, hi), MakeCmp("a", CmpOp::kGe, lo)}),
+        MakeAnd({MakeBetween("a", lo, hi),
+                 MakeBetween("a", lo - 1, hi + 1)})}});
+
+  return suite;
+}
+
+std::vector<QuerySpec> SelectivitySweep(const std::string& table,
+                                        const std::string& column,
+                                        int64_t domain_max,
+                                        const std::vector<double>& sels) {
+  std::vector<QuerySpec> specs;
+  specs.reserve(sels.size());
+  for (double s : sels) {
+    const int64_t hi = std::max<int64_t>(
+        0, static_cast<int64_t>(s * static_cast<double>(domain_max + 1)) - 1);
+    QuerySpec spec;
+    spec.tables.push_back({table, MakeBetween(column, 0, hi)});
+    spec.aggregates = {{AggFn::kCount, "", "cnt"}};
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+namespace {
+PredicatePtr PerturbPredicate(Rng* rng, const PredicatePtr& p,
+                              int64_t domain_max) {
+  return std::visit(
+      [&](const auto& n) -> PredicatePtr {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, Between>) {
+          const int64_t width = n.hi - n.lo;
+          const int64_t shift = rng->Uniform(-domain_max / 10, domain_max / 10);
+          const int64_t new_lo =
+              std::clamp<int64_t>(n.lo + shift, 0, domain_max);
+          const int64_t new_hi =
+              std::clamp<int64_t>(new_lo + width, new_lo, domain_max);
+          return MakeBetween(n.column, new_lo, new_hi);
+        } else if constexpr (std::is_same_v<T, Conjunction>) {
+          std::vector<PredicatePtr> kids;
+          for (const auto& c : n.children) {
+            kids.push_back(PerturbPredicate(rng, c, domain_max));
+          }
+          return MakeAnd(std::move(kids));
+        } else {
+          return p;
+        }
+      },
+      p->node);
+}
+}  // namespace
+
+QuerySpec PerturbQuery(Rng* rng, const QuerySpec& spec, int64_t domain_max) {
+  QuerySpec out = spec;
+  for (auto& ref : out.tables) {
+    if (ref.predicate != nullptr) {
+      ref.predicate = PerturbPredicate(rng, ref.predicate, domain_max);
+    }
+  }
+  return out;
+}
+
+}  // namespace workload
+}  // namespace rqp

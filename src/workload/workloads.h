@@ -1,0 +1,67 @@
+#ifndef RQP_WORKLOAD_WORKLOADS_H_
+#define RQP_WORKLOAD_WORKLOADS_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/optimizer.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace workload {
+
+/// Builds the star query SELECT ... FROM fact ⋈ dim_i ... with per-dimension
+/// attribute ranges `attr_hi[i]` (dimension i filtered to attr in
+/// [0, attr_hi[i]]; negative = dimension not referenced).
+QuerySpec StarQuery(int num_dimensions, const std::vector<int64_t>& attr_hi);
+
+/// A random star query over `num_dimensions` dimensions of `dim_rows` rows:
+/// each dimension participates with probability `dim_probability` and gets
+/// a random selectivity in [min_sel, max_sel].
+QuerySpec RandomStarQuery(Rng* rng, int num_dimensions, int64_t dim_rows,
+                          double dim_probability, double min_sel,
+                          double max_sel);
+
+/// The Black-Hat trap (Lohman's war story): a star query whose fact-side
+/// filter conjoins a range on fk0 with the *redundant* equivalent range on
+/// the functionally-dependent column `corr` (corr = fk0*1000+7). The true
+/// selectivity equals the fk0 range's; independence squares it.
+QuerySpec TrapStarQuery(int num_dimensions, int64_t fk0_hi,
+                        const std::vector<int64_t>& attr_hi);
+
+/// POP experiment workload (Figures 1–3): `num_queries` random star
+/// queries, of which `trap_fraction` carry the redundant-predicate trap
+/// that wrecks the optimizer's fact-side estimate.
+std::vector<QuerySpec> PopWorkload(Rng* rng, int num_queries,
+                                   double trap_fraction, int num_dimensions,
+                                   int64_t dim_rows);
+
+/// One family of semantically equivalent single-table predicates (§5.1
+/// "Benchmarking Robustness"). All formulations in a family select exactly
+/// the same rows.
+struct EquivalenceFamily {
+  std::string description;
+  std::vector<PredicatePtr> formulations;
+};
+
+/// The equivalence test sets over a table with integer columns `a` (domain
+/// [0, a_max]) and `b`: negation, IN-vs-OR, range phrasing, conjunct order,
+/// tautological padding.
+std::vector<EquivalenceFamily> EquivalenceSuite(int64_t a_max);
+
+/// Parameterized range-query family (Sattler et al. §5.2): COUNT(*) over
+/// `table` with `column` BETWEEN 0 AND p, for each selectivity in `sels`
+/// (domain [0, domain_max]). Returns parallel specs.
+std::vector<QuerySpec> SelectivitySweep(const std::string& table,
+                                        const std::string& column,
+                                        int64_t domain_max,
+                                        const std::vector<double>& sels);
+
+/// Workload drift for the design-advisor experiment: shifts/rescales every
+/// Between range in the spec while keeping the query pattern.
+QuerySpec PerturbQuery(Rng* rng, const QuerySpec& spec, int64_t domain_max);
+
+}  // namespace workload
+}  // namespace rqp
+
+#endif  // RQP_WORKLOAD_WORKLOADS_H_

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "adaptive/advisor.h"
+#include "adaptive/cracking.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+std::vector<int64_t> RandomColumn(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  return gen::Uniform(&rng, n, 0, 9999);
+}
+
+int64_t ReferenceCount(const std::vector<int64_t>& v, int64_t lo, int64_t hi) {
+  int64_t n = 0;
+  for (int64_t x : v) {
+    if (x >= lo && x <= hi) ++n;
+  }
+  return n;
+}
+
+TEST(CrackerColumnTest, AnswersAreExact) {
+  auto values = RandomColumn(20000, 1);
+  CrackerColumn cracker(values);
+  ExecContext ctx;
+  Rng rng(2);
+  for (int q = 0; q < 50; ++q) {
+    const int64_t lo = rng.Uniform(0, 9000);
+    const int64_t hi = lo + rng.Uniform(0, 999);
+    std::vector<int64_t> rows;
+    const int64_t got = cracker.SelectRange(lo, hi, &ctx, &rows);
+    EXPECT_EQ(got, ReferenceCount(values, lo, hi)) << "query " << q;
+    EXPECT_EQ(static_cast<int64_t>(rows.size()), got);
+    for (int64_t r : rows) {
+      EXPECT_GE(values[static_cast<size_t>(r)], lo);
+      EXPECT_LE(values[static_cast<size_t>(r)], hi);
+    }
+    ASSERT_TRUE(cracker.CheckInvariant());
+  }
+  EXPECT_GT(cracker.num_pieces(), 10u);
+}
+
+TEST(CrackerColumnTest, CostConvergesTowardIndexProbes) {
+  auto values = RandomColumn(100000, 3);
+  CrackerColumn cracker(values);
+  Rng rng(4);
+  double first_cost = 0, late_cost = 0;
+  for (int q = 0; q < 200; ++q) {
+    ExecContext ctx;
+    const int64_t lo = rng.Uniform(0, 9000);
+    cracker.SelectRange(lo, lo + 500, &ctx, nullptr);
+    if (q == 0) first_cost = ctx.cost();
+    if (q >= 190) late_cost += ctx.cost() / 10;
+  }
+  // First query pays about a scan; late queries are far cheaper.
+  EXPECT_GT(first_cost, 20 * late_cost);
+}
+
+TEST(CrackerColumnTest, RepeatedQueryIsCheap) {
+  auto values = RandomColumn(50000, 5);
+  CrackerColumn cracker(values);
+  ExecContext warm;
+  cracker.SelectRange(100, 200, &warm, nullptr);
+  ExecContext again;
+  const int64_t n = cracker.SelectRange(100, 200, &again, nullptr);
+  // Second identical query touches no pieces, only emits results.
+  EXPECT_LT(again.cost(), 0.1 * warm.cost() + 1.0);
+  EXPECT_EQ(n, ReferenceCount(values, 100, 200));
+}
+
+TEST(CrackerColumnTest, EdgeRanges) {
+  std::vector<int64_t> values{5, 1, 9, 1, 7};
+  CrackerColumn cracker(values);
+  ExecContext ctx;
+  EXPECT_EQ(cracker.SelectRange(10, 5, &ctx, nullptr), 0);   // empty
+  EXPECT_EQ(cracker.SelectRange(1, 1, &ctx, nullptr), 2);    // point
+  EXPECT_EQ(cracker.SelectRange(0, 100, &ctx, nullptr), 5);  // all
+  EXPECT_TRUE(cracker.CheckInvariant());
+}
+
+TEST(AdaptiveMergeTest, AnswersAreExact) {
+  auto values = RandomColumn(20000, 6);
+  ExecContext init_ctx;
+  AdaptiveMergeColumn amc(values, 16, &init_ctx);
+  EXPECT_GT(init_ctx.cost(), 0.0);  // run generation is paid up front
+  Rng rng(7);
+  ExecContext ctx;
+  for (int q = 0; q < 50; ++q) {
+    const int64_t lo = rng.Uniform(0, 9000);
+    const int64_t hi = lo + rng.Uniform(0, 999);
+    std::vector<int64_t> rows;
+    const int64_t got = amc.SelectRange(lo, hi, &ctx, &rows);
+    EXPECT_EQ(got, ReferenceCount(values, lo, hi)) << "query " << q;
+  }
+}
+
+TEST(AdaptiveMergeTest, MergedRangesAnswerWithoutRunProbes) {
+  auto values = RandomColumn(50000, 8);
+  ExecContext init_ctx;
+  AdaptiveMergeColumn amc(values, 16, &init_ctx);
+  ExecContext first;
+  amc.SelectRange(1000, 2000, &first, nullptr);
+  ExecContext second;
+  amc.SelectRange(1200, 1800, &second, nullptr);  // sub-range: covered
+  EXPECT_LT(second.cost(), 0.3 * first.cost() + 1.0);
+  EXPECT_GT(amc.merged_size(), 0);
+}
+
+TEST(AdaptiveMergeTest, FullCoverageDrainsRuns) {
+  auto values = RandomColumn(5000, 9);
+  ExecContext ctx;
+  AdaptiveMergeColumn amc(values, 4, &ctx);
+  amc.SelectRange(0, 9999, &ctx, nullptr);
+  EXPECT_EQ(amc.merged_size(), 5000);
+  EXPECT_EQ(amc.num_runs_remaining(), 0);
+}
+
+class AdvisorFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 30000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, spec);
+    stats_.AnalyzeAll(catalog_, AnalyzeOptions{});
+  }
+
+  static QuerySpec RangeQuery(const std::string& table,
+                              const std::string& column, int64_t lo,
+                              int64_t hi) {
+    QuerySpec spec;
+    spec.tables.push_back({table, MakeBetween(column, lo, hi)});
+    return spec;
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(AdvisorFixture, RecommendsIndexForSelectiveWorkload) {
+  std::vector<QuerySpec> workload{
+      RangeQuery("fact", "fk0", 0, 4),
+      RangeQuery("fact", "fk0", 10, 14),
+  };
+  AdvisorOptions options;
+  options.max_indexes = 1;
+  auto chosen = AdviseIndexes(&catalog_, &stats_, workload, {}, options,
+                              OptimizerOptions());
+  ASSERT_TRUE(chosen.ok()) << chosen.status().ToString();
+  ASSERT_EQ(chosen->size(), 1u);
+  EXPECT_EQ((*chosen)[0], (IndexChoice{"fact", "fk0"}));
+  EXPECT_NE(catalog_.FindIndex("fact", "fk0"), nullptr);
+}
+
+TEST_F(AdvisorFixture, NoRecommendationWhenNothingHelps) {
+  // Unselective scans: an index never wins.
+  std::vector<QuerySpec> workload{RangeQuery("fact", "fk0", 0, 998)};
+  auto chosen = AdviseIndexes(&catalog_, &stats_, workload, {},
+                              AdvisorOptions(), OptimizerOptions());
+  ASSERT_TRUE(chosen.ok());
+  EXPECT_TRUE(chosen->empty());
+}
+
+TEST_F(AdvisorFixture, RobustAdvisorConsidersVariations) {
+  // Training only touches fk0; the drifted workload touches measure.
+  std::vector<QuerySpec> training{
+      RangeQuery("fact", "fk0", 0, 4),
+      RangeQuery("fact", "measure", 0, 49),
+  };
+  std::vector<QuerySpec> variations{
+      RangeQuery("fact", "measure", 0, 9),
+      RangeQuery("fact", "measure", 100, 119),
+      RangeQuery("fact", "measure", 500, 540),
+  };
+  AdvisorOptions plain;
+  plain.max_indexes = 1;
+  auto plain_choice = AdviseIndexes(&catalog_, &stats_, training, variations,
+                                    plain, OptimizerOptions());
+  ASSERT_TRUE(plain_choice.ok());
+  for (const auto& [t, c] : *plain_choice) {
+    ASSERT_TRUE(catalog_.DropIndex(t, c).ok());
+  }
+
+  AdvisorOptions robust = plain;
+  robust.robust = true;
+  auto robust_choice = AdviseIndexes(&catalog_, &stats_, training, variations,
+                                     robust, OptimizerOptions());
+  ASSERT_TRUE(robust_choice.ok());
+  ASSERT_EQ(robust_choice->size(), 1u);
+  // With the drifted queries dominating, the robust advisor must pick the
+  // measure index.
+  EXPECT_EQ((*robust_choice)[0], (IndexChoice{"fact", "measure"}));
+}
+
+TEST_F(AdvisorFixture, WorkloadCostEstimateDropsWithIndex) {
+  std::vector<QuerySpec> workload{RangeQuery("fact", "fk0", 0, 4)};
+  auto before = EstimateWorkloadCost(&catalog_, &stats_, workload,
+                                     OptimizerOptions());
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(catalog_.BuildIndex("fact", "fk0").ok());
+  auto after = EstimateWorkloadCost(&catalog_, &stats_, workload,
+                                    OptimizerOptions());
+  ASSERT_TRUE(after.ok());
+  EXPECT_LT(*after, *before);
+}
+
+}  // namespace
+}  // namespace rqp

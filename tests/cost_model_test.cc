@@ -1,0 +1,205 @@
+// Tests for the optimizer-side plan costing and its alignment with the
+// executor's measured cost — the property that isolates cardinality error
+// as the only source of plan mistakes (see DESIGN.md). Also covers the
+// cardinality model's building blocks and the plan representation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "engine/engine.h"
+#include "optimizer/builder.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/plan_diagram.h"
+#include "stats/st_store.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+TEST(InverseNormalCdfTest, KnownQuantiles) {
+  EXPECT_NEAR(InverseNormalCdf(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(InverseNormalCdf(0.975), 1.959964, 1e-4);
+  EXPECT_NEAR(InverseNormalCdf(0.84134), 1.0, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(InverseNormalCdf(0.25), -InverseNormalCdf(0.75), 1e-9);
+  // Tail branch.
+  EXPECT_NEAR(InverseNormalCdf(0.001), -3.0902, 1e-3);
+}
+
+class CardinalityModelFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 20000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = 1;
+    BuildStarSchema(&catalog_, spec);
+    stats_.AnalyzeAll(catalog_, AnalyzeOptions{});
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(CardinalityModelFixture, TableRowsAndDefaults) {
+  CardinalityModel model(&stats_);
+  EXPECT_DOUBLE_EQ(model.TableRows("fact"), 20000.0);
+  EXPECT_DOUBLE_EQ(model.TableRows("unknown"), 1000.0);  // magic default
+  EXPECT_DOUBLE_EQ(model.DistinctValues("unknown", "x"), 100.0);
+  EXPECT_GE(model.DistinctValues("dim0", "id"), 999.0);
+}
+
+TEST_F(CardinalityModelFixture, ScanSelectivityOverride) {
+  CardinalityModel model(&stats_);
+  auto pred = MakeBetween("fk0", 0, 99);
+  const double organic = model.ScanSelectivity("fact", pred);
+  EXPECT_NEAR(organic, 0.1, 0.02);
+  model.SetScanSelectivityOverride("fact", 0.77);
+  EXPECT_DOUBLE_EQ(model.ScanSelectivity("fact", pred), 0.77);
+  model.ClearOverrides();
+  EXPECT_DOUBLE_EQ(model.ScanSelectivity("fact", pred), organic);
+}
+
+TEST_F(CardinalityModelFixture, JoinSelectivityUsesNdv) {
+  CardinalityModel model(&stats_);
+  // ndv(dim0.id) = 1000 dominates.
+  EXPECT_NEAR(model.JoinSelectivity("fact.fk0", "dim0.id"), 1e-3, 2e-4);
+  // Unqualified slots fall back to the 1/100 default.
+  EXPECT_DOUBLE_EQ(model.JoinSelectivity("x", "y"), 0.01);
+}
+
+TEST_F(CardinalityModelFixture, QualifiedSelectivityCombinators) {
+  CardinalityModel model(&stats_);
+  auto leaf = MakeBetween("fact.fk0", 0, 499);
+  EXPECT_NEAR(model.QualifiedSelectivity(leaf), 0.5, 0.05);
+  EXPECT_NEAR(model.QualifiedSelectivity(MakeNot(leaf)), 0.5, 0.05);
+  // Cross-table equality residual = join selectivity.
+  auto cc = MakeColCmp("fact.fk0", CmpOp::kEq, "dim0.id");
+  EXPECT_NEAR(model.QualifiedSelectivity(cc), 1e-3, 2e-4);
+  auto ineq = MakeColCmp("fact.fk0", CmpOp::kLt, "dim0.id");
+  EXPECT_NEAR(model.QualifiedSelectivity(ineq), 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(model.QualifiedSelectivity(nullptr), 1.0);
+}
+
+TEST(PlanNodeTest, CloneIsDeep) {
+  int ids = 0;
+  auto scan = NewPlanNode(PlanOp::kTableScan, &ids);
+  scan->table = "t";
+  scan->est_rows = 42;
+  auto parent = NewPlanNode(PlanOp::kSort, &ids);
+  parent->sort_key = "t.a";
+  parent->children.push_back(std::move(scan));
+  auto clone = parent->Clone();
+  clone->children[0]->table = "changed";
+  clone->children[0]->est_rows = 1;
+  EXPECT_EQ(parent->children[0]->table, "t");
+  EXPECT_DOUBLE_EQ(parent->children[0]->est_rows, 42);
+  EXPECT_EQ(clone->children[0]->id, parent->children[0]->id);
+}
+
+TEST(PlanNodeTest, BaseTablesIncludesCoveredTables) {
+  int ids = 0;
+  auto source = NewPlanNode(PlanOp::kMaterializedSource, &ids);
+  source->covered_tables = {"a", "b"};
+  auto scan = NewPlanNode(PlanOp::kTableScan, &ids);
+  scan->table = "c";
+  auto join = NewPlanNode(PlanOp::kHashJoin, &ids);
+  join->children.push_back(std::move(source));
+  join->children.push_back(std::move(scan));
+  EXPECT_EQ(join->BaseTables(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(PlanNodeTest, ExplainSignatureHidesEstimates) {
+  int ids = 0;
+  auto scan = NewPlanNode(PlanOp::kTableScan, &ids);
+  scan->table = "t";
+  scan->est_rows = 123;
+  scan->est_cost = 456;
+  EXPECT_EQ(scan->Explain(true).find("rows=123") != std::string::npos, true);
+  EXPECT_EQ(scan->Explain(false).find("123"), std::string::npos);
+}
+
+TEST(BuilderErrorTest, MissingObjectsAreReported) {
+  Catalog catalog;
+  catalog.AddTable("t", Schema({{"a", LogicalType::kInt64, 0, nullptr}}))
+      .value();
+  int ids = 0;
+  {
+    auto node = NewPlanNode(PlanOp::kTableScan, &ids);
+    node->table = "missing";
+    EXPECT_FALSE(BuildExecutable(*node, &catalog).ok());
+  }
+  {
+    auto node = NewPlanNode(PlanOp::kIndexScan, &ids);
+    node->table = "t";
+    node->index_column = "a";  // no such index
+    auto built = BuildExecutable(*node, &catalog);
+    EXPECT_FALSE(built.ok());
+    EXPECT_EQ(built.status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(StHistogramStoreTest, ObserveAndEstimate) {
+  StHistogramStore store;
+  EXPECT_FALSE(store.Has("t", "x"));
+  EXPECT_LT(store.EstimateRangeFraction("t", "x", 0, 10), 0.0);
+  // All rows live in [0, 99] of a [0, 999] domain.
+  for (int i = 0; i < 30; ++i) {
+    store.Observe("t", "x", 0, 99, 10000, 0, 999, 10000);
+    store.Observe("t", "x", 100, 999, 0, 0, 999, 10000);
+  }
+  ASSERT_TRUE(store.Has("t", "x"));
+  EXPECT_GT(store.EstimateRangeFraction("t", "x", 0, 99), 0.85);
+  EXPECT_LT(store.EstimateRangeFraction("t", "x", 500, 999), 0.05);
+  EXPECT_EQ(store.size(), 1u);
+  // Degenerate inputs are ignored.
+  store.Observe("t", "x", 10, 5, 1, 0, 999, 10000);
+  store.Observe("t", "y", 0, 10, 1, 10, 5, 10000);
+  EXPECT_FALSE(store.Has("t", "y"));
+}
+
+// The coster and the executor must agree when estimates are right: this is
+// what makes "optimal plan" well-defined in every experiment.
+class CostAlignmentProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CostAlignmentProperty, EstimatedCostTracksMeasuredCost) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = 20000 + rng.Uniform(0, 30000);
+  spec.dim_rows = 2000 + rng.Uniform(0, 8000);
+  spec.num_dimensions = 2;
+  spec.seed = seed;
+  BuildStarSchema(&catalog, spec);
+  catalog.BuildIndex("dim0", "id").value();
+  StatsCatalog stats;
+  stats.AnalyzeAll(catalog, AnalyzeOptions{});
+  CardinalityModel model(&stats);
+  Optimizer optimizer(&catalog, &model, OptimizerOptions());
+
+  for (int iter = 0; iter < 3; ++iter) {
+    QuerySpec q = workload::RandomStarQuery(&rng, 2, spec.dim_rows, 0.8,
+                                            0.05, 0.8);
+    auto plan = optimizer.Optimize(q);
+    ASSERT_TRUE(plan.ok());
+    auto op = BuildExecutable(*plan->plan, &catalog);
+    ASSERT_TRUE(op.ok());
+    ExecContext ctx;
+    ASSERT_TRUE(DrainOperator(op.value().get(), &ctx, nullptr).ok());
+    const double est = plan->plan->est_cost;
+    const double measured = ctx.cost();
+    EXPECT_LT(std::abs(std::log(est / measured)), std::log(1.6))
+        << "seed " << seed << " iter " << iter << ": est=" << est
+        << " measured=" << measured << "\n" << plan->plan->Explain();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CostAlignmentProperty,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace rqp

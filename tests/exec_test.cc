@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/filter_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/shared_scan.h"
+#include "exec/sort_agg_ops.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+/// Builds t(a, b) with a = 0..n-1 and b = a % 10.
+std::unique_ptr<Table> MakeTable(int64_t n) {
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                   {"b", LogicalType::kInt64, 0, nullptr}}));
+  std::vector<int64_t> a = gen::Sequential(n), b(static_cast<size_t>(n));
+  for (size_t i = 0; i < b.size(); ++i) b[i] = a[i] % 10;
+  t->SetColumnData(0, std::move(a));
+  t->SetColumnData(1, std::move(b));
+  return t;
+}
+
+TEST(TableScanTest, FullScanProducesAllRows) {
+  auto t = MakeTable(5000);
+  TableScanOp scan(t.get());
+  ExecContext ctx;
+  auto total = DrainOperator(&scan, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 5000);
+  EXPECT_EQ(scan.rows_produced(), 5000);
+  EXPECT_EQ(ctx.counters().pages_read, t->num_pages());
+  EXPECT_EQ(scan.output_slots(), (std::vector<std::string>{"t.a", "t.b"}));
+}
+
+TEST(TableScanTest, InlineFilter) {
+  auto t = MakeTable(5000);
+  TableScanOp scan(t.get(), MakeCmp("b", CmpOp::kEq, 3));
+  ExecContext ctx;
+  auto total = DrainOperator(&scan, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 500);
+  // Filter does not reduce the scan I/O.
+  EXPECT_EQ(ctx.counters().pages_read, t->num_pages());
+}
+
+TEST(TableScanTest, ProjectionSubset) {
+  auto t = MakeTable(100);
+  TableScanOp scan(t.get(), nullptr, {"b"});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&scan, &ctx, &out).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].num_cols(), 1u);
+  EXPECT_EQ(scan.output_slots(), (std::vector<std::string>{"t.b"}));
+}
+
+TEST(TableScanTest, FilterCanUseNonProjectedColumn) {
+  auto t = MakeTable(100);
+  TableScanOp scan(t.get(), MakeCmp("a", CmpOp::kLt, 10), {"b"});
+  ExecContext ctx;
+  auto total = DrainOperator(&scan, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 10);
+}
+
+TEST(TableScanTest, BadProjectionFailsOpen) {
+  auto t = MakeTable(10);
+  TableScanOp scan(t.get(), nullptr, {"zzz"});
+  ExecContext ctx;
+  EXPECT_FALSE(scan.Open(&ctx).ok());
+}
+
+TEST(IndexScanTest, RangeMatchesAndCosts) {
+  auto t = MakeTable(10000);
+  SortedIndex idx("t.a", 0);
+  idx.Build(*t);
+  IndexScanOp scan(t.get(), &idx, 100, 199);
+  ExecContext ctx;
+  auto total = DrainOperator(&scan, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 100);
+  EXPECT_EQ(ctx.counters().random_reads, 100);
+  // Low selectivity: index scan must be far cheaper than the full scan.
+  ExecContext full_ctx;
+  TableScanOp full(t.get(), MakeBetween("a", 100, 199));
+  ASSERT_TRUE(DrainOperator(&full, &full_ctx, nullptr).ok());
+  EXPECT_LT(ctx.cost(), full_ctx.cost());
+}
+
+TEST(IndexScanTest, HighSelectivityCostsMoreThanScan) {
+  auto t = MakeTable(20000);
+  SortedIndex idx("t.a", 0);
+  idx.Build(*t);
+  IndexScanOp scan(t.get(), &idx, 0, 19999);  // everything, random fetches
+  ExecContext ctx;
+  ASSERT_TRUE(DrainOperator(&scan, &ctx, nullptr).ok());
+  ExecContext full_ctx;
+  TableScanOp full(t.get());
+  ASSERT_TRUE(DrainOperator(&full, &full_ctx, nullptr).ok());
+  EXPECT_GT(ctx.cost(), full_ctx.cost());  // the plan cliff's other side
+}
+
+TEST(IndexScanTest, ResidualFilterApplies) {
+  auto t = MakeTable(1000);
+  SortedIndex idx("t.a", 0);
+  idx.Build(*t);
+  IndexScanOp scan(t.get(), &idx, 0, 99, MakeCmp("b", CmpOp::kEq, 7));
+  ExecContext ctx;
+  auto total = DrainOperator(&scan, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 10);
+}
+
+TEST(VectorSourceTest, ReplaysBatches) {
+  auto batches = std::make_shared<std::vector<RowBatch>>();
+  RowBatch b(2);
+  b.AppendRow({1, 2});
+  b.AppendRow({3, 4});
+  batches->push_back(b);
+  VectorSourceOp src(batches, {"x", "y"});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&src, &ctx, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row(1)[1], 4);
+}
+
+TEST(FilterOpTest, FiltersOnQualifiedSlots) {
+  auto t = MakeTable(1000);
+  auto scan = std::make_unique<TableScanOp>(t.get());
+  FilterOp filter(std::move(scan), MakeCmp("t.b", CmpOp::kEq, 0));
+  ExecContext ctx;
+  auto total = DrainOperator(&filter, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 100);
+}
+
+TEST(ProjectOpTest, ReordersSlots) {
+  auto t = MakeTable(10);
+  auto scan = std::make_unique<TableScanOp>(t.get());
+  ProjectOp proj(std::move(scan), {"t.b", "t.a"});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&proj, &ctx, &out).ok());
+  EXPECT_EQ(out[0].row(3)[0], 3);  // b = a%10 = 3
+  EXPECT_EQ(out[0].row(3)[1], 3);  // a = 3
+  EXPECT_EQ(proj.output_slots(), (std::vector<std::string>{"t.b", "t.a"}));
+}
+
+TEST(ProjectOpTest, UnknownSlotFails) {
+  auto t = MakeTable(10);
+  auto scan = std::make_unique<TableScanOp>(t.get());
+  ProjectOp proj(std::move(scan), {"t.nope"});
+  ExecContext ctx;
+  EXPECT_FALSE(proj.Open(&ctx).ok());
+}
+
+TEST(AdaptiveFilterTest, ProducesSameRowsAsStatic) {
+  auto t = MakeTable(20000);
+  std::vector<PredicatePtr> preds{
+      MakeCmp("t.b", CmpOp::kLe, 7),      // pass rate 0.8
+      MakeCmp("t.a", CmpOp::kLt, 2000),   // pass rate 0.1
+      MakeCmp("t.b", CmpOp::kGe, 1),      // pass rate 0.9
+  };
+  int64_t rows_static = 0, rows_adaptive = 0;
+  {
+    AdaptiveFilterOp::Options opt;
+    opt.adaptive = false;
+    AdaptiveFilterOp f(std::make_unique<TableScanOp>(t.get()), preds, opt);
+    ExecContext ctx;
+    rows_static = DrainOperator(&f, &ctx, nullptr).value();
+  }
+  {
+    AdaptiveFilterOp::Options opt;
+    AdaptiveFilterOp f(std::make_unique<TableScanOp>(t.get()), preds, opt);
+    ExecContext ctx;
+    rows_adaptive = DrainOperator(&f, &ctx, nullptr).value();
+  }
+  EXPECT_EQ(rows_static, rows_adaptive);
+}
+
+TEST(AdaptiveFilterTest, AdaptiveDoesFewerEvaluationsOnBadOrder) {
+  auto t = MakeTable(50000);
+  // Worst static order: least selective first.
+  std::vector<PredicatePtr> preds{
+      MakeCmp("t.b", CmpOp::kLe, 8),     // 0.9 pass
+      MakeCmp("t.b", CmpOp::kLe, 5),     // 0.6 pass
+      MakeCmp("t.a", CmpOp::kLt, 500),   // 0.01 pass
+  };
+  int64_t evals_static = 0, evals_adaptive = 0;
+  {
+    AdaptiveFilterOp::Options opt;
+    opt.adaptive = false;
+    AdaptiveFilterOp f(std::make_unique<TableScanOp>(t.get()), preds, opt);
+    ExecContext ctx;
+    ASSERT_TRUE(DrainOperator(&f, &ctx, nullptr).ok());
+    evals_static = ctx.counters().predicate_evals;
+  }
+  {
+    AdaptiveFilterOp f(std::make_unique<TableScanOp>(t.get()), preds,
+                       AdaptiveFilterOp::Options{});
+    ExecContext ctx;
+    ASSERT_TRUE(DrainOperator(&f, &ctx, nullptr).ok());
+    evals_adaptive = ctx.counters().predicate_evals;
+  }
+  EXPECT_LT(evals_adaptive, evals_static);
+}
+
+TEST(SortOpTest, SortsAscending) {
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(3);
+  t->SetColumnData(0, gen::Permutation(&rng, 5000));
+  SortOp sort(std::make_unique<TableScanOp>(t.get()), "t.a");
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&sort, &ctx, &out).ok());
+  int64_t expected = 0;
+  for (const auto& b : out) {
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      EXPECT_EQ(b.row(r)[0], expected++);
+    }
+  }
+  EXPECT_EQ(expected, 5000);
+  EXPECT_EQ(sort.external_passes(), 0);  // default broker is huge
+}
+
+TEST(SortOpTest, ExternalPassesUnderMemoryPressure) {
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(4);
+  t->SetColumnData(0, gen::Permutation(&rng, 100000));  // ~391 pages
+  MemoryBroker broker(4);
+  ExecContext ctx(&broker);
+  SortOp sort(std::make_unique<TableScanOp>(t.get()), "t.a");
+  ASSERT_TRUE(DrainOperator(&sort, &ctx, nullptr).ok());
+  EXPECT_GT(sort.external_passes(), 0);
+  EXPECT_GT(ctx.counters().spill_pages, 0);
+
+  // Same sort with ample memory is cheaper.
+  ExecContext rich_ctx;
+  SortOp rich_sort(std::make_unique<TableScanOp>(t.get()), "t.a");
+  ASSERT_TRUE(DrainOperator(&rich_sort, &rich_ctx, nullptr).ok());
+  EXPECT_LT(rich_ctx.cost(), ctx.cost());
+}
+
+TEST(HashAggTest, GroupedCounts) {
+  auto t = MakeTable(1000);
+  HashAggOp agg(std::make_unique<TableScanOp>(t.get()), {"t.b"},
+                {{AggFn::kCount, "", "cnt"},
+                 {AggFn::kSum, "t.a", "sum_a"},
+                 {AggFn::kMin, "t.a", "min_a"},
+                 {AggFn::kMax, "t.a", "max_a"}});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&agg, &ctx, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].num_rows(), 10u);
+  // Group b=0: rows 0,10,...,990.
+  const int64_t* row0 = out[0].row(0);
+  EXPECT_EQ(row0[0], 0);     // group key
+  EXPECT_EQ(row0[1], 100);   // count
+  EXPECT_EQ(row0[3], 0);     // min
+  EXPECT_EQ(row0[4], 990);   // max
+}
+
+TEST(HashAggTest, GlobalAggregateOnEmptyInput) {
+  auto t = MakeTable(100);
+  HashAggOp agg(
+      std::make_unique<TableScanOp>(t.get(), MakeCmp("a", CmpOp::kLt, -1)),
+      {}, {{AggFn::kCount, "", "cnt"}});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&agg, &ctx, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row(0)[0], 0);
+}
+
+TEST(CheckOpTest, PassesThroughWithinRange) {
+  auto t = MakeTable(1000);
+  CheckOp check(std::make_unique<TableScanOp>(t.get()), 1000, 500, 2000);
+  check.set_plan_node_id(7);
+  ExecContext ctx;
+  auto total = DrainOperator(&check, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 1000);
+  EXPECT_FALSE(ctx.has_reopt_request());
+}
+
+TEST(CheckOpTest, RaisesReoptOnViolation) {
+  auto t = MakeTable(1000);
+  CheckOp check(std::make_unique<TableScanOp>(t.get()), 10, 1, 100);
+  check.set_plan_node_id(7);
+  ExecContext ctx;
+  Status s = check.Open(&ctx);
+  EXPECT_FALSE(s.ok());
+  ASSERT_TRUE(ctx.has_reopt_request());
+  const auto* req = ctx.reopt_request();
+  EXPECT_EQ(req->plan_node_id, 7);
+  EXPECT_EQ(req->actual_rows, 1000);
+  EXPECT_EQ(req->estimated_rows, 10);
+  // The materialized work below the checkpoint is preserved.
+  int64_t preserved = 0;
+  for (const auto& b : *req->materialized) {
+    preserved += static_cast<int64_t>(b.num_rows());
+  }
+  EXPECT_EQ(preserved, 1000);
+}
+
+TEST(SharedScanTest, AnswersAllAttachedQueries) {
+  auto t = MakeTable(20000);
+  SharedScan scan(t.get());
+  const int q0 = scan.Attach(MakeCmp("b", CmpOp::kEq, 3)).value();
+  const int q1 = scan.Attach(MakeBetween("a", 0, 999), true).value();
+  const int q2 = scan.Attach(MakeConst(false)).value();
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Execute(&ctx).ok());
+  EXPECT_EQ(scan.count(q0), 2000);
+  EXPECT_EQ(scan.count(q1), 1000);
+  EXPECT_EQ(scan.row_ids(q1).size(), 1000u);
+  EXPECT_EQ(scan.count(q2), 0);
+  // I/O charged once, not three times.
+  EXPECT_EQ(ctx.counters().pages_read, t->num_pages());
+}
+
+TEST(SharedScanTest, SharingBeatsIndependentScans) {
+  auto t = MakeTable(50000);
+  SharedScan scan(t.get());
+  const int k = 16;
+  for (int i = 0; i < k; ++i) {
+    ASSERT_TRUE(scan.Attach(MakeCmp("b", CmpOp::kEq, i % 10)).ok());
+  }
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Execute(&ctx).ok());
+  const double independent =
+      SharedScan::IndependentScansCost(*t, k, ctx.cost_model());
+  EXPECT_LT(ctx.cost(), independent / 4);
+}
+
+TEST(SharedScanTest, BadPredicateRejectedAtAttach) {
+  auto t = MakeTable(10);
+  SharedScan scan(t.get());
+  EXPECT_FALSE(scan.Attach(MakeCmp("zz", CmpOp::kEq, 0)).ok());
+}
+
+TEST(MemoryBrokerTest, GrantAndRelease) {
+  MemoryBroker broker(100);
+  EXPECT_EQ(broker.Grant(40), 40);
+  EXPECT_EQ(broker.available(), 60);
+  EXPECT_EQ(broker.Grant(100), 60);
+  EXPECT_EQ(broker.Grant(10), 1);  // floor grant of 1 page
+  broker.Release(40);
+  broker.Release(61);
+  EXPECT_EQ(broker.used(), 0);
+}
+
+TEST(MemoryBrokerTest, CapacityFluctuation) {
+  MemoryBroker broker(100);
+  EXPECT_EQ(broker.Grant(50), 50);
+  broker.set_capacity(40);  // shrink below current usage
+  EXPECT_EQ(broker.available(), 0);
+  EXPECT_EQ(broker.Grant(10), 1);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,195 @@
+// End-to-end integration & property tests: random acyclic join queries are
+// planned by the optimizer (under various option sets and statistics
+// quality) and the executed result is checked against a brute-force
+// reference evaluator. Whatever the estimates say, the answer must be
+// exactly right — the engine-level correctness invariant every robustness
+// feature must preserve.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "engine/engine.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+/// Brute-force count of the star join result.
+int64_t ReferenceStarCount(const Catalog& catalog, const QuerySpec& spec) {
+  const Table* fact = catalog.GetTable("fact").value();
+  // Precompute per-dimension qualifying id sets.
+  std::map<std::string, std::vector<bool>> dim_ok;
+  std::map<std::string, int> fk_column;
+  for (size_t i = 1; i < spec.tables.size(); ++i) {
+    const auto& ref = spec.tables[i];
+    const Table* dim = catalog.GetTable(ref.table).value();
+    std::vector<bool> ok(static_cast<size_t>(dim->num_rows()), true);
+    if (ref.predicate != nullptr) {
+      for (int64_t r = 0; r < dim->num_rows(); ++r) {
+        ok[static_cast<size_t>(r)] = EvalOnTable(ref.predicate, *dim, r);
+      }
+    }
+    dim_ok[ref.table] = std::move(ok);
+  }
+  for (const auto& j : spec.joins) {
+    fk_column[j.right_table] =
+        fact->ColumnIndex(j.left_column).value();
+  }
+  int64_t count = 0;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    if (spec.tables[0].predicate != nullptr &&
+        !EvalOnTable(spec.tables[0].predicate, *fact, r)) {
+      continue;
+    }
+    bool all = true;
+    for (const auto& [dim, ok] : dim_ok) {
+      const int64_t fk = fact->Value(
+          static_cast<size_t>(fk_column[dim]), r);
+      if (fk < 0 || static_cast<size_t>(fk) >= ok.size() ||
+          !ok[static_cast<size_t>(fk)]) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ++count;
+  }
+  return count;
+}
+
+class RandomJoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomJoinProperty, OptimizedPlansMatchReference) {
+  const uint64_t seed = static_cast<uint64_t>(GetParam());
+  Rng rng(seed);
+
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 5000 + rng.Uniform(0, 15000);
+  sspec.dim_rows = 200 + rng.Uniform(0, 2000);
+  sspec.num_dimensions = static_cast<int>(rng.Uniform(1, 4));
+  sspec.fk_zipf_theta = rng.Bernoulli(0.5) ? 0.7 : 0.0;
+  sspec.seed = seed * 7 + 1;
+  BuildStarSchema(&catalog, sspec);
+  // Random subset of indexes.
+  for (int d = 0; d < sspec.num_dimensions; ++d) {
+    if (rng.Bernoulli(0.7)) {
+      ASSERT_TRUE(
+          catalog.BuildIndex("dim" + std::to_string(d), "id").ok());
+    }
+  }
+  if (rng.Bernoulli(0.5)) {
+    ASSERT_TRUE(catalog.BuildIndex("fact", "fk0").ok());
+  }
+
+  for (int iter = 0; iter < 4; ++iter) {
+    QuerySpec spec = rng.Bernoulli(0.3)
+                         ? workload::TrapStarQuery(
+                               sspec.num_dimensions,
+                               rng.Uniform(1, sspec.dim_rows / 2),
+                               std::vector<int64_t>(
+                                   static_cast<size_t>(sspec.num_dimensions),
+                                   sspec.dim_rows * 10))
+                         : workload::RandomStarQuery(
+                               &rng, sspec.num_dimensions, sspec.dim_rows,
+                               0.8, 0.01, 0.9);
+    const int64_t expected = ReferenceStarCount(catalog, spec);
+
+    // Engine configurations that must all agree.
+    for (int config = 0; config < 4; ++config) {
+      EngineOptions opts;
+      switch (config) {
+        case 0: break;  // default
+        case 1:
+          opts.use_pop = true;
+          break;
+        case 2:
+          opts.optimizer.use_gjoin = true;
+          break;
+        case 3:
+          opts.use_pop = true;
+          opts.use_rio = true;
+          opts.cardinality.percentile = 0.5;
+          break;
+      }
+      Engine engine(&catalog, opts);
+      // Randomly degraded statistics: wrong estimates allowed, wrong
+      // answers not.
+      AnalyzeOptions analyze;
+      analyze.num_buckets = rng.Bernoulli(0.5) ? 4 : 64;
+      analyze.stale_fraction = rng.Bernoulli(0.3) ? 0.4 : 1.0;
+      engine.AnalyzeAll(analyze);
+      auto result = engine.Run(spec);
+      ASSERT_TRUE(result.ok())
+          << "seed " << seed << " iter " << iter << " config " << config
+          << ": " << result.status().ToString();
+      EXPECT_EQ(result->output_rows, expected)
+          << "seed " << seed << " iter " << iter << " config " << config
+          << "\nplan:\n" << result->final_plan;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomJoinProperty,
+                         ::testing::Range(1, 13));
+
+TEST(AggregationIntegrationTest, GroupedStarAggregatesMatchReference) {
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 20000;
+  sspec.dim_rows = 1000;
+  sspec.num_dimensions = 1;
+  BuildStarSchema(&catalog, sspec);
+
+  QuerySpec spec;
+  spec.tables.push_back({"fact", nullptr});
+  spec.tables.push_back({"dim0", MakeBetween("attr", 0, 4000)});
+  spec.joins.push_back({"fact", "fk0", "dim0", "id"});
+  spec.group_by = {"dim0.band"};
+  spec.aggregates = {{AggFn::kCount, "", "cnt"},
+                     {AggFn::kSum, "fact.measure", "sum_m"},
+                     {AggFn::kMin, "fact.measure", "min_m"},
+                     {AggFn::kMax, "fact.measure", "max_m"}};
+
+  Engine engine(&catalog);
+  engine.AnalyzeAll();
+  auto result = engine.Run(spec, true);
+  ASSERT_TRUE(result.ok());
+
+  // Reference aggregation.
+  const Table* fact = catalog.GetTable("fact").value();
+  struct Agg { int64_t cnt = 0, sum = 0; int64_t mn = 1 << 30, mx = -1; };
+  std::map<int64_t, Agg> expected;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    const int64_t fk = fact->Value(0, r);
+    if (fk * 10 > 4000) continue;  // dim attr filter
+    const int64_t band = fk / 10;
+    const int64_t m = fact->Value(1, r);  // measure is column 1 (1 dim)
+    auto& a = expected[band];
+    ++a.cnt;
+    a.sum += m;
+    a.mn = std::min(a.mn, m);
+    a.mx = std::max(a.mx, m);
+  }
+  std::map<int64_t, Agg> got;
+  for (const auto& batch : result->rows) {
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      const int64_t* row = batch.row(r);
+      got[row[0]] = {row[1], row[2], row[3], row[4]};
+    }
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& [band, a] : expected) {
+    ASSERT_TRUE(got.count(band)) << "band " << band;
+    EXPECT_EQ(got[band].cnt, a.cnt) << "band " << band;
+    EXPECT_EQ(got[band].sum, a.sum) << "band " << band;
+    EXPECT_EQ(got[band].mn, a.mn) << "band " << band;
+    EXPECT_EQ(got[band].mx, a.mx) << "band " << band;
+  }
+}
+
+}  // namespace
+}  // namespace rqp

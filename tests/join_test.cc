@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/sort_agg_ops.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+/// r(id, v): id = 0..n-1, v = id*2. s(fk, w): fk uniform in [0, keys), w=fk.
+struct JoinFixture {
+  std::unique_ptr<Table> r, s;
+  std::unique_ptr<SortedIndex> r_index;
+
+  JoinFixture(int64_t r_rows, int64_t s_rows, int64_t key_domain,
+              uint64_t seed = 11) {
+    r = std::make_unique<Table>(
+        "r", Schema({{"id", LogicalType::kInt64, 0, nullptr},
+                     {"v", LogicalType::kInt64, 0, nullptr}}));
+    auto ids = gen::Sequential(r_rows);
+    std::vector<int64_t> v(ids.size());
+    for (size_t i = 0; i < v.size(); ++i) v[i] = ids[i] * 2;
+    r->SetColumnData(0, std::move(ids));
+    r->SetColumnData(1, std::move(v));
+
+    s = std::make_unique<Table>(
+        "s", Schema({{"fk", LogicalType::kInt64, 0, nullptr},
+                     {"w", LogicalType::kInt64, 0, nullptr}}));
+    Rng rng(seed);
+    auto fk = gen::Uniform(&rng, s_rows, 0, key_domain - 1);
+    std::vector<int64_t> w(fk.begin(), fk.end());
+    s->SetColumnData(0, std::move(fk));
+    s->SetColumnData(1, std::move(w));
+
+    r_index = std::make_unique<SortedIndex>("r.id", 0);
+    r_index->Build(*r);
+  }
+
+  OperatorPtr ScanR() const { return std::make_unique<TableScanOp>(r.get()); }
+  OperatorPtr ScanS() const { return std::make_unique<TableScanOp>(s.get()); }
+};
+
+/// Reference join result: multiset of (s.fk, r.v) for s.fk == r.id.
+std::map<std::pair<int64_t, int64_t>, int64_t> ReferenceJoin(
+    const JoinFixture& f) {
+  std::map<std::pair<int64_t, int64_t>, int64_t> expected;
+  for (int64_t i = 0; i < f.s->num_rows(); ++i) {
+    const int64_t fk = f.s->Value(0, i);
+    if (fk < f.r->num_rows()) {
+      expected[{fk, fk * 2}]++;
+    }
+  }
+  return expected;
+}
+
+/// Collects (key, r.v) pair counts from a join operator's output.
+std::map<std::pair<int64_t, int64_t>, int64_t> CollectPairs(
+    Operator* op, size_t key_slot, size_t v_slot, ExecContext* ctx) {
+  std::vector<RowBatch> out;
+  EXPECT_TRUE(DrainOperator(op, ctx, &out).ok());
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (const auto& b : out) {
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      got[{b.row(r)[key_slot], b.row(r)[v_slot]}]++;
+    }
+  }
+  return got;
+}
+
+TEST(HashJoinTest, MatchesReference) {
+  JoinFixture f(1000, 5000, 1000);
+  // probe = s, build = r; output slots: s.fk s.w r.id r.v
+  HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  ExecContext ctx;
+  auto got = CollectPairs(&join, 0, 3, &ctx);
+  EXPECT_EQ(got, ReferenceJoin(f));
+  EXPECT_EQ(join.output_slots(),
+            (std::vector<std::string>{"s.fk", "s.w", "r.id", "r.v"}));
+}
+
+TEST(HashJoinTest, DuplicateBuildKeys) {
+  // Build side with duplicate keys: r' has each id twice.
+  JoinFixture f(10, 100, 10);
+  auto r2 = std::make_unique<Table>(
+      "r2", Schema({{"id", LogicalType::kInt64, 0, nullptr}}));
+  std::vector<int64_t> ids;
+  for (int64_t i = 0; i < 10; ++i) { ids.push_back(i); ids.push_back(i); }
+  r2->SetColumnData(0, std::move(ids));
+  HashJoinOp join(f.ScanS(), std::make_unique<TableScanOp>(r2.get()),
+                  "s.fk", "r2.id");
+  ExecContext ctx;
+  auto total = DrainOperator(&join, &ctx, nullptr);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 200);  // each of 100 s rows matches twice
+}
+
+TEST(HashJoinTest, EmptyProbe) {
+  JoinFixture f(100, 100, 100);
+  auto empty_scan = std::make_unique<TableScanOp>(
+      f.s.get(), MakeCmp("fk", CmpOp::kLt, -1));
+  HashJoinOp join(std::move(empty_scan), f.ScanR(), "s.fk", "r.id");
+  ExecContext ctx;
+  EXPECT_EQ(DrainOperator(&join, &ctx, nullptr).value(), 0);
+}
+
+TEST(HashJoinTest, SpillsUnderMemoryPressure) {
+  JoinFixture f(100000, 100000, 100000);
+  MemoryBroker broker(8);
+  ExecContext ctx(&broker);
+  HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  ASSERT_TRUE(DrainOperator(&join, &ctx, nullptr).ok());
+  EXPECT_GT(join.spill_fraction(), 0.5);
+  EXPECT_GT(ctx.counters().spill_pages, 0);
+
+  ExecContext rich;
+  HashJoinOp join2(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  ASSERT_TRUE(DrainOperator(&join2, &rich, nullptr).ok());
+  EXPECT_DOUBLE_EQ(join2.spill_fraction(), 0.0);
+  EXPECT_LT(rich.cost(), ctx.cost());
+}
+
+TEST(HashJoinTest, BadKeySlotFailsOpen) {
+  JoinFixture f(10, 10, 10);
+  HashJoinOp join(f.ScanS(), f.ScanR(), "s.nope", "r.id");
+  ExecContext ctx;
+  EXPECT_FALSE(join.Open(&ctx).ok());
+}
+
+TEST(MergeJoinTest, MatchesReferenceOnSortedInputs) {
+  JoinFixture f(1000, 5000, 1000);
+  auto sorted_s =
+      std::make_unique<SortOp>(f.ScanS(), "s.fk");
+  auto sorted_r =
+      std::make_unique<SortOp>(f.ScanR(), "r.id");
+  MergeJoinOp join(std::move(sorted_s), std::move(sorted_r), "s.fk", "r.id");
+  ExecContext ctx;
+  auto got = CollectPairs(&join, 0, 3, &ctx);
+  EXPECT_EQ(got, ReferenceJoin(f));
+}
+
+TEST(MergeJoinTest, ManyToManyGroups) {
+  // Left: key 5 x3; right: key 5 x4 -> 12 output rows.
+  auto l = std::make_unique<Table>(
+      "l", Schema({{"k", LogicalType::kInt64, 0, nullptr}}));
+  l->SetColumnData(0, {1, 5, 5, 5, 9});
+  auto r = std::make_unique<Table>(
+      "r", Schema({{"k", LogicalType::kInt64, 0, nullptr}}));
+  r->SetColumnData(0, {5, 5, 5, 5, 7});
+  MergeJoinOp join(std::make_unique<TableScanOp>(l.get()),
+                   std::make_unique<TableScanOp>(r.get()), "l.k", "r.k");
+  ExecContext ctx;
+  EXPECT_EQ(DrainOperator(&join, &ctx, nullptr).value(), 12);
+}
+
+TEST(NestedLoopsJoinTest, MatchesReferenceWithPredicate) {
+  JoinFixture f(200, 1000, 200);
+  NestedLoopsJoinOp join(
+      f.ScanS(), f.ScanR(),
+      nullptr);  // cross join first: 1000 * 200 rows
+  ExecContext ctx;
+  EXPECT_EQ(DrainOperator(&join, &ctx, nullptr).value(), 200000);
+}
+
+TEST(NestedLoopsJoinTest, ThetaJoin) {
+  auto l = std::make_unique<Table>(
+      "l", Schema({{"k", LogicalType::kInt64, 0, nullptr}}));
+  l->SetColumnData(0, {1, 2, 3});
+  auto r = std::make_unique<Table>(
+      "r", Schema({{"k", LogicalType::kInt64, 0, nullptr}}));
+  r->SetColumnData(0, {2, 3, 4});
+  // l.k >= r.k pairs: (2,2),(3,2),(3,3) = 3 rows. Equality predicates only
+  // in our AST, so emulate >= via OR of equalities per value... instead use
+  // equality theta: l.k == r.k - no; test the compiled predicate path with
+  // a conjunction on both sides' columns.
+  NestedLoopsJoinOp join(std::make_unique<TableScanOp>(l.get()),
+                         std::make_unique<TableScanOp>(r.get()),
+                         MakeAnd({MakeCmp("l.k", CmpOp::kGe, 2),
+                                  MakeCmp("r.k", CmpOp::kLe, 3)}));
+  ExecContext ctx;
+  EXPECT_EQ(DrainOperator(&join, &ctx, nullptr).value(), 4);  // {2,3}x{2,3}
+}
+
+TEST(IndexNLJoinTest, MatchesReference) {
+  JoinFixture f(1000, 5000, 1000);
+  IndexNLJoinOp join(f.ScanS(), f.r.get(), f.r_index.get(), "s.fk");
+  ExecContext ctx;
+  auto got = CollectPairs(&join, 0, 3, &ctx);
+  EXPECT_EQ(got, ReferenceJoin(f));
+  EXPECT_EQ(ctx.counters().random_reads, 5000);
+}
+
+TEST(IndexNLJoinTest, CheapForTinyOuterExpensiveForLargeOuter) {
+  JoinFixture f(50000, 50000, 50000);
+  // Tiny outer.
+  {
+    auto outer = std::make_unique<TableScanOp>(
+        f.s.get(), MakeCmp("w", CmpOp::kLt, 50));  // ~50 rows
+    IndexNLJoinOp join(std::move(outer), f.r.get(), f.r_index.get(), "s.fk");
+    ExecContext inlj_ctx;
+    ASSERT_TRUE(DrainOperator(&join, &inlj_ctx, nullptr).ok());
+    HashJoinOp hj(std::make_unique<TableScanOp>(
+                      f.s.get(), MakeCmp("w", CmpOp::kLt, 50)),
+                  f.ScanR(), "s.fk", "r.id");
+    ExecContext hj_ctx;
+    ASSERT_TRUE(DrainOperator(&hj, &hj_ctx, nullptr).ok());
+    EXPECT_LT(inlj_ctx.cost(), hj_ctx.cost());
+  }
+  // Large outer: index NL is the disaster.
+  {
+    IndexNLJoinOp join(f.ScanS(), f.r.get(), f.r_index.get(), "s.fk");
+    ExecContext inlj_ctx;
+    ASSERT_TRUE(DrainOperator(&join, &inlj_ctx, nullptr).ok());
+    HashJoinOp hj(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+    ExecContext hj_ctx;
+    ASSERT_TRUE(DrainOperator(&hj, &hj_ctx, nullptr).ok());
+    EXPECT_GT(inlj_ctx.cost(), 5.0 * hj_ctx.cost());
+  }
+}
+
+TEST(GJoinTest, MatchesReferenceAllStrategies) {
+  JoinFixture f(1000, 5000, 1000);
+  const auto expected = ReferenceJoin(f);
+  // Hash path (unsorted, no index hints).
+  {
+    GJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+    ExecContext ctx;
+    auto got = CollectPairs(&join, 0, 3, &ctx);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(join.chosen_strategy(), "hash(build=right)");
+  }
+  // Merge path.
+  {
+    GJoinOp::Hints hints;
+    hints.left_sorted = true;
+    hints.right_sorted = true;
+    GJoinOp join(std::make_unique<SortOp>(f.ScanS(), "s.fk"),
+                 std::make_unique<SortOp>(f.ScanR(), "r.id"), "s.fk", "r.id",
+                 hints);
+    ExecContext ctx;
+    auto got = CollectPairs(&join, 0, 3, &ctx);
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(join.chosen_strategy(), "merge");
+  }
+  // Index path (tiny outer).
+  {
+    GJoinOp::Hints hints;
+    hints.right_table = f.r.get();
+    hints.right_index = f.r_index.get();
+    auto outer = std::make_unique<TableScanOp>(
+        f.s.get(), MakeCmp("w", CmpOp::kLt, 3));
+    GJoinOp join(std::move(outer), f.ScanR(), "s.fk", "r.id", hints);
+    ExecContext ctx;
+    std::vector<RowBatch> out;
+    ASSERT_TRUE(DrainOperator(&join, &ctx, &out).ok());
+    EXPECT_EQ(join.chosen_strategy(), "index");
+    int64_t n = 0;
+    for (const auto& b : out) n += static_cast<int64_t>(b.num_rows());
+    int64_t expected_n = 0;
+    for (int64_t i = 0; i < f.s->num_rows(); ++i) {
+      if (f.s->Value(1, i) < 3) ++expected_n;
+    }
+    EXPECT_EQ(n, expected_n);
+  }
+}
+
+TEST(GJoinTest, BuildsOnActuallySmallerSide) {
+  // Optimizer would not know; g-join discovers at run time that the left
+  // input (after filtering) is smaller and builds there.
+  JoinFixture f(10000, 50000, 10000);
+  auto small_left = std::make_unique<TableScanOp>(
+      f.s.get(), MakeCmp("w", CmpOp::kLt, 100));
+  GJoinOp join(std::move(small_left), f.ScanR(), "s.fk", "r.id");
+  ExecContext ctx;
+  ASSERT_TRUE(DrainOperator(&join, &ctx, nullptr).ok());
+  EXPECT_EQ(join.chosen_strategy(), "hash(build=left)");
+}
+
+TEST(JoinPipelineTest, JoinFeedsAggregation) {
+  JoinFixture f(100, 10000, 100);
+  auto join = std::make_unique<HashJoinOp>(f.ScanS(), f.ScanR(), "s.fk",
+                                           "r.id");
+  HashAggOp agg(std::move(join), {}, {{AggFn::kCount, "", "cnt"}});
+  ExecContext ctx;
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&agg, &ctx, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].row(0)[0], 10000);
+}
+
+}  // namespace
+}  // namespace rqp

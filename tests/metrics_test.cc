@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "metrics/plan_space.h"
+#include "metrics/robustness.h"
+#include "storage/data_generator.h"
+
+namespace rqp {
+namespace {
+
+TEST(RobustnessMetricsTest, CardinalityErrorSum) {
+  std::vector<QueryResult::NodeCard> cards{
+      {0, 100.0, 100},  // exact
+      {1, 50.0, 100},   // |50-100|/100 = 0.5
+      {2, 400.0, 100},  // 3.0
+  };
+  EXPECT_NEAR(CardinalityErrorSum(cards), 3.5, 1e-12);
+  EXPECT_DOUBLE_EQ(CardinalityErrorSum({}), 0.0);
+}
+
+TEST(RobustnessMetricsTest, CardinalityErrorSumZeroActual) {
+  std::vector<QueryResult::NodeCard> cards{{0, 10.0, 0}};
+  EXPECT_NEAR(CardinalityErrorSum(cards), 10.0, 1e-12);  // act clamped to 1
+}
+
+TEST(RobustnessMetricsTest, Metric3) {
+  EXPECT_DOUBLE_EQ(Metric3(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(Metric3(100.0, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(Metric3(0.0, 50.0), 0.0);
+}
+
+TEST(RobustnessMetricsTest, GeometricMeanCardError) {
+  // Errors: 0.5 and 2.0 -> geomean = 1.0.
+  EXPECT_NEAR(GeometricMeanCardError({50, 300}, {100, 100}), 1.0, 1e-9);
+  // Perfect estimates hit the floor, not zero division.
+  EXPECT_LT(GeometricMeanCardError({100}, {100}), 1e-6);
+}
+
+TEST(RobustnessMetricsTest, SmoothnessFlatCurveIsZero) {
+  // Constant penalty => CV = 0 (maximally smooth).
+  auto r = Smoothness({11, 21, 31}, {10, 20, 30});
+  EXPECT_NEAR(r.s_metric, 0.0, 1e-12);
+  EXPECT_NEAR(r.mean_penalty, 1.0, 1e-12);
+}
+
+TEST(RobustnessMetricsTest, SmoothnessCliffIsLarge) {
+  // One query 100x off the optimum: large CV.
+  auto smooth = Smoothness({11, 21, 31, 41}, {10, 20, 30, 40});
+  auto cliff = Smoothness({11, 21, 3000, 41}, {10, 20, 30, 40});
+  EXPECT_GT(cliff.s_metric, 5 * smooth.s_metric + 0.5);
+  EXPECT_GT(cliff.max_penalty, 2000);
+}
+
+TEST(RobustnessMetricsTest, VariabilityDecomposition) {
+  // Ideal times vary across environments (intrinsic); the produced plan
+  // tracks the ideal except in env 2 (extrinsic).
+  auto v = DecomposeVariability({10, 20, 30}, {10, 20, 90});
+  EXPECT_GT(v.intrinsic_cv, 0.0);
+  EXPECT_NEAR(v.max_divergence, 2.0, 1e-9);
+  EXPECT_NEAR(v.mean_divergence, 2.0 / 3.0, 1e-9);
+
+  auto perfect = DecomposeVariability({10, 20, 30}, {10, 20, 30});
+  EXPECT_NEAR(perfect.max_divergence, 0.0, 1e-9);
+  EXPECT_NEAR(perfect.intrinsic_cv, v.intrinsic_cv, 1e-12);
+}
+
+TEST(RobustnessMetricsTest, TractorPullScoring) {
+  std::vector<std::vector<double>> levels{
+      {10, 11, 10, 10},      // CV tiny
+      {20, 22, 21, 20},      // still fine
+      {30, 300, 31, 29},     // blow-up
+      {40, 41, 40, 40},      // recovered, but the pull already failed
+  };
+  auto r = TractorPullScore(levels, 0.3);
+  EXPECT_EQ(r.max_level_sustained, 2);
+  ASSERT_EQ(r.level_cv.size(), 4u);
+  EXPECT_LT(r.level_cv[0], 0.1);
+  EXPECT_GT(r.level_cv[2], 0.3);
+}
+
+TEST(RobustnessMetricsTest, EquivalenceRobustness) {
+  auto ideal = MeasureEquivalence({10, 10, 10}, {100, 100, 100});
+  EXPECT_NEAR(ideal.time_cv, 0.0, 1e-12);
+  EXPECT_NEAR(ideal.max_time_ratio, 1.0, 1e-12);
+
+  auto fragile = MeasureEquivalence({10, 100, 10}, {100, 5, 100});
+  EXPECT_GT(fragile.time_cv, 0.5);
+  EXPECT_NEAR(fragile.max_time_ratio, 10.0, 1e-9);
+  EXPECT_GT(fragile.estimate_cv, 0.5);
+}
+
+class PlanSpaceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 20000;
+    spec.dim_rows = 500;
+    spec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, spec);
+    ASSERT_TRUE(catalog_.BuildIndex("dim0", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("dim1", "id").ok());
+    engine_ = std::make_unique<Engine>(&catalog_);
+    engine_->AnalyzeAll();
+  }
+
+  Catalog catalog_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(PlanSpaceFixture, SamplesDistinctPlansAndFindsOptimum) {
+  QuerySpec spec;
+  spec.tables.push_back({"fact", nullptr});
+  spec.tables.push_back({"dim0", MakeBetween("attr", 0, 500)});
+  spec.joins.push_back({"fact", "fk0", "dim0", "id"});
+
+  auto samples = SamplePlanSpace(engine_.get(), spec);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  EXPECT_GE(samples->size(), 2u);
+  // All samples return the same result cardinality.
+  for (const auto& s : *samples) {
+    EXPECT_EQ(s.output_rows, (*samples)[0].output_rows);
+  }
+  const double opt = BestMeasuredCost(*samples);
+  EXPECT_GT(opt, 0.0);
+  // The engine's own choice should be within the sampled space's range.
+  auto run = engine_->Run(spec);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->cost, opt * 0.99);
+  // Metric3 of a well-calibrated optimizer is small.
+  EXPECT_LT(Metric3(run->cost, opt), 0.5);
+}
+
+TEST_F(PlanSpaceFixture, BestMeasuredCostEmpty) {
+  EXPECT_DOUBLE_EQ(BestMeasuredCost({}), 0.0);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,417 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "optimizer/builder.h"
+#include "optimizer/optimizer.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+/// Star schema with indexes on dimension keys and fact fk0, fresh stats.
+class OptimizerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = 3;
+    BuildStarSchema(&catalog_, spec);
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_TRUE(
+          catalog_.BuildIndex("dim" + std::to_string(d), "id").ok());
+    }
+    ASSERT_TRUE(catalog_.BuildIndex("fact", "fk0").ok());
+    stats_.AnalyzeAll(catalog_, AnalyzeOptions{});
+    model_ = std::make_unique<CardinalityModel>(&stats_);
+  }
+
+  Optimizer MakeOptimizer(OptimizerOptions opts = OptimizerOptions()) {
+    return Optimizer(&catalog_, model_.get(), opts);
+  }
+
+  static QuerySpec StarQuery(int num_dims, int64_t dim_attr_hi) {
+    QuerySpec spec;
+    spec.tables.push_back({"fact", nullptr});
+    for (int d = 0; d < num_dims; ++d) {
+      const std::string dim = "dim" + std::to_string(d);
+      spec.tables.push_back(
+          {dim, MakeBetween("attr", 0, dim_attr_hi)});
+      spec.joins.push_back({"fact", "fk" + std::to_string(d), dim, "id"});
+    }
+    return spec;
+  }
+
+  int64_t Execute(const PlanNode& plan,
+                  const std::vector<int64_t>& params = {}) {
+    auto op = BuildExecutable(plan, &catalog_, params);
+    EXPECT_TRUE(op.ok()) << op.status().ToString();
+    ExecContext ctx(&memory_);
+    auto n = DrainOperator(op.value().get(), &ctx, nullptr);
+    EXPECT_TRUE(n.ok()) << n.status().ToString();
+    return n.ok() ? *n : -1;
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  std::unique_ptr<CardinalityModel> model_;
+  MemoryBroker memory_;
+};
+
+TEST(SargableRangeTest, ExtractsRangesAndResiduals) {
+  int64_t lo, hi;
+  PredicatePtr residual;
+  EXPECT_TRUE(ExtractSargableRange(MakeBetween("a", 3, 9), "a", &lo, &hi,
+                                   &residual));
+  EXPECT_EQ(lo, 3);
+  EXPECT_EQ(hi, 9);
+  EXPECT_EQ(residual, nullptr);
+
+  auto p = MakeAnd({MakeCmp("a", CmpOp::kGe, 5), MakeCmp("b", CmpOp::kEq, 1)});
+  EXPECT_TRUE(ExtractSargableRange(p, "a", &lo, &hi, &residual));
+  EXPECT_EQ(lo, 5);
+  ASSERT_NE(residual, nullptr);
+  EXPECT_EQ(ToString(residual), "b = 1");
+
+  EXPECT_FALSE(ExtractSargableRange(p, "c", &lo, &hi, &residual));
+  EXPECT_FALSE(ExtractSargableRange(nullptr, "a", &lo, &hi, &residual));
+  // Strict bounds normalize into the range.
+  EXPECT_TRUE(ExtractSargableRange(MakeCmp("a", CmpOp::kLt, 10), "a", &lo,
+                                   &hi, &residual));
+  EXPECT_EQ(hi, 9);
+  // Parameters are not sargable.
+  EXPECT_FALSE(ExtractSargableRange(MakeParamCmp("a", CmpOp::kGe, 0), "a",
+                                    &lo, &hi, &residual));
+}
+
+TEST_F(OptimizerFixture, SingleTableAccessPathSwitches) {
+  Optimizer opt = MakeOptimizer();
+  // Selective range on indexed fact.fk0 -> index scan.
+  QuerySpec narrow;
+  narrow.tables.push_back({"fact", MakeBetween("fk0", 0, 4)});
+  auto plan = opt.Optimize(narrow);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan->op, PlanOp::kIndexScan);
+
+  // Wide range -> table scan.
+  QuerySpec wide;
+  wide.tables.push_back({"fact", MakeBetween("fk0", 0, 900)});
+  plan = opt.Optimize(wide);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan->op, PlanOp::kTableScan);
+}
+
+TEST_F(OptimizerFixture, IndexScanDisabledByOption) {
+  OptimizerOptions opts;
+  opts.consider_index_scan = false;
+  Optimizer opt = MakeOptimizer(opts);
+  QuerySpec narrow;
+  narrow.tables.push_back({"fact", MakeBetween("fk0", 0, 4)});
+  auto plan = opt.Optimize(narrow);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan->op, PlanOp::kTableScan);
+}
+
+TEST_F(OptimizerFixture, StarJoinPlansExecuteCorrectly) {
+  Optimizer opt = MakeOptimizer();
+  QuerySpec spec = StarQuery(3, 500);  // each dim filtered to ~51 rows
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  const int64_t rows = Execute(*plan->plan);
+
+  // Reference: count fact rows whose dims satisfy attr <= 500 (id <= 50).
+  const Table* fact = catalog_.GetTable("fact").value();
+  int64_t expected = 0;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    if (fact->Value(0, r) <= 50 && fact->Value(1, r) <= 50 &&
+        fact->Value(2, r) <= 50) {
+      ++expected;
+    }
+  }
+  EXPECT_EQ(rows, expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST_F(OptimizerFixture, AllJoinMethodsProduceSameCardinality) {
+  QuerySpec spec = StarQuery(1, 2000);
+  int64_t reference = -1;
+  for (int mode = 0; mode < 4; ++mode) {
+    OptimizerOptions opts;
+    opts.consider_sort_merge = mode == 1;
+    opts.consider_index_nl = mode == 2;
+    opts.use_gjoin = mode == 3;
+    if (mode == 1) {
+      // Force merge join by making hash artificially expensive.
+      opts.cost.exec.hash_op = 1000.0;
+    }
+    if (mode == 2) {
+      opts.cost.exec.hash_op = 1000.0;
+      opts.cost.exec.compare_op = 1000.0;
+    }
+    Optimizer opt = MakeOptimizer(opts);
+    auto plan = opt.Optimize(spec);
+    ASSERT_TRUE(plan.ok());
+    const int64_t rows = Execute(*plan->plan);
+    if (reference < 0) reference = rows;
+    EXPECT_EQ(rows, reference) << "mode " << mode << "\n"
+                               << plan->plan->Explain();
+  }
+}
+
+TEST_F(OptimizerFixture, DPbeatsOrEqualsGreedy) {
+  QuerySpec spec = StarQuery(3, 800);
+  Optimizer dp_opt = MakeOptimizer();
+  auto dp_plan = dp_opt.Optimize(spec);
+  ASSERT_TRUE(dp_plan.ok());
+  EXPECT_FALSE(dp_plan->used_greedy);
+
+  OptimizerOptions greedy_opts;
+  greedy_opts.max_dp_tables = 1;
+  Optimizer greedy_opt = MakeOptimizer(greedy_opts);
+  auto greedy_plan = greedy_opt.Optimize(spec);
+  ASSERT_TRUE(greedy_plan.ok());
+  EXPECT_TRUE(greedy_plan->used_greedy);
+  EXPECT_LE(dp_plan->plan->est_cost, greedy_plan->plan->est_cost * 1.0001);
+  // Both must still be correct.
+  EXPECT_EQ(Execute(*dp_plan->plan), Execute(*greedy_plan->plan));
+}
+
+TEST_F(OptimizerFixture, EnumerationBudgetFallsBackToGreedy) {
+  QuerySpec spec = StarQuery(3, 800);
+  OptimizerOptions opts;
+  opts.enumeration_budget = 6;  // leaves alone cost 4
+  Optimizer opt = MakeOptimizer(opts);
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->used_greedy);
+  EXPECT_GT(Execute(*plan->plan), 0);
+}
+
+TEST_F(OptimizerFixture, AggregationPlansExecute) {
+  QuerySpec spec = StarQuery(1, 2000);
+  spec.group_by = {"dim0.band"};
+  spec.aggregates = {{AggFn::kCount, "", "cnt"},
+                     {AggFn::kSum, "fact.measure", "total"}};
+  Optimizer opt = MakeOptimizer();
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->plan->op, PlanOp::kHashAgg);
+  const int64_t groups = Execute(*plan->plan);
+  EXPECT_GT(groups, 0);
+  EXPECT_LE(groups, 100);  // dim band has 100 values
+}
+
+TEST_F(OptimizerFixture, UnknownTableRejected) {
+  QuerySpec spec;
+  spec.tables.push_back({"nope", nullptr});
+  Optimizer opt = MakeOptimizer();
+  EXPECT_FALSE(opt.Optimize(spec).ok());
+}
+
+TEST_F(OptimizerFixture, CyclicJoinGraphAppliesResidualEdges) {
+  // Triangle: fact-dim0, fact-dim1, dim0-dim1. The extra edge forces
+  // dim0.id == dim1.id, i.e. fact rows with fk0 == fk1.
+  QuerySpec spec = StarQuery(2, 1000000);  // dims unfiltered
+  spec.joins.push_back({"dim0", "id", "dim1", "id"});
+  Optimizer opt = MakeOptimizer();
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const int64_t rows = Execute(*plan->plan);
+  const Table* fact = catalog_.GetTable("fact").value();
+  int64_t expected = 0;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    if (fact->Value(0, r) == fact->Value(1, r)) ++expected;
+  }
+  EXPECT_EQ(rows, expected);
+  EXPECT_GT(expected, 0);
+}
+
+TEST_F(OptimizerFixture, CrossJoinWhenNoEdges) {
+  QuerySpec spec;
+  spec.tables.push_back({"dim0", MakeBetween("attr", 0, 90)});
+  spec.tables.push_back({"dim1", MakeBetween("attr", 0, 90)});
+  Optimizer opt = MakeOptimizer();
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(Execute(*plan->plan), 100);  // 10 x 10
+}
+
+TEST_F(OptimizerFixture, BestJoinMethodIntuitions) {
+  Optimizer opt = MakeOptimizer();
+  // Tiny outer with an index on the inner: index nested loops.
+  EXPECT_EQ(opt.BestJoinMethod(5, 1e6, 1e-6, true),
+            JoinMethod::kIndexNLRight);
+  // Large outer: hash, building on the smaller side.
+  EXPECT_EQ(opt.BestJoinMethod(1e6, 1e3, 1e-3, true),
+            JoinMethod::kHashBuildRight);
+  EXPECT_EQ(opt.BestJoinMethod(1e3, 1e6, 1e-3, false),
+            JoinMethod::kHashBuildLeft);
+}
+
+TEST_F(OptimizerFixture, ValidityRangeBracketsEstimate) {
+  Optimizer opt = MakeOptimizer();
+  const JoinMethod chosen = opt.BestJoinMethod(100, 1e6, 1e-6, true);
+  EXPECT_EQ(chosen, JoinMethod::kIndexNLRight);
+  auto [lo, hi] = opt.ValidityRange(chosen, 100, 1e6, 1e-6, true);
+  EXPECT_LE(lo, 100);
+  EXPECT_GE(hi, 100);
+  // The INLJ choice must stop being near-optimal somewhere above.
+  EXPECT_LT(hi, static_cast<int64_t>(1e9));
+  // A method that is far from optimal at the estimate gets a range that
+  // the estimate itself violates going up quickly.
+  auto [lo2, hi2] =
+      opt.ValidityRange(JoinMethod::kIndexNLRight, 1e6, 1e3, 1e-3, true);
+  EXPECT_LT(hi2, static_cast<int64_t>(2e6));
+  (void)lo2;
+}
+
+TEST_F(OptimizerFixture, PopChecksInserted) {
+  OptimizerOptions opts;
+  opts.add_pop_checks = true;
+  Optimizer opt = MakeOptimizer(opts);
+  QuerySpec spec = StarQuery(2, 500);
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  const std::string explain = plan->plan->Explain();
+  EXPECT_NE(explain.find("Check"), std::string::npos) << explain;
+  // With correct statistics, the checks pass and execution completes.
+  EXPECT_GE(Execute(*plan->plan), 0);
+}
+
+TEST_F(OptimizerFixture, RobustPercentileInflatesUncertainEstimates) {
+  // Conjunction of two independent-looking predicates: the percentile model
+  // inflates the combined selectivity.
+  QuerySpec spec;
+  spec.tables.push_back(
+      {"fact", MakeAnd({MakeBetween("fk0", 0, 99),
+                        MakeBetween("measure", 0, 999)})});
+  CardinalityOptions robust_opts;
+  robust_opts.percentile = 0.95;
+  CardinalityModel robust(&stats_, robust_opts);
+  CardinalityModel plain(&stats_);
+  Optimizer ro(&catalog_, &robust, OptimizerOptions());
+  Optimizer po(&catalog_, &plain, OptimizerOptions());
+  auto rp = ro.Optimize(spec);
+  auto pp = po.Optimize(spec);
+  ASSERT_TRUE(rp.ok() && pp.ok());
+  EXPECT_GT(rp->plan->est_rows, pp->plan->est_rows);
+}
+
+TEST(SargableRangeTest, ExtractParamRangePattern) {
+  int lo_param, hi_param;
+  PredicatePtr residual;
+  auto p = MakeAnd({MakeParamCmp("k", CmpOp::kGe, 0),
+                    MakeParamCmp("k", CmpOp::kLe, 1),
+                    MakeCmp("v", CmpOp::kEq, 3)});
+  ASSERT_TRUE(ExtractParamRange(p, "k", &lo_param, &hi_param, &residual));
+  EXPECT_EQ(lo_param, 0);
+  EXPECT_EQ(hi_param, 1);
+  ASSERT_NE(residual, nullptr);
+  EXPECT_EQ(ToString(residual), "v = 3");
+  // One-sided patterns are not accepted.
+  EXPECT_FALSE(ExtractParamRange(MakeParamCmp("k", CmpOp::kGe, 0), "k",
+                                 &lo_param, &hi_param, &residual));
+  // Literal ranges are not param ranges.
+  EXPECT_FALSE(ExtractParamRange(MakeBetween("k", 1, 5), "k", &lo_param,
+                                 &hi_param, &residual));
+}
+
+TEST_F(OptimizerFixture, ParametricIndexPlanBindsAtRuntime) {
+  // Generic optimization with bind peeking at a narrow binding: the plan
+  // keeps parameter-typed index bounds and different executions bind
+  // different ranges correctly.
+  QuerySpec spec;
+  spec.tables.push_back(
+      {"fact", MakeAnd({MakeParamCmp("fk0", CmpOp::kGe, 0),
+                        MakeParamCmp("fk0", CmpOp::kLe, 1)})});
+  CardinalityModel peeked(&stats_);
+  peeked.SetParamPeek({5, 9});
+  OptimizerOptions opts;
+  opts.bind_params_at_optimization = false;
+  Optimizer optimizer(&catalog_, &peeked, opts);
+  auto plan = optimizer.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->plan->op, PlanOp::kIndexScan);
+  EXPECT_EQ(plan->plan->index_lo_param, 0);
+  EXPECT_EQ(plan->plan->index_hi_param, 1);
+
+  const Table* fact = catalog_.GetTable("fact").value();
+  for (const auto& binding :
+       {std::vector<int64_t>{5, 9}, {100, 120}, {3, 3}}) {
+    const int64_t rows = Execute(*plan->plan, binding);
+    int64_t expected = 0;
+    for (int64_t r = 0; r < fact->num_rows(); ++r) {
+      const int64_t v = fact->Value(0, r);
+      if (v >= binding[0] && v <= binding[1]) ++expected;
+    }
+    EXPECT_EQ(rows, expected) << binding[0] << ".." << binding[1];
+  }
+  // Missing parameters are a build-time error, not a wrong answer.
+  auto op = BuildExecutable(*plan->plan, &catalog_, {5});
+  EXPECT_FALSE(op.ok());
+}
+
+TEST_F(OptimizerFixture, BindPeekingShapesTheGenericPlan) {
+  QuerySpec spec;
+  spec.tables.push_back(
+      {"fact", MakeAnd({MakeParamCmp("fk0", CmpOp::kGe, 0),
+                        MakeParamCmp("fk0", CmpOp::kLe, 1)})});
+  OptimizerOptions opts;
+  opts.bind_params_at_optimization = false;
+  // Peek narrow -> index plan.
+  CardinalityModel narrow(&stats_);
+  narrow.SetParamPeek({10, 12});
+  auto p1 = Optimizer(&catalog_, &narrow, opts).Optimize(spec);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(p1->plan->op, PlanOp::kIndexScan);
+  // Peek wide -> table scan.
+  CardinalityModel wide(&stats_);
+  wide.SetParamPeek({0, 900});
+  auto p2 = Optimizer(&catalog_, &wide, opts).Optimize(spec);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->plan->op, PlanOp::kTableScan);
+}
+
+TEST_F(OptimizerFixture, GenericPlanUsesMagicNumbers) {
+  QuerySpec spec;
+  spec.tables.push_back({"fact", MakeParamCmp("fk0", CmpOp::kLe, 0)});
+  spec.params = {10};
+  OptimizerOptions opts;
+  opts.bind_params_at_optimization = false;
+  Optimizer generic = MakeOptimizer(opts);
+  auto gplan = generic.Optimize(spec);
+  ASSERT_TRUE(gplan.ok());
+  // Magic number 1/3 selectivity -> ~16666 rows expected.
+  EXPECT_NEAR(gplan->plan->est_rows, 50000.0 / 3.0, 500.0);
+  // Execution still binds the real value.
+  const int64_t rows = Execute(*gplan->plan, spec.params);
+  const Table* fact = catalog_.GetTable("fact").value();
+  int64_t expected = 0;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    if (fact->Value(0, r) <= 10) ++expected;
+  }
+  EXPECT_EQ(rows, expected);
+
+  Optimizer bound = MakeOptimizer();
+  auto bplan = bound.Optimize(spec);
+  ASSERT_TRUE(bplan.ok());
+  EXPECT_NEAR(bplan->plan->est_rows, static_cast<double>(expected),
+              static_cast<double>(expected) * 0.5 + 50);
+}
+
+TEST_F(OptimizerFixture, PlanExplainSignatureStableAcrossEstimates) {
+  QuerySpec spec = StarQuery(2, 500);
+  Optimizer opt = MakeOptimizer();
+  auto plan = opt.Optimize(spec);
+  ASSERT_TRUE(plan.ok());
+  const std::string sig1 = plan->plan->Explain(false);
+  auto clone = plan->plan->Clone();
+  clone->est_rows = 999999;
+  EXPECT_EQ(clone->Explain(false), sig1);
+  EXPECT_NE(clone->Explain(true), plan->plan->Explain(true));
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "optimizer/plan_diagram.h"
+#include "storage/data_generator.h"
+
+namespace rqp {
+namespace {
+
+class PlanDiagramFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec sspec;
+    sspec.fact_rows = 40000;
+    sspec.dim_rows = 1000;
+    sspec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, sspec);
+    ASSERT_TRUE(catalog_.BuildIndex("dim0", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("dim1", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("fact", "fk0").ok());
+    stats_.AnalyzeAll(catalog_, AnalyzeOptions{});
+
+    spec_.tables.push_back({"fact", nullptr});
+    spec_.tables.push_back({"dim0", MakeBetween("attr", 0, 100)});
+    spec_.tables.push_back({"dim1", MakeBetween("attr", 0, 100)});
+    spec_.joins.push_back({"fact", "fk0", "dim0", "id"});
+    spec_.joins.push_back({"fact", "fk1", "dim1", "id"});
+
+    options_.grid = 8;
+    options_.x_table = "dim0";
+    options_.y_table = "dim1";
+  }
+
+  Catalog catalog_;
+  StatsCatalog stats_;
+  QuerySpec spec_;
+  PlanDiagramOptions options_;
+  OptimizerOptions opt_options_;
+};
+
+TEST_F(PlanDiagramFixture, DiagramHasMultiplePlans) {
+  auto diagram = ComputePlanDiagram(&catalog_, &stats_, spec_, options_,
+                                    opt_options_);
+  ASSERT_TRUE(diagram.ok()) << diagram.status().ToString();
+  EXPECT_EQ(diagram->plan_at.size(), 64u);
+  // Varying both dimension selectivities across 3 decades must flip at
+  // least one plan decision (join order / method / access path).
+  EXPECT_GE(diagram->num_plans(), 2);
+  // Every cell is colored and costed.
+  for (size_t c = 0; c < diagram->plan_at.size(); ++c) {
+    EXPECT_GE(diagram->plan_at[c], 0);
+    EXPECT_LT(diagram->plan_at[c], diagram->num_plans());
+    EXPECT_GT(diagram->optimal_cost_at[c], 0.0);
+  }
+  // Areas sum to 1.
+  double area = 0;
+  for (int p = 0; p < diagram->num_plans(); ++p) {
+    area += diagram->AreaFraction(p);
+  }
+  EXPECT_NEAR(area, 1.0, 1e-9);
+}
+
+TEST_F(PlanDiagramFixture, ReductionShrinksPlanSetWithBoundedBlowup) {
+  auto diagram = ComputePlanDiagram(&catalog_, &stats_, spec_, options_,
+                                    opt_options_);
+  ASSERT_TRUE(diagram.ok());
+  const double lambda = 0.2;
+  auto reduced = ReducePlanDiagram(*diagram, lambda, &catalog_, &stats_,
+                                   options_, opt_options_);
+  ASSERT_TRUE(reduced.ok()) << reduced.status().ToString();
+  EXPECT_EQ(reduced->plans_before, diagram->num_plans());
+  EXPECT_LE(reduced->plans_after, reduced->plans_before);
+  EXPECT_LE(reduced->max_blowup, 1.0 + lambda + 1e-9);
+  EXPECT_GE(reduced->max_blowup, 1.0);
+}
+
+TEST_F(PlanDiagramFixture, LargerLambdaSwallowsMore) {
+  auto diagram = ComputePlanDiagram(&catalog_, &stats_, spec_, options_,
+                                    opt_options_);
+  ASSERT_TRUE(diagram.ok());
+  auto tight = ReducePlanDiagram(*diagram, 0.05, &catalog_, &stats_,
+                                 options_, opt_options_);
+  auto loose = ReducePlanDiagram(*diagram, 0.5, &catalog_, &stats_,
+                                 options_, opt_options_);
+  ASSERT_TRUE(tight.ok() && loose.ok());
+  EXPECT_LE(loose->plans_after, tight->plans_after);
+}
+
+TEST_F(PlanDiagramFixture, ZeroLambdaKeepsOptimalCosts) {
+  auto diagram = ComputePlanDiagram(&catalog_, &stats_, spec_, options_,
+                                    opt_options_);
+  ASSERT_TRUE(diagram.ok());
+  auto reduced = ReducePlanDiagram(*diagram, 0.0, &catalog_, &stats_,
+                                   options_, opt_options_);
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced->max_blowup, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace rqp

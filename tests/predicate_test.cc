@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "expr/predicate.h"
+#include "storage/table.h"
+
+namespace rqp {
+namespace {
+
+Table MakeTestTable() {
+  Table t("t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                       {"b", LogicalType::kInt64, 0, nullptr}}));
+  t.SetColumnData(0, {1, 2, 3, 4, 5});
+  t.SetColumnData(1, {10, 20, 30, 40, 50});
+  return t;
+}
+
+int CountMatches(const PredicatePtr& p, const Table& t) {
+  int n = 0;
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    if (EvalOnTable(p, t, r)) ++n;
+  }
+  return n;
+}
+
+TEST(PredicateTest, EvalCmpAllOps) {
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kEq, 1));
+  EXPECT_FALSE(EvalCmp(1, CmpOp::kEq, 2));
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kNe, 2));
+  EXPECT_TRUE(EvalCmp(1, CmpOp::kLt, 2));
+  EXPECT_FALSE(EvalCmp(2, CmpOp::kLt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kLe, 2));
+  EXPECT_TRUE(EvalCmp(3, CmpOp::kGt, 2));
+  EXPECT_TRUE(EvalCmp(2, CmpOp::kGe, 2));
+}
+
+TEST(PredicateTest, ComparisonOnTable) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(CountMatches(MakeCmp("a", CmpOp::kGe, 3), t), 3);
+  EXPECT_EQ(CountMatches(MakeCmp("b", CmpOp::kEq, 20), t), 1);
+}
+
+TEST(PredicateTest, BetweenInclusive) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(CountMatches(MakeBetween("a", 2, 4), t), 3);
+}
+
+TEST(PredicateTest, InList) {
+  Table t = MakeTestTable();
+  EXPECT_EQ(CountMatches(MakeIn("a", {1, 5, 99}), t), 2);
+}
+
+TEST(PredicateTest, BooleanCombinators) {
+  Table t = MakeTestTable();
+  auto p = MakeAnd({MakeCmp("a", CmpOp::kGe, 2), MakeCmp("b", CmpOp::kLe, 40)});
+  EXPECT_EQ(CountMatches(p, t), 3);  // a in {2,3,4}
+  auto q = MakeOr({MakeCmp("a", CmpOp::kEq, 1), MakeCmp("a", CmpOp::kEq, 5)});
+  EXPECT_EQ(CountMatches(q, t), 2);
+  EXPECT_EQ(CountMatches(MakeNot(q), t), 3);
+  EXPECT_EQ(CountMatches(MakeConst(true), t), 5);
+  EXPECT_EQ(CountMatches(MakeConst(false), t), 0);
+}
+
+TEST(PredicateTest, ColumnCmpEvaluates) {
+  Table t = MakeTestTable();
+  // b == a * 10, so a < b everywhere and a == b nowhere.
+  EXPECT_EQ(CountMatches(MakeColCmp("a", CmpOp::kLt, "b"), t), 5);
+  EXPECT_EQ(CountMatches(MakeColCmp("a", CmpOp::kEq, "b"), t), 0);
+  EXPECT_EQ(CountMatches(MakeColCmp("b", CmpOp::kGe, "a"), t), 5);
+  EXPECT_EQ(ToString(MakeColCmp("a", CmpOp::kLt, "b")), "a < b");
+  EXPECT_EQ(ReferencedColumns(MakeColCmp("b", CmpOp::kLt, "a")),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CompiledPredicateTest, ColumnCmpCompiles) {
+  auto p = MakeColCmp("x", CmpOp::kLe, "y");
+  auto cp = CompiledPredicate::Compile(p, {"x", "y"});
+  ASSERT_TRUE(cp.ok());
+  int64_t row_le[2] = {3, 5};
+  EXPECT_TRUE(cp->Eval(row_le));
+  int64_t row_gt[2] = {6, 5};
+  EXPECT_FALSE(cp->Eval(row_gt));
+  EXPECT_FALSE(CompiledPredicate::Compile(p, {"x"}).ok());
+}
+
+TEST(PredicateTest, ToStringIsReadable) {
+  auto p = MakeAnd({MakeCmp("a", CmpOp::kGe, 2), MakeBetween("b", 1, 3)});
+  EXPECT_EQ(ToString(p), "(a >= 2 AND b BETWEEN 1 AND 3)");
+  EXPECT_EQ(ToString(MakeIn("c", {1, 2})), "c IN (1, 2)");
+  EXPECT_EQ(ToString(MakeParamCmp("x", CmpOp::kEq, 3)), "x = ?3");
+}
+
+TEST(PredicateTest, ReferencedColumnsDeduplicated) {
+  auto p = MakeAnd({MakeCmp("b", CmpOp::kGe, 2), MakeCmp("a", CmpOp::kLe, 3),
+                    MakeNot(MakeCmp("b", CmpOp::kEq, 7))});
+  EXPECT_EQ(ReferencedColumns(p), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(PredicateTest, ParamsBindAndDetect) {
+  auto p = MakeAnd(
+      {MakeParamCmp("a", CmpOp::kGe, 0), MakeParamCmp("a", CmpOp::kLe, 1)});
+  EXPECT_TRUE(HasParams(p));
+  auto bound = BindParams(p, {2, 4});
+  EXPECT_FALSE(HasParams(bound));
+  Table t = MakeTestTable();
+  EXPECT_EQ(CountMatches(bound, t), 3);
+}
+
+TEST(CompiledPredicateTest, MatchesInterpretedEval) {
+  Table t = MakeTestTable();
+  auto p = MakeAnd({MakeOr({MakeCmp("a", CmpOp::kLe, 2),
+                            MakeCmp("a", CmpOp::kGe, 5)}),
+                    MakeNot(MakeCmp("b", CmpOp::kEq, 10))});
+  auto cp = CompiledPredicate::Compile(p, {"a", "b"});
+  ASSERT_TRUE(cp.ok());
+  for (int64_t r = 0; r < t.num_rows(); ++r) {
+    int64_t row[2] = {t.Value(0, r), t.Value(1, r)};
+    EXPECT_EQ(cp->Eval(row), EvalOnTable(p, t, r)) << "row " << r;
+  }
+}
+
+TEST(CompiledPredicateTest, InListUsesBinarySearch) {
+  auto p = MakeIn("x", {9, 1, 5});
+  auto cp = CompiledPredicate::Compile(p, {"x"});
+  ASSERT_TRUE(cp.ok());
+  int64_t row[1] = {5};
+  EXPECT_TRUE(cp->Eval(row));
+  row[0] = 2;
+  EXPECT_FALSE(cp->Eval(row));
+}
+
+TEST(CompiledPredicateTest, MissingSlotFails) {
+  auto p = MakeCmp("zz", CmpOp::kEq, 1);
+  auto cp = CompiledPredicate::Compile(p, {"a", "b"});
+  EXPECT_FALSE(cp.ok());
+}
+
+TEST(CompiledPredicateTest, UnboundParamFails) {
+  auto p = MakeParamCmp("a", CmpOp::kEq, 0);
+  auto cp = CompiledPredicate::Compile(p, {"a"});
+  EXPECT_FALSE(cp.ok());
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "expr/predicate.h"
+#include "expr/rewriter.h"
+#include "storage/table.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+TEST(RewriterTest, DoubleNegationEliminated) {
+  auto p = MakeNot(MakeNot(MakeCmp("a", CmpOp::kEq, 3)));
+  EXPECT_EQ(ToString(Normalize(p)), "a = 3");
+}
+
+TEST(RewriterTest, NotNeBecomesEq) {
+  // The paper's example: NOT (l_shipdate != c) should equal l_shipdate = c.
+  auto p = MakeNot(MakeCmp("l_shipdate", CmpOp::kNe, 20020113));
+  auto q = MakeCmp("l_shipdate", CmpOp::kEq, 20020113);
+  EXPECT_TRUE(EquivalentNormalized(p, q));
+}
+
+TEST(RewriterTest, StrictBoundsCanonicalized) {
+  EXPECT_TRUE(EquivalentNormalized(MakeCmp("a", CmpOp::kLt, 5),
+                                   MakeCmp("a", CmpOp::kLe, 4)));
+  EXPECT_TRUE(EquivalentNormalized(MakeCmp("a", CmpOp::kGt, 5),
+                                   MakeCmp("a", CmpOp::kGe, 6)));
+}
+
+TEST(RewriterTest, RangePairBecomesBetween) {
+  auto p = MakeAnd(
+      {MakeCmp("a", CmpOp::kGe, 2), MakeCmp("a", CmpOp::kLe, 7)});
+  EXPECT_EQ(ToString(Normalize(p)), "a BETWEEN 2 AND 7");
+  // And in either order.
+  auto q = MakeAnd(
+      {MakeCmp("a", CmpOp::kLe, 7), MakeCmp("a", CmpOp::kGe, 2)});
+  EXPECT_TRUE(EquivalentNormalized(p, q));
+}
+
+TEST(RewriterTest, ContradictionFoldsToFalse) {
+  auto p = MakeAnd(
+      {MakeCmp("a", CmpOp::kGe, 10), MakeCmp("a", CmpOp::kLe, 5)});
+  EXPECT_EQ(ToString(Normalize(p)), "FALSE");
+  auto q = MakeAnd({MakeCmp("a", CmpOp::kEq, 3),
+                    MakeCmp("a", CmpOp::kNe, 3)});
+  EXPECT_EQ(ToString(Normalize(q)), "FALSE");
+}
+
+TEST(RewriterTest, OrOfEqualitiesBecomesInList) {
+  auto p = MakeOr({MakeCmp("a", CmpOp::kEq, 4), MakeCmp("a", CmpOp::kEq, 11),
+                   MakeCmp("a", CmpOp::kEq, 7)});
+  EXPECT_EQ(ToString(Normalize(p)), "a IN (4, 7, 11)");
+  EXPECT_TRUE(EquivalentNormalized(p, MakeIn("a", {11, 7, 4})));
+}
+
+TEST(RewriterTest, SingletonInBecomesEq) {
+  EXPECT_TRUE(EquivalentNormalized(MakeIn("a", {5}),
+                                   MakeCmp("a", CmpOp::kEq, 5)));
+}
+
+TEST(RewriterTest, InIntersectsWithRange) {
+  auto p = MakeAnd({MakeIn("a", {1, 5, 9, 12}), MakeBetween("a", 4, 10)});
+  EXPECT_EQ(ToString(Normalize(p)), "a IN (5, 9)");
+}
+
+TEST(RewriterTest, CommutedConjunctionOrderIndependent) {
+  // SELECT ... FROM A,B ordering analogue at the predicate level.
+  auto p = MakeAnd({MakeCmp("a", CmpOp::kEq, 1), MakeCmp("b", CmpOp::kEq, 2)});
+  auto q = MakeAnd({MakeCmp("b", CmpOp::kEq, 2), MakeCmp("a", CmpOp::kEq, 1)});
+  EXPECT_TRUE(EquivalentNormalized(p, q));
+}
+
+TEST(RewriterTest, DeMorganConjunction) {
+  auto p = MakeNot(MakeAnd(
+      {MakeCmp("a", CmpOp::kEq, 1), MakeCmp("b", CmpOp::kEq, 2)}));
+  auto q = MakeOr(
+      {MakeCmp("a", CmpOp::kNe, 1), MakeCmp("b", CmpOp::kNe, 2)});
+  EXPECT_TRUE(EquivalentNormalized(p, q));
+}
+
+TEST(RewriterTest, NotBetweenBecomesRangeDisjunction) {
+  auto p = MakeNot(MakeBetween("a", 3, 7));
+  auto q = MakeOr({MakeCmp("a", CmpOp::kLe, 2), MakeCmp("a", CmpOp::kGe, 8)});
+  EXPECT_TRUE(EquivalentNormalized(p, q));
+}
+
+TEST(RewriterTest, TrueFalseFolding) {
+  EXPECT_EQ(ToString(Normalize(MakeOr({MakeConst(true),
+                                       MakeCmp("a", CmpOp::kEq, 1)}))),
+            "TRUE");
+  EXPECT_EQ(ToString(Normalize(MakeAnd({MakeConst(false),
+                                        MakeCmp("a", CmpOp::kEq, 1)}))),
+            "FALSE");
+  EXPECT_EQ(ToString(Normalize(MakeAnd({MakeConst(true)}))), "TRUE");
+  EXPECT_EQ(ToString(Normalize(MakeOr({MakeConst(false)}))), "FALSE");
+}
+
+TEST(RewriterTest, NestedFlattening) {
+  auto p = MakeAnd({MakeAnd({MakeCmp("a", CmpOp::kGe, 1)}),
+                    MakeAnd({MakeAnd({MakeCmp("a", CmpOp::kLe, 9)})})});
+  EXPECT_EQ(ToString(Normalize(p)), "a BETWEEN 1 AND 9");
+}
+
+TEST(RewriterTest, ParamsSurviveNormalization) {
+  auto p = MakeNot(MakeParamCmp("a", CmpOp::kNe, 0));
+  auto n = Normalize(p);
+  EXPECT_TRUE(HasParams(n));
+  EXPECT_EQ(ToString(n), "a = ?0");
+}
+
+TEST(RewriterTest, ColumnCmpCanonicalOrientation) {
+  // b > a and a < b normalize identically (smaller column name left).
+  EXPECT_TRUE(EquivalentNormalized(MakeColCmp("b", CmpOp::kGt, "a"),
+                                   MakeColCmp("a", CmpOp::kLt, "b")));
+  EXPECT_TRUE(EquivalentNormalized(MakeNot(MakeColCmp("a", CmpOp::kNe, "b")),
+                                   MakeColCmp("b", CmpOp::kEq, "a")));
+  EXPECT_EQ(ToString(Normalize(MakeColCmp("b", CmpOp::kGe, "a"))), "a <= b");
+}
+
+// Property test: normalization preserves semantics on random predicates.
+class RewriterPropertyTest : public ::testing::TestWithParam<int> {};
+
+PredicatePtr RandomPredicate(Rng* rng, int depth) {
+  const std::vector<std::string> cols{"a", "b", "c"};
+  const std::string col = cols[static_cast<size_t>(rng->Uniform(0, 2))];
+  if (depth <= 0 || rng->Bernoulli(0.4)) {
+    switch (rng->Uniform(0, 4)) {
+      case 0:
+        return MakeCmp(col, static_cast<CmpOp>(rng->Uniform(0, 5)),
+                       rng->Uniform(-5, 15));
+      case 3: {
+        const std::string other = cols[static_cast<size_t>(rng->Uniform(0, 2))];
+        return MakeColCmp(col, static_cast<CmpOp>(rng->Uniform(0, 5)), other);
+      }
+      case 1: {
+        int64_t lo = rng->Uniform(-5, 15);
+        return MakeBetween(col, lo, lo + rng->Uniform(0, 8));
+      }
+      case 2: {
+        std::vector<int64_t> vals;
+        for (int i = 0; i < rng->Uniform(1, 4); ++i) {
+          vals.push_back(rng->Uniform(-5, 15));
+        }
+        return MakeIn(col, vals);
+      }
+      default:
+        return MakeConst(rng->Bernoulli(0.5));
+    }
+  }
+  switch (rng->Uniform(0, 2)) {
+    case 0: {
+      std::vector<PredicatePtr> kids;
+      for (int i = 0; i < rng->Uniform(2, 3); ++i) {
+        kids.push_back(RandomPredicate(rng, depth - 1));
+      }
+      return MakeAnd(std::move(kids));
+    }
+    case 1: {
+      std::vector<PredicatePtr> kids;
+      for (int i = 0; i < rng->Uniform(2, 3); ++i) {
+        kids.push_back(RandomPredicate(rng, depth - 1));
+      }
+      return MakeOr(std::move(kids));
+    }
+    default:
+      return MakeNot(RandomPredicate(rng, depth - 1));
+  }
+}
+
+TEST_P(RewriterPropertyTest, NormalizationPreservesSemantics) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  Table t("t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                       {"b", LogicalType::kInt64, 0, nullptr},
+                       {"c", LogicalType::kInt64, 0, nullptr}}));
+  std::vector<int64_t> a, b, c;
+  for (int i = 0; i < 200; ++i) {
+    a.push_back(rng.Uniform(-5, 15));
+    b.push_back(rng.Uniform(-5, 15));
+    c.push_back(rng.Uniform(-5, 15));
+  }
+  t.SetColumnData(0, a);
+  t.SetColumnData(1, b);
+  t.SetColumnData(2, c);
+
+  for (int iter = 0; iter < 50; ++iter) {
+    auto p = RandomPredicate(&rng, 3);
+    auto n = Normalize(p);
+    for (int64_t r = 0; r < t.num_rows(); ++r) {
+      ASSERT_EQ(EvalOnTable(p, t, r), EvalOnTable(n, t, r))
+          << "predicate: " << ToString(p) << "\nnormalized: " << ToString(n)
+          << "\nrow " << r;
+    }
+    // Normalization is idempotent.
+    ASSERT_EQ(ToString(Normalize(n)), ToString(n))
+        << "not idempotent for " << ToString(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriterPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace rqp

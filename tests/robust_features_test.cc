@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include "adaptive/index_tuner.h"
+#include "engine/plan_cache.h"
+#include "engine/engine.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+class RobustFeaturesFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 10000;
+    spec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, spec);
+    ASSERT_TRUE(catalog_.BuildIndex("dim0", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("dim1", "id").ok());
+  }
+
+  QuerySpec WellEstimatedQuery() {
+    return workload::StarQuery(2, {20000, 50000});
+  }
+  QuerySpec TrapQuery() {
+    return workload::TrapStarQuery(2, 800, {100000, 100000});
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(RobustFeaturesFixture, RioDeclaresStableQueriesRobust) {
+  EngineOptions opts;
+  opts.use_rio = true;
+  opts.use_pop = true;
+  opts.cardinality.sigma_per_term = 1.5;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  auto r = engine.Run(WellEstimatedQuery());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->rio_robust_box);
+  // Robust box => no CHECK operators planted despite POP being enabled.
+  EXPECT_EQ(r->final_plan.find("Check"), std::string::npos) << r->final_plan;
+  EXPECT_EQ(r->reoptimizations, 0);
+}
+
+TEST_F(RobustFeaturesFixture, RioFallsBackToChecksOnFragileQueries) {
+  EngineOptions opts;
+  opts.use_rio = true;
+  opts.use_pop = true;
+  opts.cardinality.sigma_per_term = 1.5;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  auto r = engine.Run(TrapQuery());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->rio_robust_box);
+  // The box check failed, so the reactive net was planted and used.
+  EXPECT_NE(r->first_plan.find("Check"), std::string::npos);
+  EXPECT_GE(r->reoptimizations, 1);
+}
+
+TEST_F(RobustFeaturesFixture, RioWithoutPopUsesConservativePlan) {
+  // Baseline: the trap query picks index nested loops.
+  Engine naive(&catalog_);
+  naive.AnalyzeAll();
+  auto nr = naive.Run(TrapQuery());
+  ASSERT_TRUE(nr.ok());
+  EXPECT_NE(nr->final_plan.find("IndexNLJoin"), std::string::npos);
+
+  EngineOptions opts;
+  opts.use_rio = true;  // no POP: hedge with the high-corner plan
+  opts.cardinality.sigma_per_term = 2.0;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  auto r = engine.Run(TrapQuery());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->rio_robust_box);
+  EXPECT_EQ(r->final_plan.find("IndexNLJoin"), std::string::npos)
+      << r->final_plan;
+  EXPECT_EQ(r->output_rows, nr->output_rows);
+  EXPECT_LT(r->cost, nr->cost);
+}
+
+TEST(IndexTunerTest, AccruesUntilThreshold) {
+  IndexTuner tuner;
+  // Benefit 30 per scan against build cost 100: third observation crosses.
+  EXPECT_FALSE(tuner.ObserveMissedIndex("t", "a", 30, 100));
+  EXPECT_FALSE(tuner.ObserveMissedIndex("t", "a", 30, 100));
+  EXPECT_FALSE(tuner.ObserveMissedIndex("t", "a", 30, 100));
+  EXPECT_TRUE(tuner.ObserveMissedIndex("t", "a", 30, 100));
+  EXPECT_DOUBLE_EQ(tuner.AccruedBenefit("t", "a"), 120);
+  tuner.MarkBuilt("t", "a");
+  EXPECT_DOUBLE_EQ(tuner.AccruedBenefit("t", "a"), 0);
+}
+
+TEST(IndexTunerTest, IgnoresNonBeneficialScans) {
+  IndexTuner tuner;
+  EXPECT_FALSE(tuner.ObserveMissedIndex("t", "a", -50, 100));
+  EXPECT_FALSE(tuner.ObserveMissedIndex("t", "a", 0, 100));
+  EXPECT_DOUBLE_EQ(tuner.AccruedBenefit("t", "a"), 0);
+}
+
+TEST_F(RobustFeaturesFixture, EngineAutoBuildsIndexFromWorkload) {
+  EngineOptions opts;
+  opts.auto_index_tuning = true;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+
+  // Selective range scans on the unindexed fact.fk0.
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("fk0", 100, 120)});
+
+  ASSERT_EQ(catalog_.FindIndex("fact", "fk0"), nullptr);
+  double first_cost = 0;
+  bool built = false;
+  int built_at = -1;
+  for (int i = 0; i < 20 && !built; ++i) {
+    auto r = engine.Run(q);
+    ASSERT_TRUE(r.ok());
+    if (i == 0) first_cost = r->cost;
+    if (!r->indexes_built.empty()) {
+      EXPECT_EQ(r->indexes_built[0], "fact.fk0");
+      built = true;
+      built_at = i;
+    }
+  }
+  ASSERT_TRUE(built);
+  EXPECT_GT(built_at, 0);  // not on the very first observation
+  EXPECT_NE(catalog_.FindIndex("fact", "fk0"), nullptr);
+  // Subsequent queries use the index and get much cheaper.
+  auto after = engine.Run(q);
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->final_plan.find("IndexScan"), std::string::npos);
+  EXPECT_LT(after->cost, first_cost / 5);
+}
+
+TEST_F(RobustFeaturesFixture, TunerLeavesUnprofitableColumnsAlone) {
+  EngineOptions opts;
+  opts.auto_index_tuning = true;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  // Unselective scans: an index would not have helped, nothing accrues.
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("fk0", 0, 9000)});
+  for (int i = 0; i < 20; ++i) {
+    auto r = engine.Run(q);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->indexes_built.empty());
+  }
+  EXPECT_EQ(catalog_.FindIndex("fact", "fk0"), nullptr);
+}
+
+TEST_F(RobustFeaturesFixture, StHistogramsGeneralizeFeedbackAcrossRanges) {
+  // The fact.fk0 distribution drifts after ANALYZE; the query stream never
+  // repeats a range, so only the self-tuning histogram can transfer what
+  // one query observed to the next query's estimate.
+  auto run_stream = [&](bool use_st) {
+    Catalog catalog;
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 10000;
+    spec.num_dimensions = 1;
+    BuildStarSchema(&catalog, spec);
+    EngineOptions opts;
+    opts.collect_feedback = true;
+    opts.cardinality.estimator.use_feedback = true;
+    opts.use_st_histograms = use_st;
+    Engine engine(&catalog, opts);
+    engine.AnalyzeAll();  // pre-drift statistics
+    Table* fact = catalog.GetTable("fact").value();
+    Rng drift(77);
+    fact->SetColumnData(0, gen::Zipf(&drift, fact->num_rows(), 10000, 0.9));
+
+    Rng rng(78);
+    double late_error = 0;
+    int late_n = 0;
+    for (int q = 0; q < 120; ++q) {
+      const int64_t lo = rng.Uniform(0, 9000);
+      QuerySpec qs;
+      qs.tables.push_back({"fact", MakeBetween("fk0", lo, lo + 800)});
+      auto plan = engine.Plan(qs);
+      EXPECT_TRUE(plan.ok());
+      const double est = (*plan)->est_rows;
+      auto r = engine.Run(qs);
+      EXPECT_TRUE(r.ok());
+      if (q >= 80) {
+        const double actual =
+            std::max<double>(1.0, static_cast<double>(r->output_rows));
+        late_error += std::abs(est - actual) / actual;
+        ++late_n;
+      }
+    }
+    return late_error / late_n;
+  };
+  const double without_st = run_stream(false);
+  const double with_st = run_stream(true);
+  EXPECT_LT(with_st, without_st * 0.8);
+}
+
+TEST(PlanCacheTest, KeyCanonicalizesPredicates) {
+  QuerySpec a, b;
+  a.tables.push_back({"t", MakeAnd({MakeCmp("x", CmpOp::kGe, 1),
+                                    MakeCmp("x", CmpOp::kLe, 9)})});
+  b.tables.push_back({"t", MakeBetween("x", 1, 9)});
+  EXPECT_EQ(PlanCache::Key(a), PlanCache::Key(b));
+  QuerySpec c = b;
+  c.params = {5};
+  EXPECT_NE(PlanCache::Key(b), PlanCache::Key(c));
+}
+
+TEST_F(RobustFeaturesFixture, PlanCacheHitsAndSavesOptimization) {
+  EngineOptions opts;
+  opts.use_plan_cache = true;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  QuerySpec q = WellEstimatedQuery();
+  auto first = engine.Run(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->plan_cache_hit);
+  EXPECT_GT(first->plans_considered, 0);
+  auto second = engine.Run(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_EQ(second->plans_considered, 0);
+  EXPECT_EQ(second->output_rows, first->output_rows);
+  EXPECT_EQ(engine.plan_cache()->hits(), 1);
+}
+
+TEST_F(RobustFeaturesFixture, PlanCacheVerificationCatchesStatsDrift) {
+  // Stats claim the fact table is tiny; the first plan is cached. A stats
+  // refresh makes the cached plan's believed cost explode; verification
+  // must evict it and trigger re-optimization.
+  EngineOptions opts;
+  opts.use_plan_cache = true;
+  Engine engine(&catalog_, opts);
+  AnalyzeOptions stale;
+  stale.stale_fraction = 0.05;
+  engine.AnalyzeAll(stale);
+
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("fk0", 0, 5000)});
+  ASSERT_TRUE(engine.Run(q).ok());  // caches the stale-stats plan
+  engine.AnalyzeAll();              // refresh: believed size jumps 20x
+  auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->plan_cache_hit);
+  EXPECT_TRUE(r->plan_verification_failed);
+  EXPECT_GT(r->plans_considered, 0);
+  // The corrected plan is cached again and now verifies.
+  auto r2 = engine.Run(q);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2->plan_cache_hit);
+}
+
+TEST_F(RobustFeaturesFixture, PlanCacheWithoutVerificationKeepsStalePlan) {
+  EngineOptions opts;
+  opts.use_plan_cache = true;
+  opts.plan_cache_skip_verification = true;
+  Engine engine(&catalog_, opts);
+  AnalyzeOptions stale;
+  stale.stale_fraction = 0.05;
+  engine.AnalyzeAll(stale);
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("fk0", 0, 5000)});
+  ASSERT_TRUE(engine.Run(q).ok());
+  engine.AnalyzeAll();
+  auto r = engine.Run(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->plan_cache_hit);  // rode the stale plan, no questions asked
+  EXPECT_FALSE(r->plan_verification_failed);
+}
+
+TEST(MemoryScheduleTest, CapacityFollowsTheCostClock) {
+  MemoryBroker broker(1000);
+  ExecContext ctx(&broker);
+  ctx.SetMemorySchedule({{10.0, 500}, {20.0, 50}});
+  EXPECT_EQ(broker.capacity(), 1000);
+  ctx.ChargeSeqPages(5);  // cost 5
+  EXPECT_EQ(broker.capacity(), 1000);
+  ctx.ChargeSeqPages(6);  // cost 11
+  EXPECT_EQ(broker.capacity(), 500);
+  ctx.ChargeSeqPages(10);  // cost 21
+  EXPECT_EQ(broker.capacity(), 50);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/data_generator.h"
+#include "storage/table.h"
+#include "types/schema.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                 {"b", LogicalType::kInt64, 0, nullptr}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.num_columns(), 2u);
+  EXPECT_EQ(s.FindColumn("a"), 0);
+  EXPECT_EQ(s.FindColumn("b"), 1);
+  EXPECT_EQ(s.FindColumn("c"), -1);
+  EXPECT_FALSE(s.ColumnIndex("c").ok());
+}
+
+TEST(SchemaTest, FormatValueByType) {
+  auto dict = std::make_shared<Dictionary>();
+  dict->Intern("red");
+  dict->Intern("green");
+  Schema s({{"i", LogicalType::kInt64, 0, nullptr},
+            {"d", LogicalType::kDecimal, 2, nullptr},
+            {"s", LogicalType::kString, 0, dict},
+            {"t", LogicalType::kDate, 0, nullptr}});
+  EXPECT_EQ(s.FormatValue(0, 42), "42");
+  EXPECT_EQ(s.FormatValue(1, 12345), "123.45");
+  EXPECT_EQ(s.FormatValue(2, 1), "green");
+  EXPECT_EQ(s.FormatValue(3, 100), "d100");
+}
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  EXPECT_EQ(d.Intern("x"), 0);
+  EXPECT_EQ(d.Intern("y"), 1);
+  EXPECT_EQ(d.Intern("x"), 0);
+  EXPECT_EQ(d.Lookup("y"), 1);
+  EXPECT_EQ(d.Lookup("z"), -1);
+  EXPECT_EQ(d.Decode(1), "y");
+}
+
+TEST(TableTest, AppendAndRead) {
+  Table t("t", TwoColSchema());
+  t.AppendRow({1, 10});
+  t.AppendRow({2, 20});
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.Value(0, 1), 2);
+  EXPECT_EQ(t.Value(1, 0), 10);
+}
+
+TEST(TableTest, SetColumnDataSetsRowCount) {
+  Table t("t", TwoColSchema());
+  t.SetColumnData(0, {1, 2, 3});
+  t.SetColumnData(1, {4, 5, 6});
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.Value(1, 2), 6);
+}
+
+TEST(TableTest, PageCountRoundsUp) {
+  Table t("t", TwoColSchema());
+  std::vector<int64_t> col(kRowsPerPage + 1, 0);
+  t.SetColumnData(0, col);
+  t.SetColumnData(1, col);
+  EXPECT_EQ(t.num_pages(), 2);
+}
+
+TEST(SortedIndexTest, RangeLookupReturnsMatchingRows) {
+  Table t("t", TwoColSchema());
+  t.SetColumnData(0, {5, 3, 9, 3, 7});
+  t.SetColumnData(1, {0, 1, 2, 3, 4});
+  SortedIndex idx("t.a", 0);
+  idx.Build(t);
+  std::vector<int64_t> rows;
+  EXPECT_EQ(idx.LookupRange(3, 5, &rows), 3);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<int64_t>{0, 1, 3}));
+  EXPECT_EQ(idx.CountRange(3, 5), 3);
+  EXPECT_EQ(idx.CountRange(100, 200), 0);
+  EXPECT_EQ(idx.CountRange(9, 9), 1);
+}
+
+TEST(SortedIndexTest, EmptyRange) {
+  Table t("t", TwoColSchema());
+  t.SetColumnData(0, {1, 2, 3});
+  t.SetColumnData(1, {1, 2, 3});
+  SortedIndex idx("t.a", 0);
+  idx.Build(t);
+  std::vector<int64_t> rows;
+  EXPECT_EQ(idx.LookupRange(5, 2, &rows), 0);
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(CatalogTest, AddGetDropTable) {
+  Catalog c;
+  auto t = c.AddTable("t", TwoColSchema());
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(c.AddTable("t", TwoColSchema()).ok());
+  EXPECT_TRUE(c.GetTable("t").ok());
+  EXPECT_FALSE(c.GetTable("u").ok());
+  EXPECT_TRUE(c.DropTable("t").ok());
+  EXPECT_FALSE(c.GetTable("t").ok());
+  EXPECT_FALSE(c.DropTable("t").ok());
+}
+
+TEST(CatalogTest, IndexLifecycle) {
+  Catalog c;
+  Table* t = c.AddTable("t", TwoColSchema()).value();
+  t->SetColumnData(0, {3, 1, 2});
+  t->SetColumnData(1, {0, 0, 0});
+  ASSERT_TRUE(c.BuildIndex("t", "a").ok());
+  EXPECT_NE(c.FindIndex("t", "a"), nullptr);
+  EXPECT_EQ(c.FindIndex("t", "b"), nullptr);
+  EXPECT_EQ(c.IndexedColumns("t"), (std::vector<std::string>{"a"}));
+  EXPECT_TRUE(c.DropIndex("t", "a").ok());
+  EXPECT_EQ(c.FindIndex("t", "a"), nullptr);
+  EXPECT_FALSE(c.BuildIndex("t", "zz").ok());
+  EXPECT_FALSE(c.BuildIndex("nope", "a").ok());
+}
+
+TEST(CatalogTest, DropTableDropsIndexes) {
+  Catalog c;
+  Table* t = c.AddTable("t", TwoColSchema()).value();
+  t->SetColumnData(0, {1});
+  t->SetColumnData(1, {1});
+  ASSERT_TRUE(c.BuildIndex("t", "a").ok());
+  ASSERT_TRUE(c.DropTable("t").ok());
+  EXPECT_EQ(c.FindIndex("t", "a"), nullptr);
+}
+
+TEST(GeneratorTest, UniformBounds) {
+  Rng rng(1);
+  auto v = gen::Uniform(&rng, 1000, 10, 20);
+  EXPECT_EQ(v.size(), 1000u);
+  for (int64_t x : v) {
+    EXPECT_GE(x, 10);
+    EXPECT_LE(x, 20);
+  }
+}
+
+TEST(GeneratorTest, SequentialAndPermutation) {
+  auto s = gen::Sequential(5, 2);
+  EXPECT_EQ(s, (std::vector<int64_t>{2, 3, 4, 5, 6}));
+  Rng rng(2);
+  auto p = gen::Permutation(&rng, 100);
+  std::sort(p.begin(), p.end());
+  EXPECT_EQ(p, gen::Sequential(100));
+}
+
+TEST(GeneratorTest, CorrelatedNoNoiseIsFunctional) {
+  Rng rng(3);
+  std::vector<int64_t> base{1, 2, 3};
+  auto c = gen::Correlated(&rng, base, 10, 5, 0.0, 0, 0);
+  EXPECT_EQ(c, (std::vector<int64_t>{15, 25, 35}));
+}
+
+TEST(GeneratorTest, StarSchemaShape) {
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = 1000;
+  spec.dim_rows = 50;
+  spec.num_dimensions = 2;
+  Table* fact = BuildStarSchema(&catalog, spec);
+  ASSERT_NE(fact, nullptr);
+  EXPECT_EQ(fact->num_rows(), 1000);
+  EXPECT_EQ(fact->schema().num_columns(), 5u);  // fk0 fk1 measure corr corr2
+  Table* dim0 = catalog.GetTable("dim0").value();
+  EXPECT_EQ(dim0->num_rows(), 50);
+  // Foreign keys reference existing dimension rows.
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    EXPECT_GE(fact->Value(0, r), 0);
+    EXPECT_LT(fact->Value(0, r), 50);
+  }
+  // corr and corr2 are functionally determined by fk0.
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    EXPECT_EQ(fact->Value(3, r), fact->Value(0, r) * 1000 + 7);
+    EXPECT_EQ(fact->Value(4, r), fact->Value(0, r) * 7 + 13);
+  }
+}
+
+TEST(GeneratorTest, OrdersSchemaShape) {
+  Catalog catalog;
+  OrdersSchemaSpec spec;
+  spec.num_customers = 100;
+  spec.num_orders = 500;
+  Table* lineitem = BuildOrdersSchema(&catalog, spec);
+  ASSERT_NE(lineitem, nullptr);
+  EXPECT_GE(lineitem->num_rows(), 500);
+  Table* orders = catalog.GetTable("orders").value();
+  EXPECT_EQ(orders->num_rows(), 500);
+  for (int64_t r = 0; r < orders->num_rows(); ++r) {
+    EXPECT_GE(orders->Value(1, r), 0);
+    EXPECT_LT(orders->Value(1, r), 100);
+  }
+}
+
+}  // namespace
+}  // namespace rqp

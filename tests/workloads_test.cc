@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "expr/rewriter.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+TEST(WorkloadsTest, StarQueryShape) {
+  auto spec = workload::StarQuery(3, {100, -1, 300});
+  EXPECT_EQ(spec.tables.size(), 3u);  // fact, dim0, dim2
+  EXPECT_EQ(spec.joins.size(), 2u);
+  EXPECT_EQ(spec.tables[1].table, "dim0");
+  EXPECT_EQ(spec.tables[2].table, "dim2");
+  ASSERT_NE(spec.tables[1].predicate, nullptr);
+}
+
+TEST(WorkloadsTest, RandomStarQueryAlwaysHasAJoin) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    auto spec = workload::RandomStarQuery(&rng, 3, 1000, 0.1, 0.1, 0.5);
+    EXPECT_GE(spec.joins.size(), 1u);
+  }
+}
+
+TEST(WorkloadsTest, TrapQuerySelectsSameRowsAsUntrapped) {
+  Catalog catalog;
+  StarSchemaSpec sspec;
+  sspec.fact_rows = 5000;
+  sspec.dim_rows = 100;
+  sspec.num_dimensions = 2;
+  Table* fact = BuildStarSchema(&catalog, sspec);
+  auto trapped = workload::TrapStarQuery(2, 25, {1000, 1000});
+  // The corr conjunct is redundant: row sets match a plain fk0 filter.
+  int64_t plain = 0, trap = 0;
+  for (int64_t r = 0; r < fact->num_rows(); ++r) {
+    const bool fk_ok = fact->Value(0, r) <= 25;
+    if (fk_ok) ++plain;
+    if (EvalOnTable(trapped.tables[0].predicate, *fact, r)) ++trap;
+  }
+  EXPECT_EQ(plain, trap);
+}
+
+TEST(WorkloadsTest, PopWorkloadMixesTraps) {
+  Rng rng(5);
+  auto queries = workload::PopWorkload(&rng, 100, 0.3, 3, 1000);
+  EXPECT_EQ(queries.size(), 100u);
+  int traps = 0;
+  for (const auto& q : queries) {
+    if (q.tables[0].predicate != nullptr) ++traps;
+  }
+  EXPECT_GT(traps, 10);
+  EXPECT_LT(traps, 60);
+}
+
+TEST(WorkloadsTest, EquivalenceSuiteFamiliesAreEquivalent) {
+  // Every formulation in a family normalizes to the same canonical form.
+  for (const auto& family : workload::EquivalenceSuite(1000)) {
+    ASSERT_GE(family.formulations.size(), 2u) << family.description;
+    for (size_t i = 1; i < family.formulations.size(); ++i) {
+      EXPECT_TRUE(EquivalentNormalized(family.formulations[0],
+                                       family.formulations[i]))
+          << family.description << " formulation " << i << ": "
+          << ToString(family.formulations[i]);
+    }
+  }
+}
+
+TEST(WorkloadsTest, EquivalenceFamiliesSelectIdenticalRows) {
+  Table t("t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                       {"b", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(6);
+  t.SetColumnData(0, gen::Uniform(&rng, 5000, 0, 1000));
+  t.SetColumnData(1, gen::Uniform(&rng, 5000, 0, 1000));
+  for (const auto& family : workload::EquivalenceSuite(1000)) {
+    std::vector<int64_t> counts;
+    for (const auto& f : family.formulations) {
+      int64_t n = 0;
+      for (int64_t r = 0; r < t.num_rows(); ++r) {
+        if (EvalOnTable(f, t, r)) ++n;
+      }
+      counts.push_back(n);
+    }
+    for (size_t i = 1; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i], counts[0]) << family.description;
+    }
+  }
+}
+
+TEST(WorkloadsTest, SelectivitySweepHitsTargets) {
+  auto specs =
+      workload::SelectivitySweep("t", "x", 999, {0.1, 0.5, 1.0});
+  ASSERT_EQ(specs.size(), 3u);
+  // sel 0.1 over domain [0,999] -> BETWEEN 0 AND 99.
+  const auto* between = std::get_if<Between>(&specs[0].tables[0].predicate->node);
+  ASSERT_NE(between, nullptr);
+  EXPECT_EQ(between->hi, 99);
+  const auto* full = std::get_if<Between>(&specs[2].tables[0].predicate->node);
+  EXPECT_EQ(full->hi, 999);
+  EXPECT_FALSE(specs[0].aggregates.empty());
+}
+
+TEST(WorkloadsTest, PerturbQueryKeepsPatternAndBounds) {
+  Rng rng(7);
+  QuerySpec spec;
+  spec.tables.push_back({"t", MakeBetween("x", 100, 199)});
+  spec.tables.push_back({"u", nullptr});
+  for (int i = 0; i < 50; ++i) {
+    auto p = workload::PerturbQuery(&rng, spec, 1000);
+    ASSERT_EQ(p.tables.size(), 2u);
+    const auto* b = std::get_if<Between>(&p.tables[0].predicate->node);
+    ASSERT_NE(b, nullptr);
+    EXPECT_GE(b->lo, 0);
+    EXPECT_LE(b->hi, 1000);
+    EXPECT_LE(b->hi - b->lo, 99 + 1);
+    EXPECT_EQ(p.tables[1].predicate, nullptr);
+  }
+}
+
+}  // namespace
+}  // namespace rqp

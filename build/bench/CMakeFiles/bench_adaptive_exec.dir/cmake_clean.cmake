@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive_exec.dir/bench_adaptive_exec.cc.o"
+  "CMakeFiles/bench_adaptive_exec.dir/bench_adaptive_exec.cc.o.d"
+  "bench_adaptive_exec"
+  "bench_adaptive_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

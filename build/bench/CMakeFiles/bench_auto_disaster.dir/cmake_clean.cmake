@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_auto_disaster.dir/bench_auto_disaster.cc.o"
+  "CMakeFiles/bench_auto_disaster.dir/bench_auto_disaster.cc.o.d"
+  "bench_auto_disaster"
+  "bench_auto_disaster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_auto_disaster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

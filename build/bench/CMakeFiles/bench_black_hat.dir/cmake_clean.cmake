@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_black_hat.dir/bench_black_hat.cc.o"
+  "CMakeFiles/bench_black_hat.dir/bench_black_hat.cc.o.d"
+  "bench_black_hat"
+  "bench_black_hat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_black_hat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cardinality_metrics.dir/bench_cardinality_metrics.cc.o"
+  "CMakeFiles/bench_cardinality_metrics.dir/bench_cardinality_metrics.cc.o.d"
+  "bench_cardinality_metrics"
+  "bench_cardinality_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cardinality_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

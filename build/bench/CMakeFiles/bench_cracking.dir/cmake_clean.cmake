@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cracking.dir/bench_cracking.cc.o"
+  "CMakeFiles/bench_cracking.dir/bench_cracking.cc.o.d"
+  "bench_cracking"
+  "bench_cracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

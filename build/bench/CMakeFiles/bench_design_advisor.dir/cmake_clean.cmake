@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_design_advisor.dir/bench_design_advisor.cc.o"
+  "CMakeFiles/bench_design_advisor.dir/bench_design_advisor.cc.o.d"
+  "bench_design_advisor"
+  "bench_design_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_design_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_equivalence.dir/bench_equivalence.cc.o"
+  "CMakeFiles/bench_equivalence.dir/bench_equivalence.cc.o.d"
+  "bench_equivalence"
+  "bench_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

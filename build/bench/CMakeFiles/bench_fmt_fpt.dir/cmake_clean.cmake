@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmt_fpt.dir/bench_fmt_fpt.cc.o"
+  "CMakeFiles/bench_fmt_fpt.dir/bench_fmt_fpt.cc.o.d"
+  "bench_fmt_fpt"
+  "bench_fmt_fpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmt_fpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

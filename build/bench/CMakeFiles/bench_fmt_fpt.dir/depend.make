@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fmt_fpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gjoin.dir/bench_gjoin.cc.o"
+  "CMakeFiles/bench_gjoin.dir/bench_gjoin.cc.o.d"
+  "bench_gjoin"
+  "bench_gjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_late_binding.dir/bench_late_binding.cc.o"
+  "CMakeFiles/bench_late_binding.dir/bench_late_binding.cc.o.d"
+  "bench_late_binding"
+  "bench_late_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_late_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_adapt.dir/bench_memory_adapt.cc.o"
+  "CMakeFiles/bench_memory_adapt.dir/bench_memory_adapt.cc.o.d"
+  "bench_memory_adapt"
+  "bench_memory_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

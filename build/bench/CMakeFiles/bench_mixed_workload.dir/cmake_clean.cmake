@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mixed_workload.dir/bench_mixed_workload.cc.o"
+  "CMakeFiles/bench_mixed_workload.dir/bench_mixed_workload.cc.o.d"
+  "bench_mixed_workload"
+  "bench_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

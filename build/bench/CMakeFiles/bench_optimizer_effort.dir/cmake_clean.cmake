@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_effort.dir/bench_optimizer_effort.cc.o"
+  "CMakeFiles/bench_optimizer_effort.dir/bench_optimizer_effort.cc.o.d"
+  "bench_optimizer_effort"
+  "bench_optimizer_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_diagram.dir/bench_plan_diagram.cc.o"
+  "CMakeFiles/bench_plan_diagram.dir/bench_plan_diagram.cc.o.d"
+  "bench_plan_diagram"
+  "bench_plan_diagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_diagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_management.dir/bench_plan_management.cc.o"
+  "CMakeFiles/bench_plan_management.dir/bench_plan_management.cc.o.d"
+  "bench_plan_management"
+  "bench_plan_management.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_management.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

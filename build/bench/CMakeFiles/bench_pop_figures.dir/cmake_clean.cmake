@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pop_figures.dir/bench_pop_figures.cc.o"
+  "CMakeFiles/bench_pop_figures.dir/bench_pop_figures.cc.o.d"
+  "bench_pop_figures"
+  "bench_pop_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pop_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_self_tuning.dir/bench_self_tuning.cc.o"
+  "CMakeFiles/bench_self_tuning.dir/bench_self_tuning.cc.o.d"
+  "bench_self_tuning"
+  "bench_self_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_self_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

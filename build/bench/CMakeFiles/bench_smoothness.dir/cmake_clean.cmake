@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smoothness.dir/bench_smoothness.cc.o"
+  "CMakeFiles/bench_smoothness.dir/bench_smoothness.cc.o.d"
+  "bench_smoothness"
+  "bench_smoothness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smoothness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

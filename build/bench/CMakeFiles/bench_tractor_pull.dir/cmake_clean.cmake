@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tractor_pull.dir/bench_tractor_pull.cc.o"
+  "CMakeFiles/bench_tractor_pull.dir/bench_tractor_pull.cc.o.d"
+  "bench_tractor_pull"
+  "bench_tractor_pull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tractor_pull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

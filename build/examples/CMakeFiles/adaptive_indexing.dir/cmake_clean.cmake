@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_indexing.dir/adaptive_indexing.cpp.o"
+  "CMakeFiles/adaptive_indexing.dir/adaptive_indexing.cpp.o.d"
+  "adaptive_indexing"
+  "adaptive_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

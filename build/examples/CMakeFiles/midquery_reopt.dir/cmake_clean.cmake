@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midquery_reopt.dir/midquery_reopt.cpp.o"
+  "CMakeFiles/midquery_reopt.dir/midquery_reopt.cpp.o.d"
+  "midquery_reopt"
+  "midquery_reopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midquery_reopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

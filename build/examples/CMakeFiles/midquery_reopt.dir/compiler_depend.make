@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for midquery_reopt.
+# This may be replaced when dependencies are built.

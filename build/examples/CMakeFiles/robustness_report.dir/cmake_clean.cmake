@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_report.dir/robustness_report.cpp.o"
+  "CMakeFiles/robustness_report.dir/robustness_report.cpp.o.d"
+  "robustness_report"
+  "robustness_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

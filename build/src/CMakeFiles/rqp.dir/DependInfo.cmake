@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/advisor.cc" "src/CMakeFiles/rqp.dir/adaptive/advisor.cc.o" "gcc" "src/CMakeFiles/rqp.dir/adaptive/advisor.cc.o.d"
+  "/root/repo/src/adaptive/cracking.cc" "src/CMakeFiles/rqp.dir/adaptive/cracking.cc.o" "gcc" "src/CMakeFiles/rqp.dir/adaptive/cracking.cc.o.d"
+  "/root/repo/src/adaptive/index_tuner.cc" "src/CMakeFiles/rqp.dir/adaptive/index_tuner.cc.o" "gcc" "src/CMakeFiles/rqp.dir/adaptive/index_tuner.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/rqp.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/rqp.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/plan_cache.cc" "src/CMakeFiles/rqp.dir/engine/plan_cache.cc.o" "gcc" "src/CMakeFiles/rqp.dir/engine/plan_cache.cc.o.d"
+  "/root/repo/src/engine/workload_manager.cc" "src/CMakeFiles/rqp.dir/engine/workload_manager.cc.o" "gcc" "src/CMakeFiles/rqp.dir/engine/workload_manager.cc.o.d"
+  "/root/repo/src/exec/filter_ops.cc" "src/CMakeFiles/rqp.dir/exec/filter_ops.cc.o" "gcc" "src/CMakeFiles/rqp.dir/exec/filter_ops.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/rqp.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/rqp.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/rqp.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/rqp.dir/exec/scan_ops.cc.o.d"
+  "/root/repo/src/exec/shared_scan.cc" "src/CMakeFiles/rqp.dir/exec/shared_scan.cc.o" "gcc" "src/CMakeFiles/rqp.dir/exec/shared_scan.cc.o.d"
+  "/root/repo/src/exec/sort_agg_ops.cc" "src/CMakeFiles/rqp.dir/exec/sort_agg_ops.cc.o" "gcc" "src/CMakeFiles/rqp.dir/exec/sort_agg_ops.cc.o.d"
+  "/root/repo/src/expr/predicate.cc" "src/CMakeFiles/rqp.dir/expr/predicate.cc.o" "gcc" "src/CMakeFiles/rqp.dir/expr/predicate.cc.o.d"
+  "/root/repo/src/expr/rewriter.cc" "src/CMakeFiles/rqp.dir/expr/rewriter.cc.o" "gcc" "src/CMakeFiles/rqp.dir/expr/rewriter.cc.o.d"
+  "/root/repo/src/metrics/plan_space.cc" "src/CMakeFiles/rqp.dir/metrics/plan_space.cc.o" "gcc" "src/CMakeFiles/rqp.dir/metrics/plan_space.cc.o.d"
+  "/root/repo/src/metrics/robustness.cc" "src/CMakeFiles/rqp.dir/metrics/robustness.cc.o" "gcc" "src/CMakeFiles/rqp.dir/metrics/robustness.cc.o.d"
+  "/root/repo/src/optimizer/builder.cc" "src/CMakeFiles/rqp.dir/optimizer/builder.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/builder.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/rqp.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/cost.cc" "src/CMakeFiles/rqp.dir/optimizer/cost.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/cost.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/rqp.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/rqp.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/plan_diagram.cc" "src/CMakeFiles/rqp.dir/optimizer/plan_diagram.cc.o" "gcc" "src/CMakeFiles/rqp.dir/optimizer/plan_diagram.cc.o.d"
+  "/root/repo/src/stats/correlation.cc" "src/CMakeFiles/rqp.dir/stats/correlation.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/correlation.cc.o.d"
+  "/root/repo/src/stats/feedback.cc" "src/CMakeFiles/rqp.dir/stats/feedback.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/feedback.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/rqp.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/max_entropy.cc" "src/CMakeFiles/rqp.dir/stats/max_entropy.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/max_entropy.cc.o.d"
+  "/root/repo/src/stats/selectivity.cc" "src/CMakeFiles/rqp.dir/stats/selectivity.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/selectivity.cc.o.d"
+  "/root/repo/src/stats/st_store.cc" "src/CMakeFiles/rqp.dir/stats/st_store.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/st_store.cc.o.d"
+  "/root/repo/src/stats/table_stats.cc" "src/CMakeFiles/rqp.dir/stats/table_stats.cc.o" "gcc" "src/CMakeFiles/rqp.dir/stats/table_stats.cc.o.d"
+  "/root/repo/src/storage/data_generator.cc" "src/CMakeFiles/rqp.dir/storage/data_generator.cc.o" "gcc" "src/CMakeFiles/rqp.dir/storage/data_generator.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/rqp.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/rqp.dir/storage/table.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/rqp.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/rqp.dir/types/schema.cc.o.d"
+  "/root/repo/src/util/summary.cc" "src/CMakeFiles/rqp.dir/util/summary.cc.o" "gcc" "src/CMakeFiles/rqp.dir/util/summary.cc.o.d"
+  "/root/repo/src/util/table_printer.cc" "src/CMakeFiles/rqp.dir/util/table_printer.cc.o" "gcc" "src/CMakeFiles/rqp.dir/util/table_printer.cc.o.d"
+  "/root/repo/src/workload/workloads.cc" "src/CMakeFiles/rqp.dir/workload/workloads.cc.o" "gcc" "src/CMakeFiles/rqp.dir/workload/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_test.dir/adaptive_test.cc.o"
+  "CMakeFiles/adaptive_test.dir/adaptive_test.cc.o.d"
+  "adaptive_test"
+  "adaptive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_edge_test.dir/operator_edge_test.cc.o"
+  "CMakeFiles/operator_edge_test.dir/operator_edge_test.cc.o.d"
+  "operator_edge_test"
+  "operator_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

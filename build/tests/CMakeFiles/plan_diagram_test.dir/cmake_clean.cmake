@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_diagram_test.dir/plan_diagram_test.cc.o"
+  "CMakeFiles/plan_diagram_test.dir/plan_diagram_test.cc.o.d"
+  "plan_diagram_test"
+  "plan_diagram_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_diagram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for plan_diagram_test.
+# This may be replaced when dependencies are built.

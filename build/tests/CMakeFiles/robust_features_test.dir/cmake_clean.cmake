@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robust_features_test.dir/robust_features_test.cc.o"
+  "CMakeFiles/robust_features_test.dir/robust_features_test.cc.o.d"
+  "robust_features_test"
+  "robust_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robust_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

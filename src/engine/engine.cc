@@ -78,6 +78,34 @@ void WidenChecks(PlanNode* node) {
   for (auto& c : node->children) WidenChecks(c.get());
 }
 
+/// Applies fault-injected statistics staleness (believed row counts scaled
+/// by per-table factors) for the duration of one Run; originals are
+/// restored on destruction so the perturbation stays per-query.
+class ScopedStatsPerturbation {
+ public:
+  ScopedStatsPerturbation() = default;
+  ScopedStatsPerturbation(const ScopedStatsPerturbation&) = delete;
+  ScopedStatsPerturbation& operator=(const ScopedStatsPerturbation&) = delete;
+
+  void Apply(StatsCatalog* stats,
+             const std::map<std::string, double>& factors) {
+    for (const auto& [table, factor] : factors) {
+      TableStats* ts = stats->FindMutable(table);
+      if (ts == nullptr) continue;
+      saved_.emplace_back(ts, ts->row_count());
+      const double scaled = static_cast<double>(ts->row_count()) * factor;
+      ts->set_row_count(std::max<int64_t>(1, std::llround(scaled)));
+    }
+  }
+
+  ~ScopedStatsPerturbation() {
+    for (auto& [ts, rows] : saved_) ts->set_row_count(rows);
+  }
+
+ private:
+  std::vector<std::pair<TableStats*, int64_t>> saved_;
+};
+
 }  // namespace
 
 void Engine::CollectNodeCards(const PlanNode& plan,
@@ -195,8 +223,61 @@ void Engine::TuneIndexes(const PlanNode& plan,
   walk(plan);
 }
 
+void Engine::ArmFuses(const PlanNode& plan, ExecContext* ctx) const {
+  const GuardrailOptions& g = options_.guardrails;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    // CHECK nodes police their own validity ranges and materialized leaves
+    // replay already-paid-for rows; neither deserves a fuse.
+    if (n.op != PlanOp::kCheck && n.op != PlanOp::kMaterializedSource &&
+        n.est_rows > 0) {
+      const int64_t limit = std::max(
+          g.fuse_min_rows,
+          static_cast<int64_t>(std::llround(n.est_rows * g.fuse_factor)));
+      ctx->ArmFuse(n.id, n.est_rows, limit);
+    }
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(plan);
+}
+
+void Engine::RepairTrippedStats(const PlanNode& plan,
+                                const ExecContext::GuardrailTrip& trip) {
+  // Emergency statistics repair before the safe retry (LEO-style, same
+  // precedent as HarvestFeedback): the fuse proved the estimates under the
+  // tripped node wrong, so re-anchor the believed base-table cardinalities
+  // in its subtree to the live catalog. Budget trips carry no node id; they
+  // repair under the whole plan.
+  const PlanNode* root =
+      trip.plan_node_id >= 0 ? FindNode(plan, trip.plan_node_id) : nullptr;
+  if (root == nullptr) root = &plan;
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
+    if (n.op == PlanOp::kTableScan || n.op == PlanOp::kIndexScan) {
+      TableStats* ts = stats_.FindMutable(n.table);
+      auto live = catalog_->GetTable(n.table);
+      if (ts != nullptr && live.ok()) {
+        ts->set_row_count(live.value()->num_rows());
+      }
+    }
+    for (const auto& c : n.children) walk(*c);
+  };
+  walk(*root);
+}
+
 StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   QueryResult result;
+
+  // Fault injection: statistics staleness must land before optimization so
+  // the optimizer plans against the perturbed world; believed row counts
+  // are restored when Run returns.
+  ScopedStatsPerturbation perturbation;
+  if (!options_.faults.empty()) {
+    // A previous faulted query may have left the broker at a dropped
+    // capacity; faulted queries always start from the configured baseline.
+    memory_.set_capacity(options_.memory_pages);
+    FaultInjector stats_faults(options_.faults);
+    perturbation.Apply(&stats_, stats_faults.StatsFactors());
+    result.faults.Accumulate(stats_faults.counters());
+  }
 
   // Rio proactive box check: is one plan optimal across the whole
   // cardinality-uncertainty box?
@@ -266,10 +347,25 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
 
   std::vector<MaterializedLeaf> leaves;
   ExecCounters accumulated;
+  const GuardrailOptions& guard = options_.guardrails;
+  int recoveries = 0;          ///< circuit-breaker count: reopts + retries
+  bool circuit_open = false;   ///< breaker tripped: run unguarded
+  bool safe_plan_active = false;
 
   for (int attempt = 0;; ++attempt) {
     ExecContext ctx(&memory_);
     ctx.set_cost_model(options_.cost_model);
+    if (!options_.faults.empty()) {
+      // Re-arm the schedule and reset broker capacity so every attempt
+      // experiences the identical environment.
+      memory_.set_capacity(options_.memory_pages);
+      ctx.InstallFaults(options_.faults);
+    }
+    const bool guarded = guard.enabled && !circuit_open;
+    if (guarded) {
+      if (guard.cost_budget > 0) ctx.set_cost_budget(guard.cost_budget);
+      if (guard.fuse_factor > 0) ArmFuses(*plan, &ctx);
+    }
 
     auto op = BuildExecutable(*plan, catalog_, spec.params);
     if (!op.ok()) return op.status();
@@ -277,6 +373,51 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     std::vector<RowBatch> rows;
     auto drained =
         DrainOperator(op.value().get(), &ctx, keep_rows ? &rows : nullptr);
+    if (ctx.faults() != nullptr) {
+      result.faults.Accumulate(ctx.faults()->counters());
+    }
+
+    if (!drained.ok() && !ctx.has_reopt_request() && guarded &&
+        ctx.has_trip()) {
+      // Guardrail trip: a fuse blew or the cost budget ran out. Charge the
+      // abandoned attempt to the query, then hedge with the conservative
+      // plan (once) or finish unguarded when the breaker opens.
+      const ExecContext::GuardrailTrip trip = *ctx.trip();
+      accumulated.cost_units += ctx.counters().cost_units;
+      accumulated.pages_read += ctx.counters().pages_read;
+      accumulated.spill_pages += ctx.counters().spill_pages;
+      if (trip.kind == ExecContext::GuardrailTrip::Kind::kCardinalityFuse) {
+        ++result.fuse_trips;
+      } else {
+        ++result.budget_aborts;
+      }
+      ++result.guardrail_retries;
+      if (++recoveries >= guard.max_recoveries) circuit_open = true;
+
+      if (!guard.safe_plan_retry || safe_plan_active) {
+        // No (further) hedge available: the breaker opens and the current
+        // plan runs to completion without guardrails.
+        circuit_open = true;
+        result.degradation = QueryResult::Degradation::kUnguarded;
+        continue;
+      }
+      RepairTrippedStats(*plan, trip);
+      CardinalityOptions safe_card = options_.cardinality;
+      safe_card.percentile = guard.safe_percentile;
+      CardinalityModel safe_model(
+          &stats_, safe_card,
+          correlations_.empty() ? nullptr : &correlations_,
+          safe_card.estimator.use_feedback ? &feedback_ : nullptr,
+          options_.use_st_histograms ? &st_store_ : nullptr);
+      Optimizer safe_opt(catalog_, &safe_model, final_opts);
+      auto safe = safe_opt.Optimize(spec, leaves);
+      if (!safe.ok()) return safe.status();
+      plan = std::move(safe.value().plan);
+      safe_plan_active = true;
+      result.safe_plan_used = true;
+      result.degradation = QueryResult::Degradation::kSafeRetry;
+      continue;
+    }
 
     if (!drained.ok()) {
       if (!ctx.has_reopt_request()) return drained.status();
@@ -287,6 +428,11 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
       accumulated.pages_read += ctx.counters().pages_read;
       accumulated.spill_pages += ctx.counters().spill_pages;
       ++result.reoptimizations;
+      // POP re-optimizations count against the same circuit breaker as
+      // guardrail retries, bounding total recovery attempts per query.
+      if (guard.enabled && ++recoveries >= guard.max_recoveries) {
+        circuit_open = true;
+      }
 
       const PlanNode* check = FindNode(*plan, req.plan_node_id);
       if (check == nullptr || check->children.empty()) {

@@ -8,6 +8,7 @@
 
 #include "adaptive/index_tuner.h"
 #include "engine/plan_cache.h"
+#include "fault/fault.h"
 #include "optimizer/builder.h"
 #include "optimizer/optimizer.h"
 #include "stats/correlation.h"
@@ -16,6 +17,32 @@
 #include "storage/table.h"
 
 namespace rqp {
+
+/// Executor guardrails: runtime defenses against disastrous plans. A
+/// cardinality fuse trips when an operator produces far more rows than the
+/// optimizer estimated; a cost budget aborts queries whose simulated clock
+/// runs away. Either event triggers the safe-plan retry: re-optimize once at
+/// a conservative cardinality percentile (reusing the Rio corner machinery)
+/// after repairing the believed base-table cardinalities under the tripped
+/// subtree, then re-run. A circuit breaker caps total recoveries per query;
+/// past the cap the query finishes unguarded rather than looping.
+struct GuardrailOptions {
+  bool enabled = false;
+  /// Abort once the cost clock passes this many units (<= 0: unlimited).
+  double cost_budget = 0;
+  /// Fuse limit = max(fuse_min_rows, est_rows * fuse_factor); <= 0 disables
+  /// fuses (budget-only guardrails).
+  double fuse_factor = 0;
+  int64_t fuse_min_rows = 4096;
+  /// Re-run with the conservative plan after a trip; when false a trip
+  /// downgrades to unguarded completion of the same plan.
+  bool safe_plan_retry = true;
+  /// Cardinality percentile for the safe retry plan (Rio high corner).
+  double safe_percentile = 0.95;
+  /// Circuit breaker: maximum guardrail recoveries (retries + downgrades)
+  /// per query before guardrails disarm.
+  int max_recoveries = 3;
+};
 
 /// Engine-level configuration: which robustness features are on. Each
 /// experiment toggles a subset and measures the difference.
@@ -57,6 +84,11 @@ struct EngineOptions {
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
   CostModel cost_model;
+  /// Runtime guardrails (fuses, budgets, safe-plan retry).
+  GuardrailOptions guardrails;
+  /// Fault schedule injected into every query this engine runs (chaos
+  /// harness); empty = no faults.
+  FaultSchedule faults;
 };
 
 /// Result of one query execution.
@@ -84,6 +116,19 @@ struct QueryResult {
   bool plan_verification_failed = false;
   /// Plans costed by the optimizer for this query (0 on a cache hit).
   int64_t plans_considered = 0;
+  /// Guardrail outcomes.
+  int fuse_trips = 0;
+  int budget_aborts = 0;
+  int guardrail_retries = 0;     ///< safe-plan re-runs + unguarded downgrades
+  bool safe_plan_used = false;   ///< final plan came from the safe retry
+  /// How the query degraded under guardrails: kNone = first plan finished,
+  /// kSafeRetry = conservative plan finished, kUnguarded = circuit breaker
+  /// opened and the query completed with guardrails disarmed.
+  enum class Degradation { kNone, kSafeRetry, kUnguarded };
+  Degradation degradation = Degradation::kNone;
+  /// Faults encountered during execution (summed over attempts) plus the
+  /// statistics perturbations applied before optimization.
+  FaultCounters faults;
 };
 
 /// The query engine facade: statistics, correlations, feedback, optimizer,
@@ -128,6 +173,9 @@ class Engine {
   void CollectNodeCards(const PlanNode& plan,
                         const std::map<int, int64_t>& actuals,
                         std::vector<QueryResult::NodeCard>* out) const;
+  void ArmFuses(const PlanNode& plan, ExecContext* ctx) const;
+  void RepairTrippedStats(const PlanNode& plan,
+                          const ExecContext::GuardrailTrip& trip);
 
   Catalog* catalog_;
   EngineOptions options_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "fault/fault.h"
 #include "util/status.h"
 
 namespace rqp {
@@ -54,10 +55,17 @@ class MemoryBroker {
   int64_t used() const { return used_; }
   int64_t available() const { return capacity_ > used_ ? capacity_ - used_ : 0; }
 
-  /// Changes capacity (may drop below current usage; new grants shrink).
-  void set_capacity(int64_t pages) { capacity_ = pages; }
+  /// Changes capacity. May be called while grants are outstanding: shrinking
+  /// below `used()` is legal (the FMT test and fault injection both do it) —
+  /// no assertion fires, `available()` clamps to zero, and subsequent grants
+  /// shrink to the 1-page progress minimum until enough memory is released.
+  /// Negative capacities clamp to zero.
+  void set_capacity(int64_t pages) { capacity_ = pages < 0 ? 0 : pages; }
 
-  /// Grants up to `requested` pages, at least 1. Returns the grant size.
+  /// Grants up to `requested` pages but never less than 1 — even when the
+  /// broker is over-committed after a capacity shrink — so every operator
+  /// can always make progress, at spill speed. Returns the grant size,
+  /// which the caller must eventually Release().
   int64_t Grant(int64_t requested) {
     const int64_t g = std::max<int64_t>(1, std::min(requested, available()));
     used_ += g;
@@ -96,14 +104,18 @@ class ExecContext {
   }
 
   // -- charging helpers ----------------------------------------------------
-  void ChargeSeqPages(int64_t pages) {
+  // Page-read charges optionally carry the table being read so scheduled
+  // per-table I/O slowdowns can tax them.
+  void ChargeSeqPages(int64_t pages, const std::string& table = {}) {
     counters_.pages_read += pages;
-    counters_.cost_units += cost_model_.seq_page_read * pages;
-    ApplyMemorySchedule();
+    counters_.cost_units +=
+        cost_model_.seq_page_read * pages * IoMultiplier(table, pages);
+    ApplyScheduledEvents();
   }
-  void ChargeRandomReads(int64_t reads) {
+  void ChargeRandomReads(int64_t reads, const std::string& table = {}) {
     counters_.random_reads += reads;
-    counters_.cost_units += cost_model_.random_page_read * reads;
+    counters_.cost_units +=
+        cost_model_.random_page_read * reads * IoMultiplier(table, reads);
   }
   void ChargeIndexDescend(int64_t descends = 1) {
     counters_.cost_units += cost_model_.index_descend * descends;
@@ -124,12 +136,97 @@ class ExecContext {
     counters_.spill_pages += pages_written;
     counters_.cost_units += cost_model_.spill_page_write * pages_written +
                             cost_model_.spill_page_read * pages_reread;
-    ApplyMemorySchedule();
+    ApplyScheduledEvents();
   }
   void ChargePredicateEvals(int64_t evals) {
     counters_.predicate_evals += evals;
     counters_.cost_units += cost_model_.row_cpu * evals;
-    ApplyMemorySchedule();
+    ApplyScheduledEvents();
+  }
+
+  // -- guardrails -----------------------------------------------------------
+  /// Why execution was cooperatively cancelled (consumed by the engine's
+  /// safe-plan retry path).
+  struct GuardrailTrip {
+    enum class Kind { kCardinalityFuse, kCostBudget };
+    Kind kind = Kind::kCostBudget;
+    int plan_node_id = -1;       ///< fuse trips only
+    double estimated_rows = 0;   ///< fuse trips only
+    int64_t actual_rows = 0;     ///< rows produced when the fuse blew
+    double cost_at_trip = 0;
+  };
+
+  /// Aborts execution once the cost clock passes `units` (<= 0: unlimited).
+  void set_cost_budget(double units) { cost_budget_ = units; }
+  double cost_budget() const { return cost_budget_; }
+
+  /// Arms a cardinality fuse: execution aborts when the operator for
+  /// `plan_node_id` has produced more than `limit_rows`.
+  void ArmFuse(int plan_node_id, double estimated_rows, int64_t limit_rows) {
+    fuses_[plan_node_id] = Fuse{estimated_rows, limit_rows};
+  }
+
+  bool has_trip() const { return trip_ != nullptr; }
+  const GuardrailTrip* trip() const { return trip_.get(); }
+
+  /// Cooperative cancellation point: operators call this once per batch (or
+  /// chunk) and propagate the non-OK status up the tree. Cheap when nothing
+  /// is armed (two branches).
+  Status CheckGuardrails() {
+    if (trip_ == nullptr && cost_budget_ > 0 &&
+        counters_.cost_units > cost_budget_) {
+      trip_ = std::make_unique<GuardrailTrip>();
+      trip_->cost_at_trip = counters_.cost_units;
+    }
+    if (trip_ == nullptr) return Status::OK();
+    if (trip_->kind == GuardrailTrip::Kind::kCardinalityFuse) {
+      return Status::ResourceExhausted(
+          "cardinality fuse tripped at plan node " +
+          std::to_string(trip_->plan_node_id));
+    }
+    return Status::ResourceExhausted("query cost budget exceeded");
+  }
+
+  /// Called by Operator::CountProduced with the running production count;
+  /// trips the node's fuse (if armed) when the count exceeds its limit.
+  void ObserveProduced(int plan_node_id, int64_t rows) {
+    if (trip_ != nullptr || fuses_.empty()) return;
+    auto it = fuses_.find(plan_node_id);
+    if (it == fuses_.end() || rows <= it->second.limit_rows) return;
+    trip_ = std::make_unique<GuardrailTrip>();
+    trip_->kind = GuardrailTrip::Kind::kCardinalityFuse;
+    trip_->plan_node_id = plan_node_id;
+    trip_->estimated_rows = it->second.estimated_rows;
+    trip_->actual_rows = rows;
+    trip_->cost_at_trip = counters_.cost_units;
+  }
+
+  // -- fault injection -------------------------------------------------------
+  /// Installs a fresh injector drawn from `schedule`. The injector is owned
+  /// by this context; a retry attempt gets a new context and therefore
+  /// re-arms the same schedule — every attempt experiences the identical
+  /// environment, keeping chaos runs reproducible.
+  void InstallFaults(const FaultSchedule& schedule) {
+    faults_ = std::make_unique<FaultInjector>(schedule);
+  }
+  FaultInjector* faults() { return faults_.get(); }
+
+  /// Transient-read fault point: scan operators call this before paying for
+  /// a read on `table`. Retry backoff lands on the cost clock; returns
+  /// ResourceExhausted when the bounded retries are used up.
+  Status MaybeInjectReadFault(const std::string& table) {
+    if (faults_ == nullptr) return Status::OK();
+    const FaultInjector::ReadOutcome o =
+        faults_->OnReadAttempt(table, counters_.cost_units);
+    if (o.backoff_cost > 0) {
+      counters_.cost_units += o.backoff_cost;
+      ApplyScheduledEvents();
+    }
+    if (o.exhausted) {
+      return Status::ResourceExhausted("transient read failures on " + table +
+                                       " outlasted the retry budget");
+    }
+    return Status::OK();
   }
 
   // -- POP re-optimization mailbox ------------------------------------------
@@ -156,12 +253,31 @@ class ExecContext {
   std::map<int, int64_t>& actual_cardinalities() { return actuals_; }
 
  private:
-  void ApplyMemorySchedule() {
+  struct Fuse {
+    double estimated_rows = 0;
+    int64_t limit_rows = 0;
+  };
+
+  /// Applies clock-scheduled environment changes: the FMT memory schedule
+  /// plus any pending fault-injected memory drops.
+  void ApplyScheduledEvents() {
     while (next_schedule_ < memory_schedule_.size() &&
            counters_.cost_units >= memory_schedule_[next_schedule_].first) {
       memory_->set_capacity(memory_schedule_[next_schedule_].second);
       ++next_schedule_;
     }
+    if (faults_ != nullptr) {
+      int64_t capacity;
+      while (faults_->NextMemoryDrop(counters_.cost_units, &capacity)) {
+        memory_->set_capacity(capacity);
+      }
+    }
+  }
+
+  double IoMultiplier(const std::string& table, int64_t pages) {
+    return faults_ == nullptr
+               ? 1.0
+               : faults_->IoMultiplier(table, counters_.cost_units, pages);
   }
 
   CostModel cost_model_;
@@ -172,6 +288,10 @@ class ExecContext {
   size_t next_schedule_ = 0;
   std::unique_ptr<ReoptRequest> reopt_;
   std::map<int, int64_t> actuals_;
+  double cost_budget_ = 0;
+  std::map<int, Fuse> fuses_;
+  std::unique_ptr<GuardrailTrip> trip_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace rqp

@@ -29,6 +29,7 @@ Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf) {
   buf->data.clear();
   RQP_RETURN_IF_ERROR(child->Open(ctx));
   while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
     RowBatch batch;
     RQP_RETURN_IF_ERROR(child->Next(&batch));
     if (batch.empty()) break;
@@ -100,6 +101,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
 }
 
 Status HashJoinOp::Next(RowBatch* out) {
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
   const size_t left_n = probe_child_->output_slots().size();
   while (!out->full() && !done_) {
@@ -175,6 +177,7 @@ Status MergeJoinOp::Open(ExecContext* ctx) {
 }
 
 Status MergeJoinOp::Next(RowBatch* out) {
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
   const size_t ln = left_.num_cols;
   while (!out->full()) {
@@ -258,6 +261,7 @@ Status NestedLoopsJoinOp::Open(ExecContext* ctx) {
 }
 
 Status NestedLoopsJoinOp::Next(RowBatch* out) {
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
   const size_t ln = left_child_->output_slots().size();
   std::vector<int64_t> joined(slots_.size());
@@ -328,6 +332,7 @@ Status IndexNLJoinOp::Open(ExecContext* ctx) {
 }
 
 Status IndexNLJoinOp::Next(RowBatch* out) {
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
   const size_t ln = outer_child_->output_slots().size();
   const size_t in_cols = inner_->schema().num_columns();
@@ -336,7 +341,7 @@ Status IndexNLJoinOp::Next(RowBatch* out) {
     if (match_next_ < inner_matches_.size()) {
       const int64_t r = inner_matches_[match_next_++];
       // Random page fetch for the inner row.
-      ctx_->ChargeRandomReads(1);
+      ctx_->ChargeRandomReads(1, inner_->name());
       for (size_t c = 0; c < in_cols; ++c) {
         inner_row[c] = inner_->Value(c, r);
       }
@@ -446,12 +451,15 @@ Status GJoinOp::EmitAll() {
     std::vector<int64_t> matches;
     std::vector<int64_t> inner_row(right_cols);
     for (size_t a = 0; a < left_.num_rows(); ++a) {
+      if ((a & (kBatchRows - 1)) == 0) {
+        RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      }
       matches.clear();
       ctx_->ChargeIndexDescend();
       hints_.right_index->LookupRange(left_.row(a)[left_key_idx_],
                                       left_.row(a)[left_key_idx_], &matches);
       for (int64_t r : matches) {
-        ctx_->ChargeRandomReads(1);
+        ctx_->ChargeRandomReads(1, hints_.right_table->name());
         for (size_t c = 0; c < right_cols; ++c) {
           inner_row[c] = hints_.right_table->Value(c, r);
         }
@@ -465,7 +473,11 @@ Status GJoinOp::EmitAll() {
   if (can_merge && merge_cost <= hash_cost) {
     strategy_ = "merge";
     size_t li = 0, ri = 0;
+    size_t steps = 0;
     while (li < left_.num_rows() && ri < right_.num_rows()) {
+      if ((steps++ & (kBatchRows - 1)) == 0) {
+        RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      }
       const int64_t lk = left_.row(li)[left_key_idx_];
       const int64_t rk = right_.row(ri)[right_key_idx_];
       ctx_->ChargeCompareOps(1);
@@ -514,6 +526,9 @@ Status GJoinOp::EmitAll() {
     ctx_->ChargeHashOps(static_cast<int64_t>(
         static_cast<double>(build.num_rows()) * cm.hash_build_factor));
     for (size_t p = 0; p < probe.num_rows(); ++p) {
+      if ((p & (kBatchRows - 1)) == 0) {
+        RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      }
       ctx_->ChargeHashOps(1);
       auto [begin, end] = table.equal_range(probe.row(p)[probe_key]);
       for (auto it = begin; it != end; ++it) {

@@ -40,12 +40,14 @@ class Operator {
   virtual std::string name() const = 0;
 
  protected:
-  /// Called by subclasses for every produced batch; updates the counter and
-  /// publishes the actual cardinality at EOF.
+  /// Called by subclasses for every produced batch; updates the counter,
+  /// feeds the node's cardinality fuse (if armed), and publishes the actual
+  /// cardinality at EOF.
   void CountProduced(ExecContext* ctx, const RowBatch& batch, bool eof) {
     rows_produced_ += static_cast<int64_t>(batch.num_rows());
-    if (eof && ctx != nullptr && plan_node_id_ >= 0) {
-      ctx->actual_cardinalities()[plan_node_id_] = rows_produced_;
+    if (ctx != nullptr && plan_node_id_ >= 0) {
+      ctx->ObserveProduced(plan_node_id_, rows_produced_);
+      if (eof) ctx->actual_cardinalities()[plan_node_id_] = rows_produced_;
     }
   }
   void ResetCount() { rows_produced_ = 0; }

@@ -63,11 +63,14 @@ Status TableScanOp::Next(RowBatch* out) {
   std::vector<int64_t> full_row(table_->schema().num_columns());
   std::vector<int64_t> proj_row(columns_.size());
   while (next_row_ < n && !out->full()) {
+    RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
     const int64_t chunk_end =
         std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
     const int64_t chunk = chunk_end - next_row_;
     // Sequential I/O for the chunk plus per-row CPU.
-    ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage);
+    RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
+    ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
+                         table_->name());
     ctx_->ChargeRowCpu(chunk);
     for (int64_t r = next_row_; r < chunk_end; ++r) {
       if (compiled_) {
@@ -118,9 +121,11 @@ Status IndexScanOp::Open(ExecContext* ctx) {
     compiled_ = std::move(compiled.value());
   }
   ctx_->ChargeIndexDescend();
+  RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
   const int64_t matches = index_->LookupRange(lo_, hi_, &row_ids_);
   // Index leaf pages are read sequentially.
-  ctx_->ChargeSeqPages((matches + kRowsPerPage - 1) / kRowsPerPage);
+  ctx_->ChargeSeqPages((matches + kRowsPerPage - 1) / kRowsPerPage,
+                       table_->name());
   return Status::OK();
 }
 
@@ -128,10 +133,11 @@ Status IndexScanOp::Next(RowBatch* out) {
   out->Reset(slots_.size());
   std::vector<int64_t> full_row(table_->schema().num_columns());
   std::vector<int64_t> proj_row(columns_.size());
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   while (next_ < row_ids_.size() && !out->full()) {
     const int64_t r = row_ids_[next_++];
     // Each qualifying row costs one random page fetch (unclustered index).
-    ctx_->ChargeRandomReads(1);
+    ctx_->ChargeRandomReads(1, table_->name());
     ctx_->ChargeRowCpu(1);
     if (compiled_) {
       for (size_t c = 0; c < full_row.size(); ++c) {
@@ -167,6 +173,7 @@ StatusOr<int64_t> DrainOperator(Operator* op, ExecContext* ctx,
   RQP_RETURN_IF_ERROR(op->Open(ctx));
   int64_t total = 0;
   while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
     RowBatch batch;
     RQP_RETURN_IF_ERROR(op->Next(&batch));
     if (batch.empty()) break;

@@ -118,6 +118,7 @@ Status HashAggOp::Open(ExecContext* ctx) {
   RQP_RETURN_IF_ERROR(child_->Open(ctx));
   std::vector<int64_t> key(group_idx_.size());
   while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
     RowBatch in;
     RQP_RETURN_IF_ERROR(child_->Next(&in));
     if (in.empty()) break;
@@ -210,6 +211,7 @@ Status CheckOp::Open(ExecContext* ctx) {
   RQP_RETURN_IF_ERROR(child_->Open(ctx));
   int64_t actual = 0;
   while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
     RowBatch batch;
     RQP_RETURN_IF_ERROR(child_->Next(&batch));
     if (batch.empty()) break;

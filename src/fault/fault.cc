@@ -1,0 +1,124 @@
+#include "fault/fault.h"
+
+#include <utility>
+
+namespace rqp {
+
+FaultSchedule& FaultSchedule::MemoryDrop(double at_cost, int64_t pages) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kMemoryDrop;
+  e.at_cost = at_cost;
+  e.memory_pages = pages;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::IoSlowdown(std::string table, double factor,
+                                         double at_cost, double until_cost) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kIoSlowdown;
+  e.table = std::move(table);
+  e.factor = factor;
+  e.at_cost = at_cost;
+  e.until_cost = until_cost;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::PerturbStats(std::string table, double factor) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kStatsPerturb;
+  e.table = std::move(table);
+  e.factor = factor;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::ScanFailures(std::string table,
+                                           double probability, double at_cost,
+                                           double until_cost) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kScanFailure;
+  e.table = std::move(table);
+  e.fail_probability = probability;
+  e.at_cost = at_cost;
+  e.until_cost = until_cost;
+  events.push_back(std::move(e));
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)), rng_(schedule_.seed),
+      memory_drop_fired_(schedule_.events.size(), false) {}
+
+bool FaultInjector::NextMemoryDrop(double cost_units,
+                                   int64_t* capacity_pages) {
+  for (size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& e = schedule_.events[i];
+    if (e.kind != FaultEvent::Kind::kMemoryDrop || memory_drop_fired_[i] ||
+        cost_units < e.at_cost) {
+      continue;
+    }
+    memory_drop_fired_[i] = true;
+    ++counters_.memory_drops;
+    *capacity_pages = e.memory_pages;
+    return true;
+  }
+  return false;
+}
+
+double FaultInjector::IoMultiplier(const std::string& table,
+                                   double cost_units, int64_t pages) {
+  double mult = 1.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultEvent::Kind::kIoSlowdown && Targets(e, table) &&
+        InWindow(e, cost_units)) {
+      mult *= e.factor;
+    }
+  }
+  if (mult != 1.0) counters_.slowed_pages += pages;
+  return mult;
+}
+
+FaultInjector::ReadOutcome FaultInjector::OnReadAttempt(
+    const std::string& table, double cost_units) {
+  ReadOutcome out;
+  // Combined per-attempt failure probability across matching events
+  // (independent causes: P = 1 - Π(1 - p_i)).
+  double survive = 1.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultEvent::Kind::kScanFailure && Targets(e, table) &&
+        InWindow(e, cost_units)) {
+      survive *= 1.0 - e.fail_probability;
+    }
+  }
+  const double p_fail = 1.0 - survive;
+  if (p_fail <= 0.0) return out;
+
+  double backoff = schedule_.retry_backoff_cost;
+  for (int attempt = 0;; ++attempt) {
+    if (!rng_.Bernoulli(p_fail)) return out;  // read succeeded
+    ++counters_.transient_read_failures;
+    if (attempt >= schedule_.max_read_retries) {
+      ++counters_.exhausted_reads;
+      out.exhausted = true;
+      return out;
+    }
+    ++counters_.read_retries;
+    out.backoff_cost += backoff;
+    backoff *= 2;
+  }
+}
+
+std::map<std::string, double> FaultInjector::StatsFactors() {
+  std::map<std::string, double> factors;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind != FaultEvent::Kind::kStatsPerturb) continue;
+    auto [it, inserted] = factors.emplace(e.table, e.factor);
+    if (!inserted) it->second *= e.factor;
+    ++counters_.stats_perturbations;
+  }
+  return factors;
+}
+
+}  // namespace rqp

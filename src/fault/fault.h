@@ -1,0 +1,142 @@
+#ifndef RQP_FAULT_FAULT_H_
+#define RQP_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rqp {
+
+/// One scheduled run-time adversity. Activation is keyed to the
+/// deterministic cost clock (cost units), never to wall time, so a schedule
+/// replays bit-identically on every run with the same seed — the harness's
+/// substitute for the unreproducible environment changes (stats refreshes,
+/// memory pressure, slow devices) the seminar report blames for "automatic
+/// disasters".
+struct FaultEvent {
+  enum class Kind {
+    /// Broker capacity is set to `memory_pages` once the clock passes
+    /// `at_cost` (one-shot; mid-query memory revocation).
+    kMemoryDrop,
+    /// Page reads on `table` cost `factor`x while the clock is inside
+    /// [at_cost, until_cost) — a slow or contended device.
+    kIoSlowdown,
+    /// The believed row count of `table` is multiplied by `factor` before
+    /// optimization (stale/perturbed statistics). Applied by the engine,
+    /// not the executor; `at_cost`/`until_cost` are ignored.
+    kStatsPerturb,
+    /// Reads on `table` fail transiently with `fail_probability` per read
+    /// attempt while the clock is inside [at_cost, until_cost); the reader
+    /// retries with bounded exponential backoff (see FaultSchedule).
+    kScanFailure,
+  };
+  Kind kind = Kind::kIoSlowdown;
+  std::string table;  ///< target table; empty = every table
+  double at_cost = 0;
+  double until_cost = std::numeric_limits<double>::infinity();
+  double factor = 1.0;         ///< kIoSlowdown / kStatsPerturb multiplier
+  int64_t memory_pages = 0;    ///< kMemoryDrop: new broker capacity
+  double fail_probability = 0; ///< kScanFailure: per-read-attempt chance
+};
+
+/// An explicit, seeded fault list. Every fault an execution experiences is
+/// drawn from this schedule and nothing else, which is what makes chaos
+/// runs regenerable experiments rather than flaky tests.
+struct FaultSchedule {
+  uint64_t seed = 42;
+  std::vector<FaultEvent> events;
+  /// Transient-read retry policy: a failed read is retried up to
+  /// `max_read_retries` times; retry k (0-based) charges
+  /// `retry_backoff_cost * 2^k` cost units on the simulated clock.
+  int max_read_retries = 4;
+  double retry_backoff_cost = 4.0;
+
+  bool empty() const { return events.empty(); }
+
+  // Builder helpers (chainable) for the common fault shapes.
+  FaultSchedule& MemoryDrop(double at_cost, int64_t pages);
+  FaultSchedule& IoSlowdown(
+      std::string table, double factor, double at_cost = 0,
+      double until_cost = std::numeric_limits<double>::infinity());
+  FaultSchedule& PerturbStats(std::string table, double factor);
+  FaultSchedule& ScanFailures(
+      std::string table, double probability, double at_cost = 0,
+      double until_cost = std::numeric_limits<double>::infinity());
+};
+
+/// What an execution actually experienced; surfaced into QueryResult.
+struct FaultCounters {
+  int memory_drops = 0;
+  int64_t slowed_pages = 0;          ///< page reads that paid a slowdown
+  int stats_perturbations = 0;       ///< tables with perturbed statistics
+  int transient_read_failures = 0;   ///< individual failed read attempts
+  int read_retries = 0;              ///< backoff retries performed
+  int exhausted_reads = 0;           ///< reads whose retry budget ran out
+
+  void Accumulate(const FaultCounters& o) {
+    memory_drops += o.memory_drops;
+    slowed_pages += o.slowed_pages;
+    stats_perturbations += o.stats_perturbations;
+    transient_read_failures += o.transient_read_failures;
+    read_retries += o.read_retries;
+    exhausted_reads += o.exhausted_reads;
+  }
+  bool any() const {
+    return memory_drops > 0 || slowed_pages > 0 || stats_perturbations > 0 ||
+           transient_read_failures > 0;
+  }
+};
+
+/// Draws scheduled faults during one execution. All randomness comes from
+/// the schedule's seed, and activation from the deterministic cost clock,
+/// so two executions of the same plan over the same data observe identical
+/// faults.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Pops the next pending memory drop whose threshold the clock passed.
+  /// Returns false when none is due; otherwise writes the new capacity.
+  bool NextMemoryDrop(double cost_units, int64_t* capacity_pages);
+
+  /// Combined I/O cost multiplier for `pages` page reads on `table` at the
+  /// given clock. Multiple overlapping slowdown windows compound.
+  double IoMultiplier(const std::string& table, double cost_units,
+                      int64_t pages);
+
+  struct ReadOutcome {
+    double backoff_cost = 0;  ///< clock charge for retries performed
+    bool exhausted = false;   ///< retry budget used up; the read failed
+  };
+  /// Draws transient failures for one read attempt on `table`, retrying
+  /// internally with exponential backoff per the schedule's policy.
+  ReadOutcome OnReadAttempt(const std::string& table, double cost_units);
+
+  /// Pre-optimization statistics perturbation: believed-row-count
+  /// multipliers keyed by table (factors for the same table compound).
+  std::map<std::string, double> StatsFactors();
+
+  const FaultCounters& counters() const { return counters_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  static bool InWindow(const FaultEvent& e, double cost_units) {
+    return cost_units >= e.at_cost && cost_units < e.until_cost;
+  }
+  static bool Targets(const FaultEvent& e, const std::string& table) {
+    return e.table.empty() || e.table == table;
+  }
+
+  FaultSchedule schedule_;
+  Rng rng_;
+  std::vector<bool> memory_drop_fired_;  // parallel to schedule_.events
+  FaultCounters counters_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_FAULT_FAULT_H_

@@ -366,5 +366,31 @@ TEST(MemoryBrokerTest, CapacityFluctuation) {
   EXPECT_EQ(broker.Grant(10), 1);
 }
 
+TEST(MemoryBrokerTest, ShrinkBelowUsageClamps) {
+  MemoryBroker broker(100);
+  EXPECT_EQ(broker.Grant(80), 80);
+  // Shrinking far below outstanding grants must not assert or underflow:
+  // the broker stays over-committed until enough pages are released.
+  broker.set_capacity(40);
+  EXPECT_EQ(broker.capacity(), 40);
+  EXPECT_EQ(broker.used(), 80);
+  EXPECT_EQ(broker.available(), 0);
+  EXPECT_EQ(broker.Grant(10), 1);  // progress minimum, at spill speed
+  EXPECT_EQ(broker.used(), 81);
+
+  // Negative capacities clamp to zero.
+  broker.set_capacity(-5);
+  EXPECT_EQ(broker.capacity(), 0);
+  EXPECT_EQ(broker.available(), 0);
+
+  // Releasing more than used clamps at zero rather than going negative.
+  broker.Release(500);
+  EXPECT_EQ(broker.used(), 0);
+
+  // Once capacity recovers, normal grants resume.
+  broker.set_capacity(100);
+  EXPECT_EQ(broker.Grant(60), 60);
+}
+
 }  // namespace
 }  // namespace rqp

@@ -1,0 +1,328 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "fault/fault.h"
+#include "storage/data_generator.h"
+
+namespace rqp {
+namespace {
+
+// ---- FaultSchedule / FaultInjector unit tests ------------------------------
+
+TEST(FaultScheduleTest, BuildersAndInjector) {
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.MemoryDrop(100, 8)
+      .IoSlowdown("fact", 3.0, 50, 200)
+      .PerturbStats("dim0", 0.1)
+      .PerturbStats("dim0", 0.5)
+      .ScanFailures("fact", 0.25);
+  ASSERT_EQ(schedule.events.size(), 5u);
+  EXPECT_FALSE(schedule.empty());
+
+  FaultInjector injector(schedule);
+  // Memory drop is one-shot and only fires once the clock passes it.
+  int64_t capacity = -1;
+  EXPECT_FALSE(injector.NextMemoryDrop(99, &capacity));
+  ASSERT_TRUE(injector.NextMemoryDrop(100, &capacity));
+  EXPECT_EQ(capacity, 8);
+  EXPECT_FALSE(injector.NextMemoryDrop(1000, &capacity));
+  EXPECT_EQ(injector.counters().memory_drops, 1);
+
+  // Slowdown applies only inside its window and only to its table.
+  EXPECT_DOUBLE_EQ(injector.IoMultiplier("fact", 49, 1), 1.0);
+  EXPECT_DOUBLE_EQ(injector.IoMultiplier("fact", 50, 1), 3.0);
+  EXPECT_DOUBLE_EQ(injector.IoMultiplier("dim0", 50, 1), 1.0);
+  EXPECT_DOUBLE_EQ(injector.IoMultiplier("fact", 200, 1), 1.0);
+  EXPECT_EQ(injector.counters().slowed_pages, 1);
+
+  // Duplicate perturbations on the same table compound.
+  auto factors = injector.StatsFactors();
+  ASSERT_EQ(factors.size(), 1u);
+  EXPECT_DOUBLE_EQ(factors["dim0"], 0.05);
+  EXPECT_EQ(injector.counters().stats_perturbations, 2);
+}
+
+TEST(FaultScheduleTest, ReadAttemptsAreDeterministic) {
+  FaultSchedule schedule;
+  schedule.seed = 1234;
+  schedule.ScanFailures("fact", 0.3);
+
+  FaultInjector a(schedule);
+  FaultInjector b(schedule);
+  for (int i = 0; i < 200; ++i) {
+    const auto oa = a.OnReadAttempt("fact", static_cast<double>(i));
+    const auto ob = b.OnReadAttempt("fact", static_cast<double>(i));
+    EXPECT_EQ(oa.backoff_cost, ob.backoff_cost);
+    EXPECT_EQ(oa.exhausted, ob.exhausted);
+  }
+  EXPECT_EQ(a.counters().transient_read_failures,
+            b.counters().transient_read_failures);
+  EXPECT_EQ(a.counters().read_retries, b.counters().read_retries);
+  EXPECT_GT(a.counters().transient_read_failures, 0);
+}
+
+TEST(FaultScheduleTest, CertainFailureExhaustsBoundedRetries) {
+  FaultSchedule schedule;
+  schedule.max_read_retries = 2;
+  schedule.retry_backoff_cost = 4.0;
+  schedule.ScanFailures("fact", 1.0);
+
+  FaultInjector injector(schedule);
+  const auto out = injector.OnReadAttempt("fact", 0);
+  EXPECT_TRUE(out.exhausted);
+  // Two retries at exponential backoff: 4 + 8.
+  EXPECT_DOUBLE_EQ(out.backoff_cost, 12.0);
+  EXPECT_EQ(injector.counters().transient_read_failures, 3);
+  EXPECT_EQ(injector.counters().read_retries, 2);
+  EXPECT_EQ(injector.counters().exhausted_reads, 1);
+  // Untargeted tables never fail.
+  EXPECT_FALSE(injector.OnReadAttempt("dim0", 0).exhausted);
+}
+
+// ---- Engine guardrail + fault integration ----------------------------------
+
+/// Star schema with fresh statistics; faults and guardrails are configured
+/// per test.
+class GuardrailFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, spec);
+    ASSERT_TRUE(catalog_.BuildIndex("dim0", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("dim1", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("fact", "fk0").ok());
+  }
+
+  static QuerySpec StarQuery(int64_t dim_attr_hi) {
+    QuerySpec spec;
+    spec.tables.push_back({"fact", nullptr});
+    for (int d = 0; d < 2; ++d) {
+      const std::string dim = "dim" + std::to_string(d);
+      spec.tables.push_back({dim, MakeBetween("attr", 0, dim_attr_hi)});
+      spec.joins.push_back({"fact", "fk" + std::to_string(d), dim, "id"});
+    }
+    return spec;
+  }
+
+  int64_t ReferenceCount(int64_t dim_attr_hi) {
+    const Table* fact = catalog_.GetTable("fact").value();
+    const int64_t id_hi = dim_attr_hi / 10;
+    int64_t expected = 0;
+    for (int64_t r = 0; r < fact->num_rows(); ++r) {
+      if (fact->Value(0, r) <= id_hi && fact->Value(1, r) <= id_hi) {
+        ++expected;
+      }
+    }
+    return expected;
+  }
+
+  static EngineOptions GuardedOptions() {
+    EngineOptions options;
+    options.guardrails.enabled = true;
+    options.guardrails.fuse_factor = 4;
+    options.guardrails.fuse_min_rows = 64;
+    options.guardrails.safe_percentile = 0.95;
+    return options;
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(GuardrailFixture, FuseTripTriggersSafePlanRetry) {
+  // Stale statistics: dim0 believed 500x smaller than it is. The fuse on the
+  // dim0 scan blows, the engine repairs the believed cardinality and re-runs
+  // with the conservative plan.
+  EngineOptions options = GuardedOptions();
+  options.faults.PerturbStats("dim0", 0.002);
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(5000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, ReferenceCount(5000));
+  EXPECT_GE(result->fuse_trips, 1);
+  EXPECT_GE(result->guardrail_retries, 1);
+  EXPECT_TRUE(result->safe_plan_used);
+  EXPECT_EQ(result->degradation, QueryResult::Degradation::kSafeRetry);
+  EXPECT_GE(result->faults.stats_perturbations, 1);
+}
+
+TEST_F(GuardrailFixture, SafeRetryBeatsTheDisasterPlan) {
+  EngineOptions off;
+  off.faults.PerturbStats("dim0", 0.002);
+  Engine unguarded(&catalog_, off);
+  unguarded.AnalyzeAll();
+  auto off_result = unguarded.Run(StarQuery(5000));
+  ASSERT_TRUE(off_result.ok());
+
+  EngineOptions on = GuardedOptions();
+  on.faults.PerturbStats("dim0", 0.002);
+  Engine guarded(&catalog_, on);
+  guarded.AnalyzeAll();
+  auto on_result = guarded.Run(StarQuery(5000));
+  ASSERT_TRUE(on_result.ok());
+
+  EXPECT_EQ(on_result->output_rows, off_result->output_rows);
+  // The fuse cuts the disaster short; abandoned work plus the safe plan must
+  // still be cheaper than riding the bad plan to completion.
+  EXPECT_LT(on_result->cost, off_result->cost);
+}
+
+TEST_F(GuardrailFixture, BudgetAbortDegradesToUnguarded) {
+  // A budget far below any feasible execution: the first attempt aborts, the
+  // safe retry also blows the budget, and the circuit breaker lets the query
+  // finish unguarded rather than loop.
+  EngineOptions options = GuardedOptions();
+  options.guardrails.fuse_factor = 0;  // budget-only guardrails
+  options.guardrails.cost_budget = 100;
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(500));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, ReferenceCount(500));
+  EXPECT_GE(result->budget_aborts, 1);
+  EXPECT_EQ(result->fuse_trips, 0);
+  EXPECT_EQ(result->degradation, QueryResult::Degradation::kUnguarded);
+  EXPECT_GT(result->cost, 100);
+}
+
+TEST_F(GuardrailFixture, CircuitBreakerCapsRecoveries) {
+  EngineOptions options = GuardedOptions();
+  options.guardrails.cost_budget = 100;
+  options.guardrails.fuse_factor = 0;
+  options.guardrails.max_recoveries = 1;
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(500));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, ReferenceCount(500));
+  // Exactly one recovery: the breaker opened on it and the retry (which
+  // would trip again) ran unguarded instead.
+  EXPECT_EQ(result->guardrail_retries, 1);
+}
+
+TEST_F(GuardrailFixture, SafeRetryDisabledFinishesUnguarded) {
+  EngineOptions options = GuardedOptions();
+  options.guardrails.safe_plan_retry = false;
+  options.faults.PerturbStats("dim0", 0.002);
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(5000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, ReferenceCount(5000));
+  EXPECT_GE(result->fuse_trips, 1);
+  EXPECT_FALSE(result->safe_plan_used);
+  EXPECT_EQ(result->degradation, QueryResult::Degradation::kUnguarded);
+}
+
+TEST_F(GuardrailFixture, FaultRunsAreDeterministic) {
+  EngineOptions options = GuardedOptions();
+  options.faults.seed = 99;
+  options.faults.PerturbStats("dim0", 0.002)
+      .IoSlowdown("fact", 2.0, 100, 5000)
+      .MemoryDrop(500, 16)
+      .ScanFailures("fact", 0.05);
+
+  auto run = [&] {
+    Engine engine(&catalog_, options);
+    engine.AnalyzeAll();
+    return engine.Run(StarQuery(5000));
+  };
+  auto a = run();
+  auto b = run();
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+
+  EXPECT_EQ(a->output_rows, b->output_rows);
+  EXPECT_EQ(a->cost, b->cost);  // bit-identical, not just close
+  EXPECT_EQ(a->counters.pages_read, b->counters.pages_read);
+  EXPECT_EQ(a->counters.spill_pages, b->counters.spill_pages);
+  EXPECT_EQ(a->fuse_trips, b->fuse_trips);
+  EXPECT_EQ(a->guardrail_retries, b->guardrail_retries);
+  EXPECT_EQ(a->faults.memory_drops, b->faults.memory_drops);
+  EXPECT_EQ(a->faults.slowed_pages, b->faults.slowed_pages);
+  EXPECT_EQ(a->faults.transient_read_failures,
+            b->faults.transient_read_failures);
+  EXPECT_EQ(a->faults.read_retries, b->faults.read_retries);
+  EXPECT_EQ(a->final_plan, b->final_plan);
+}
+
+TEST_F(GuardrailFixture, MemoryDropForcesSpilling) {
+  EngineOptions plain;
+  Engine baseline(&catalog_, plain);
+  baseline.AnalyzeAll();
+  auto base = baseline.Run(StarQuery(5000));
+  ASSERT_TRUE(base.ok());
+
+  EngineOptions faulted = plain;
+  faulted.faults.MemoryDrop(0, 1);  // collapse to one page immediately
+  Engine engine(&catalog_, faulted);
+  engine.AnalyzeAll();
+  auto result = engine.Run(StarQuery(5000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->output_rows, base->output_rows);
+  EXPECT_EQ(result->faults.memory_drops, 1);
+  EXPECT_GT(result->counters.spill_pages, base->counters.spill_pages);
+  EXPECT_GT(result->cost, base->cost);
+}
+
+TEST_F(GuardrailFixture, IoSlowdownTaxesCostNotResults) {
+  EngineOptions plain;
+  Engine baseline(&catalog_, plain);
+  baseline.AnalyzeAll();
+  auto base = baseline.Run(StarQuery(5000));
+  ASSERT_TRUE(base.ok());
+
+  EngineOptions faulted = plain;
+  faulted.faults.IoSlowdown("fact", 4.0);
+  Engine engine(&catalog_, faulted);
+  engine.AnalyzeAll();
+  auto result = engine.Run(StarQuery(5000));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The optimizer does not see the slowdown, so the plan and page counts
+  // match; only the clock (and the slowed-page counter) move.
+  EXPECT_EQ(result->output_rows, base->output_rows);
+  EXPECT_EQ(result->counters.pages_read, base->counters.pages_read);
+  EXPECT_GT(result->cost, base->cost);
+  EXPECT_GT(result->faults.slowed_pages, 0);
+}
+
+TEST_F(GuardrailFixture, TransientReadFaultsRetryAndSucceed) {
+  EngineOptions options;
+  options.faults.ScanFailures("fact", 0.05);
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(500));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->output_rows, ReferenceCount(500));
+  EXPECT_GT(result->faults.transient_read_failures, 0);
+  EXPECT_GT(result->faults.read_retries, 0);
+  EXPECT_EQ(result->faults.exhausted_reads, 0);
+}
+
+TEST_F(GuardrailFixture, ExhaustedReadRetriesFailTheQuery) {
+  EngineOptions options;
+  options.faults.max_read_retries = 2;
+  options.faults.ScanFailures("fact", 1.0);
+  Engine engine(&catalog_, options);
+  engine.AnalyzeAll();
+
+  auto result = engine.Run(StarQuery(500));
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace rqp

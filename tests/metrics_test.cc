@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "engine/engine.h"
 #include "metrics/plan_space.h"
 #include "metrics/robustness.h"
@@ -21,6 +23,11 @@ TEST(RobustnessMetricsTest, CardinalityErrorSum) {
 TEST(RobustnessMetricsTest, CardinalityErrorSumZeroActual) {
   std::vector<QueryResult::NodeCard> cards{{0, 10.0, 0}};
   EXPECT_NEAR(CardinalityErrorSum(cards), 10.0, 1e-12);  // act clamped to 1
+  // A zero-actual node mixes with regular nodes without poisoning the sum.
+  cards.push_back({1, 50.0, 100});
+  EXPECT_NEAR(CardinalityErrorSum(cards), 10.5, 1e-12);
+  // Estimating zero for an empty result is a perfect estimate, not an error.
+  EXPECT_NEAR(CardinalityErrorSum({{0, 0.0, 0}}), 0.0, 1e-12);
 }
 
 TEST(RobustnessMetricsTest, Metric3) {
@@ -34,6 +41,16 @@ TEST(RobustnessMetricsTest, GeometricMeanCardError) {
   EXPECT_NEAR(GeometricMeanCardError({50, 300}, {100, 100}), 1.0, 1e-9);
   // Perfect estimates hit the floor, not zero division.
   EXPECT_LT(GeometricMeanCardError({100}, {100}), 1e-6);
+}
+
+TEST(RobustnessMetricsTest, GeometricMeanCardErrorZeroActual) {
+  // Zero actuals clamp to 1 in the denominator: |0-5|/1 = 5, no Inf/NaN.
+  EXPECT_NEAR(GeometricMeanCardError({5}, {0}), 5.0, 1e-9);
+  // Mixed with a regular pair: geomean(5, 0.5) = sqrt(2.5).
+  EXPECT_NEAR(GeometricMeanCardError({5, 50}, {0, 100}),
+              std::sqrt(2.5), 1e-9);
+  // Zero estimated AND zero actual is a perfect (floor) estimate.
+  EXPECT_LT(GeometricMeanCardError({0}, {0}), 1e-6);
 }
 
 TEST(RobustnessMetricsTest, SmoothnessFlatCurveIsZero) {

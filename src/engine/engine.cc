@@ -347,7 +347,20 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
 
   std::vector<MaterializedLeaf> leaves;
   ExecCounters accumulated;
+  // Abandoned attempts (guardrail trips, POP restarts) still spent real
+  // work: fold their clock and spill traffic into the query's totals.
+  const auto accumulate = [&accumulated](const ExecCounters& c) {
+    accumulated.cost_units += c.cost_units;
+    accumulated.pages_read += c.pages_read;
+    accumulated.spill_pages += c.spill_pages;
+    accumulated.spill_pages_reread += c.spill_pages_reread;
+    accumulated.spill_partitions += c.spill_partitions;
+    accumulated.memory_revocations += c.memory_revocations;
+    accumulated.spill_recursion_depth =
+        std::max(accumulated.spill_recursion_depth, c.spill_recursion_depth);
+  };
   const GuardrailOptions& guard = options_.guardrails;
+  const int64_t query_seq = query_seq_++;
   int recoveries = 0;          ///< circuit-breaker count: reopts + retries
   bool circuit_open = false;   ///< breaker tripped: run unguarded
   bool safe_plan_active = false;
@@ -355,6 +368,12 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   for (int attempt = 0;; ++attempt) {
     ExecContext ctx(&memory_);
     ctx.set_cost_model(options_.cost_model);
+    ctx.set_spill_dir(options_.spill_dir);
+    std::string query_id = "q";
+    query_id += std::to_string(query_seq);
+    query_id += "-a";
+    query_id += std::to_string(attempt);
+    ctx.set_query_id(std::move(query_id));
     if (!options_.faults.empty()) {
       // Re-arm the schedule and reset broker capacity so every attempt
       // experiences the identical environment.
@@ -383,9 +402,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
       // abandoned attempt to the query, then hedge with the conservative
       // plan (once) or finish unguarded when the breaker opens.
       const ExecContext::GuardrailTrip trip = *ctx.trip();
-      accumulated.cost_units += ctx.counters().cost_units;
-      accumulated.pages_read += ctx.counters().pages_read;
-      accumulated.spill_pages += ctx.counters().spill_pages;
+      accumulate(ctx.counters());
       if (trip.kind == ExecContext::GuardrailTrip::Kind::kCardinalityFuse) {
         ++result.fuse_trips;
       } else {
@@ -424,9 +441,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
       // POP: a checkpoint fired. Keep the spent work both physically (the
       // materialized intermediate) and in the accounting (cost so far).
       const ExecContext::ReoptRequest& req = *ctx.reopt_request();
-      accumulated.cost_units += ctx.counters().cost_units;
-      accumulated.pages_read += ctx.counters().pages_read;
-      accumulated.spill_pages += ctx.counters().spill_pages;
+      accumulate(ctx.counters());
       ++result.reoptimizations;
       // POP re-optimizations count against the same circuit breaker as
       // guardrail retries, bounding total recovery attempts per query.
@@ -470,6 +485,12 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     result.counters.cost_units += accumulated.cost_units;
     result.counters.pages_read += accumulated.pages_read;
     result.counters.spill_pages += accumulated.spill_pages;
+    result.counters.spill_pages_reread += accumulated.spill_pages_reread;
+    result.counters.spill_partitions += accumulated.spill_partitions;
+    result.counters.memory_revocations += accumulated.memory_revocations;
+    result.counters.spill_recursion_depth =
+        std::max(result.counters.spill_recursion_depth,
+                 accumulated.spill_recursion_depth);
     result.cost = result.counters.cost_units;
     result.final_plan = plan->Explain();
     CollectNodeCards(*plan, ctx.actual_cardinalities(), &result.node_cards);

@@ -83,6 +83,11 @@ struct EngineOptions {
   PlanCache::Options plan_cache;
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
+  /// Base directory for spill files (empty: $RQP_SPILL_DIR, else a
+  /// per-process tmp directory). Each execution attempt spills under
+  /// `<spill_dir>/q<seq>-a<attempt>/` and the directory is removed when the
+  /// attempt's context dies — success, abort, and cancellation alike.
+  std::string spill_dir;
   CostModel cost_model;
   /// Runtime guardrails (fuses, budgets, safe-plan retry).
   GuardrailOptions guardrails;
@@ -187,6 +192,7 @@ class Engine {
   IndexTuner index_tuner_;
   StHistogramStore st_store_;
   PlanCache plan_cache_;
+  int64_t query_seq_ = 0;  ///< deterministic spill-directory naming
 };
 
 }  // namespace rqp

@@ -10,6 +10,7 @@
 
 #include "exec/batch.h"
 #include "fault/fault.h"
+#include "storage/spill.h"
 #include "util/status.h"
 
 namespace rqp {
@@ -39,8 +40,33 @@ struct ExecCounters {
   int64_t rows_processed = 0;
   int64_t hash_ops = 0;
   int64_t compare_ops = 0;
-  int64_t spill_pages = 0;
+  int64_t spill_pages = 0;         ///< spill pages written to disk
   int64_t predicate_evals = 0;
+  // Real-spill diagnostics (PR 2): filled from actual SpillManager traffic.
+  int64_t spill_pages_reread = 0;   ///< spill pages read back from disk
+  int64_t spill_partitions = 0;     ///< spill partitions created
+  int64_t spill_recursion_depth = 0;  ///< deepest grace-partitioning level
+  int64_t memory_revocations = 0;   ///< revocation polls that shed pages
+};
+
+/// Implemented by memory-adaptive operators that can give granted pages back
+/// mid-query. The broker never calls into an operator asynchronously — the
+/// executor is single-threaded — so shedding happens only when the operator
+/// itself polls at a phase boundary (a point with no live references into
+/// the memory being shed).
+class MemoryRevocable {
+ public:
+  virtual ~MemoryRevocable() = default;
+
+  /// Asked to release up to `deficit` granted pages (via Release()), keeping
+  /// at least the 1-page progress minimum. Returns pages actually released.
+  virtual int64_t ShedPages(int64_t deficit) = 0;
+
+  /// The broker is being destroyed while this operator is still registered
+  /// (an error unwound the query without Close). The operator must drop its
+  /// broker pointer — test fixtures may destroy the ExecContext before the
+  /// operators that executed under it.
+  virtual void OnBrokerDestroyed() {}
 };
 
 /// Grants query memory (in pages). Capacity may be changed while queries
@@ -50,6 +76,11 @@ class MemoryBroker {
  public:
   explicit MemoryBroker(int64_t capacity_pages = 1 << 20)
       : capacity_(capacity_pages) {}
+  ~MemoryBroker() {
+    for (MemoryRevocable* op : revocables_) op->OnBrokerDestroyed();
+  }
+  MemoryBroker(const MemoryBroker&) = delete;
+  MemoryBroker& operator=(const MemoryBroker&) = delete;
 
   int64_t capacity() const { return capacity_; }
   int64_t used() const { return used_; }
@@ -69,13 +100,49 @@ class MemoryBroker {
   int64_t Grant(int64_t requested) {
     const int64_t g = std::max<int64_t>(1, std::min(requested, available()));
     used_ += g;
+    peak_used_ = std::max(peak_used_, used_);
     return g;
   }
   void Release(int64_t pages) { used_ -= std::min(pages, used_); }
 
+  /// High-water mark of `used()`; exceeds capacity() exactly when the broker
+  /// ran over-committed (progress-minimum grants after a shrink).
+  int64_t peak_used() const { return peak_used_; }
+
+  /// True when a capacity shrink left grants outstanding beyond the limit;
+  /// registered operators should shed at their next phase boundary.
+  bool overcommitted() const { return used_ > capacity_; }
+
+  // -- phase-boundary revocation --------------------------------------------
+  /// Operators holding multi-page grants register while their grant is live.
+  /// Registration is bookkeeping only (the broker never calls ShedPages
+  /// spontaneously); Unregister is idempotent and safe from destructors.
+  void Register(MemoryRevocable* op) { revocables_.push_back(op); }
+  void Unregister(MemoryRevocable* op) {
+    revocables_.erase(std::remove(revocables_.begin(), revocables_.end(), op),
+                      revocables_.end());
+  }
+  int64_t registered_revocables() const {
+    return static_cast<int64_t>(revocables_.size());
+  }
+
+  /// Phase-boundary revocation poll: when the broker is over-committed, asks
+  /// the polling operator to shed up to the deficit (ShedPages keeps the
+  /// 1-page progress minimum). Returns the pages shed.
+  int64_t PollRevocation(MemoryRevocable* op) {
+    if (used_ <= capacity_) return 0;
+    const int64_t shed = op->ShedPages(used_ - capacity_);
+    if (shed > 0) ++revocations_honored_;
+    return shed;
+  }
+  int64_t revocations_honored() const { return revocations_honored_; }
+
  private:
   int64_t capacity_;
   int64_t used_ = 0;
+  int64_t peak_used_ = 0;
+  std::vector<MemoryRevocable*> revocables_;
+  int64_t revocations_honored_ = 0;
 };
 
 /// Per-query execution context: cost clock, memory, and the re-optimization
@@ -93,6 +160,32 @@ class ExecContext {
   double cost() const { return counters_.cost_units; }
 
   MemoryBroker* memory() { return memory_; }
+
+  // -- spill subsystem -------------------------------------------------------
+  /// Where spill directories are created (empty: SpillManager default).
+  /// Must be set before the first spill() call to take effect.
+  void set_spill_dir(std::string dir) { spill_dir_ = std::move(dir); }
+  /// Deterministic id naming this context's spill directory
+  /// (`<spill_dir>/<query_id>/`). Defaults to "q0".
+  void set_query_id(std::string id) { query_id_ = std::move(id); }
+  const std::string& query_id() const { return query_id_; }
+
+  /// The query's spill manager, created lazily on first use so purely
+  /// in-memory queries never touch the filesystem. Its page charges land on
+  /// this context's cost clock (ChargeSpill), keeping file-level accounting
+  /// and the simulated clock reconciled by construction. Destroyed — along
+  /// with every temp file — when this context goes out of scope, which in
+  /// Engine::Run is per execution attempt (success, abort, and cooperative
+  /// cancellation alike).
+  SpillManager* spill() {
+    if (spill_ == nullptr) {
+      spill_ = std::make_unique<SpillManager>(
+          spill_dir_, query_id_,
+          [this](int64_t w, int64_t r) { ChargeSpill(w, r); });
+    }
+    return spill_.get();
+  }
+  bool has_spill() const { return spill_ != nullptr; }
 
   /// FMT (fluctuating memory test) support: once the simulated clock passes
   /// `threshold` cost units, the broker capacity is set to the paired
@@ -134,6 +227,7 @@ class ExecContext {
   }
   void ChargeSpill(int64_t pages_written, int64_t pages_reread) {
     counters_.spill_pages += pages_written;
+    counters_.spill_pages_reread += pages_reread;
     counters_.cost_units += cost_model_.spill_page_write * pages_written +
                             cost_model_.spill_page_read * pages_reread;
     ApplyScheduledEvents();
@@ -292,6 +386,9 @@ class ExecContext {
   std::map<int, Fuse> fuses_;
   std::unique_ptr<GuardrailTrip> trip_;
   std::unique_ptr<FaultInjector> faults_;
+  std::string spill_dir_;
+  std::string query_id_ = "q0";
+  std::unique_ptr<SpillManager> spill_;
 };
 
 }  // namespace rqp

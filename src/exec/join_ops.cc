@@ -43,24 +43,355 @@ Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf) {
 // ---- HashJoinOp ------------------------------------------------------------
 
 HashJoinOp::HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
-                       std::string probe_key_slot, std::string build_key_slot)
+                       std::string probe_key_slot, std::string build_key_slot,
+                       Options options)
     : probe_child_(std::move(probe_child)),
       build_child_(std::move(build_child)),
       probe_key_(std::move(probe_key_slot)),
-      build_key_(std::move(build_key_slot)) {
+      build_key_(std::move(build_key_slot)),
+      options_(options) {
   slots_ = ConcatSlots(probe_child_->output_slots(),
                        build_child_->output_slots());
+  if (options_.fan_out < 2) options_.fan_out = 2;
+  if (options_.max_recursion < 1) options_.max_recursion = 1;
+}
+
+HashJoinOp::~HashJoinOp() {
+  // DrainOperator does not Close() on error paths: grants and registration
+  // must not outlive the operator.
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+}
+
+size_t HashJoinOp::PartitionOf(int64_t key) const {
+  // splitmix64-style finalizer salted by recursion depth, so each level
+  // splits keys independently — and independently of the unordered_multimap
+  // bucket function used inside a partition.
+  uint64_t x = static_cast<uint64_t>(key) +
+               0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(depth_ + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % static_cast<uint64_t>(options_.fan_out));
+}
+
+Status HashJoinOp::SpillPartition(size_t part_idx) {
+  Partition& part = parts_[part_idx];
+  if (part.spilled) return Status::OK();
+  if (part.build_spill == nullptr) {
+    auto file = ctx_->spill()->Create(build_cols_);
+    if (!file.ok()) return file.status();
+    part.build_spill = std::move(file).value();
+    ++ctx_->counters().spill_partitions;
+  }
+  for (size_t r = 0; r < part.rows.num_rows(); ++r) {
+    RQP_RETURN_IF_ERROR(part.build_spill->AppendRow(part.rows.row(r)));
+  }
+  if (depth_ == 0) {
+    build_rows_spilled_ += static_cast<int64_t>(part.rows.num_rows());
+  }
+  ctx_->memory()->Release(part.charged_pages);
+  part.charged_pages = 0;
+  part.rows.data.clear();
+  part.table.clear();
+  part.spilled = true;
+  return Status::OK();
+}
+
+Status HashJoinOp::EnsurePartitionPage(size_t part_idx) {
+  while (true) {
+    Partition& part = parts_[part_idx];
+    if (part.spilled) return Status::OK();  // evicted below; rows on disk
+    if (ctx_->memory()->available() > 0) {
+      ctx_->memory()->Grant(1);
+      ++part.charged_pages;
+      return Status::OK();
+    }
+    // Memory exhausted: evict the largest resident partition (ties broken
+    // by lowest index, keeping runs deterministic).
+    int victim = -1;
+    int64_t victim_pages = 0;
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (!parts_[i].spilled && parts_[i].charged_pages > victim_pages) {
+        victim_pages = parts_[i].charged_pages;
+        victim = static_cast<int>(i);
+      }
+    }
+    if (victim < 0) {
+      // Nothing left to evict: take the 1-page progress minimum (the broker
+      // over-commits rather than deadlocks).
+      ctx_->memory()->Grant(1);
+      ++part.charged_pages;
+      return Status::OK();
+    }
+    RQP_RETURN_IF_ERROR(SpillPartition(static_cast<size_t>(victim)));
+    if (static_cast<size_t>(victim) == part_idx) return Status::OK();
+  }
+}
+
+Status HashJoinOp::PartitionBuildRow(const int64_t* row) {
+  const size_t p = PartitionOf(row[build_key_idx_]);
+  Partition& part = parts_[p];
+  if (part.spilled) {
+    if (depth_ == 0) ++build_rows_spilled_;
+    return part.build_spill->AppendRow(row);
+  }
+  part.rows.Append(row);
+  if (part.rows.num_pages() > part.charged_pages) {
+    RQP_RETURN_IF_ERROR(EnsurePartitionPage(p));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::FinishBuildPhase() {
+  for (Partition& part : parts_) {
+    if (part.spilled || part.rows.num_rows() == 0) continue;
+    part.table.reserve(part.rows.num_rows());
+    for (size_t r = 0; r < part.rows.num_rows(); ++r) {
+      part.table.emplace(part.rows.row(r)[build_key_idx_], r);
+    }
+    ctx_->ChargeHashOps(static_cast<int64_t>(
+        static_cast<double>(part.rows.num_rows()) *
+        ctx_->cost_model().hash_build_factor));
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::RunBuildFromChild(ExecContext* ctx) {
+  parts_ = std::vector<Partition>(static_cast<size_t>(options_.fan_out));
+  for (Partition& part : parts_) part.rows.num_cols = build_cols_;
+  RQP_RETURN_IF_ERROR(build_child_->Open(ctx));
+  while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(build_child_->Next(&batch));
+    if (batch.empty()) break;
+    // Poll at batch start (the phase boundary) before absorbing rows, so a
+    // capacity drop charged during the child's Next is shed as a revocation
+    // rather than resolved incidentally by the eviction path.
+    RQP_RETURN_IF_ERROR(PollRevocation());
+    ctx->ChargeHashOps(static_cast<int64_t>(batch.num_rows()));
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      ++build_rows_total_;
+      RQP_RETURN_IF_ERROR(PartitionBuildRow(batch.row(r)));
+    }
+  }
+  build_child_->Close();
+  spill_fraction_ =
+      build_rows_total_ == 0
+          ? 0.0
+          : static_cast<double>(build_rows_spilled_) /
+                static_cast<double>(build_rows_total_);
+  return FinishBuildPhase();
+}
+
+Status HashJoinOp::RunBuildFromFile(SpillFile* file) {
+  parts_ = std::vector<Partition>(static_cast<size_t>(options_.fan_out));
+  for (Partition& part : parts_) part.rows.num_cols = build_cols_;
+  RQP_RETURN_IF_ERROR(file->Rewind());
+  while (true) {
+    RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(file->ReadBatch(&batch));
+    if (batch.empty()) break;
+    RQP_RETURN_IF_ERROR(PollRevocation());
+    ctx_->ChargeHashOps(static_cast<int64_t>(batch.num_rows()));
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      RQP_RETURN_IF_ERROR(PartitionBuildRow(batch.row(r)));
+    }
+  }
+  return FinishBuildPhase();
+}
+
+Status HashJoinOp::FetchProbeBatch() {
+  if (probe_file_ == nullptr) {
+    RQP_RETURN_IF_ERROR(probe_child_->Next(&probe_batch_));
+  } else {
+    RQP_RETURN_IF_ERROR(probe_file_->ReadBatch(&probe_batch_));
+  }
+  probe_row_ = 0;
+  // Batch boundary = phase boundary: no live match references, safe to shed.
+  if (!probe_batch_.empty()) RQP_RETURN_IF_ERROR(PollRevocation());
+  return Status::OK();
+}
+
+Status HashJoinOp::FinishProbePhase() {
+  if (depth_ == 0) probe_child_->Close();
+  for (Partition& part : parts_) {
+    if (part.spilled) {
+      RQP_RETURN_IF_ERROR(part.build_spill->FinishWrite());
+      if (part.probe_spill != nullptr) {
+        RQP_RETURN_IF_ERROR(part.probe_spill->FinishWrite());
+        if (part.build_spill->rows_written() > 0 &&
+            part.probe_spill->rows_written() > 0) {
+          tasks_.push_back(PendingTask{std::move(part.build_spill),
+                                       std::move(part.probe_spill),
+                                       depth_ + 1});
+        }
+      }
+      // Pairs with an empty side produce no matches; dropping the
+      // SpillFiles removes their temp files immediately.
+    }
+    ctx_->memory()->Release(part.charged_pages);
+    part.charged_pages = 0;
+  }
+  parts_.clear();
+  probe_file_.reset();
+  phase_ = Phase::kTaskSetup;
+  return Status::OK();
+}
+
+Status HashJoinOp::SetupNextTask() {
+  if (tasks_.empty()) {
+    phase_ = Phase::kDone;
+    done_ = true;
+    return Status::OK();
+  }
+  PendingTask task = std::move(tasks_.back());
+  tasks_.pop_back();
+  depth_ = task.depth;
+  ctx_->counters().spill_recursion_depth = std::max(
+      ctx_->counters().spill_recursion_depth, static_cast<int64_t>(depth_));
+  probe_file_ = std::move(task.probe);
+  RQP_RETURN_IF_ERROR(probe_file_->Rewind());
+  probe_batch_.Clear();
+  probe_row_ = 0;
+  match_rows_.clear();
+  match_next_ = 0;
+  if (depth_ >= options_.max_recursion) {
+    // Duplicate-heavy keys defeat re-partitioning; chunked hash probing
+    // guarantees progress at any grant.
+    fb_build_ = std::move(task.build);
+    RQP_RETURN_IF_ERROR(fb_build_->Rewind());
+    phase_ = Phase::kChunkLoad;
+  } else {
+    RQP_RETURN_IF_ERROR(RunBuildFromFile(task.build.get()));
+    // task.build is destroyed here, removing the re-partitioned temp file.
+    phase_ = Phase::kProbe;
+  }
+  return Status::OK();
+}
+
+Status HashJoinOp::LoadNextChunk() {
+  // Chunk boundary = phase boundary: renegotiate the grant so capacity
+  // changes (grow or shrink) take effect on the next chunk.
+  if (chunk_pages_ > 0) {
+    ctx_->memory()->Release(chunk_pages_);
+    chunk_pages_ = 0;
+  }
+  chunk_ = RowBuffer{};
+  chunk_.num_cols = build_cols_;
+  chunk_table_.clear();
+  chunk_pages_ =
+      ctx_->memory()->Grant(std::max<int64_t>(1, ctx_->memory()->available()));
+  const int64_t max_rows = chunk_pages_ * kRowsPerPage;
+  while (static_cast<int64_t>(chunk_.num_rows()) < max_rows) {
+    RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+    RowBatch batch;
+    RQP_RETURN_IF_ERROR(fb_build_->ReadBatch(
+        &batch, max_rows - static_cast<int64_t>(chunk_.num_rows())));
+    if (batch.empty()) break;
+    for (size_t r = 0; r < batch.num_rows(); ++r) chunk_.Append(batch.row(r));
+  }
+  if (chunk_.num_rows() == 0) {
+    // Build file exhausted: this fallback task is complete.
+    ctx_->memory()->Release(chunk_pages_);
+    chunk_pages_ = 0;
+    fb_build_.reset();
+    probe_file_.reset();
+    phase_ = Phase::kTaskSetup;
+    return Status::OK();
+  }
+  chunk_table_.reserve(chunk_.num_rows());
+  for (size_t r = 0; r < chunk_.num_rows(); ++r) {
+    chunk_table_.emplace(chunk_.row(r)[build_key_idx_], r);
+  }
+  ctx_->ChargeHashOps(
+      static_cast<int64_t>(static_cast<double>(chunk_.num_rows()) *
+                           ctx_->cost_model().hash_build_factor));
+  // One full probe pass per chunk; Rewind makes the re-read pay again.
+  RQP_RETURN_IF_ERROR(probe_file_->Rewind());
+  probe_batch_.Clear();
+  probe_row_ = 0;
+  match_rows_.clear();
+  match_next_ = 0;
+  phase_ = Phase::kChunkProbe;
+  return Status::OK();
+}
+
+int64_t HashJoinOp::ShedPages(int64_t deficit) {
+  // Only resident partitions are sheddable; the chunked fallback and the
+  // 1-page progress minimum renegotiate at their own boundaries.
+  int64_t released = 0;
+  while (released < deficit) {
+    int victim = -1;
+    int64_t victim_pages = 0;
+    for (size_t i = 0; i < parts_.size(); ++i) {
+      if (!parts_[i].spilled && parts_[i].charged_pages > victim_pages) {
+        victim_pages = parts_[i].charged_pages;
+        victim = static_cast<int>(i);
+      }
+    }
+    if (victim < 0) break;
+    released += victim_pages;
+    const Status s = SpillPartition(static_cast<size_t>(victim));
+    if (!s.ok()) {
+      shed_error_ = s;
+      break;
+    }
+  }
+  return released;
+}
+
+Status HashJoinOp::PollRevocation() {
+  if (!ctx_->memory()->overcommitted()) return Status::OK();
+  const int64_t shed = ctx_->memory()->PollRevocation(this);
+  if (shed > 0) ++ctx_->counters().memory_revocations;
+  if (!shed_error_.ok()) {
+    Status s = shed_error_;
+    shed_error_ = Status::OK();
+    return s;
+  }
+  return Status::OK();
+}
+
+void HashJoinOp::ReleaseAllMemory() {
+  if (broker_ == nullptr) return;
+  for (Partition& part : parts_) {
+    broker_->Release(part.charged_pages);
+    part.charged_pages = 0;
+  }
+  broker_->Release(chunk_pages_);
+  chunk_pages_ = 0;
+  broker_->Release(base_pages_);
+  base_pages_ = 0;
 }
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  broker_ = ctx->memory();
   ResetCount();
   done_ = false;
-  probe_row_ = 0;
-  match_next_ = 0;
-  match_rows_.clear();
+  depth_ = 0;
+  parts_.clear();
+  tasks_.clear();
+  probe_file_.reset();
+  fb_build_.reset();
+  chunk_ = RowBuffer{};
+  chunk_table_.clear();
   probe_batch_.Clear();
-  pending_spill_pages_ = 0;
+  probe_row_ = 0;
+  match_rows_.clear();
+  match_next_ = 0;
+  spill_fraction_ = 0;
+  build_rows_total_ = 0;
+  build_rows_spilled_ = 0;
+  shed_error_ = Status::OK();
 
   const int pk = FindSlot(probe_child_->output_slots(), probe_key_);
   const int bk = FindSlot(build_child_->output_slots(), build_key_);
@@ -70,81 +401,118 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   }
   probe_key_idx_ = static_cast<size_t>(pk);
   build_key_idx_ = static_cast<size_t>(bk);
+  probe_cols_ = probe_child_->output_slots().size();
+  build_cols_ = build_child_->output_slots().size();
 
-  RQP_RETURN_IF_ERROR(MaterializeChild(build_child_.get(), ctx, &build_));
-  const int64_t build_pages = std::max<int64_t>(1, build_.num_pages());
-  granted_pages_ = ctx->memory()->Grant(build_pages);
-  spill_fraction_ =
-      granted_pages_ >= build_pages
-          ? 0.0
-          : 1.0 - static_cast<double>(granted_pages_) /
-                      static_cast<double>(build_pages);
-  if (spill_fraction_ > 0.0) {
-    // Grace partitioning: the overflow fraction of the build side is
-    // written out and re-read once.
-    const double spilled =
-        spill_fraction_ * static_cast<double>(build_pages);
-    ctx->ChargeSpill(static_cast<int64_t>(std::ceil(spilled)),
-                     static_cast<int64_t>(std::ceil(spilled)));
+  if (!registered_) {
+    broker_->Register(this);
+    registered_ = true;
   }
-  table_.clear();
-  table_.reserve(build_.num_rows());
-  for (size_t r = 0; r < build_.num_rows(); ++r) {
-    table_.emplace(build_.row(r)[build_key_idx_], r);
-  }
-  ctx->ChargeHashOps(static_cast<int64_t>(
-      static_cast<double>(build_.num_rows()) *
-      ctx->cost_model().hash_build_factor));
+  base_pages_ = broker_->Grant(1);  // progress minimum, held until Close
 
+  RQP_RETURN_IF_ERROR(RunBuildFromChild(ctx));
   RQP_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  phase_ = Phase::kProbe;
   return Status::OK();
 }
 
 Status HashJoinOp::Next(RowBatch* out) {
   RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
-  const size_t left_n = probe_child_->output_slots().size();
   while (!out->full() && !done_) {
-    if (match_next_ < match_rows_.size()) {
-      const int64_t* lrow = probe_batch_.row(probe_row_);
-      const int64_t* rrow = build_.row(match_rows_[match_next_++]);
-      out->AppendConcat(lrow, left_n, rrow, build_.num_cols);
-      continue;
-    }
-    // Advance to next probe row.
-    ++probe_row_;
-    if (probe_batch_.empty() || probe_row_ >= probe_batch_.num_rows()) {
-      RQP_RETURN_IF_ERROR(probe_child_->Next(&probe_batch_));
-      if (probe_batch_.empty()) { done_ = true; break; }
-      probe_row_ = 0;
-      // Spilled probe fraction pays partition I/O.
-      if (spill_fraction_ > 0.0) {
-        pending_spill_pages_ +=
-            spill_fraction_ *
-            static_cast<double>(probe_batch_.num_rows()) / kRowsPerPage;
-        const int64_t whole = static_cast<int64_t>(pending_spill_pages_);
-        if (whole > 0) {
-          ctx_->ChargeSpill(whole, whole);
-          pending_spill_pages_ -= static_cast<double>(whole);
+    switch (phase_) {
+      case Phase::kProbe: {
+        if (match_next_ < match_rows_.size()) {
+          out->AppendConcat(probe_batch_.row(probe_row_), probe_cols_,
+                            parts_[match_part_].rows.row(
+                                match_rows_[match_next_++]),
+                            build_cols_);
+          continue;
         }
+        ++probe_row_;
+        if (probe_batch_.empty() || probe_row_ >= probe_batch_.num_rows()) {
+          RQP_RETURN_IF_ERROR(FetchProbeBatch());
+          if (probe_batch_.empty()) {
+            RQP_RETURN_IF_ERROR(FinishProbePhase());
+            continue;
+          }
+        }
+        const int64_t* row = probe_batch_.row(probe_row_);
+        ctx_->ChargeHashOps(1);
+        const size_t p = PartitionOf(row[probe_key_idx_]);
+        Partition& part = parts_[p];
+        match_rows_.clear();
+        match_next_ = 0;
+        if (part.spilled) {
+          if (part.probe_spill == nullptr) {
+            auto file = ctx_->spill()->Create(probe_cols_);
+            if (!file.ok()) return file.status();
+            part.probe_spill = std::move(file).value();
+          }
+          RQP_RETURN_IF_ERROR(part.probe_spill->AppendRow(row));
+          continue;
+        }
+        match_part_ = p;
+        auto [begin, end] = part.table.equal_range(row[probe_key_idx_]);
+        for (auto it = begin; it != end; ++it) {
+          match_rows_.push_back(it->second);
+        }
+        continue;
       }
+      case Phase::kTaskSetup:
+        RQP_RETURN_IF_ERROR(SetupNextTask());
+        continue;
+      case Phase::kChunkLoad:
+        RQP_RETURN_IF_ERROR(LoadNextChunk());
+        continue;
+      case Phase::kChunkProbe: {
+        if (match_next_ < match_rows_.size()) {
+          out->AppendConcat(probe_batch_.row(probe_row_), probe_cols_,
+                            chunk_.row(match_rows_[match_next_++]),
+                            build_cols_);
+          continue;
+        }
+        ++probe_row_;
+        if (probe_batch_.empty() || probe_row_ >= probe_batch_.num_rows()) {
+          RQP_RETURN_IF_ERROR(probe_file_->ReadBatch(&probe_batch_));
+          probe_row_ = 0;
+          if (probe_batch_.empty()) {
+            phase_ = Phase::kChunkLoad;
+            continue;
+          }
+        }
+        const int64_t* row = probe_batch_.row(probe_row_);
+        ctx_->ChargeHashOps(1);
+        match_rows_.clear();
+        match_next_ = 0;
+        auto [begin, end] = chunk_table_.equal_range(row[probe_key_idx_]);
+        for (auto it = begin; it != end; ++it) {
+          match_rows_.push_back(it->second);
+        }
+        continue;
+      }
+      case Phase::kDone:
+        done_ = true;
+        continue;
     }
-    ctx_->ChargeHashOps(1);
-    match_rows_.clear();
-    match_next_ = 0;
-    auto [begin, end] =
-        table_.equal_range(probe_batch_.row(probe_row_)[probe_key_idx_]);
-    for (auto it = begin; it != end; ++it) match_rows_.push_back(it->second);
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();
 }
 
 void HashJoinOp::Close() {
-  if (ctx_ != nullptr) ctx_->memory()->Release(granted_pages_);
-  granted_pages_ = 0;
-  table_.clear();
-  build_ = RowBuffer{};
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+  parts_.clear();
+  tasks_.clear();
+  probe_file_.reset();
+  fb_build_.reset();
+  chunk_ = RowBuffer{};
+  chunk_table_.clear();
+  phase_ = Phase::kDone;
 }
 
 // ---- MergeJoinOp -----------------------------------------------------------

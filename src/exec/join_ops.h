@@ -9,6 +9,7 @@
 
 #include "exec/operator.h"
 #include "expr/predicate.h"
+#include "storage/spill.h"
 #include "storage/table.h"
 
 namespace rqp {
@@ -33,14 +34,31 @@ struct RowBuffer {
 /// Drains `child` into `buf`. Sets buf.num_cols from the child's slots.
 Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf);
 
-/// Hybrid hash join: builds on the right child, probes with the left.
-/// When the memory grant is smaller than the build side, the overflow
-/// fraction of both inputs is charged as spill I/O (grace partitioning) —
-/// the knob behind the memory-adaptation experiments.
-class HashJoinOp : public Operator {
+/// Hybrid hash join with recursive grace partitioning: builds on the right
+/// child, probes with the left. Build rows are hash-partitioned; partitions
+/// stay resident under the MemoryBroker grant and overflow partitions spill
+/// to real SpillManager files. Spilled (build, probe) partition pairs are
+/// processed recursively with a level-dependent hash; at `max_recursion`
+/// the operator falls back to chunked hash probing (memory-sized build
+/// chunks, one probe-file pass per chunk), which completes at a 1-page
+/// grant. The operator honors phase-boundary memory revocation: a capacity
+/// shrink makes it shed resident partitions at the next batch boundary.
+class HashJoinOp : public Operator, public MemoryRevocable {
  public:
+  struct Options {
+    int fan_out = 8;        ///< grace partitions per recursion level
+    int max_recursion = 4;  ///< levels before the chunked-hash fallback
+  };
+
   HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
-             std::string probe_key_slot, std::string build_key_slot);
+             std::string probe_key_slot, std::string build_key_slot,
+             Options options);
+  HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
+             std::string probe_key_slot, std::string build_key_slot)
+      : HashJoinOp(std::move(probe_child), std::move(build_child),
+                   std::move(probe_key_slot), std::move(build_key_slot),
+                   Options()) {}
+  ~HashJoinOp() override;
 
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
@@ -50,26 +68,87 @@ class HashJoinOp : public Operator {
   }
   std::string name() const override { return "HashJoin"; }
 
-  /// Fraction of the build side that did not fit in memory (diagnostics).
+  /// Fraction of the build side that did not fit in memory at the first
+  /// partitioning level (diagnostics).
   double spill_fraction() const { return spill_fraction_; }
 
+  /// MemoryRevocable: sheds resident build partitions (largest first) until
+  /// `deficit` pages are released or only the 1-page progress minimum
+  /// remains. Called only from this operator's own phase-boundary polls.
+  int64_t ShedPages(int64_t deficit) override;
+  void OnBrokerDestroyed() override {
+    broker_ = nullptr;
+    registered_ = false;
+  }
+
  private:
+  /// One grace partition at the current recursion level.
+  struct Partition {
+    RowBuffer rows;  ///< resident build rows (empty once spilled)
+    std::unordered_multimap<int64_t, size_t> table;
+    std::unique_ptr<SpillFile> build_spill;
+    std::unique_ptr<SpillFile> probe_spill;
+    int64_t charged_pages = 0;  ///< broker pages held for `rows`
+    bool spilled = false;
+  };
+
+  /// A spilled (build, probe) pair awaiting recursive processing.
+  struct PendingTask {
+    std::unique_ptr<SpillFile> build, probe;
+    int depth = 0;
+  };
+
+  enum class Phase { kProbe, kTaskSetup, kChunkLoad, kChunkProbe, kDone };
+
+  size_t PartitionOf(int64_t key) const;
+  Status PartitionBuildRow(const int64_t* row);
+  Status EnsurePartitionPage(size_t part_idx);
+  Status SpillPartition(size_t part_idx);
+  Status FinishBuildPhase();
+  Status RunBuildFromChild(ExecContext* ctx);
+  Status RunBuildFromFile(SpillFile* file);
+  Status FetchProbeBatch();
+  Status FinishProbePhase();
+  Status SetupNextTask();
+  Status LoadNextChunk();
+  Status PollRevocation();
+  void ReleaseAllMemory();
+
   OperatorPtr probe_child_, build_child_;
   std::string probe_key_, build_key_;
+  Options options_;
   std::vector<std::string> slots_;
   size_t probe_key_idx_ = 0, build_key_idx_ = 0;
-  RowBuffer build_;
-  std::unordered_multimap<int64_t, size_t> table_;
+  size_t probe_cols_ = 0, build_cols_ = 0;
   ExecContext* ctx_ = nullptr;
-  int64_t granted_pages_ = 0;
+  MemoryBroker* broker_ = nullptr;  ///< kept for destructor-safe cleanup
+  bool registered_ = false;
+
+  Phase phase_ = Phase::kDone;
+  int depth_ = 0;
+  std::vector<Partition> parts_;
+  std::vector<PendingTask> tasks_;  ///< LIFO: bounds live spill files
+  int64_t base_pages_ = 0;          ///< 1-page progress minimum
   double spill_fraction_ = 0;
-  double pending_spill_pages_ = 0;
-  // probe state
+  int64_t build_rows_total_ = 0;    ///< depth-0 build rows seen
+  int64_t build_rows_spilled_ = 0;  ///< depth-0 build rows spilled
+  Status shed_error_;  ///< deferred I/O failure from ShedPages
+
+  // Probe state: match_rows_ index either parts_[match_part_].rows (probe
+  // phases) or chunk_ (chunked fallback).
+  std::unique_ptr<SpillFile> probe_file_;  ///< recursive probe input
   RowBatch probe_batch_;
   size_t probe_row_ = 0;
+  size_t match_part_ = 0;
   std::vector<size_t> match_rows_;
   size_t match_next_ = 0;
   bool done_ = false;
+
+  // Chunked-hash fallback state.
+  std::unique_ptr<SpillFile> fb_build_;
+  RowBuffer chunk_;
+  std::unordered_multimap<int64_t, size_t> chunk_table_;
+  int64_t chunk_pages_ = 0;
 };
 
 /// Sort-merge join over inputs already sorted on their key slots.

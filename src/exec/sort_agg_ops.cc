@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 
@@ -15,88 +16,470 @@ int FindSlotIdx(const std::vector<std::string>& slots,
   }
   return -1;
 }
+
+// splitmix64 finalizer; the aggregation partitioner salts it with the
+// recursion depth so every level re-partitions with an independent hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 }  // namespace
 
 // ---- SortOp ----------------------------------------------------------------
 
 SortOp::SortOp(OperatorPtr child, std::string key_slot, Options options)
-    : child_(std::move(child)), key_(std::move(key_slot)), options_(options) {}
+    : child_(std::move(child)), key_(std::move(key_slot)), options_(options) {
+  if (options_.merge_fanin < 2) options_.merge_fanin = 2;
+}
+
+SortOp::~SortOp() {
+  // DrainOperator does not Close() on error paths: grants and registration
+  // must not outlive the operator.
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+}
+
+void SortOp::ReleaseAllMemory() {
+  if (broker_ == nullptr) return;
+  broker_->Release(buffer_pages_);
+  buffer_pages_ = 0;
+  broker_->Release(merge_pages_);
+  merge_pages_ = 0;
+}
 
 Status SortOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  broker_ = ctx->memory();
   ResetCount();
   next_ = 0;
+  external_ = false;
   external_passes_ = 0;
+  shed_error_ = Status::OK();
+  rows_ = RowBuffer{};
+  order_.clear();
+  runs_.clear();
+  cursors_.clear();
   const int k = FindSlotIdx(child_->output_slots(), key_);
   if (k < 0) return Status::InvalidArgument("sort key slot not found: " + key_);
   key_idx_ = static_cast<size_t>(k);
-  RQP_RETURN_IF_ERROR(MaterializeChild(child_.get(), ctx, &rows_));
-
-  const int64_t n = static_cast<int64_t>(rows_.num_rows());
-  const int64_t pages = std::max<int64_t>(1, rows_.num_pages());
-
-  // In-memory sort work: n log2 n comparisons.
-  if (n > 1) {
-    ctx->ChargeCompareOps(static_cast<int64_t>(
-        static_cast<double>(n) * std::log2(static_cast<double>(n))));
+  cols_ = child_->output_slots().size();
+  rows_.num_cols = cols_;
+  open_capacity_ = broker_->capacity();
+  if (options_.dynamic_memory && !registered_) {
+    broker_->Register(this);
+    registered_ = true;
   }
-  order_.resize(static_cast<size_t>(n));
-  std::iota(order_.begin(), order_.end(), 0);
-  std::stable_sort(order_.begin(), order_.end(),
-                   [this](size_t a, size_t b) {
-                     return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
-                   });
 
-  // External merge passes: initial run size = memory grant; each pass
-  // multiplies the run size by the merge fan-in and re-reads + re-writes
-  // every page once. With dynamic memory the grant is renegotiated before
-  // each pass, so a capacity change mid-sort takes effect immediately.
-  int64_t grant = ctx->memory()->Grant(pages);
-  int64_t run_pages = std::max<int64_t>(1, grant);
-  while (run_pages < pages) {
-    ++external_passes_;
-    ctx->ChargeSpill(pages, pages);
-    run_pages *= options_.merge_fanin;
-    if (options_.dynamic_memory) {
-      ctx->memory()->Release(grant);
-      grant = ctx->memory()->Grant(pages);
-      run_pages = std::max(run_pages, grant);
+  RQP_RETURN_IF_ERROR(ConsumeInput(ctx));
+
+  if (runs_.empty()) {
+    // Everything fit: one in-memory stable sort, no external passes.
+    const int64_t n = static_cast<int64_t>(rows_.num_rows());
+    if (n > 1) {
+      ctx->ChargeCompareOps(static_cast<int64_t>(
+          static_cast<double>(n) * std::log2(static_cast<double>(n))));
+    }
+    order_.resize(static_cast<size_t>(n));
+    std::iota(order_.begin(), order_.end(), 0);
+    std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+      return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
+    });
+    return Status::OK();
+  }
+  // The still-buffered tail becomes the last run; then merge.
+  RQP_RETURN_IF_ERROR(FlushRun());
+  return MergeRuns();
+}
+
+Status SortOp::ConsumeInput(ExecContext* ctx) {
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  while (true) {
+    RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
+    RowBatch in;
+    RQP_RETURN_IF_ERROR(child_->Next(&in));
+    if (in.empty()) break;
+    // Batch start is the phase boundary: scheduled capacity drops land on
+    // the clock during the child's Next, so poll before absorbing rows —
+    // otherwise the grow path below resolves the deficit incidentally and
+    // the revocation is never observed.
+    RQP_RETURN_IF_ERROR(PollRevocation());
+    for (size_t r = 0; r < in.num_rows(); ++r) {
+      // Pages needed once this row lands in the buffer.
+      const int64_t needed =
+          (static_cast<int64_t>(rows_.num_rows()) + kRowsPerPage) /
+          kRowsPerPage;
+      if (needed > buffer_pages_) {
+        // The static policy is a one-shot deal struck at Open(): it never
+        // grows into memory freed later; only the dynamic policy does.
+        const bool headroom =
+            broker_->available() > 0 &&
+            (options_.dynamic_memory || buffer_pages_ < open_capacity_);
+        if (headroom || rows_.num_rows() == 0) {
+          // Grow — or, with an empty buffer, take the 1-page progress
+          // minimum even over-committed.
+          buffer_pages_ += broker_->Grant(1);
+        } else {
+          // No headroom: cut the buffer as a sorted run and start fresh.
+          RQP_RETURN_IF_ERROR(FlushRun());
+          buffer_pages_ += broker_->Grant(1);
+        }
+      }
+      rows_.Append(in.row(r));
     }
   }
-  ctx->memory()->Release(grant);
+  child_->Close();
   return Status::OK();
+}
+
+Status SortOp::FlushRun() {
+  const size_t n = rows_.num_rows();
+  if (n == 0) return Status::OK();
+  order_.resize(n);
+  std::iota(order_.begin(), order_.end(), 0);
+  std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+    return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
+  });
+  if (n > 1) {
+    ctx_->ChargeCompareOps(static_cast<int64_t>(
+        static_cast<double>(n) * std::log2(static_cast<double>(n))));
+  }
+  auto file = ctx_->spill()->Create(cols_);
+  if (!file.ok()) return file.status();
+  for (size_t i = 0; i < n; ++i) {
+    RQP_RETURN_IF_ERROR((*file)->AppendRow(rows_.row(order_[i])));
+  }
+  RQP_RETURN_IF_ERROR((*file)->FinishWrite());
+  runs_.push_back(std::move(file).value());
+  ++ctx_->counters().spill_partitions;
+  rows_.data.clear();
+  order_.clear();
+  broker_->Release(buffer_pages_);
+  buffer_pages_ = 0;
+  return Status::OK();
+}
+
+Status SortOp::MergeRuns() {
+  external_ = true;
+  while (true) {
+    // One cursor page per input run plus the output page.
+    int64_t want = std::min<int64_t>(options_.merge_fanin,
+                                     static_cast<int64_t>(runs_.size())) +
+                   1;
+    if (!options_.dynamic_memory) {
+      want = std::min(want, std::max<int64_t>(open_capacity_, 2));
+    }
+    if (options_.dynamic_memory || merge_pages_ == 0) {
+      // Grow & shrink: renegotiate before every generation, so capacity
+      // changes mid-merge adjust the fan-in instead of failing.
+      broker_->Release(merge_pages_);
+      merge_pages_ = broker_->Grant(want);
+    }
+    const int64_t fanin =
+        std::clamp<int64_t>(merge_pages_ - 1, 2, options_.merge_fanin);
+    ++external_passes_;
+    if (static_cast<int64_t>(runs_.size()) <= fanin) break;
+    RQP_RETURN_IF_ERROR(MergeGeneration(fanin));
+  }
+  // The last generation streams straight out of the surviving runs: open
+  // one single-page cursor per run for Next().
+  cursors_.clear();
+  cursors_.reserve(runs_.size());
+  for (auto& run : runs_) {
+    MergeCursor c;
+    c.file = run.get();
+    RQP_RETURN_IF_ERROR(run->Rewind());
+    RQP_RETURN_IF_ERROR(run->ReadBatch(&c.batch, kRowsPerPage));
+    if (c.batch.empty()) c.file = nullptr;
+    cursors_.push_back(std::move(c));
+  }
+  return Status::OK();
+}
+
+Status SortOp::MergeGeneration(int64_t fanin) {
+  std::vector<std::unique_ptr<SpillFile>> next_runs;
+  for (size_t base = 0; base < runs_.size();
+       base += static_cast<size_t>(fanin)) {
+    RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+    const size_t end =
+        std::min(runs_.size(), base + static_cast<size_t>(fanin));
+    if (end - base == 1) {
+      next_runs.push_back(std::move(runs_[base]));
+      continue;
+    }
+    std::vector<MergeCursor> cursors;
+    cursors.reserve(end - base);
+    for (size_t i = base; i < end; ++i) {
+      MergeCursor c;
+      c.file = runs_[i].get();
+      RQP_RETURN_IF_ERROR(c.file->Rewind());
+      RQP_RETURN_IF_ERROR(c.file->ReadBatch(&c.batch, kRowsPerPage));
+      if (c.batch.empty()) c.file = nullptr;
+      cursors.push_back(std::move(c));
+    }
+    auto merged = ctx_->spill()->Create(cols_);
+    if (!merged.ok()) return merged.status();
+    int64_t rows_merged = 0;
+    while (true) {
+      // Lowest key wins; ties go to the earliest run, which — with runs
+      // kept in formation order — reproduces a global stable sort.
+      int best = -1;
+      for (size_t i = 0; i < cursors.size(); ++i) {
+        const MergeCursor& c = cursors[i];
+        if (c.file == nullptr) continue;
+        if (best < 0 ||
+            c.batch.row(c.pos)[key_idx_] <
+                cursors[static_cast<size_t>(best)]
+                    .batch.row(cursors[static_cast<size_t>(best)].pos)
+                        [key_idx_]) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      MergeCursor& c = cursors[static_cast<size_t>(best)];
+      RQP_RETURN_IF_ERROR((*merged)->AppendRow(c.batch.row(c.pos)));
+      ++rows_merged;
+      if (++c.pos >= c.batch.num_rows()) {
+        RQP_RETURN_IF_ERROR(c.file->ReadBatch(&c.batch, kRowsPerPage));
+        c.pos = 0;
+        if (c.batch.empty()) c.file = nullptr;
+      }
+    }
+    ctx_->ChargeCompareOps(rows_merged *
+                           static_cast<int64_t>(cursors.size() - 1));
+    RQP_RETURN_IF_ERROR((*merged)->FinishWrite());
+    next_runs.push_back(std::move(merged).value());
+    // Source runs (and their files) die here.
+    for (size_t i = base; i < end; ++i) runs_[i].reset();
+  }
+  runs_ = std::move(next_runs);
+  return PollRevocation();
 }
 
 Status SortOp::Next(RowBatch* out) {
   out->Reset(output_slots().size());
-  while (next_ < order_.size() && !out->full()) {
-    out->AppendRow(rows_.row(order_[next_++]));
+  if (!external_) {
+    while (next_ < order_.size() && !out->full()) {
+      out->AppendRow(rows_.row(order_[next_++]));
+    }
+  } else {
+    int64_t compares = 0;
+    const int64_t k = static_cast<int64_t>(cursors_.size());
+    while (!out->full()) {
+      int best = -1;
+      for (size_t i = 0; i < cursors_.size(); ++i) {
+        const MergeCursor& c = cursors_[i];
+        if (c.file == nullptr) continue;
+        if (best < 0 ||
+            c.batch.row(c.pos)[key_idx_] <
+                cursors_[static_cast<size_t>(best)]
+                    .batch.row(cursors_[static_cast<size_t>(best)].pos)
+                        [key_idx_]) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) break;
+      MergeCursor& c = cursors_[static_cast<size_t>(best)];
+      out->AppendRow(c.batch.row(c.pos));
+      compares += k - 1;
+      if (++c.pos >= c.batch.num_rows()) {
+        RQP_RETURN_IF_ERROR(c.file->ReadBatch(&c.batch, kRowsPerPage));
+        c.pos = 0;
+        if (c.batch.empty()) c.file = nullptr;
+      }
+    }
+    if (compares > 0) ctx_->ChargeCompareOps(compares);
   }
   ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();
 }
 
+Status SortOp::PollRevocation() {
+  if (!registered_ || broker_ == nullptr || !broker_->overcommitted()) {
+    return Status::OK();
+  }
+  const int64_t shed = broker_->PollRevocation(this);
+  if (shed > 0) ++ctx_->counters().memory_revocations;
+  if (!shed_error_.ok()) {
+    Status s = shed_error_;
+    shed_error_ = Status::OK();
+    return s;
+  }
+  return Status::OK();
+}
+
+int64_t SortOp::ShedPages(int64_t deficit) {
+  (void)deficit;
+  // Only the run-formation buffer is sheddable; merge generations already
+  // renegotiate their grant at every generation boundary.
+  if (external_ || rows_.num_rows() == 0 || buffer_pages_ == 0) return 0;
+  const int64_t released = buffer_pages_;
+  Status st = FlushRun();  // releases the buffer's pages
+  if (!st.ok()) {
+    shed_error_ = st;
+    return 0;
+  }
+  return released;
+}
+
 void SortOp::Close() {
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
   rows_ = RowBuffer{};
   order_.clear();
+  cursors_.clear();
+  runs_.clear();
 }
 
 // ---- HashAggOp -------------------------------------------------------------
 
 HashAggOp::HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
-                     std::vector<AggSpec> aggregates)
+                     std::vector<AggSpec> aggregates, Options options)
     : child_(std::move(child)), group_slots_(std::move(group_slots)),
-      aggs_(std::move(aggregates)) {
+      aggs_(std::move(aggregates)), options_(options) {
   slots_ = group_slots_;
   for (const auto& a : aggs_) slots_.push_back(a.output_name);
+  if (options_.fan_out < 2) options_.fan_out = 2;
+  if (options_.max_recursion < 1) options_.max_recursion = 1;
+}
+
+HashAggOp::~HashAggOp() {
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+}
+
+void HashAggOp::ReleaseAllMemory() {
+  if (broker_ == nullptr) return;
+  broker_->Release(charged_pages_);
+  charged_pages_ = 0;
+}
+
+size_t HashAggOp::PartitionOf(const std::vector<int64_t>& key) const {
+  uint64_t h = Mix64(static_cast<uint64_t>(depth_) + 1);
+  for (int64_t cell : key) h = Mix64(h ^ static_cast<uint64_t>(cell));
+  return static_cast<size_t>(h % static_cast<uint64_t>(options_.fan_out));
+}
+
+void HashAggOp::InitAccumulators(std::vector<int64_t>* accs) const {
+  accs->assign(aggs_.size(), 0);
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    if (aggs_[a].fn == AggFn::kMin) {
+      (*accs)[a] = std::numeric_limits<int64_t>::max();
+    } else if (aggs_[a].fn == AggFn::kMax) {
+      (*accs)[a] = std::numeric_limits<int64_t>::min();
+    }
+  }
+}
+
+void HashAggOp::MergeInputRow(const int64_t* row,
+                              std::vector<int64_t>* accs) const {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    int64_t& acc = (*accs)[a];
+    switch (aggs_[a].fn) {
+      case AggFn::kCount: ++acc; break;
+      case AggFn::kSum: acc += row[agg_idx_[a]]; break;
+      case AggFn::kMin: acc = std::min(acc, row[agg_idx_[a]]); break;
+      case AggFn::kMax: acc = std::max(acc, row[agg_idx_[a]]); break;
+    }
+  }
+}
+
+void HashAggOp::MergePartialRow(const int64_t* partial,
+                                std::vector<int64_t>* accs) const {
+  // Partial rows carry already-aggregated state: counts add (not ++),
+  // sums add, min/max fold.
+  const int64_t* pa = partial + group_idx_.size();
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    int64_t& acc = (*accs)[a];
+    switch (aggs_[a].fn) {
+      case AggFn::kCount: acc += pa[a]; break;
+      case AggFn::kSum: acc += pa[a]; break;
+      case AggFn::kMin: acc = std::min(acc, pa[a]); break;
+      case AggFn::kMax: acc = std::max(acc, pa[a]); break;
+    }
+  }
+}
+
+Status HashAggOp::EnsureGroupCapacity() {
+  while (true) {
+    const int64_t needed = std::max<int64_t>(
+        1, (static_cast<int64_t>(groups_.size()) + kRowsPerPage - 1) /
+               kRowsPerPage);
+    if (needed <= charged_pages_) return Status::OK();
+    if (broker_->available() > 0) {
+      charged_pages_ += broker_->Grant(1);
+      continue;
+    }
+    if (depth_ < options_.max_recursion && !slots_.empty() &&
+        groups_.size() > 1) {
+      RQP_RETURN_IF_ERROR(ShedGroups());
+      continue;
+    }
+    // Out of levels (or nothing sheddable): over-commit rather than fail —
+    // completion at degraded speed beats an error.
+    charged_pages_ += broker_->Grant(1);
+  }
+}
+
+Status HashAggOp::ShedGroups() {
+  if (shed_files_.empty()) {
+    shed_files_.resize(static_cast<size_t>(options_.fan_out));
+  }
+  std::vector<int64_t> row(slots_.size());
+  for (const auto& [key, accs] : groups_) {
+    size_t c = 0;
+    for (int64_t g : key) row[c++] = g;
+    for (int64_t a : accs) row[c++] = a;
+    auto& file = shed_files_[PartitionOf(key)];
+    if (file == nullptr) {
+      auto created = ctx_->spill()->Create(slots_.size());
+      if (!created.ok()) return created.status();
+      file = std::move(created).value();
+      ++ctx_->counters().spill_partitions;
+    }
+    RQP_RETURN_IF_ERROR(file->AppendRow(row.data()));
+  }
+  groups_.clear();
+  broker_->Release(charged_pages_);
+  charged_pages_ = 0;
+  shed_this_level_ = true;
+  return Status::OK();
+}
+
+Status HashAggOp::SealShedFiles() {
+  // LIFO pending order keeps the set of live files bounded by the fan-out
+  // times the recursion depth.
+  for (auto& file : shed_files_) {
+    if (file == nullptr) continue;
+    RQP_RETURN_IF_ERROR(file->FinishWrite());
+    pending_.push_back(PendingPartition{std::move(file), depth_ + 1});
+  }
+  shed_files_.clear();
+  return Status::OK();
 }
 
 Status HashAggOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
+  broker_ = ctx->memory();
   ResetCount();
   groups_.clear();
   emitting_ = false;
+  depth_ = 0;
+  shed_this_level_ = false;
+  shed_error_ = Status::OK();
+  shed_files_.clear();
+  pending_.clear();
   group_idx_.clear();
   agg_idx_.clear();
   const auto& in_slots = child_->output_slots();
@@ -114,6 +497,10 @@ Status HashAggOp::Open(ExecContext* ctx) {
     if (i < 0) return Status::InvalidArgument("agg slot not found: " + a.slot);
     agg_idx_.push_back(static_cast<size_t>(i));
   }
+  if (!registered_) {
+    broker_->Register(this);
+    registered_ = true;
+  }
 
   RQP_RETURN_IF_ERROR(child_->Open(ctx));
   std::vector<int64_t> key(group_idx_.size());
@@ -122,6 +509,10 @@ Status HashAggOp::Open(ExecContext* ctx) {
     RowBatch in;
     RQP_RETURN_IF_ERROR(child_->Next(&in));
     if (in.empty()) break;
+    // Poll at batch start (the phase boundary) before absorbing rows, so a
+    // capacity drop charged during the child's Next is shed as a revocation
+    // rather than resolved incidentally by the grow path.
+    RQP_RETURN_IF_ERROR(PollRevocation());
     for (size_t r = 0; r < in.num_rows(); ++r) {
       const int64_t* row = in.row(r);
       for (size_t g = 0; g < group_idx_.size(); ++g) {
@@ -130,71 +521,152 @@ Status HashAggOp::Open(ExecContext* ctx) {
       ctx->ChargeHashOps(1);
       auto [it, inserted] = groups_.try_emplace(key);
       if (inserted) {
-        it->second.resize(aggs_.size());
-        for (size_t a = 0; a < aggs_.size(); ++a) {
-          switch (aggs_[a].fn) {
-            case AggFn::kCount: it->second[a] = 0; break;
-            case AggFn::kSum: it->second[a] = 0; break;
-            case AggFn::kMin:
-              it->second[a] = std::numeric_limits<int64_t>::max();
-              break;
-            case AggFn::kMax:
-              it->second[a] = std::numeric_limits<int64_t>::min();
-              break;
-          }
-        }
-      }
-      for (size_t a = 0; a < aggs_.size(); ++a) {
-        int64_t& acc = it->second[a];
-        switch (aggs_[a].fn) {
-          case AggFn::kCount: ++acc; break;
-          case AggFn::kSum: acc += row[agg_idx_[a]]; break;
-          case AggFn::kMin: acc = std::min(acc, row[agg_idx_[a]]); break;
-          case AggFn::kMax: acc = std::max(acc, row[agg_idx_[a]]); break;
-        }
+        InitAccumulators(&it->second);
+        MergeInputRow(row, &it->second);
+        RQP_RETURN_IF_ERROR(EnsureGroupCapacity());
+      } else {
+        MergeInputRow(row, &it->second);
       }
     }
   }
   child_->Close();
-  // Group state memory (transient; charged as hash-table pages).
-  const int64_t group_pages =
-      (static_cast<int64_t>(groups_.size()) + kRowsPerPage - 1) / kRowsPerPage;
-  const int64_t grant = ctx->memory()->Grant(std::max<int64_t>(1, group_pages));
-  ctx->memory()->Release(grant);
+
+  if (shed_this_level_ || !shed_files_.empty()) {
+    // Spilled: the resident remainder may share keys with shed partitions,
+    // so it must go through the partition merge too.
+    if (!groups_.empty()) RQP_RETURN_IF_ERROR(ShedGroups());
+    RQP_RETURN_IF_ERROR(SealShedFiles());
+    return Status::OK();  // Next() drives ProcessPending()
+  }
+
   emit_it_ = groups_.begin();
   emitting_ = true;
   // Global aggregation over an empty input still yields one row.
   if (group_slots_.empty() && groups_.empty()) {
-    std::vector<int64_t> accs(aggs_.size(), 0);
-    for (size_t a = 0; a < aggs_.size(); ++a) {
-      if (aggs_[a].fn == AggFn::kMin) {
-        accs[a] = std::numeric_limits<int64_t>::max();
-      } else if (aggs_[a].fn == AggFn::kMax) {
-        accs[a] = std::numeric_limits<int64_t>::min();
-      }
-    }
+    std::vector<int64_t> accs;
+    InitAccumulators(&accs);
     groups_.emplace(std::vector<int64_t>{}, std::move(accs));
     emit_it_ = groups_.begin();
   }
   return Status::OK();
 }
 
+Status HashAggOp::ProcessPending() {
+  while (!pending_.empty()) {
+    PendingPartition task = std::move(pending_.back());
+    pending_.pop_back();
+    depth_ = task.depth;
+    shed_this_level_ = false;
+    ctx_->counters().spill_recursion_depth = std::max<int64_t>(
+        ctx_->counters().spill_recursion_depth, depth_);
+    RQP_RETURN_IF_ERROR(task.file->Rewind());
+    std::vector<int64_t> key(group_idx_.size());
+    while (true) {
+      RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      RowBatch in;
+      RQP_RETURN_IF_ERROR(task.file->ReadBatch(&in));
+      if (in.empty()) break;
+      RQP_RETURN_IF_ERROR(PollRevocation());
+      for (size_t r = 0; r < in.num_rows(); ++r) {
+        const int64_t* row = in.row(r);
+        for (size_t g = 0; g < group_idx_.size(); ++g) key[g] = row[g];
+        ctx_->ChargeHashOps(1);
+        auto [it, inserted] = groups_.try_emplace(key);
+        if (inserted) {
+          InitAccumulators(&it->second);
+          MergePartialRow(row, &it->second);
+          RQP_RETURN_IF_ERROR(EnsureGroupCapacity());
+        } else {
+          MergePartialRow(row, &it->second);
+        }
+      }
+    }
+    task.file.reset();  // consumed — the temp file is deleted
+    if (shed_this_level_) {
+      // This partition overflowed again: its state is now split across
+      // depth+1 partitions; finish them and recurse (LIFO → depth first).
+      if (!groups_.empty()) RQP_RETURN_IF_ERROR(ShedGroups());
+      RQP_RETURN_IF_ERROR(SealShedFiles());
+      continue;
+    }
+    if (groups_.empty()) continue;
+    emit_it_ = groups_.begin();
+    emitting_ = true;
+    return Status::OK();
+  }
+  emitting_ = false;
+  return Status::OK();
+}
+
 Status HashAggOp::Next(RowBatch* out) {
   out->Reset(slots_.size());
   std::vector<int64_t> row(slots_.size());
-  while (emitting_ && emit_it_ != groups_.end() && !out->full()) {
-    size_t c = 0;
-    for (int64_t g : emit_it_->first) row[c++] = g;
-    for (int64_t a : emit_it_->second) row[c++] = a;
-    out->AppendRow(row);
-    ++emit_it_;
+  while (!out->full()) {
+    if (emitting_ && emit_it_ != groups_.end()) {
+      size_t c = 0;
+      for (int64_t g : emit_it_->first) row[c++] = g;
+      for (int64_t a : emit_it_->second) row[c++] = a;
+      out->AppendRow(row);
+      ++emit_it_;
+      continue;
+    }
+    if (emitting_) {
+      // Current partition fully emitted; recycle its memory.
+      emitting_ = false;
+      groups_.clear();
+      if (broker_ != nullptr) {
+        broker_->Release(charged_pages_);
+        charged_pages_ = 0;
+      }
+    }
+    if (pending_.empty()) break;
+    RQP_RETURN_IF_ERROR(ProcessPending());
+    if (!emitting_) break;
   }
   ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();
 }
 
-void HashAggOp::Close() { groups_.clear(); }
+Status HashAggOp::PollRevocation() {
+  if (!registered_ || broker_ == nullptr || !broker_->overcommitted()) {
+    return Status::OK();
+  }
+  const int64_t shed = broker_->PollRevocation(this);
+  if (shed > 0) ++ctx_->counters().memory_revocations;
+  if (!shed_error_.ok()) {
+    Status s = shed_error_;
+    shed_error_ = Status::OK();
+    return s;
+  }
+  return Status::OK();
+}
+
+int64_t HashAggOp::ShedPages(int64_t deficit) {
+  (void)deficit;
+  if (emitting_ || groups_.size() <= 1 || charged_pages_ <= 1 ||
+      depth_ >= options_.max_recursion || slots_.empty()) {
+    return 0;
+  }
+  const int64_t released = charged_pages_;
+  Status st = ShedGroups();
+  if (!st.ok()) {
+    shed_error_ = st;
+    return 0;
+  }
+  return released;
+}
+
+void HashAggOp::Close() {
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+  groups_.clear();
+  shed_files_.clear();
+  pending_.clear();
+}
 
 // ---- CheckOp ---------------------------------------------------------------
 

@@ -10,22 +10,27 @@
 
 namespace rqp {
 
-/// Blocking sort on one key slot (ascending). When the memory grant is
-/// smaller than the input, external merge passes are charged: each extra
-/// pass re-reads and re-writes the whole input once. Supports the dynamic
-/// "grow & shrink" policy: with `dynamic_memory`, the grant is re-negotiated
-/// per merge pass, so a mid-query capacity change (the FMT test) changes
-/// the number of passes instead of failing or thrashing.
-class SortOp : public Operator {
+/// Blocking sort on one key slot (ascending). External merge sort: input
+/// rows accumulate under the MemoryBroker grant; when the grant is
+/// exhausted, the buffer is stable-sorted and written out as a run, and the
+/// sorted runs are merged in fan-in-limited generations through real
+/// SpillManager files. Run formation plus the run-order tie-break in the
+/// merge keep the output byte-identical to an in-memory stable sort.
+/// Supports the dynamic "grow & shrink" policy: with `dynamic_memory`, the
+/// grant is re-negotiated per merge generation, so a mid-query capacity
+/// change (the FMT test) changes the fan-in of later generations instead of
+/// failing or thrashing; the static policy keeps its initial grant.
+class SortOp : public Operator, public MemoryRevocable {
  public:
   struct Options {
     bool dynamic_memory = true;
-    int merge_fanin = 8;  ///< runs merged per external pass
+    int merge_fanin = 8;  ///< max runs merged per external generation
   };
 
   SortOp(OperatorPtr child, std::string key_slot, Options options);
   SortOp(OperatorPtr child, std::string key_slot)
       : SortOp(std::move(child), std::move(key_slot), Options()) {}
+  ~SortOp() override;
 
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
@@ -35,18 +40,57 @@ class SortOp : public Operator {
   }
   std::string name() const override { return "Sort(" + key_ + ")"; }
 
+  /// Merge generations run after run formation (0 = fully in memory).
   int external_passes() const { return external_passes_; }
 
+  /// MemoryRevocable: sheds the in-flight run-formation buffer as a sorted
+  /// run, releasing its pages (progress continues on fresh 1-page grants).
+  int64_t ShedPages(int64_t deficit) override;
+  void OnBrokerDestroyed() override {
+    broker_ = nullptr;
+    registered_ = false;
+  }
+
  private:
+  /// One open run in a k-way merge; holds one page of rows at a time.
+  struct MergeCursor {
+    SpillFile* file = nullptr;  ///< null once the run is exhausted
+    RowBatch batch;
+    size_t pos = 0;
+  };
+
+  Status ConsumeInput(ExecContext* ctx);
+  Status FlushRun();
+  Status MergeRuns();
+  Status MergeGeneration(int64_t fanin);
+  Status PollRevocation();
+  void ReleaseAllMemory();
+
   OperatorPtr child_;
   std::string key_;
   Options options_;
   size_t key_idx_ = 0;
+  size_t cols_ = 0;
+  ExecContext* ctx_ = nullptr;
+  MemoryBroker* broker_ = nullptr;
+  bool registered_ = false;
+  Status shed_error_;
+
+  // In-memory path (doubles as the run-formation buffer).
   RowBuffer rows_;
   std::vector<size_t> order_;
   size_t next_ = 0;
+  int64_t buffer_pages_ = 0;
+  int64_t merge_pages_ = 0;
+  /// Broker capacity at Open(); the static policy never grows past it, so
+  /// memory freed mid-query is captured only by the dynamic policy.
+  int64_t open_capacity_ = 0;
+
+  // External path: sorted runs and the final streaming-merge cursors.
+  std::vector<std::unique_ptr<SpillFile>> runs_;
+  std::vector<MergeCursor> cursors_;
+  bool external_ = false;
   int external_passes_ = 0;
-  ExecContext* ctx_ = nullptr;
 };
 
 /// Aggregate functions.
@@ -58,11 +102,28 @@ struct AggSpec {
   std::string output_name;
 };
 
-/// Hash aggregation on zero or more group-by slots.
-class HashAggOp : public Operator {
+/// Hash aggregation on zero or more group-by slots. All four aggregate
+/// functions are decomposable, so when the group state outgrows the memory
+/// grant the operator sheds it as mergeable partial-aggregate rows,
+/// hash-partitioned into SpillManager files; partitions are re-aggregated
+/// recursively (with a depth-salted hash) and at `max_recursion` the
+/// operator over-commits the broker instead of shedding, guaranteeing
+/// completion. Queries that never spill emit groups in key order, exactly
+/// like the in-memory implementation.
+class HashAggOp : public Operator, public MemoryRevocable {
  public:
+  struct Options {
+    int fan_out = 8;        ///< shed partitions per recursion level
+    int max_recursion = 4;  ///< levels before over-commit completion
+  };
+
   HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
-            std::vector<AggSpec> aggregates);
+            std::vector<AggSpec> aggregates, Options options);
+  HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
+            std::vector<AggSpec> aggregates)
+      : HashAggOp(std::move(child), std::move(group_slots),
+                  std::move(aggregates), Options()) {}
+  ~HashAggOp() override;
 
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
@@ -72,17 +133,53 @@ class HashAggOp : public Operator {
   }
   std::string name() const override { return "HashAgg"; }
 
+  /// MemoryRevocable: sheds the resident group state as partial-aggregate
+  /// partitions at the next batch boundary.
+  int64_t ShedPages(int64_t deficit) override;
+  void OnBrokerDestroyed() override {
+    broker_ = nullptr;
+    registered_ = false;
+  }
+
  private:
+  using GroupMap = std::map<std::vector<int64_t>, std::vector<int64_t>>;
+
+  /// A shed partition awaiting recursive re-aggregation.
+  struct PendingPartition {
+    std::unique_ptr<SpillFile> file;
+    int depth = 0;
+  };
+
+  size_t PartitionOf(const std::vector<int64_t>& key) const;
+  void InitAccumulators(std::vector<int64_t>* accs) const;
+  void MergeInputRow(const int64_t* row, std::vector<int64_t>* accs) const;
+  void MergePartialRow(const int64_t* partial, std::vector<int64_t>* accs) const;
+  Status EnsureGroupCapacity();
+  Status ShedGroups();
+  Status SealShedFiles();
+  Status ProcessPending();
+  Status PollRevocation();
+  void ReleaseAllMemory();
+
   OperatorPtr child_;
   std::vector<std::string> group_slots_;
   std::vector<AggSpec> aggs_;
+  Options options_;
   std::vector<std::string> slots_;
   std::vector<size_t> group_idx_;
   std::vector<size_t> agg_idx_;
-  std::map<std::vector<int64_t>, std::vector<int64_t>> groups_;
-  std::map<std::vector<int64_t>, std::vector<int64_t>>::iterator emit_it_;
+  GroupMap groups_;
+  GroupMap::iterator emit_it_;
   bool emitting_ = false;
   ExecContext* ctx_ = nullptr;
+  MemoryBroker* broker_ = nullptr;
+  bool registered_ = false;
+  Status shed_error_;
+  int64_t charged_pages_ = 0;
+  int depth_ = 0;  ///< recursion depth of the partition being absorbed
+  bool shed_this_level_ = false;
+  std::vector<std::unique_ptr<SpillFile>> shed_files_;
+  std::vector<PendingPartition> pending_;  ///< LIFO: bounds live files
 };
 
 /// POP CHECK operator (Markl et al., SIGMOD'04; Figures 1–3 of the paper):

@@ -1,0 +1,195 @@
+#include "storage/spill.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "storage/table.h"
+
+namespace rqp {
+
+namespace fs = std::filesystem;
+
+// ---- SpillFile -------------------------------------------------------------
+
+SpillFile::SpillFile(SpillManager* manager, std::string path, size_t num_cols)
+    : manager_(manager), path_(std::move(path)), num_cols_(num_cols) {
+  file_ = std::fopen(path_.c_str(), "w+b");
+  write_buf_.reserve(static_cast<size_t>(kRowsPerPage) * num_cols_);
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);
+  std::error_code ec;
+  fs::remove(path_, ec);  // best effort; the manager sweeps the directory
+}
+
+Status SpillFile::AppendRow(const int64_t* row) {
+  if (sealed_) {
+    return Status::FailedPrecondition("append to sealed spill file: " + path_);
+  }
+  if (file_ == nullptr) {
+    return Status::Internal("spill file open failed: " + path_);
+  }
+  write_buf_.insert(write_buf_.end(), row, row + num_cols_);
+  if (write_buf_.size() >= static_cast<size_t>(kRowsPerPage) * num_cols_) {
+    return FlushPage();
+  }
+  return Status::OK();
+}
+
+Status SpillFile::FlushPage() {
+  if (write_buf_.empty()) return Status::OK();
+  const size_t cells = write_buf_.size();
+  if (std::fwrite(write_buf_.data(), sizeof(int64_t), cells, file_) != cells) {
+    return Status::Internal("spill write failed: " + path_ + ": " +
+                            std::strerror(errno));
+  }
+  rows_written_ += static_cast<int64_t>(cells / num_cols_);
+  ++pages_written_;
+  manager_->ChargeWrite(1, static_cast<int64_t>(cells * sizeof(int64_t)));
+  write_buf_.clear();
+  return Status::OK();
+}
+
+Status SpillFile::FinishWrite() {
+  if (sealed_) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::Internal("spill file open failed: " + path_);
+  }
+  // The trailing partial page still costs one page of spill I/O — this is
+  // where sub-page remainders get charged instead of dropped.
+  RQP_RETURN_IF_ERROR(FlushPage());
+  const bool flushed = std::fflush(file_) == 0;
+  // Close the handle while sealed-but-unread: external sorts can hold
+  // hundreds of finished runs, and keeping an fd per run would exhaust the
+  // process limit. Rewind() reopens on demand.
+  std::fclose(file_);
+  file_ = nullptr;
+  if (!flushed) return Status::Internal("spill flush failed: " + path_);
+  sealed_ = true;
+  return Status::OK();
+}
+
+Status SpillFile::Rewind() {
+  RQP_RETURN_IF_ERROR(FinishWrite());
+  if (file_ == nullptr) {
+    file_ = std::fopen(path_.c_str(), "rb");
+    if (file_ == nullptr) {
+      return Status::Internal("spill reopen failed: " + path_ + ": " +
+                              std::strerror(errno));
+    }
+  } else if (std::fseek(file_, 0, SEEK_SET) != 0) {
+    return Status::Internal("spill rewind failed: " + path_);
+  }
+  read_row_ = 0;
+  pages_charged_this_pass_ = 0;
+  return Status::OK();
+}
+
+Status SpillFile::ReadBatch(RowBatch* out, int64_t max_rows) {
+  out->Reset(num_cols_);
+  if (!sealed_ || file_ == nullptr) {
+    return Status::FailedPrecondition("read before Rewind: " + path_);
+  }
+  const int64_t want_rows =
+      std::min<int64_t>(std::max<int64_t>(0, max_rows),
+                        rows_written_ - read_row_);
+  if (want_rows <= 0) return Status::OK();
+  const size_t cells = static_cast<size_t>(want_rows) * num_cols_;
+  std::vector<int64_t>& data = out->mutable_data();
+  data.resize(cells);
+  if (std::fread(data.data(), sizeof(int64_t), cells, file_) != cells) {
+    return Status::Internal("spill read failed: " + path_);
+  }
+  read_row_ += want_rows;
+  // Charge the pages this pass newly touched.
+  const int64_t pages_now = (read_row_ + kRowsPerPage - 1) / kRowsPerPage;
+  if (pages_now > pages_charged_this_pass_) {
+    manager_->ChargeRead(pages_now - pages_charged_this_pass_,
+                         static_cast<int64_t>(cells * sizeof(int64_t)));
+    pages_charged_this_pass_ = pages_now;
+  }
+  return Status::OK();
+}
+
+// ---- SpillManager ----------------------------------------------------------
+
+SpillManager::SpillManager(std::string base_dir, std::string query_id,
+                           ChargeFn charge)
+    : charge_(std::move(charge)) {
+  if (base_dir.empty()) base_dir = DefaultBaseDirectory();
+  directory_ = base_dir + "/" + query_id;
+}
+
+SpillManager::~SpillManager() {
+  if (dir_created_) {
+    std::error_code ec;
+    fs::remove_all(directory_, ec);
+  }
+}
+
+std::string SpillManager::DefaultBaseDirectory() {
+  if (const char* env = std::getenv("RQP_SPILL_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  fs::path tmp = fs::temp_directory_path(ec);
+  if (ec) tmp = ".";
+  return (tmp / ("rqp-spill-" + std::to_string(getpid()))).string();
+}
+
+StatusOr<std::unique_ptr<SpillFile>> SpillManager::Create(size_t num_cols) {
+  if (num_cols == 0) {
+    return Status::InvalidArgument("spill file needs at least one column");
+  }
+  if (!dir_created_) {
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec) {
+      return Status::Internal("cannot create spill directory " + directory_ +
+                              ": " + ec.message());
+    }
+    dir_created_ = true;
+  }
+  std::string path =
+      directory_ + "/spill-" + std::to_string(next_file_++) + ".bin";
+  auto file = std::unique_ptr<SpillFile>(
+      new SpillFile(this, std::move(path), num_cols));
+  if (file->file_ == nullptr) {
+    return Status::Internal("cannot open spill file " + file->path_ + ": " +
+                            std::strerror(errno));
+  }
+  ++stats_.files_created;
+  return file;
+}
+
+int64_t SpillManager::LiveFilesOnDisk() const {
+  std::error_code ec;
+  if (!fs::exists(directory_, ec)) return 0;
+  int64_t n = 0;
+  for (fs::directory_iterator it(directory_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    ++n;
+  }
+  return n;
+}
+
+void SpillManager::ChargeWrite(int64_t pages, int64_t bytes) {
+  stats_.pages_written += pages;
+  stats_.bytes_written += bytes;
+  if (charge_) charge_(pages, 0);
+}
+
+void SpillManager::ChargeRead(int64_t pages, int64_t bytes) {
+  stats_.pages_reread += pages;
+  stats_.bytes_reread += bytes;
+  if (charge_) charge_(0, pages);
+}
+
+}  // namespace rqp

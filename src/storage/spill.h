@@ -1,0 +1,127 @@
+#ifndef RQP_STORAGE_SPILL_H_
+#define RQP_STORAGE_SPILL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/batch.h"
+#include "util/status.h"
+
+namespace rqp {
+
+class SpillManager;
+
+/// One temp file of fixed-width rows (int64 cells), written page by page.
+/// Life cycle: AppendRow()* -> FinishWrite() -> (Rewind() -> ReadBatch()*)*.
+/// The final partial page is flushed — and charged — by FinishWrite(), so
+/// fractional-page remainders are never dropped. The destructor closes and
+/// removes the backing file; a SpillFile must not outlive its SpillManager.
+class SpillFile {
+ public:
+  ~SpillFile();
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Buffers one row; flushes (and charges) a page every kRowsPerPage rows.
+  Status AppendRow(const int64_t* row);
+
+  /// Flushes the trailing partial page and seals the file for reading.
+  /// Idempotent.
+  Status FinishWrite();
+
+  /// Positions the read cursor at the first row. May be called repeatedly;
+  /// every pass over the file charges its pages again (the real cost of
+  /// chunked nested-loop re-reads).
+  Status Rewind();
+
+  /// Reads up to `max_rows` (default kBatchRows) rows into `out` (empty
+  /// batch = EOF). Pages are charged as the cursor crosses page boundaries
+  /// within the current pass.
+  Status ReadBatch(RowBatch* out,
+                   int64_t max_rows = static_cast<int64_t>(kBatchRows));
+
+  size_t num_cols() const { return num_cols_; }
+  int64_t rows_written() const { return rows_written_; }
+  int64_t pages_written() const { return pages_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class SpillManager;
+  SpillFile(SpillManager* manager, std::string path, size_t num_cols);
+
+  Status FlushPage();
+
+  SpillManager* manager_;
+  std::string path_;
+  size_t num_cols_;
+  std::FILE* file_ = nullptr;
+  std::vector<int64_t> write_buf_;  ///< rows buffered toward the next page
+  int64_t rows_written_ = 0;        ///< rows durably in the file
+  int64_t pages_written_ = 0;
+  bool sealed_ = false;   ///< FinishWrite called; file is read-only
+  int64_t read_row_ = 0;  ///< next row index for ReadBatch
+  int64_t pages_charged_this_pass_ = 0;
+};
+
+/// Factory and accountant for a query's spill files. Files live in a
+/// directory derived deterministically from the query id
+/// (`<base>/<query-id>/spill-<seq>.bin`), so a run can be correlated with
+/// its on-disk footprint. The destructor removes the whole directory —
+/// success, abort, and cooperative cancellation all funnel through it
+/// because the owning ExecContext is stack-local to one execution attempt.
+///
+/// Every page that hits or leaves the disk is reported through the charge
+/// callback, which keeps the SpillManager's byte/page accounting reconciled
+/// with the ExecContext cost clock by construction.
+class SpillManager {
+ public:
+  /// (pages_written, pages_reread) -> cost clock.
+  using ChargeFn = std::function<void(int64_t, int64_t)>;
+
+  struct Stats {
+    int64_t files_created = 0;
+    int64_t pages_written = 0;
+    int64_t pages_reread = 0;
+    int64_t bytes_written = 0;
+    int64_t bytes_reread = 0;
+  };
+
+  /// `base_dir` empty selects DefaultBaseDirectory().
+  SpillManager(std::string base_dir, std::string query_id, ChargeFn charge);
+  ~SpillManager();
+  SpillManager(const SpillManager&) = delete;
+  SpillManager& operator=(const SpillManager&) = delete;
+
+  /// Creates a fresh spill file for rows of `num_cols` columns.
+  StatusOr<std::unique_ptr<SpillFile>> Create(size_t num_cols);
+
+  const Stats& stats() const { return stats_; }
+  const std::string& directory() const { return directory_; }
+
+  /// Files currently present in this manager's directory (abort-path
+  /// leak checks).
+  int64_t LiveFilesOnDisk() const;
+
+  /// $RQP_SPILL_DIR, or `<system tmp>/rqp-spill-<pid>` — the pid component
+  /// keeps parallel test processes out of each other's directories.
+  static std::string DefaultBaseDirectory();
+
+ private:
+  friend class SpillFile;
+  void ChargeWrite(int64_t pages, int64_t rows_bytes);
+  void ChargeRead(int64_t pages, int64_t rows_bytes);
+
+  std::string directory_;
+  ChargeFn charge_;
+  Stats stats_;
+  int64_t next_file_ = 0;
+  bool dir_created_ = false;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_STORAGE_SPILL_H_

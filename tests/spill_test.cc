@@ -1,0 +1,496 @@
+// Real-spill subsystem tests: graceful degradation of the hybrid hash join,
+// external merge sort, and spillable aggregation across the whole memory
+// range, plus SpillManager accounting and cleanup guarantees. Runs under the
+// `spill` ctest label; RQP_TEST_MEMORY_PAGES overrides the default broker
+// capacity used by the accounting tests so CI can pin a starved
+// configuration.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/join_ops.h"
+#include "exec/scan_ops.h"
+#include "exec/sort_agg_ops.h"
+#include "storage/data_generator.h"
+#include "storage/spill.h"
+#include "util/rng.h"
+
+namespace rqp {
+namespace {
+
+namespace fs = std::filesystem;
+
+int64_t TestMemoryPages(int64_t fallback) {
+  if (const char* env = std::getenv("RQP_TEST_MEMORY_PAGES");
+      env != nullptr && env[0] != '\0') {
+    return std::max<int64_t>(1, std::atoll(env));
+  }
+  return fallback;
+}
+
+/// Per-test spill root so parallel test binaries never collide.
+std::string TestSpillDir(const std::string& tag) {
+  return (fs::temp_directory_path() /
+          ("rqp-spill-test-" + std::to_string(getpid()) + "-" + tag))
+      .string();
+}
+
+/// r(id, v): id = 0..n-1, v = id*2. s(fk, w): fk uniform in [0, keys).
+struct JoinFixture {
+  std::unique_ptr<Table> r, s;
+
+  JoinFixture(int64_t r_rows, int64_t s_rows, int64_t key_domain,
+              uint64_t seed = 11) {
+    r = std::make_unique<Table>(
+        "r", Schema({{"id", LogicalType::kInt64, 0, nullptr},
+                     {"v", LogicalType::kInt64, 0, nullptr}}));
+    auto ids = gen::Sequential(r_rows);
+    std::vector<int64_t> v(ids.size());
+    for (size_t i = 0; i < v.size(); ++i) v[i] = ids[i] * 2;
+    r->SetColumnData(0, std::move(ids));
+    r->SetColumnData(1, std::move(v));
+
+    s = std::make_unique<Table>(
+        "s", Schema({{"fk", LogicalType::kInt64, 0, nullptr},
+                     {"w", LogicalType::kInt64, 0, nullptr}}));
+    Rng rng(seed);
+    auto fk = gen::Uniform(&rng, s_rows, 0, key_domain - 1);
+    std::vector<int64_t> w(fk.begin(), fk.end());
+    s->SetColumnData(0, std::move(fk));
+    s->SetColumnData(1, std::move(w));
+  }
+
+  OperatorPtr ScanR() const { return std::make_unique<TableScanOp>(r.get()); }
+  OperatorPtr ScanS() const { return std::make_unique<TableScanOp>(s.get()); }
+};
+
+std::map<std::pair<int64_t, int64_t>, int64_t> JoinMultiset(
+    const std::vector<RowBatch>& batches, size_t key_slot, size_t v_slot) {
+  std::map<std::pair<int64_t, int64_t>, int64_t> got;
+  for (const auto& b : batches) {
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      got[{b.row(r)[key_slot], b.row(r)[v_slot]}]++;
+    }
+  }
+  return got;
+}
+
+// ---- SpillFile / SpillManager unit tests -----------------------------------
+
+TEST(SpillFileTest, FractionalFinalPageIsCharged) {
+  const std::string dir = TestSpillDir("frac");
+  int64_t charged_w = 0, charged_r = 0;
+  {
+    SpillManager mgr(dir, "frac", [&](int64_t w, int64_t r) {
+      charged_w += w;
+      charged_r += r;
+    });
+    auto file = mgr.Create(3);
+    ASSERT_TRUE(file.ok());
+    const int64_t n = kRowsPerPage + 5;  // one full page + a 5-row remainder
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t row[3] = {i, i * 10, i * 100};
+      ASSERT_TRUE((*file)->AppendRow(row).ok());
+    }
+    EXPECT_EQ(charged_w, 1);  // only the full page has hit the disk so far
+    ASSERT_TRUE((*file)->FinishWrite().ok());
+    EXPECT_EQ(charged_w, 2);  // the sub-page remainder is charged, not dropped
+    EXPECT_EQ((*file)->pages_written(), 2);
+    EXPECT_EQ((*file)->rows_written(), n);
+    EXPECT_EQ(mgr.stats().pages_written, 2);
+    EXPECT_EQ(mgr.stats().bytes_written,
+              static_cast<int64_t>(n * 3 * sizeof(int64_t)));
+
+    // Read back: identical rows, and every pass over the file pays again.
+    for (int pass = 0; pass < 2; ++pass) {
+      ASSERT_TRUE((*file)->Rewind().ok());
+      int64_t seen = 0;
+      while (true) {
+        RowBatch batch;
+        ASSERT_TRUE((*file)->ReadBatch(&batch).ok());
+        if (batch.empty()) break;
+        for (size_t i = 0; i < batch.num_rows(); ++i) {
+          EXPECT_EQ(batch.row(i)[0], seen);
+          EXPECT_EQ(batch.row(i)[1], seen * 10);
+          EXPECT_EQ(batch.row(i)[2], seen * 100);
+          ++seen;
+        }
+      }
+      EXPECT_EQ(seen, n);
+      EXPECT_EQ(charged_r, 2 * (pass + 1));
+    }
+    EXPECT_EQ(mgr.stats().pages_reread, 4);
+    EXPECT_EQ(mgr.LiveFilesOnDisk(), 1);
+  }
+  // Manager destruction removed the whole query directory.
+  EXPECT_FALSE(fs::exists(dir + "/frac"));
+  fs::remove_all(dir);
+}
+
+TEST(SpillManagerTest, DeterministicNamingFromQueryId) {
+  const std::string dir = TestSpillDir("naming");
+  SpillManager mgr(dir, "q7-a2", nullptr);
+  EXPECT_EQ(mgr.directory(), dir + "/q7-a2");
+  auto f0 = mgr.Create(1);
+  auto f1 = mgr.Create(1);
+  ASSERT_TRUE(f0.ok() && f1.ok());
+  EXPECT_EQ((*f0)->path(), dir + "/q7-a2/spill-0.bin");
+  EXPECT_EQ((*f1)->path(), dir + "/q7-a2/spill-1.bin");
+  fs::remove_all(dir);
+}
+
+// ---- capacity sweep: graceful degradation ----------------------------------
+
+// Acceptance sweep: at every memory grant from one page to "everything fits"
+// the operator completes, produces identical results, and the cost curve is
+// monotone without cliffs (no adjacent sweep point more than 2x worse).
+void CheckCurve(const std::vector<double>& costs) {
+  for (size_t i = 0; i + 1 < costs.size(); ++i) {
+    // More memory never hurts (small slack for partition-boundary jitter).
+    EXPECT_LE(costs[i + 1], costs[i] * 1.02)
+        << "cost increased between sweep points " << i << " and " << i + 1;
+    // No cliff: halving memory costs at most 2x.
+    EXPECT_LE(costs[i], costs[i + 1] * 2.0)
+        << "cliff between sweep points " << i << " and " << i + 1;
+  }
+}
+
+TEST(SpillSweepTest, HashJoinDegradesGracefully) {
+  const std::string dir = TestSpillDir("join-sweep");
+  JoinFixture f(20000, 20000, 20000);
+  // Strictly doubling sweep: the no-cliff bound (adjacent ratio <= 2x) is a
+  // statement about halving memory, so the grants must not jump further.
+  const std::vector<int64_t> grants = {1,   2,   4,   8,    16,  32,
+                                       64,  128, 256, 512,  1024, 1 << 20};
+  std::map<std::pair<int64_t, int64_t>, int64_t> reference;
+  std::vector<double> costs;
+  for (size_t gi = 0; gi < grants.size(); ++gi) {
+    MemoryBroker broker(grants[gi]);
+    ExecContext ctx(&broker);
+    ctx.set_spill_dir(dir);
+    ctx.set_query_id("join-g" + std::to_string(grants[gi]));
+    HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+    std::vector<RowBatch> out;
+    ASSERT_TRUE(DrainOperator(&join, &ctx, &out).ok())
+        << "grant " << grants[gi];
+    auto got = JoinMultiset(out, 0, 3);
+    if (gi == 0) {
+      reference = std::move(got);
+    } else {
+      EXPECT_EQ(got, reference) << "result differs at grant " << grants[gi];
+    }
+    EXPECT_EQ(broker.used(), 0) << "leaked grant at " << grants[gi];
+    costs.push_back(ctx.cost());
+  }
+  // The starved end actually spilled; the rich end did not.
+  EXPECT_GT(costs.front(), costs.back());
+  CheckCurve(costs);
+  fs::remove_all(dir);
+}
+
+TEST(SpillSweepTest, ExternalSortByteIdenticalAcrossGrants) {
+  const std::string dir = TestSpillDir("sort-sweep");
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(17);
+  t->SetColumnData(0, gen::Permutation(&rng, 50000));
+  const std::vector<int64_t> grants = {1,  2,  4,   8,    16,
+                                       32, 64, 256, 1024, 1 << 20};
+  std::vector<int64_t> reference;
+  std::vector<double> costs;
+  for (size_t gi = 0; gi < grants.size(); ++gi) {
+    MemoryBroker broker(grants[gi]);
+    ExecContext ctx(&broker);
+    ctx.set_spill_dir(dir);
+    ctx.set_query_id("sort-g" + std::to_string(grants[gi]));
+    SortOp sort(std::make_unique<TableScanOp>(t.get()), "t.a");
+    std::vector<RowBatch> out;
+    ASSERT_TRUE(DrainOperator(&sort, &ctx, &out).ok())
+        << "grant " << grants[gi];
+    std::vector<int64_t> values;
+    values.reserve(50000);
+    for (const auto& b : out) {
+      for (size_t r = 0; r < b.num_rows(); ++r) values.push_back(b.row(r)[0]);
+    }
+    if (gi == 0) {
+      reference = std::move(values);
+      ASSERT_EQ(reference.size(), 50000u);
+    } else {
+      // Byte-identical output at every grant, external or not.
+      EXPECT_EQ(values, reference) << "order differs at grant " << grants[gi];
+    }
+    if (grants[gi] >= (1 << 20)) {
+      EXPECT_EQ(sort.external_passes(), 0);
+    }
+    EXPECT_EQ(broker.used(), 0) << "leaked grant at " << grants[gi];
+    costs.push_back(ctx.cost());
+  }
+  EXPECT_GT(costs.front(), costs.back());
+  CheckCurve(costs);
+  fs::remove_all(dir);
+}
+
+TEST(SpillSweepTest, AggregationMatchesInMemoryUnderPressure) {
+  const std::string dir = TestSpillDir("agg");
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"g", LogicalType::kInt64, 0, nullptr},
+                   {"x", LogicalType::kInt64, 0, nullptr}}));
+  const int64_t n = 20000, groups = 997;
+  std::vector<int64_t> g(n), x(n);
+  for (int64_t i = 0; i < n; ++i) {
+    g[i] = i % groups;
+    x[i] = i;
+  }
+  t->SetColumnData(0, std::move(g));
+  t->SetColumnData(1, std::move(x));
+  const std::vector<AggSpec> aggs = {{AggFn::kCount, "", "cnt"},
+                                     {AggFn::kSum, "t.x", "sum_x"},
+                                     {AggFn::kMin, "t.x", "min_x"},
+                                     {AggFn::kMax, "t.x", "max_x"}};
+
+  auto run = [&](int64_t pages, ExecCounters* counters) {
+    MemoryBroker broker(pages);
+    ExecContext ctx(&broker);
+    ctx.set_spill_dir(dir);
+    ctx.set_query_id("agg-g" + std::to_string(pages));
+    HashAggOp agg(std::make_unique<TableScanOp>(t.get()), {"t.g"}, aggs);
+    std::vector<RowBatch> out;
+    EXPECT_TRUE(DrainOperator(&agg, &ctx, &out).ok());
+    EXPECT_EQ(broker.used(), 0);
+    if (counters != nullptr) *counters = ctx.counters();
+    std::map<int64_t, std::vector<int64_t>> result;
+    for (const auto& b : out) {
+      for (size_t r = 0; r < b.num_rows(); ++r) {
+        const int64_t* row = b.row(r);
+        result[row[0]] = {row[1], row[2], row[3], row[4]};
+      }
+    }
+    return result;
+  };
+
+  const auto rich = run(1 << 20, nullptr);
+  ASSERT_EQ(rich.size(), static_cast<size_t>(groups));
+  ExecCounters poor_counters;
+  const auto poor = run(2, &poor_counters);
+  // Spilled re-aggregation reaches the same groups and aggregates.
+  EXPECT_EQ(poor, rich);
+  EXPECT_GT(poor_counters.spill_pages, 0);
+  EXPECT_GT(poor_counters.spill_partitions, 0);
+  fs::remove_all(dir);
+}
+
+// ---- accounting reconciliation ---------------------------------------------
+
+TEST(SpillAccountingTest, CountersReconcileWithManagerStats) {
+  const std::string dir = TestSpillDir("reconcile");
+  JoinFixture f(20000, 20000, 20000);
+  MemoryBroker broker(TestMemoryPages(8));
+  ExecContext ctx(&broker);
+  ctx.set_spill_dir(dir);
+  ctx.set_query_id("reconcile");
+  HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  ASSERT_TRUE(DrainOperator(&join, &ctx, nullptr).ok());
+  ASSERT_TRUE(ctx.has_spill());
+  // Every page the SpillManager saw is on the cost clock, and vice versa:
+  // the two ledgers are reconciled by construction.
+  EXPECT_EQ(ctx.counters().spill_pages, ctx.spill()->stats().pages_written);
+  EXPECT_EQ(ctx.counters().spill_pages_reread,
+            ctx.spill()->stats().pages_reread);
+  EXPECT_GT(ctx.counters().spill_pages, 0);
+  EXPECT_GT(ctx.counters().spill_partitions, 0);
+  EXPECT_GT(join.spill_fraction(), 0.0);
+  fs::remove_all(dir);
+}
+
+// ---- cancellation / abort cleanup ------------------------------------------
+
+TEST(SpillCleanupTest, CostBudgetAbortLeavesNoFilesBehind) {
+  const std::string dir = TestSpillDir("abort");
+  JoinFixture f(20000, 20000, 20000);
+  std::string query_dir;
+  {
+    MemoryBroker broker(4);
+    ExecContext ctx(&broker);
+    ctx.set_spill_dir(dir);
+    ctx.set_query_id("abort");
+    ctx.set_cost_budget(200);  // trips while the build side is spilling
+    HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+    auto drained = DrainOperator(&join, &ctx, nullptr);
+    ASSERT_FALSE(drained.ok());
+    ASSERT_TRUE(ctx.has_trip());
+    ASSERT_TRUE(ctx.has_spill());  // the abort happened mid-spill
+    EXPECT_GT(ctx.spill()->stats().files_created, 0);
+    EXPECT_GT(ctx.spill()->LiveFilesOnDisk(), 0);
+    query_dir = ctx.spill()->directory();
+    EXPECT_TRUE(fs::exists(query_dir));
+  }
+  // Context destruction — the abort path — removed every temp file.
+  EXPECT_FALSE(fs::exists(query_dir));
+  fs::remove_all(dir);
+}
+
+// ---- memory revocation -----------------------------------------------------
+
+TEST(MemoryRevocationTest, BrokerGrantFloorShedAndClamps) {
+  struct StubRevocable : MemoryRevocable {
+    MemoryBroker* broker = nullptr;
+    int64_t held = 0;
+    int64_t ShedPages(int64_t deficit) override {
+      // Shed up to the deficit, keeping the 1-page progress minimum.
+      const int64_t shed = std::min(deficit, held - 1);
+      if (shed <= 0) return 0;
+      broker->Release(shed);
+      held -= shed;
+      return shed;
+    }
+  };
+
+  MemoryBroker broker(8);
+  StubRevocable op;
+  op.broker = &broker;
+  broker.Register(&op);
+  EXPECT_EQ(broker.registered_revocables(), 1);
+
+  op.held = broker.Grant(8);
+  EXPECT_EQ(op.held, 8);
+  EXPECT_EQ(broker.available(), 0);
+  // Grants never go below the 1-page progress minimum, even over-committed.
+  const int64_t floor_grant = broker.Grant(4);
+  EXPECT_EQ(floor_grant, 1);
+  EXPECT_TRUE(broker.overcommitted());
+  EXPECT_EQ(broker.peak_used(), 9);
+  broker.Release(floor_grant);
+
+  // Capacity shrink below used(): poll makes the operator shed the deficit.
+  broker.set_capacity(2);
+  EXPECT_TRUE(broker.overcommitted());
+  EXPECT_EQ(broker.PollRevocation(&op), 6);
+  EXPECT_EQ(op.held, 2);
+  EXPECT_EQ(broker.used(), 2);
+  EXPECT_FALSE(broker.overcommitted());
+  EXPECT_EQ(broker.revocations_honored(), 1);
+
+  // Shrink to zero: the operator refuses to go below one page.
+  broker.set_capacity(0);
+  EXPECT_EQ(broker.PollRevocation(&op), 1);
+  EXPECT_EQ(op.held, 1);
+  EXPECT_EQ(broker.PollRevocation(&op), 0);  // 1-page minimum holds
+  EXPECT_EQ(broker.used(), 1);
+
+  // Release never drives used() negative.
+  broker.Release(100);
+  EXPECT_EQ(broker.used(), 0);
+  broker.Release(5);
+  EXPECT_EQ(broker.used(), 0);
+  broker.Unregister(&op);
+  broker.Unregister(&op);  // idempotent
+  EXPECT_EQ(broker.registered_revocables(), 0);
+}
+
+TEST(MemoryRevocationTest, SortShedsAtPhaseBoundaryOnCapacityShrink) {
+  const std::string dir = TestSpillDir("revoke-sort");
+  auto t = std::make_unique<Table>(
+      "t", Schema({{"a", LogicalType::kInt64, 0, nullptr}}));
+  Rng rng(23);
+  t->SetColumnData(0, gen::Permutation(&rng, 50000));
+  MemoryBroker broker(1 << 20);
+  ExecContext ctx(&broker);
+  ctx.set_spill_dir(dir);
+  ctx.set_query_id("revoke-sort");
+  // Mid-scan the capacity collapses to 4 pages: the sort must shed its
+  // buffered pages at the next batch boundary and go external.
+  ctx.SetMemorySchedule({{200, 4}});
+  SortOp sort(std::make_unique<TableScanOp>(t.get()), "t.a");
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&sort, &ctx, &out).ok());
+  int64_t expected = 0;
+  for (const auto& b : out) {
+    for (size_t r = 0; r < b.num_rows(); ++r) {
+      EXPECT_EQ(b.row(r)[0], expected++);
+    }
+  }
+  EXPECT_EQ(expected, 50000);
+  EXPECT_GT(ctx.counters().memory_revocations, 0);
+  EXPECT_GT(broker.revocations_honored(), 0);
+  EXPECT_GT(sort.external_passes(), 0);
+  EXPECT_GT(ctx.counters().spill_pages, 0);
+  EXPECT_EQ(broker.used(), 0);  // everything released on Close
+  fs::remove_all(dir);
+}
+
+TEST(MemoryRevocationTest, HashJoinShedsMidBuildOnCapacityShrink) {
+  const std::string dir = TestSpillDir("revoke-join");
+  JoinFixture f(20000, 20000, 20000);
+  MemoryBroker broker(1 << 20);
+  ExecContext ctx(&broker);
+  ctx.set_spill_dir(dir);
+  ctx.set_query_id("revoke-join");
+  ctx.SetMemorySchedule({{200, 8}});
+  HashJoinOp join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  std::vector<RowBatch> out;
+  ASSERT_TRUE(DrainOperator(&join, &ctx, &out).ok());
+  // Reference run with stable ample memory.
+  MemoryBroker rich_broker(1 << 20);
+  ExecContext rich_ctx(&rich_broker);
+  HashJoinOp rich_join(f.ScanS(), f.ScanR(), "s.fk", "r.id");
+  std::vector<RowBatch> rich_out;
+  ASSERT_TRUE(DrainOperator(&rich_join, &rich_ctx, &rich_out).ok());
+  EXPECT_EQ(JoinMultiset(out, 0, 3), JoinMultiset(rich_out, 0, 3));
+  EXPECT_GT(ctx.counters().memory_revocations, 0);
+  EXPECT_GT(ctx.counters().spill_pages, 0);
+  EXPECT_GT(join.spill_fraction(), 0.0);
+  EXPECT_EQ(broker.used(), 0);
+  fs::remove_all(dir);
+}
+
+// A fault-schedule memory drop mid-build must trigger *real* partition
+// spilling — non-zero pages actually written, reread, and revocations
+// honored, all surfaced through QueryResult — not just cost-unit charges.
+TEST(MemoryRevocationTest, FaultMemoryDropMidBuildSpillsForReal) {
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = 50000;
+  spec.dim_rows = 2000;
+  spec.num_dimensions = 1;
+  BuildStarSchema(&catalog, spec);
+  QuerySpec q;
+  q.tables.push_back({"fact", nullptr});
+  q.tables.push_back({"dim0", nullptr});
+  q.joins.push_back({"fact", "fk0", "dim0", "id"});
+
+  EngineOptions plain;
+  Engine baseline(&catalog, plain);
+  baseline.AnalyzeAll();
+  auto base = baseline.Run(q);
+  ASSERT_TRUE(base.ok());
+
+  EngineOptions faulted;
+  // Lands inside the join's build phase (the dim0 scan spans ~0-70 cost
+  // units), after the first batch's partitions are resident — so the drop
+  // must be honored by shedding, not absorbed by the grow path.
+  faulted.faults.MemoryDrop(50, 4);
+  Engine engine(&catalog, faulted);
+  engine.AnalyzeAll();
+  auto result = engine.Run(q);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->output_rows, base->output_rows);
+  EXPECT_EQ(result->faults.memory_drops, 1);
+  EXPECT_GT(result->counters.spill_pages, base->counters.spill_pages);
+  EXPECT_GT(result->counters.spill_pages, 0);
+  EXPECT_GT(result->counters.spill_pages_reread, 0);
+  EXPECT_GT(result->counters.spill_partitions, 0);
+  EXPECT_GT(result->counters.memory_revocations, 0) << result->final_plan;
+  EXPECT_GT(result->cost, base->cost);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,12 +1,44 @@
 #include "engine/engine.h"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <limits>
 
 namespace rqp {
+
+namespace {
+
+/// Process-unique engine tag: pid (distinguishes processes sharing one
+/// $RQP_SPILL_DIR) plus a process-wide counter (distinguishes engines within
+/// one process).
+std::string MakeEngineTag() {
+  static std::atomic<int64_t> counter{0};
+  return "e" + std::to_string(static_cast<int64_t>(::getpid())) + "x" +
+         std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
+/// Resolves EngineOptions::num_threads: 0 defers to $RQP_THREADS (unset or
+/// unparsable → 1); the result is clamped to [1, 64].
+int ResolveNumThreads(int configured) {
+  int dop = configured;
+  if (dop <= 0) {
+    dop = 1;
+    if (const char* env = std::getenv("RQP_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v > 0) dop = static_cast<int>(v);
+    }
+  }
+  return std::clamp(dop, 1, 64);
+}
+
+}  // namespace
 
 Engine::Engine(Catalog* catalog, EngineOptions options)
     : catalog_(catalog), options_(std::move(options)),
@@ -16,7 +48,8 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
         // Skip-verification mode: accept any drift.
         if (options_.plan_cache_skip_verification) po.verify_factor = 1e18;
         return po;
-      }()) {}
+      }()),
+      engine_tag_(MakeEngineTag()) {}
 
 void Engine::AnalyzeAll(const AnalyzeOptions& options) {
   stats_.AnalyzeAll(*catalog_, options);
@@ -358,9 +391,25 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     accumulated.memory_revocations += c.memory_revocations;
     accumulated.spill_recursion_depth =
         std::max(accumulated.spill_recursion_depth, c.spill_recursion_depth);
+    accumulated.parallel_saved_units += c.parallel_saved_units;
+    accumulated.morsels += c.morsels;
+    accumulated.parallel_phases += c.parallel_phases;
   };
   const GuardrailOptions& guard = options_.guardrails;
   const int64_t query_seq = query_seq_++;
+
+  // Parallel execution setup. The pool is shared across queries and lazily
+  // created (and grown) on first DOP > 1 use; at DOP 1 no pool exists and
+  // the builder produces the classic serial tree.
+  ParallelOptions parallel;
+  parallel.num_threads = ResolveNumThreads(options_.num_threads);
+  parallel.morsel_rows = options_.morsel_rows;
+  if (parallel.num_threads > 1) {
+    if (pool_ == nullptr || pool_->num_threads() < parallel.num_threads) {
+      pool_ = std::make_unique<ThreadPool>(parallel.num_threads);
+    }
+    parallel.pool = pool_.get();
+  }
   int recoveries = 0;          ///< circuit-breaker count: reopts + retries
   bool circuit_open = false;   ///< breaker tripped: run unguarded
   bool safe_plan_active = false;
@@ -369,7 +418,8 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     ExecContext ctx(&memory_);
     ctx.set_cost_model(options_.cost_model);
     ctx.set_spill_dir(options_.spill_dir);
-    std::string query_id = "q";
+    std::string query_id = engine_tag_;
+    query_id += "-q";
     query_id += std::to_string(query_seq);
     query_id += "-a";
     query_id += std::to_string(attempt);
@@ -386,7 +436,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
       if (guard.fuse_factor > 0) ArmFuses(*plan, &ctx);
     }
 
-    auto op = BuildExecutable(*plan, catalog_, spec.params);
+    auto op = BuildExecutable(*plan, catalog_, spec.params, &parallel);
     if (!op.ok()) return op.status();
 
     std::vector<RowBatch> rows;
@@ -491,7 +541,12 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     result.counters.spill_recursion_depth =
         std::max(result.counters.spill_recursion_depth,
                  accumulated.spill_recursion_depth);
+    result.counters.parallel_saved_units += accumulated.parallel_saved_units;
+    result.counters.morsels += accumulated.morsels;
+    result.counters.parallel_phases += accumulated.parallel_phases;
     result.cost = result.counters.cost_units;
+    result.elapsed =
+        result.counters.cost_units - result.counters.parallel_saved_units;
     result.final_plan = plan->Explain();
     CollectNodeCards(*plan, ctx.actual_cardinalities(), &result.node_cards);
     if (options_.collect_feedback) {

@@ -83,6 +83,13 @@ struct EngineOptions {
   PlanCache::Options plan_cache;
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
+  /// Degree of parallelism for morsel-driven execution: 0 = read
+  /// $RQP_THREADS (unset/invalid → 1), 1 = classic serial execution
+  /// (byte-identical legacy behavior), N > 1 = N workers on a shared thread
+  /// pool. Clamped to [1, 64].
+  int num_threads = 0;
+  /// Rows per parallel-scan morsel (rounded up to whole pages).
+  int64_t morsel_rows = 4096;
   /// Base directory for spill files (empty: $RQP_SPILL_DIR, else a
   /// per-process tmp directory). Each execution attempt spills under
   /// `<spill_dir>/q<seq>-a<attempt>/` and the directory is removed when the
@@ -99,7 +106,11 @@ struct EngineOptions {
 /// Result of one query execution.
 struct QueryResult {
   int64_t output_rows = 0;
-  double cost = 0;  ///< simulated cost units ("response time")
+  double cost = 0;  ///< simulated cost units (total work, DOP-independent)
+  /// Simulated elapsed time: cost minus the work parallel phases hid behind
+  /// overlap (the deterministic list-schedule makespan model). Equal to
+  /// `cost` at DOP 1; the quantity the scaling tables report.
+  double elapsed = 0;
   ExecCounters counters;
   int reoptimizations = 0;
   /// Rio verdict (only meaningful when EngineOptions::use_rio is set):
@@ -193,6 +204,12 @@ class Engine {
   StHistogramStore st_store_;
   PlanCache plan_cache_;
   int64_t query_seq_ = 0;  ///< deterministic spill-directory naming
+  /// Process-unique engine tag prefixed to spill query ids, so engines
+  /// sharing one $RQP_SPILL_DIR (or one process) never collide.
+  std::string engine_tag_;
+  /// Shared worker pool, created lazily on the first DOP > 1 query and
+  /// reused (and grown) across queries.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace rqp

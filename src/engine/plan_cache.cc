@@ -41,18 +41,29 @@ PlanNodePtr PlanCache::LookupVerified(const std::string& key,
                                       const PlanCoster& coster,
                                       bool* verification_failed) {
   if (verification_failed != nullptr) *verification_failed = false;
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return nullptr;
+  PlanNodePtr clone;
+  double cached_cost = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return nullptr;
+    clone = it->second.plan->Clone();
+    cached_cost = it->second.cached_cost;
+  }
   // Verification: re-cost the cached structure under the current
-  // cardinality model.
-  PlanNodePtr clone = it->second.plan->Clone();
+  // cardinality model. The clone is private, so costing runs unlocked.
   coster.Cost(clone.get());
-  const double cached = std::max(1e-9, it->second.cached_cost);
+  const double cached = std::max(1e-9, cached_cost);
   const double ratio = clone->est_cost / cached;
+  std::lock_guard<std::mutex> lock(mu_);
   if (ratio > options_.verify_factor || ratio < 1.0 / options_.verify_factor) {
     ++verification_failures_;
     if (verification_failed != nullptr) *verification_failed = true;
-    entries_.erase(it);  // stale: correct by re-optimizing
+    // Stale: correct by re-optimizing. The entry may already have been
+    // replaced by a concurrent Put — erasing by key is still the right
+    // invalidation (the replacement was verified against the same drifted
+    // statistics snapshot at best).
+    entries_.erase(key);
     return nullptr;
   }
   ++hits_;
@@ -61,14 +72,15 @@ PlanNodePtr PlanCache::LookupVerified(const std::string& key,
 
 void PlanCache::Put(const std::string& key, const PlanNode& plan) {
   if (ContainsMaterialized(plan)) return;
+  Entry entry;
+  entry.plan = plan.Clone();
+  entry.cached_cost = plan.est_cost;
+  std::lock_guard<std::mutex> lock(mu_);
   if (entries_.size() >= options_.max_entries &&
       entries_.count(key) == 0) {
     // Simple capacity policy: drop the lexicographically first entry.
     entries_.erase(entries_.begin());
   }
-  Entry entry;
-  entry.plan = plan.Clone();
-  entry.cached_cost = plan.est_cost;
   entries_[key] = std::move(entry);
 }
 

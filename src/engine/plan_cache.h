@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "optimizer/optimizer.h"
@@ -18,6 +19,11 @@ namespace rqp {
 /// entry is discarded and the query re-optimized. This is the mechanism
 /// behind "plan stability with change management" (Ziauddin et al., the
 /// Oracle 11g paper in the reading list).
+///
+/// Thread-safe: sessions running on different threads may look up, insert,
+/// and invalidate concurrently; all cache state is guarded by an internal
+/// mutex. Verification re-costing happens on a private clone outside the
+/// lock, so a slow coster never serializes other sessions.
 class PlanCache {
  public:
   struct Options {
@@ -45,10 +51,22 @@ class PlanCache {
   /// are rejected (they reference one execution's materialized state).
   void Put(const std::string& key, const PlanNode& plan);
 
-  size_t size() const { return entries_.size(); }
-  int64_t hits() const { return hits_; }
-  int64_t verification_failures() const { return verification_failures_; }
-  void Clear() { entries_.clear(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  int64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  int64_t verification_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return verification_failures_;
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
 
  private:
   struct Entry {
@@ -57,6 +75,7 @@ class PlanCache {
   };
 
   Options options_;
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
   int64_t hits_ = 0;
   int64_t verification_failures_ = 0;

@@ -23,6 +23,14 @@ class RowBatch {
   }
   bool empty() const { return data_.empty(); }
   bool full() const { return num_rows() >= kBatchRows; }
+  /// Rows that can still be appended before the batch reaches kBatchRows.
+  /// full() uses >= because internal paths (spill re-reads, materialized
+  /// replays) may carry oversized batches; producers appending row ranges
+  /// must bound them with this so a batch never overfills.
+  size_t capacity_remaining() const {
+    const size_t n = num_rows();
+    return n >= kBatchRows ? 0 : kBatchRows - n;
+  }
 
   const int64_t* row(size_t i) const {
     assert(i < num_rows());

@@ -2,9 +2,11 @@
 #define RQP_EXEC_CONTEXT_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,13 +49,42 @@ struct ExecCounters {
   int64_t spill_partitions = 0;     ///< spill partitions created
   int64_t spill_recursion_depth = 0;  ///< deepest grace-partitioning level
   int64_t memory_revocations = 0;   ///< revocation polls that shed pages
+  // Parallel-execution diagnostics (PR 3). cost_units always accumulates
+  // *total work* (identical at every DOP for the same plan, so speedups are
+  // honest); parallel_saved_units is the work hidden by overlap, computed
+  // per parallel phase as total morsel cost minus the deterministic
+  // list-schedule makespan. Simulated elapsed time = cost_units -
+  // parallel_saved_units.
+  double parallel_saved_units = 0;
+  int64_t morsels = 0;           ///< morsels executed by parallel phases
+  int64_t parallel_phases = 0;   ///< parallel phases run
+
+  void Merge(const ExecCounters& o) {
+    cost_units += o.cost_units;
+    pages_read += o.pages_read;
+    random_reads += o.random_reads;
+    rows_processed += o.rows_processed;
+    hash_ops += o.hash_ops;
+    compare_ops += o.compare_ops;
+    spill_pages += o.spill_pages;
+    predicate_evals += o.predicate_evals;
+    spill_pages_reread += o.spill_pages_reread;
+    spill_partitions += o.spill_partitions;
+    spill_recursion_depth = std::max(spill_recursion_depth,
+                                     o.spill_recursion_depth);
+    memory_revocations += o.memory_revocations;
+    parallel_saved_units += o.parallel_saved_units;
+    morsels += o.morsels;
+    parallel_phases += o.parallel_phases;
+  }
 };
 
 /// Implemented by memory-adaptive operators that can give granted pages back
-/// mid-query. The broker never calls into an operator asynchronously — the
-/// executor is single-threaded — so shedding happens only when the operator
-/// itself polls at a phase boundary (a point with no live references into
-/// the memory being shed).
+/// mid-query. The broker never calls into an operator asynchronously — so
+/// shedding happens only when the operator itself polls at a phase boundary
+/// (a point with no live references into the memory being shed). Under
+/// parallel execution, workers poll at morsel boundaries; each worker sheds
+/// only its own thread-local state.
 class MemoryRevocable {
  public:
   virtual ~MemoryRevocable() = default;
@@ -72,6 +103,12 @@ class MemoryRevocable {
 /// Grants query memory (in pages). Capacity may be changed while queries
 /// run (the FMT fluctuating-memory test); operators observe the new limit
 /// at their next phase boundary when the dynamic policy is enabled.
+///
+/// Thread-safe (PR 3): grants, releases, and capacity changes may arrive
+/// concurrently from parallel-phase workers; all state is guarded by an
+/// internal mutex. PollRevocation never holds the broker lock across the
+/// operator's ShedPages callback — shedding releases pages, which would
+/// otherwise deadlock on lock re-entry.
 class MemoryBroker {
  public:
   explicit MemoryBroker(int64_t capacity_pages = 1 << 20)
@@ -82,62 +119,106 @@ class MemoryBroker {
   MemoryBroker(const MemoryBroker&) = delete;
   MemoryBroker& operator=(const MemoryBroker&) = delete;
 
-  int64_t capacity() const { return capacity_; }
-  int64_t used() const { return used_; }
-  int64_t available() const { return capacity_ > used_ ? capacity_ - used_ : 0; }
+  int64_t capacity() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_;
+  }
+  int64_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  int64_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ > used_ ? capacity_ - used_ : 0;
+  }
 
   /// Changes capacity. May be called while grants are outstanding: shrinking
   /// below `used()` is legal (the FMT test and fault injection both do it) —
   /// no assertion fires, `available()` clamps to zero, and subsequent grants
   /// shrink to the 1-page progress minimum until enough memory is released.
   /// Negative capacities clamp to zero.
-  void set_capacity(int64_t pages) { capacity_ = pages < 0 ? 0 : pages; }
+  void set_capacity(int64_t pages) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = pages < 0 ? 0 : pages;
+  }
 
   /// Grants up to `requested` pages but never less than 1 — even when the
   /// broker is over-committed after a capacity shrink — so every operator
   /// can always make progress, at spill speed. Returns the grant size,
   /// which the caller must eventually Release().
   int64_t Grant(int64_t requested) {
-    const int64_t g = std::max<int64_t>(1, std::min(requested, available()));
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t avail = capacity_ > used_ ? capacity_ - used_ : 0;
+    const int64_t g = std::max<int64_t>(1, std::min(requested, avail));
     used_ += g;
     peak_used_ = std::max(peak_used_, used_);
     return g;
   }
-  void Release(int64_t pages) { used_ -= std::min(pages, used_); }
+  void Release(int64_t pages) {
+    std::lock_guard<std::mutex> lock(mu_);
+    used_ -= std::min(pages, used_);
+  }
 
   /// High-water mark of `used()`; exceeds capacity() exactly when the broker
   /// ran over-committed (progress-minimum grants after a shrink).
-  int64_t peak_used() const { return peak_used_; }
+  int64_t peak_used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_used_;
+  }
 
   /// True when a capacity shrink left grants outstanding beyond the limit;
   /// registered operators should shed at their next phase boundary.
-  bool overcommitted() const { return used_ > capacity_; }
+  bool overcommitted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_ > capacity_;
+  }
 
   // -- phase-boundary revocation --------------------------------------------
   /// Operators holding multi-page grants register while their grant is live.
   /// Registration is bookkeeping only (the broker never calls ShedPages
   /// spontaneously); Unregister is idempotent and safe from destructors.
-  void Register(MemoryRevocable* op) { revocables_.push_back(op); }
+  void Register(MemoryRevocable* op) {
+    std::lock_guard<std::mutex> lock(mu_);
+    revocables_.push_back(op);
+  }
   void Unregister(MemoryRevocable* op) {
+    std::lock_guard<std::mutex> lock(mu_);
     revocables_.erase(std::remove(revocables_.begin(), revocables_.end(), op),
                       revocables_.end());
   }
   int64_t registered_revocables() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return static_cast<int64_t>(revocables_.size());
   }
 
   /// Phase-boundary revocation poll: when the broker is over-committed, asks
   /// the polling operator to shed up to the deficit (ShedPages keeps the
-  /// 1-page progress minimum). Returns the pages shed.
+  /// 1-page progress minimum). Returns the pages shed. The deficit is read
+  /// under the lock, but ShedPages runs outside it: the callback releases
+  /// pages through this broker, and another worker may concurrently change
+  /// the picture — shedding a few pages more than the instantaneous deficit
+  /// is harmless, deadlocking is not.
   int64_t PollRevocation(MemoryRevocable* op) {
-    if (used_ <= capacity_) return 0;
-    const int64_t shed = op->ShedPages(used_ - capacity_);
-    if (shed > 0) ++revocations_honored_;
+    int64_t deficit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (used_ <= capacity_) return 0;
+      deficit = used_ - capacity_;
+    }
+    const int64_t shed = op->ShedPages(deficit);
+    if (shed > 0) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++revocations_honored_;
+    }
     return shed;
   }
-  int64_t revocations_honored() const { return revocations_honored_; }
+  int64_t revocations_honored() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return revocations_honored_;
+  }
 
  private:
+  mutable std::mutex mu_;
   int64_t capacity_;
   int64_t used_ = 0;
   int64_t peak_used_ = 0;
@@ -271,6 +352,7 @@ class ExecContext {
         counters_.cost_units > cost_budget_) {
       trip_ = std::make_unique<GuardrailTrip>();
       trip_->cost_at_trip = counters_.cost_units;
+      cancelled_.store(true, std::memory_order_relaxed);
     }
     if (trip_ == nullptr) return Status::OK();
     if (trip_->kind == GuardrailTrip::Kind::kCardinalityFuse) {
@@ -293,6 +375,88 @@ class ExecContext {
     trip_->estimated_rows = it->second.estimated_rows;
     trip_->actual_rows = rows;
     trip_->cost_at_trip = counters_.cost_units;
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  // -- parallel execution (PR 3) --------------------------------------------
+  // During a parallel phase, workers charge into thread-local ExecCounters
+  // and flush through these methods at morsel boundaries (relaxed-contention
+  // batching: one lock acquisition per morsel, not per charge). Outside
+  // parallel phases the single-threaded Charge* methods above stay lock-free.
+
+  /// True once a guardrail tripped (or a worker failed): workers poll this at
+  /// morsel boundaries and stop claiming morsels. Trip *outcome* is
+  /// deterministic (the same fuse/budget trips at every DOP); trip *timing*
+  /// is not, which is fine because tripped attempts are discarded.
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  /// Cooperative cancellation for worker-side failures (fault exhaustion,
+  /// I/O errors): stops sibling workers at their next morsel boundary.
+  void CancelParallel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Folds a worker's thread-local counter delta into the shared counters,
+  /// applies clock-scheduled events (FMT memory schedule, fault-injected
+  /// memory drops) against the advanced global clock, and checks the cost
+  /// budget. The caller's delta must not be re-merged.
+  void MergeWorkerCounters(const ExecCounters& delta) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    counters_.Merge(delta);
+    ApplyScheduledEvents();
+    if (trip_ == nullptr && cost_budget_ > 0 &&
+        counters_.cost_units > cost_budget_) {
+      trip_ = std::make_unique<GuardrailTrip>();
+      trip_->cost_at_trip = counters_.cost_units;
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  /// Thread-safe ObserveProduced: `rows` is the *total* produced so far for
+  /// the node (workers accumulate a shared atomic total and report it here
+  /// at flush boundaries, so fuse trips lag production by at most one morsel
+  /// per worker — same batching tolerance as the serial per-batch check).
+  void ObserveProducedParallel(int plan_node_id, int64_t rows) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    ObserveProduced(plan_node_id, rows);
+  }
+
+  /// Records one finished parallel phase: `morsels` work units whose total
+  /// cost exceeded the deterministic list-schedule makespan by `saved_units`
+  /// (the work hidden by overlap; subtracted from cost_units to obtain the
+  /// simulated elapsed time).
+  void RecordParallelPhase(int64_t morsels, double saved_units) {
+    std::lock_guard<std::mutex> lock(merge_mu_);
+    counters_.morsels += morsels;
+    ++counters_.parallel_phases;
+    if (saved_units > 0) counters_.parallel_saved_units += saved_units;
+  }
+
+  /// Thread-safe IoMultiplier for worker-local charging. Fault windows are
+  /// evaluated at `at_cost` — parallel phases pass the phase-start clock, so
+  /// every morsel sees the same multiplier regardless of worker timing.
+  double IoMultiplierAt(const std::string& table, double at_cost,
+                        int64_t pages) {
+    return faults_ == nullptr ? 1.0
+                              : faults_->IoMultiplier(table, at_cost, pages);
+  }
+
+  /// Deterministic per-morsel transient-read fault point: the failure draw
+  /// is keyed off (schedule seed, morsel id) and the window off the
+  /// phase-start clock, so a parallel scan experiences identical faults at
+  /// every DOP > 1 and on every replay, independent of worker scheduling.
+  /// Backoff cost is returned for the worker's local accumulator instead of
+  /// being charged globally.
+  Status MaybeInjectMorselReadFault(const std::string& table,
+                                    double phase_start_cost, int64_t morsel_id,
+                                    double* backoff_cost) {
+    *backoff_cost = 0;
+    if (faults_ == nullptr) return Status::OK();
+    const FaultInjector::ReadOutcome o =
+        faults_->OnMorselReadAttempt(table, phase_start_cost, morsel_id);
+    *backoff_cost = o.backoff_cost;
+    if (o.exhausted) {
+      return Status::ResourceExhausted("transient read failures on " + table +
+                                       " outlasted the retry budget");
+    }
+    return Status::OK();
   }
 
   // -- fault injection -------------------------------------------------------
@@ -385,6 +549,8 @@ class ExecContext {
   double cost_budget_ = 0;
   std::map<int, Fuse> fuses_;
   std::unique_ptr<GuardrailTrip> trip_;
+  std::atomic<bool> cancelled_{false};
+  std::mutex merge_mu_;  ///< guards counters_/trip_ during parallel phases
   std::unique_ptr<FaultInjector> faults_;
   std::string spill_dir_;
   std::string query_id_ = "q0";

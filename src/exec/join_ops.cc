@@ -506,6 +506,10 @@ void HashJoinOp::Close() {
     broker_->Unregister(this);
     registered_ = false;
   }
+  // All grants are released and the operator is unregistered: drop the
+  // broker pointer so a broker that dies before this operator (a
+  // stack-scoped ExecContext) is never touched from the destructor.
+  broker_ = nullptr;
   parts_.clear();
   tasks_.clear();
   probe_file_.reset();

@@ -1,0 +1,41 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+
+#include "storage/table.h"
+
+namespace rqp {
+
+MorselCursor::MorselCursor(int64_t total_rows, int64_t morsel_rows)
+    : total_rows_(std::max<int64_t>(0, total_rows)) {
+  morsel_rows = std::max<int64_t>(1, morsel_rows);
+  // Round up to whole pages: ceil(morsel/kRowsPerPage) pages per interior
+  // morsel, so Σ per-morsel pages == ceil(total/kRowsPerPage) exactly.
+  morsel_rows_ =
+      ((morsel_rows + kRowsPerPage - 1) / kRowsPerPage) * kRowsPerPage;
+  num_morsels_ = (total_rows_ + morsel_rows_ - 1) / morsel_rows_;
+}
+
+bool MorselCursor::Claim(Morsel* m) {
+  const int64_t id = next_.fetch_add(1, std::memory_order_relaxed);
+  if (id >= num_morsels_) return false;
+  m->id = id;
+  m->begin = id * morsel_rows_;
+  m->end = std::min(total_rows_, m->begin + morsel_rows_);
+  return true;
+}
+
+double ScheduleMakespan(const std::vector<double>& costs, int workers) {
+  workers = std::max(1, workers);
+  std::vector<double> load(static_cast<size_t>(workers), 0.0);
+  for (const double c : costs) {
+    size_t target = 0;
+    for (size_t w = 1; w < load.size(); ++w) {
+      if (load[w] < load[target]) target = w;  // strict < : lowest id wins ties
+    }
+    load[target] += c;
+  }
+  return *std::max_element(load.begin(), load.end());
+}
+
+}  // namespace rqp

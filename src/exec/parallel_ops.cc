@@ -1,0 +1,518 @@
+#include "exec/parallel_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "exec/scan_ops.h"
+
+namespace rqp {
+
+namespace {
+
+int FindSlotIdx(const std::vector<std::string>& slots,
+                const std::string& name) {
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+GatherOp::GatherOp(const Table* table, PredicatePtr filter, int scan_node_id,
+                   std::vector<JoinStage> stages, std::optional<AggStage> agg,
+                   ParallelOptions opts)
+    : table_(table),
+      filter_(std::move(filter)),
+      scan_node_id_(scan_node_id),
+      stages_(std::move(stages)),
+      agg_(std::move(agg)),
+      opts_(opts) {}
+
+GatherOp::~GatherOp() {
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) broker_->Unregister(this);
+}
+
+Status GatherOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  broker_ = ctx->memory();
+  ResetCount();
+  delegate_.reset();
+  stage_state_.clear();
+  pipeline_slots_.clear();
+  output_slots_.clear();
+  compiled_.reset();
+  merged_.clear();
+  morsel_out_.clear();
+  worker_groups_.clear();
+  worker_pages_.clear();
+  ledger_.clear();
+  scan_produced_.store(0, std::memory_order_relaxed);
+  stage_produced_ = std::make_unique<std::atomic<int64_t>[]>(stages_.size());
+  first_error_ = Status::OK();
+  emit_morsel_ = 0;
+  emit_row_ = 0;
+  emitting_groups_ = false;
+  actuals_published_ = false;
+  if (!registered_) {
+    broker_->Register(this);
+    registered_ = true;
+  }
+
+  // The parallel scan emits every column of the driving table, qualified —
+  // the same layout a projection-free TableScanOp produces.
+  std::vector<size_t> cols;
+  RQP_RETURN_IF_ERROR(ResolveProjection(*table_, {}, &cols, &pipeline_slots_));
+  if (filter_ != nullptr) {
+    std::vector<std::string> all;
+    for (size_t c = 0; c < table_->schema().num_columns(); ++c) {
+      all.push_back(table_->schema().column(c).name);
+    }
+    auto compiled = CompiledPredicate::Compile(filter_, all);
+    if (!compiled.ok()) return compiled.status();
+    compiled_ = std::move(compiled.value());
+  }
+
+  RQP_RETURN_IF_ERROR(MaterializeBuilds(ctx));
+  if (agg_.has_value()) {
+    RQP_RETURN_IF_ERROR(ResolveAgg());
+  } else {
+    output_slots_ = pipeline_slots_;
+  }
+
+  // Residency decision: the parallel probe needs every build side resident
+  // at once (the tables are shared read-only across workers and cannot be
+  // shed mid-phase). Ask for it in one grant; a shortfall or a broker
+  // already over-committed by a mid-query capacity drop means memory is the
+  // constraint, not CPU — degrade to the serial spilling tree, which
+  // completes at a 1-page grant with byte-identical output.
+  int64_t needed = 0;
+  for (const StageState& ss : stage_state_) {
+    int64_t rows = 0;
+    for (const RowBatch& b : *ss.build_batches) {
+      rows += static_cast<int64_t>(b.num_rows());
+    }
+    needed += (rows + kRowsPerPage - 1) / kRowsPerPage;
+  }
+  if (needed > 0) {
+    const int64_t grant = broker_->Grant(needed);
+    if (grant < needed || broker_->overcommitted()) {
+      broker_->Release(grant);
+      return BuildSerialFallback(ctx);
+    }
+    build_charged_pages_ = grant;
+  }
+
+  RQP_RETURN_IF_ERROR(BuildHashTables());
+  return RunParallelPhase(ctx);
+}
+
+Status GatherOp::MaterializeBuilds(ExecContext* ctx) {
+  for (JoinStage& spec : stages_) {
+    StageState ss;
+    ss.in_cols = pipeline_slots_.size();
+    ss.build_batches = std::make_shared<std::vector<RowBatch>>();
+    auto drained =
+        DrainOperator(spec.build_child.get(), ctx, ss.build_batches.get());
+    if (!drained.ok()) return drained.status();
+    ss.build_slots = spec.build_child->output_slots();
+
+    const int probe_idx = FindSlotIdx(pipeline_slots_, spec.probe_key);
+    if (probe_idx < 0) {
+      return Status::InvalidArgument("probe key slot not found: " +
+                                     spec.probe_key);
+    }
+    const int build_idx = FindSlotIdx(ss.build_slots, spec.build_key);
+    if (build_idx < 0) {
+      return Status::InvalidArgument("build key slot not found: " +
+                                     spec.build_key);
+    }
+    ss.probe_key_idx = static_cast<size_t>(probe_idx);
+    ss.build_key_idx = static_cast<size_t>(build_idx);
+    ss.out_cols = ss.in_cols + ss.build_slots.size();
+    pipeline_slots_.insert(pipeline_slots_.end(), ss.build_slots.begin(),
+                           ss.build_slots.end());
+    stage_state_.push_back(std::move(ss));
+  }
+  return Status::OK();
+}
+
+Status GatherOp::BuildHashTables() {
+  for (StageState& ss : stage_state_) {
+    ss.build_rows.num_cols = ss.build_slots.size();
+    int64_t rows = 0;
+    for (const RowBatch& b : *ss.build_batches) {
+      for (size_t r = 0; r < b.num_rows(); ++r) {
+        const int64_t* row = b.row(r);
+        const auto idx = static_cast<uint32_t>(ss.build_rows.num_rows());
+        ss.build_rows.Append(row);
+        ss.table[row[ss.build_key_idx]].push_back(idx);
+      }
+      rows += static_cast<int64_t>(b.num_rows());
+    }
+    // Same accounting as HashJoinOp: one hash op per absorbed row plus the
+    // build factor for table insertion.
+    ctx_->ChargeHashOps(rows);
+    ctx_->ChargeHashOps(static_cast<int64_t>(
+        static_cast<double>(rows) * ctx_->cost_model().hash_build_factor));
+  }
+  return Status::OK();
+}
+
+Status GatherOp::BuildSerialFallback(ExecContext* ctx) {
+  // Reconstruct the exact tree the builder produces at DOP 1, replaying the
+  // already-materialized build rows, so output bytes and spill behavior are
+  // the serial operators' own.
+  OperatorPtr cur = std::make_unique<TableScanOp>(table_, filter_);
+  cur->set_plan_node_id(scan_node_id_);
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    auto build = std::make_unique<VectorSourceOp>(
+        stage_state_[i].build_batches, stage_state_[i].build_slots);
+    auto join =
+        std::make_unique<HashJoinOp>(std::move(cur), std::move(build),
+                                     stages_[i].probe_key, stages_[i].build_key);
+    join->set_plan_node_id(stages_[i].node_id);
+    cur = std::move(join);
+  }
+  if (agg_.has_value()) {
+    auto aggop = std::make_unique<HashAggOp>(std::move(cur), agg_->group_slots,
+                                             agg_->aggregates);
+    aggop->set_plan_node_id(plan_node_id());
+    cur = std::move(aggop);
+  }
+  delegate_ = std::move(cur);
+  return delegate_->Open(ctx);
+}
+
+Status GatherOp::ResolveAgg() {
+  group_idx_.clear();
+  agg_idx_.clear();
+  for (const auto& g : agg_->group_slots) {
+    const int i = FindSlotIdx(pipeline_slots_, g);
+    if (i < 0) return Status::InvalidArgument("group slot not found: " + g);
+    group_idx_.push_back(static_cast<size_t>(i));
+    output_slots_.push_back(g);
+  }
+  for (const auto& a : agg_->aggregates) {
+    if (a.fn == AggFn::kCount) {
+      agg_idx_.push_back(0);  // unused
+    } else {
+      const int i = FindSlotIdx(pipeline_slots_, a.slot);
+      if (i < 0) {
+        return Status::InvalidArgument("agg slot not found: " + a.slot);
+      }
+      agg_idx_.push_back(static_cast<size_t>(i));
+    }
+    output_slots_.push_back(a.output_name);
+  }
+  return Status::OK();
+}
+
+Status GatherOp::RunParallelPhase(ExecContext* ctx) {
+  phase_start_cost_ = ctx->cost();
+  cursor_ =
+      std::make_unique<MorselCursor>(table_->num_rows(), opts_.morsel_rows);
+  const int64_t num_morsels = cursor_->num_morsels();
+  const int dop = std::max(1, opts_.num_threads);
+  ledger_.assign(static_cast<size_t>(num_morsels), 0.0);
+  if (agg_.has_value()) {
+    worker_groups_.assign(static_cast<size_t>(dop), GroupMap{});
+    worker_pages_.assign(static_cast<size_t>(dop), 0);
+  } else {
+    morsel_out_.resize(static_cast<size_t>(num_morsels));
+    for (RowBuffer& rb : morsel_out_) rb.num_cols = pipeline_slots_.size();
+  }
+
+  if (num_morsels > 0) {
+    if (opts_.pool != nullptr && dop > 1) {
+      opts_.pool->RunOnWorkers(dop, [this](int w) { WorkerLoop(w); });
+    } else {
+      WorkerLoop(0);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(error_mu_);
+    RQP_RETURN_IF_ERROR(first_error_);
+  }
+  RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
+
+  double total = 0;
+  for (const double c : ledger_) total += c;
+  const double makespan = ScheduleMakespan(ledger_, dop);
+  ctx->RecordParallelPhase(num_morsels, total - makespan);
+
+  if (agg_.has_value()) {
+    // Fold the workers' partial maps (and anything revocation already shed)
+    // into the merged map. The aggregate functions are commutative and
+    // associative in exact int64 arithmetic, so merge order cannot change
+    // the result; worker-id order keeps it deterministic anyway. The merge
+    // itself is free on the cost clock: it is O(groups × DOP) bookkeeping
+    // next to the probe work, and charging it would make total work
+    // DOP-dependent, muddying the scaling tables.
+    for (int w = 0; w < dop; ++w) {
+      MergeIntoShared(worker_groups_[static_cast<size_t>(w)]);
+      worker_groups_[static_cast<size_t>(w)].clear();
+      int64_t& pages = worker_pages_[static_cast<size_t>(w)];
+      if (pages > 0) {
+        broker_->Release(pages);
+        pages = 0;
+      }
+    }
+    if (group_idx_.empty() && merged_.empty()) {
+      // Scalar aggregate over zero rows still yields one row.
+      auto [it, inserted] = merged_.try_emplace(std::vector<int64_t>{});
+      if (inserted) InitAggAccumulators(agg_->aggregates, &it->second);
+    }
+    // Residency for the merged map, in completion mode: keep granting (the
+    // broker's 1-page progress minimum makes this terminate) even if it
+    // over-commits — the phase is done and emission only shrinks state.
+    const int64_t needed_pages =
+        (static_cast<int64_t>(merged_.size()) + kRowsPerPage - 1) /
+        kRowsPerPage;
+    while (merged_charged_pages_ < needed_pages) {
+      merged_charged_pages_ +=
+          broker_->Grant(needed_pages - merged_charged_pages_);
+    }
+    emit_it_ = merged_.begin();
+    emitting_groups_ = true;
+  }
+  return Status::OK();
+}
+
+void GatherOp::WorkerLoop(int worker_id) {
+  WorkerCharge charge(ctx_, phase_start_cost_);
+  GroupMap* local =
+      agg_.has_value() ? &worker_groups_[static_cast<size_t>(worker_id)]
+                       : nullptr;
+  std::vector<int64_t> row(pipeline_slots_.size());
+  std::vector<int64_t> key(group_idx_.size());
+  std::vector<int64_t> stage_counts(stage_state_.size(), 0);
+  Morsel m;
+  while (!ctx_->cancelled() && cursor_->Claim(&m)) {
+    const Status s =
+        ProcessMorsel(m, worker_id, &charge, local, &row, &key, &stage_counts);
+    ledger_[static_cast<size_t>(m.id)] = charge.cost();
+    charge.Flush();
+    if (!s.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu_);
+        if (first_error_.ok()) first_error_ = s;
+      }
+      ctx_->CancelParallel();
+      break;
+    }
+    // Report produced totals to the node fuses at the flush boundary: the
+    // trip lags production by at most one morsel per worker — the same
+    // batching tolerance as the serial per-batch check.
+    if (scan_node_id_ >= 0) {
+      ctx_->ObserveProducedParallel(
+          scan_node_id_, scan_produced_.load(std::memory_order_relaxed));
+    }
+    for (size_t i = 0; i < stage_state_.size(); ++i) {
+      if (stage_counts[i] == 0) continue;
+      const int64_t total =
+          stage_produced_[i].fetch_add(stage_counts[i],
+                                       std::memory_order_relaxed) +
+          stage_counts[i];
+      stage_counts[i] = 0;
+      if (stages_[i].node_id >= 0) {
+        ctx_->ObserveProducedParallel(stages_[i].node_id, total);
+      }
+    }
+    if (local != nullptr) {
+      EnsureLocalCapacity(worker_id, *local, &charge);
+      // Morsel-boundary revocation poll: a mid-query capacity drop is
+      // honored by shedding this worker's partial-aggregate map into the
+      // shared merged map and releasing its pages.
+      if (!local->empty() && broker_->overcommitted()) {
+        ShedLocalGroups(worker_id, local, &charge);
+      }
+    }
+  }
+  charge.Flush();
+}
+
+Status GatherOp::ProcessMorsel(const Morsel& m, int /*worker_id*/,
+                               WorkerCharge* charge, GroupMap* local_groups,
+                               std::vector<int64_t>* row_storage,
+                               std::vector<int64_t>* key_storage,
+                               std::vector<int64_t>* stage_counts) {
+  // Deterministic per-morsel fault point: the failure draw is keyed off the
+  // morsel id, the fault window off the phase-start clock — identical at
+  // every DOP and on every replay.
+  double backoff = 0;
+  const Status fault = ctx_->MaybeInjectMorselReadFault(
+      table_->name(), phase_start_cost_, m.id, &backoff);
+  if (backoff > 0) charge->AddCost(backoff);
+  RQP_RETURN_IF_ERROR(fault);
+
+  const int64_t rows = m.end - m.begin;
+  // Morsels are whole pages (MorselCursor rounds up), so per-morsel page
+  // charges sum exactly to the serial scan's total.
+  charge->ChargeSeqPages((rows + kRowsPerPage - 1) / kRowsPerPage,
+                         table_->name());
+  charge->ChargeRowCpu(rows);
+
+  std::vector<int64_t>& row = *row_storage;
+  const size_t scan_cols = table_->schema().num_columns();
+  RowBuffer* out =
+      agg_.has_value() ? nullptr : &morsel_out_[static_cast<size_t>(m.id)];
+  int64_t scan_count = 0;
+
+  // Expands the probe chain depth-first. Stage widths nest, so one scratch
+  // row serves every depth: [0, in_cols) is fixed by the caller and the
+  // build columns of stage d land at [in_cols, out_cols).
+  auto expand = [&](auto&& self, size_t depth) -> void {
+    if (depth == stage_state_.size()) {
+      if (local_groups != nullptr) {
+        std::vector<int64_t>& key = *key_storage;
+        for (size_t g = 0; g < group_idx_.size(); ++g) {
+          key[g] = row[group_idx_[g]];
+        }
+        charge->ChargeHashOps(1);
+        auto [it, inserted] = local_groups->try_emplace(key);
+        if (inserted) InitAggAccumulators(agg_->aggregates, &it->second);
+        MergeAggInputRow(agg_->aggregates, agg_idx_, row.data(), &it->second);
+      } else {
+        out->Append(row.data());
+      }
+      return;
+    }
+    StageState& ss = stage_state_[depth];
+    charge->ChargeHashOps(1);
+    const auto it = ss.table.find(row[ss.probe_key_idx]);
+    if (it == ss.table.end()) return;
+    for (const uint32_t idx : it->second) {
+      const int64_t* b = ss.build_rows.row(idx);
+      std::copy(b, b + ss.build_slots.size(),
+                row.begin() + static_cast<long>(ss.in_cols));
+      ++(*stage_counts)[depth];
+      self(self, depth + 1);
+    }
+  };
+
+  for (int64_t r = m.begin; r < m.end; ++r) {
+    for (size_t c = 0; c < scan_cols; ++c) row[c] = table_->Value(c, r);
+    if (compiled_) {
+      charge->ChargePredicateEvals(1);
+      if (!compiled_->Eval(row.data())) continue;
+    }
+    ++scan_count;
+    expand(expand, 0);
+  }
+  scan_produced_.fetch_add(scan_count, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void GatherOp::EnsureLocalCapacity(int worker_id, const GroupMap& local,
+                                   WorkerCharge* /*charge*/) {
+  const int64_t needed =
+      (static_cast<int64_t>(local.size()) + kRowsPerPage - 1) / kRowsPerPage;
+  int64_t& pages = worker_pages_[static_cast<size_t>(worker_id)];
+  // Grants may force over-commit (Grant never returns less than 1); the
+  // shed branch at the next morsel boundary resolves it.
+  while (pages < needed) pages += broker_->Grant(needed - pages);
+}
+
+void GatherOp::ShedLocalGroups(int worker_id, GroupMap* local,
+                               WorkerCharge* charge) {
+  MergeIntoShared(*local);
+  local->clear();
+  int64_t& pages = worker_pages_[static_cast<size_t>(worker_id)];
+  if (pages > 0) {
+    broker_->Release(pages);
+    pages = 0;
+  }
+  charge->CountRevocation();
+}
+
+void GatherOp::MergeIntoShared(const GroupMap& local) {
+  std::lock_guard<std::mutex> lock(merged_mu_);
+  for (const auto& [key, accs] : local) {
+    auto [it, inserted] = merged_.try_emplace(key);
+    if (inserted) InitAggAccumulators(agg_->aggregates, &it->second);
+    MergeAggPartial(agg_->aggregates, accs.data(), &it->second);
+  }
+}
+
+Status GatherOp::Next(RowBatch* out) {
+  if (delegate_ != nullptr) return delegate_->Next(out);
+  out->Reset(output_slots_.size());
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+  if (emitting_groups_) {
+    std::vector<int64_t> row(output_slots_.size());
+    while (emit_it_ != merged_.end() && out->capacity_remaining() > 0) {
+      const auto& [key, accs] = *emit_it_;
+      std::copy(key.begin(), key.end(), row.begin());
+      std::copy(accs.begin(), accs.end(),
+                row.begin() + static_cast<long>(key.size()));
+      out->AppendRow(row);
+      ++emit_it_;
+    }
+    ctx_->ChargeRowCpu(static_cast<int64_t>(out->num_rows()));
+  } else {
+    // Morsel-id order == table order: byte-identical to the serial scan's
+    // row stream regardless of which worker ran which morsel.
+    while (emit_morsel_ < morsel_out_.size() &&
+           out->capacity_remaining() > 0) {
+      const RowBuffer& rb = morsel_out_[emit_morsel_];
+      if (emit_row_ >= rb.num_rows()) {
+        ++emit_morsel_;
+        emit_row_ = 0;
+        continue;
+      }
+      out->AppendRow(rb.row(emit_row_++));
+    }
+  }
+  const bool eof = out->empty();
+  if (eof && !actuals_published_) PublishActuals();
+  CountProduced(ctx_, *out, eof);
+  return Status::OK();
+}
+
+void GatherOp::PublishActuals() {
+  actuals_published_ = true;
+  auto& actuals = ctx_->actual_cardinalities();
+  if (scan_node_id_ >= 0 && scan_node_id_ != plan_node_id()) {
+    actuals[scan_node_id_] = scan_produced_.load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    const int id = stages_[i].node_id;
+    if (id >= 0 && id != plan_node_id()) {
+      actuals[id] = stage_produced_[i].load(std::memory_order_relaxed);
+    }
+  }
+}
+
+void GatherOp::Close() {
+  if (delegate_ != nullptr) delegate_->Close();
+  ReleaseAllMemory();
+  if (registered_ && broker_ != nullptr) {
+    broker_->Unregister(this);
+    registered_ = false;
+  }
+  broker_ = nullptr;  // the broker may not outlive this operator
+}
+
+void GatherOp::ReleaseAllMemory() {
+  if (broker_ == nullptr) return;
+  if (build_charged_pages_ > 0) {
+    broker_->Release(build_charged_pages_);
+    build_charged_pages_ = 0;
+  }
+  if (merged_charged_pages_ > 0) {
+    broker_->Release(merged_charged_pages_);
+    merged_charged_pages_ = 0;
+  }
+  for (int64_t& pages : worker_pages_) {
+    if (pages > 0) {
+      broker_->Release(pages);
+      pages = 0;
+    }
+  }
+}
+
+}  // namespace rqp

@@ -37,6 +37,7 @@ TableScanOp::TableScanOp(const Table* table, PredicatePtr filter,
 Status TableScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_row_ = 0;
+  charged_end_ = 0;
   ResetCount();
   if (projection_error_) {
     return Status::InvalidArgument("bad projection for table " +
@@ -62,17 +63,24 @@ Status TableScanOp::Next(RowBatch* out) {
   const int64_t n = table_->num_rows();
   std::vector<int64_t> full_row(table_->schema().num_columns());
   std::vector<int64_t> proj_row(columns_.size());
-  while (next_row_ < n && !out->full()) {
-    RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
-    const int64_t chunk_end =
-        std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
-    const int64_t chunk = chunk_end - next_row_;
-    // Sequential I/O for the chunk plus per-row CPU.
-    RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
-    ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
-                         table_->name());
-    ctx_->ChargeRowCpu(chunk);
-    for (int64_t r = next_row_; r < chunk_end; ++r) {
+  while (next_row_ < n && out->capacity_remaining() > 0) {
+    if (next_row_ >= charged_end_) {
+      RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      // Charge the whole chunk up front (sequential I/O plus per-row CPU);
+      // chunk boundaries stay aligned to kBatchRows source rows no matter
+      // where the output batch filled up, so the charge totals and the
+      // fault-injection cadence are independent of filter selectivity.
+      const int64_t chunk_end =
+          std::min(n, charged_end_ + static_cast<int64_t>(kBatchRows));
+      const int64_t chunk = chunk_end - charged_end_;
+      RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
+      ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
+                           table_->name());
+      ctx_->ChargeRowCpu(chunk);
+      charged_end_ = chunk_end;
+    }
+    int64_t r = next_row_;
+    for (; r < charged_end_ && out->capacity_remaining() > 0; ++r) {
       if (compiled_) {
         for (size_t c = 0; c < full_row.size(); ++c) {
           full_row[c] = table_->Value(c, r);
@@ -85,7 +93,7 @@ Status TableScanOp::Next(RowBatch* out) {
       }
       out->AppendRow(proj_row);
     }
-    next_row_ = chunk_end;
+    next_row_ = r;
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();

@@ -37,6 +37,7 @@ class TableScanOp : public Operator {
   std::optional<CompiledPredicate> compiled_;
   ExecContext* ctx_ = nullptr;
   int64_t next_row_ = 0;
+  int64_t charged_end_ = 0;  ///< source rows already charged (chunk-aligned)
   bool projection_error_ = false;
 };
 

@@ -333,6 +333,7 @@ void SortOp::Close() {
     broker_->Unregister(this);
     registered_ = false;
   }
+  broker_ = nullptr;  // the broker may not outlive this operator
   rows_ = RowBuffer{};
   order_.clear();
   cursors_.clear();
@@ -371,44 +372,59 @@ size_t HashAggOp::PartitionOf(const std::vector<int64_t>& key) const {
   return static_cast<size_t>(h % static_cast<uint64_t>(options_.fan_out));
 }
 
-void HashAggOp::InitAccumulators(std::vector<int64_t>* accs) const {
-  accs->assign(aggs_.size(), 0);
-  for (size_t a = 0; a < aggs_.size(); ++a) {
-    if (aggs_[a].fn == AggFn::kMin) {
+void InitAggAccumulators(const std::vector<AggSpec>& aggs,
+                         std::vector<int64_t>* accs) {
+  accs->assign(aggs.size(), 0);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].fn == AggFn::kMin) {
       (*accs)[a] = std::numeric_limits<int64_t>::max();
-    } else if (aggs_[a].fn == AggFn::kMax) {
+    } else if (aggs[a].fn == AggFn::kMax) {
       (*accs)[a] = std::numeric_limits<int64_t>::min();
     }
   }
 }
 
-void HashAggOp::MergeInputRow(const int64_t* row,
-                              std::vector<int64_t>* accs) const {
-  for (size_t a = 0; a < aggs_.size(); ++a) {
+void MergeAggInputRow(const std::vector<AggSpec>& aggs,
+                      const std::vector<size_t>& agg_idx, const int64_t* row,
+                      std::vector<int64_t>* accs) {
+  for (size_t a = 0; a < aggs.size(); ++a) {
     int64_t& acc = (*accs)[a];
-    switch (aggs_[a].fn) {
+    switch (aggs[a].fn) {
       case AggFn::kCount: ++acc; break;
-      case AggFn::kSum: acc += row[agg_idx_[a]]; break;
-      case AggFn::kMin: acc = std::min(acc, row[agg_idx_[a]]); break;
-      case AggFn::kMax: acc = std::max(acc, row[agg_idx_[a]]); break;
+      case AggFn::kSum: acc += row[agg_idx[a]]; break;
+      case AggFn::kMin: acc = std::min(acc, row[agg_idx[a]]); break;
+      case AggFn::kMax: acc = std::max(acc, row[agg_idx[a]]); break;
     }
   }
 }
 
-void HashAggOp::MergePartialRow(const int64_t* partial,
-                                std::vector<int64_t>* accs) const {
-  // Partial rows carry already-aggregated state: counts add (not ++),
-  // sums add, min/max fold.
-  const int64_t* pa = partial + group_idx_.size();
-  for (size_t a = 0; a < aggs_.size(); ++a) {
+void MergeAggPartial(const std::vector<AggSpec>& aggs, const int64_t* partial,
+                     std::vector<int64_t>* accs) {
+  // Partials carry already-aggregated state: counts add (not ++), sums add,
+  // min/max fold.
+  for (size_t a = 0; a < aggs.size(); ++a) {
     int64_t& acc = (*accs)[a];
-    switch (aggs_[a].fn) {
-      case AggFn::kCount: acc += pa[a]; break;
-      case AggFn::kSum: acc += pa[a]; break;
-      case AggFn::kMin: acc = std::min(acc, pa[a]); break;
-      case AggFn::kMax: acc = std::max(acc, pa[a]); break;
+    switch (aggs[a].fn) {
+      case AggFn::kCount: acc += partial[a]; break;
+      case AggFn::kSum: acc += partial[a]; break;
+      case AggFn::kMin: acc = std::min(acc, partial[a]); break;
+      case AggFn::kMax: acc = std::max(acc, partial[a]); break;
     }
   }
+}
+
+void HashAggOp::InitAccumulators(std::vector<int64_t>* accs) const {
+  InitAggAccumulators(aggs_, accs);
+}
+
+void HashAggOp::MergeInputRow(const int64_t* row,
+                              std::vector<int64_t>* accs) const {
+  MergeAggInputRow(aggs_, agg_idx_, row, accs);
+}
+
+void HashAggOp::MergePartialRow(const int64_t* partial,
+                                std::vector<int64_t>* accs) const {
+  MergeAggPartial(aggs_, partial + group_idx_.size(), accs);
 }
 
 Status HashAggOp::EnsureGroupCapacity() {
@@ -663,6 +679,7 @@ void HashAggOp::Close() {
     broker_->Unregister(this);
     registered_ = false;
   }
+  broker_ = nullptr;  // the broker may not outlive this operator
   groups_.clear();
   shed_files_.clear();
   pending_.clear();

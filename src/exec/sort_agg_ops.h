@@ -102,6 +102,30 @@ struct AggSpec {
   std::string output_name;
 };
 
+// Shared accumulator semantics — one definition used by HashAggOp, its
+// spilled partial-aggregate merge, and the parallel partial aggregation in
+// GatherOp, so every path produces bit-identical results. All four
+// functions are decomposable: partials merge commutatively and
+// associatively in exact int64 arithmetic, which is what makes
+// merge-order-independent parallel aggregation deterministic.
+
+/// Initializes one accumulator vector (COUNT/SUM start at 0, MIN at
+/// INT64_MAX, MAX at INT64_MIN).
+void InitAggAccumulators(const std::vector<AggSpec>& aggs,
+                         std::vector<int64_t>* accs);
+
+/// Folds one *input* row into accumulators. `agg_idx[a]` is the input-slot
+/// index of aggregate `a` (unused for COUNT).
+void MergeAggInputRow(const std::vector<AggSpec>& aggs,
+                      const std::vector<size_t>& agg_idx, const int64_t* row,
+                      std::vector<int64_t>* accs);
+
+/// Folds already-aggregated partial state into accumulators (counts add,
+/// sums add, min/max fold). `partial` points at the partial's accumulator
+/// cells (past any group-key prefix).
+void MergeAggPartial(const std::vector<AggSpec>& aggs, const int64_t* partial,
+                     std::vector<int64_t>* accs);
+
 /// Hash aggregation on zero or more group-by slots. All four aggregate
 /// functions are decomposable, so when the group state outgrows the memory
 /// grant the operator sheds it as mergeable partial-aggregate rows,

@@ -1,0 +1,59 @@
+#ifndef RQP_EXEC_THREAD_POOL_H_
+#define RQP_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rqp {
+
+/// A shared worker pool for morsel-driven parallel phases. The pool owns
+/// `num_threads - 1` background threads; the caller of RunOnWorkers acts as
+/// worker 0, so a 1-thread pool degenerates to plain inline execution with
+/// no threads spawned at all.
+///
+/// RunOnWorkers is the parallel phase's barrier: it returns only after every
+/// participating worker has finished, which is what lets the coordinator
+/// merge thread-local state (per-worker counters, partial aggregates)
+/// without further synchronization. Phases are serialized through a run
+/// mutex — one parallel phase at a time per pool — which keeps re-entrant
+/// use (a build subtree that is itself parallel, executed during the outer
+/// operator's serial build phase) safe by construction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs `fn(worker_id)` for worker ids [0, n); the calling thread executes
+  /// worker 0 and the call blocks until every worker returns. `n` is clamped
+  /// to [1, num_threads()]. `fn` must be internally synchronized; exceptions
+  /// must not escape it.
+  void RunOnWorkers(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerMain(int background_id);
+
+  int num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex run_mu_;  ///< one parallel phase at a time
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_workers_ = 0;   ///< workers participating in the current phase
+  uint64_t generation_ = 0;
+  int pending_ = 0;       ///< background workers still running the phase
+  bool shutdown_ = false;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_EXEC_THREAD_POOL_H_

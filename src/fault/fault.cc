@@ -53,6 +53,7 @@ FaultInjector::FaultInjector(FaultSchedule schedule)
 
 bool FaultInjector::NextMemoryDrop(double cost_units,
                                    int64_t* capacity_pages) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < schedule_.events.size(); ++i) {
     const FaultEvent& e = schedule_.events[i];
     if (e.kind != FaultEvent::Kind::kMemoryDrop || memory_drop_fired_[i] ||
@@ -76,13 +77,15 @@ double FaultInjector::IoMultiplier(const std::string& table,
       mult *= e.factor;
     }
   }
-  if (mult != 1.0) counters_.slowed_pages += pages;
+  if (mult != 1.0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.slowed_pages += pages;
+  }
   return mult;
 }
 
-FaultInjector::ReadOutcome FaultInjector::OnReadAttempt(
-    const std::string& table, double cost_units) {
-  ReadOutcome out;
+double FaultInjector::ReadFailProbability(const std::string& table,
+                                          double cost_units) const {
   // Combined per-attempt failure probability across matching events
   // (independent causes: P = 1 - Π(1 - p_i)).
   double survive = 1.0;
@@ -92,26 +95,61 @@ FaultInjector::ReadOutcome FaultInjector::OnReadAttempt(
       survive *= 1.0 - e.fail_probability;
     }
   }
-  const double p_fail = 1.0 - survive;
-  if (p_fail <= 0.0) return out;
+  return 1.0 - survive;
+}
 
+FaultInjector::ReadOutcome FaultInjector::DrawReadFailures(double p_fail,
+                                                           Rng* rng) {
+  ReadOutcome out;
   double backoff = schedule_.retry_backoff_cost;
   for (int attempt = 0;; ++attempt) {
-    if (!rng_.Bernoulli(p_fail)) return out;  // read succeeded
-    ++counters_.transient_read_failures;
-    if (attempt >= schedule_.max_read_retries) {
-      ++counters_.exhausted_reads;
-      out.exhausted = true;
-      return out;
+    if (!rng->Bernoulli(p_fail)) return out;  // read succeeded
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.transient_read_failures;
+      if (attempt >= schedule_.max_read_retries) {
+        ++counters_.exhausted_reads;
+        out.exhausted = true;
+        return out;
+      }
+      ++counters_.read_retries;
     }
-    ++counters_.read_retries;
     out.backoff_cost += backoff;
     backoff *= 2;
   }
 }
 
+FaultInjector::ReadOutcome FaultInjector::OnReadAttempt(
+    const std::string& table, double cost_units) {
+  const double p_fail = ReadFailProbability(table, cost_units);
+  if (p_fail <= 0.0) return ReadOutcome{};
+  // The shared RNG stream is only touched from the serial execution path;
+  // parallel scans use OnMorselReadAttempt's derived streams instead.
+  return DrawReadFailures(p_fail, &rng_);
+}
+
+namespace {
+// SplitMix64 finalizer: decorrelates consecutive morsel ids into
+// independent-looking RNG seeds.
+uint64_t MixSeed(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FaultInjector::ReadOutcome FaultInjector::OnMorselReadAttempt(
+    const std::string& table, double phase_start_cost, int64_t morsel_id) {
+  const double p_fail = ReadFailProbability(table, phase_start_cost);
+  if (p_fail <= 0.0) return ReadOutcome{};
+  Rng morsel_rng(schedule_.seed ^ MixSeed(static_cast<uint64_t>(morsel_id)));
+  return DrawReadFailures(p_fail, &morsel_rng);
+}
+
 std::map<std::string, double> FaultInjector::StatsFactors() {
   std::map<std::string, double> factors;
+  std::lock_guard<std::mutex> lock(mu_);
   for (const FaultEvent& e : schedule_.events) {
     if (e.kind != FaultEvent::Kind::kStatsPerturb) continue;
     auto [it, inserted] = factors.emplace(e.table, e.factor);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <limits>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -116,6 +117,15 @@ class FaultInjector {
   /// internally with exponential backoff per the schedule's policy.
   ReadOutcome OnReadAttempt(const std::string& table, double cost_units);
 
+  /// Parallel-scan variant (PR 3): one read attempt per morsel, replayable
+  /// at any degree of parallelism. The failure draws come from a fresh RNG
+  /// derived from (schedule seed, morsel id) — not from the shared stream,
+  /// whose consumption order would depend on worker scheduling — and the
+  /// fault window is evaluated at `phase_start_cost` (the clock when the
+  /// parallel phase began), which every worker observes identically.
+  ReadOutcome OnMorselReadAttempt(const std::string& table,
+                                  double phase_start_cost, int64_t morsel_id);
+
   /// Pre-optimization statistics perturbation: believed-row-count
   /// multipliers keyed by table (factors for the same table compound).
   std::map<std::string, double> StatsFactors();
@@ -131,10 +141,19 @@ class FaultInjector {
     return e.table.empty() || e.table == table;
   }
 
+  /// Per-attempt failure probability for reads on `table` with the fault
+  /// window evaluated at `cost_units` (independent causes compound).
+  double ReadFailProbability(const std::string& table, double cost_units) const;
+  ReadOutcome DrawReadFailures(double p_fail, Rng* rng);
+
   FaultSchedule schedule_;
   Rng rng_;
   std::vector<bool> memory_drop_fired_;  // parallel to schedule_.events
   FaultCounters counters_;
+  /// Guards counters_, rng_, and memory_drop_fired_: parallel-phase workers
+  /// hit IoMultiplier/OnMorselReadAttempt concurrently, and counter merges
+  /// race with them. The schedule itself is immutable after construction.
+  mutable std::mutex mu_;
 };
 
 }  // namespace rqp

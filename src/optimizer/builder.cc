@@ -1,7 +1,11 @@
 #include "optimizer/builder.h"
 
+#include <algorithm>
+#include <optional>
+
 #include "exec/filter_ops.h"
 #include "exec/join_ops.h"
+#include "exec/parallel_ops.h"
 #include "exec/scan_ops.h"
 #include "exec/sort_agg_ops.h"
 
@@ -14,14 +18,73 @@ PredicatePtr Bind(const PredicatePtr& p, const std::vector<int64_t>& params) {
   return BindParams(p, params);
 }
 
+/// The plan shape GatherOp executes: an optional hash aggregation over a
+/// right-deep hash-join chain whose probe spine bottoms out in a table scan
+/// (children[0] is always the probe side). Anything else — index scans,
+/// filters, checks, other join algorithms — keeps the serial lowering.
+struct ParallelSegment {
+  const PlanNode* agg = nullptr;
+  std::vector<const PlanNode*> joins;  ///< bottom-up: joins[0] probes the scan
+  const PlanNode* scan = nullptr;
+};
+
+bool MatchParallelSegment(const PlanNode& plan, ParallelSegment* seg) {
+  const PlanNode* cur = &plan;
+  if (cur->op == PlanOp::kHashAgg) {
+    seg->agg = cur;
+    cur = cur->children[0].get();
+  }
+  while (cur->op == PlanOp::kHashJoin) {
+    seg->joins.push_back(cur);
+    cur = cur->children[0].get();
+  }
+  if (cur->op != PlanOp::kTableScan) return false;
+  seg->scan = cur;
+  std::reverse(seg->joins.begin(), seg->joins.end());
+  return true;
+}
+
 }  // namespace
 
 StatusOr<OperatorPtr> BuildExecutable(const PlanNode& plan,
                                       const Catalog* catalog,
-                                      const std::vector<int64_t>& params) {
+                                      const std::vector<int64_t>& params,
+                                      const ParallelOptions* parallel) {
   auto build_child = [&](size_t i) -> StatusOr<OperatorPtr> {
-    return BuildExecutable(*plan.children[i], catalog, params);
+    return BuildExecutable(*plan.children[i], catalog, params, parallel);
   };
+
+  if (parallel != nullptr && parallel->num_threads > 1 &&
+      parallel->pool != nullptr) {
+    ParallelSegment seg;
+    if (MatchParallelSegment(plan, &seg)) {
+      auto table = catalog->GetTable(seg.scan->table);
+      if (!table.ok()) return table.status();
+      std::vector<GatherOp::JoinStage> stages;
+      for (const PlanNode* j : seg.joins) {
+        // Build sides are full subplans lowered recursively (they run
+        // serially on the coordinator before the parallel probe phase).
+        auto build = BuildExecutable(*j->children[1], catalog, params,
+                                     parallel);
+        if (!build.ok()) return build.status();
+        GatherOp::JoinStage stage;
+        stage.build_child = std::move(build.value());
+        stage.probe_key = j->left_key;
+        stage.build_key = j->right_key;
+        stage.node_id = j->id;
+        stages.push_back(std::move(stage));
+      }
+      std::optional<GatherOp::AggStage> agg;
+      if (seg.agg != nullptr) {
+        agg = GatherOp::AggStage{seg.agg->group_by, seg.agg->aggregates};
+      }
+      OperatorPtr op = std::make_unique<GatherOp>(
+          table.value(), Bind(seg.scan->predicate, params), seg.scan->id,
+          std::move(stages), std::move(agg), *parallel);
+      op->set_plan_node_id(plan.id);
+      return op;
+    }
+  }
 
   OperatorPtr op;
   switch (plan.op) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "exec/parallel.h"
 #include "optimizer/plan.h"
 #include "storage/table.h"
 
@@ -14,9 +15,16 @@ namespace rqp {
 /// bound with `params` here (run time), so a generic plan optimized with
 /// magic numbers, or a cached parametric plan, executes with the real
 /// values.
+///
+/// When `parallel` requests DOP > 1, right-deep table-scan → hash-join* →
+/// hash-agg? segments are lowered to a morsel-driven GatherOp instead of
+/// the serial operators; every other plan shape builds unchanged (the
+/// parallel options simply don't apply). Passing nullptr or num_threads <= 1
+/// reproduces the classic single-threaded tree exactly.
 StatusOr<OperatorPtr> BuildExecutable(const PlanNode& plan,
                                       const Catalog* catalog,
-                                      const std::vector<int64_t>& params = {});
+                                      const std::vector<int64_t>& params = {},
+                                      const ParallelOptions* parallel = nullptr);
 
 }  // namespace rqp
 

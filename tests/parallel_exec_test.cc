@@ -1,0 +1,275 @@
+// Morsel-driven parallelism tests: the primitives (morsel cursor, thread
+// pool, deterministic makespan schedule) and the end-to-end determinism
+// contract — every query produces byte-identical output at every DOP,
+// including under fault-injected memory drops and 1-page spill grants.
+// Runs under the `parallel` ctest label (the TSan CI job).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "exec/parallel.h"
+#include "exec/thread_pool.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- primitives ------------------------------------------------------------
+
+TEST(MorselCursorTest, CoversRangeWithDenseOrderedIds) {
+  // 100 rows, 33-row morsels: rounds up to 64 (2 pages of 32), so two
+  // morsels cover [0,64) and [64,100).
+  MorselCursor cursor(100, 33);
+  EXPECT_EQ(cursor.morsel_rows(), 64);
+  EXPECT_EQ(cursor.num_morsels(), 2);
+  Morsel m;
+  ASSERT_TRUE(cursor.Claim(&m));
+  EXPECT_EQ(m.id, 0);
+  EXPECT_EQ(m.begin, 0);
+  EXPECT_EQ(m.end, 64);
+  ASSERT_TRUE(cursor.Claim(&m));
+  EXPECT_EQ(m.id, 1);
+  EXPECT_EQ(m.begin, 64);
+  EXPECT_EQ(m.end, 100);
+  EXPECT_FALSE(cursor.Claim(&m));
+  EXPECT_FALSE(cursor.Claim(&m));  // exhaustion is sticky
+}
+
+TEST(MorselCursorTest, EmptyTableYieldsNoMorsels) {
+  MorselCursor cursor(0, 4096);
+  Morsel m;
+  EXPECT_EQ(cursor.num_morsels(), 0);
+  EXPECT_FALSE(cursor.Claim(&m));
+}
+
+TEST(ScheduleMakespanTest, GreedyListScheduleIsDeterministic) {
+  // Serial: makespan == total work.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({3, 1, 4, 1, 5}, 1), 14.0);
+  // Two workers, id order, least-loaded placement (ties -> lowest id):
+  //   w0: 3 +1(id=3) +5(id=4) = 9;  w1: 1 +4 = 5.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({3, 1, 4, 1, 5}, 2), 9.0);
+  // More workers than morsels: makespan is the largest morsel.
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({3, 1, 4}, 8), 4.0);
+  EXPECT_DOUBLE_EQ(ScheduleMakespan({}, 4), 0.0);
+}
+
+TEST(ThreadPoolTest, RunOnWorkersIsABarrierAndReusable) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  for (int round = 0; round < 3; ++round) {
+    std::atomic<int> count{0};
+    std::atomic<uint32_t> id_mask{0};
+    pool.RunOnWorkers(4, [&](int w) {
+      id_mask.fetch_or(1u << w);
+      count.fetch_add(1);
+    });
+    // Barrier: by the time RunOnWorkers returns, all 4 ran exactly once.
+    EXPECT_EQ(count.load(), 4);
+    EXPECT_EQ(id_mask.load(), 0b1111u);
+  }
+  // n clamps to [1, num_threads].
+  std::atomic<int> count{0};
+  pool.RunOnWorkers(99, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+// ---- end-to-end byte identity ----------------------------------------------
+
+struct ParallelFixture : ::testing::Test {
+  Catalog catalog;
+
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 1000;
+    spec.num_dimensions = 3;
+    BuildStarSchema(&catalog, spec);
+  }
+
+  std::string SpillDir(const std::string& tag) {
+    return (fs::temp_directory_path() /
+            ("rqp-parallel-test-" + std::to_string(getpid()) + "-" + tag))
+        .string();
+  }
+
+  StatusOr<QueryResult> RunAtDop(const QuerySpec& q, int dop,
+                                 EngineOptions options = EngineOptions()) {
+    options.num_threads = dop;
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    return engine.Run(q, /*keep_rows=*/true);
+  }
+
+  static std::vector<int64_t> Flatten(const QueryResult& r) {
+    std::vector<int64_t> values;
+    for (const auto& b : r.rows) {
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        const int64_t* row = b.row(i);
+        values.insert(values.end(), row, row + b.num_cols());
+      }
+    }
+    return values;
+  }
+
+  // Runs `q` at DOP 1 and at each higher DOP; requires identical output
+  // value streams (row order AND values — the byte-identity contract) and,
+  // at DOP > 1, that a parallel phase actually ran.
+  void CheckByteIdentical(const QuerySpec& q,
+                          EngineOptions options = EngineOptions(),
+                          bool expect_parallel_phase = true) {
+    auto base = RunAtDop(q, 1, options);
+    ASSERT_TRUE(base.ok()) << base.status().ToString();
+    const auto reference = Flatten(*base);
+    EXPECT_EQ(base->counters.parallel_phases, 0);
+    EXPECT_DOUBLE_EQ(base->elapsed, base->cost);
+    for (int dop : {2, 4, 8}) {
+      auto got = RunAtDop(q, dop, options);
+      ASSERT_TRUE(got.ok()) << "dop " << dop << ": "
+                            << got.status().ToString();
+      EXPECT_EQ(got->output_rows, base->output_rows) << "dop " << dop;
+      EXPECT_EQ(Flatten(*got), reference) << "dop " << dop;
+      if (expect_parallel_phase) {
+        EXPECT_GT(got->counters.parallel_phases, 0) << "dop " << dop;
+        EXPECT_GT(got->counters.morsels, 0) << "dop " << dop;
+      }
+    }
+  }
+};
+
+TEST_F(ParallelFixture, FilteredScanByteIdentical) {
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("measure", 0, 4000)});
+  CheckByteIdentical(q);
+}
+
+TEST_F(ParallelFixture, StarJoinByteIdentical) {
+  // Three dimension joins (unique build keys) with dimension filters.
+  CheckByteIdentical(workload::StarQuery(3, {5000, 7000, 9000}));
+}
+
+TEST_F(ParallelFixture, StarJoinGroupByByteIdentical) {
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  q.group_by = {"dim0.band"};
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"},
+                  {AggFn::kMin, "fact.measure", "min_m"},
+                  {AggFn::kMax, "fact.measure", "max_m"}};
+  CheckByteIdentical(q);
+}
+
+TEST_F(ParallelFixture, ScalarAggregateByteIdentical) {
+  // No group-by: the scalar-aggregate path (exactly one output row, even
+  // over an empty input) must also be DOP-invariant.
+  QuerySpec q = workload::StarQuery(2, {5000, 7000});
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"}};
+  CheckByteIdentical(q);
+
+  // Empty input (impossible dimension filter) still yields the init row.
+  QuerySpec empty = workload::StarQuery(1, {5000});
+  empty.tables[0].predicate = MakeBetween("measure", -10, -1);
+  empty.aggregates = {{AggFn::kCount, "", "cnt"},
+                      {AggFn::kMax, "fact.measure", "max_m"}};
+  CheckByteIdentical(empty);
+}
+
+TEST_F(ParallelFixture, ByteIdenticalUnderMidQueryMemoryDrop) {
+  // A fault-injected capacity shrink mid-query (1M -> 200 pages at cost
+  // 100): the parallel phase observes the new ceiling at flush boundaries
+  // and keeps running — output must not change at any DOP.
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  EngineOptions options;
+  options.spill_dir = SpillDir("fault-drop");
+  options.faults.MemoryDrop(100, 200);
+  CheckByteIdentical(q, options);
+  auto dropped = RunAtDop(q, 4, options);
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped->faults.memory_drops, 1);  // the drop really fired
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(ParallelFixture, ByteIdenticalUnderCatastrophicMemoryDrop) {
+  // A catastrophic early drop (to 4 pages before any build grant): the
+  // gather operator cannot hold the build side resident, degrades to the
+  // serial tree, and spills exactly as DOP 1 does — byte-identical output,
+  // with real spill traffic at every DOP.
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  EngineOptions options;
+  options.spill_dir = SpillDir("fault-crash-drop");
+  options.faults.MemoryDrop(5, 4);
+  CheckByteIdentical(q, options, /*expect_parallel_phase=*/false);
+  auto starved = RunAtDop(q, 4, options);
+  ASSERT_TRUE(starved.ok());
+  EXPECT_EQ(starved->faults.memory_drops, 1);
+  EXPECT_GT(starved->counters.spill_pages, 0);
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(ParallelFixture, ByteIdenticalAtOnePageGrants) {
+  // Starved broker: the build residency grant cannot be satisfied, so the
+  // gather operator degrades to the serial tree and spills at 1-page
+  // grants — output must still match DOP 1 exactly.
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  EngineOptions options;
+  options.spill_dir = SpillDir("one-page");
+  options.memory_pages = 2;
+  // Degraded execution runs the serial operators; no parallel phase.
+  CheckByteIdentical(q, options, /*expect_parallel_phase=*/false);
+
+  auto starved = RunAtDop(q, 4, options);
+  ASSERT_TRUE(starved.ok());
+  EXPECT_GT(starved->counters.spill_pages, 0);  // it really spilled
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(ParallelFixture, ElapsedModelShowsSpeedupAndRepeats) {
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  auto serial = RunAtDop(q, 1);
+  auto par_a = RunAtDop(q, 4);
+  auto par_b = RunAtDop(q, 4);
+  ASSERT_TRUE(serial.ok() && par_a.ok() && par_b.ok());
+  // Total work stays within a whisker of serial (the clock charges every
+  // morsel's full cost; only overlap reduces elapsed)...
+  EXPECT_NEAR(par_a->cost, serial->cost, serial->cost * 0.01);
+  // ...while elapsed drops by at least 2x at DOP 4 on this workload.
+  EXPECT_LT(par_a->elapsed, serial->elapsed / 2);
+  EXPECT_GT(par_a->counters.parallel_saved_units, 0);
+  // Deterministic: repeat runs agree to the bit, threads notwithstanding.
+  EXPECT_EQ(par_a->cost, par_b->cost);
+  EXPECT_EQ(par_a->elapsed, par_b->elapsed);
+  EXPECT_EQ(par_a->counters.morsels, par_b->counters.morsels);
+  EXPECT_EQ(Flatten(*par_a), Flatten(*par_b));
+}
+
+TEST_F(ParallelFixture, GuardrailBudgetTripsUnderParallelExecution) {
+  // The cost budget is enforced from worker flushes: a parallel run must
+  // still abort (and the safe-retry machinery still engage) when the clock
+  // blows the budget mid-phase.
+  QuerySpec q = workload::StarQuery(3, {5000, 7000, 9000});
+  EngineOptions options;
+  options.guardrails.enabled = true;
+  options.guardrails.cost_budget = 50;  // far below the query's real cost
+  options.guardrails.safe_plan_retry = false;
+  options.guardrails.max_recoveries = 0;
+  options.num_threads = 4;
+  Engine engine(&catalog, options);
+  engine.AnalyzeAll();
+  auto result = engine.Run(q);
+  // Circuit breaker at 0 recoveries: the query completes unguarded after
+  // the abort; the trip itself must have been recorded.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->budget_aborts, 0);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -13,6 +13,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/engine.h"
@@ -467,12 +468,18 @@ TEST(MemoryRevocationTest, FaultMemoryDropMidBuildSpillsForReal) {
   q.joins.push_back({"fact", "fk0", "dim0", "id"});
 
   EngineOptions plain;
+  // This test asserts on the *serial* mid-build revocation protocol
+  // (memory_revocations > 0 requires HashJoinOp shedding partitions); pin
+  // DOP 1 so the TSan job's RQP_THREADS=4 doesn't reroute the query
+  // through the gather operator.
+  plain.num_threads = 1;
   Engine baseline(&catalog, plain);
   baseline.AnalyzeAll();
   auto base = baseline.Run(q);
   ASSERT_TRUE(base.ok());
 
   EngineOptions faulted;
+  faulted.num_threads = 1;
   // Lands inside the join's build phase (the dim0 scan spans ~0-70 cost
   // units), after the first batch's partitions are resident — so the drop
   // must be honored by shedding, not absorbed by the grow path.
@@ -490,6 +497,60 @@ TEST(MemoryRevocationTest, FaultMemoryDropMidBuildSpillsForReal) {
   EXPECT_GT(result->counters.spill_partitions, 0);
   EXPECT_GT(result->counters.memory_revocations, 0) << result->final_plan;
   EXPECT_GT(result->cost, base->cost);
+}
+
+// Two engines sharing one spill base directory (the $RQP_SPILL_DIR
+// deployment shape) must never collide: each engine carries a
+// process/instance-unique tag in its spill query ids, so concurrent
+// queries — even with identical query sequence numbers — spill into
+// distinct directories.
+TEST(SpillIsolationTest, TwoEnginesShareSpillDirWithoutCollision) {
+  const std::string dir = TestSpillDir("shared");
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = 30000;
+  spec.dim_rows = 2000;
+  spec.num_dimensions = 1;
+  BuildStarSchema(&catalog, spec);
+  QuerySpec q;
+  q.tables.push_back({"fact", nullptr});
+  q.tables.push_back({"dim0", nullptr});
+  q.joins.push_back({"fact", "fk0", "dim0", "id"});
+
+  EngineOptions options;
+  options.spill_dir = dir;     // both engines share the same base dir
+  options.memory_pages = 4;    // starved: every run spills
+  options.num_threads = 1;
+  Engine a(&catalog, options);
+  Engine b(&catalog, options);
+  a.AnalyzeAll();
+  b.AnalyzeAll();
+
+  // Baseline row count from an unshared, well-fed run.
+  EngineOptions rich;
+  rich.num_threads = 1;
+  Engine ref_engine(&catalog, rich);
+  ref_engine.AnalyzeAll();
+  auto ref = ref_engine.Run(q);
+  ASSERT_TRUE(ref.ok());
+
+  StatusOr<QueryResult> ra = Status::Internal("unset"),
+                        rb = Status::Internal("unset");
+  std::thread ta([&] { ra = a.Run(q); });
+  std::thread tb([&] { rb = b.Run(q); });
+  ta.join();
+  tb.join();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  // Both spilled into the shared directory, and neither clobbered the
+  // other's files: results are complete and correct.
+  EXPECT_GT(ra->counters.spill_pages, 0);
+  EXPECT_GT(rb->counters.spill_pages, 0);
+  EXPECT_EQ(ra->output_rows, ref->output_rows);
+  EXPECT_EQ(rb->output_rows, ref->output_rows);
+  // All per-query spill directories are cleaned up afterwards.
+  EXPECT_TRUE(!fs::exists(dir) || fs::is_empty(dir));
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -38,6 +38,25 @@ int ResolveNumThreads(int configured) {
   return std::clamp(dop, 1, 64);
 }
 
+/// Resolves EngineOptions::use_result_cache: -1 defers to $RQP_RESULT_CACHE
+/// (off unless set to something other than "0" or "").
+bool ResolveResultCacheEnabled(int configured) {
+  if (configured >= 0) return configured != 0;
+  const char* env = std::getenv("RQP_RESULT_CACHE");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+/// Applies the $RQP_RESULT_CACHE_PAGES override to the configured budget.
+int64_t ResolveResultCachePages(int64_t configured) {
+  if (const char* env = std::getenv("RQP_RESULT_CACHE_PAGES")) {
+    char* end = nullptr;
+    const long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int64_t>(v);
+  }
+  return configured;
+}
+
 }  // namespace
 
 Engine::Engine(Catalog* catalog, EngineOptions options)
@@ -49,7 +68,17 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
         if (options_.plan_cache_skip_verification) po.verify_factor = 1e18;
         return po;
       }()),
-      engine_tag_(MakeEngineTag()) {}
+      engine_tag_(MakeEngineTag()) {
+  result_cache_enabled_ = ResolveResultCacheEnabled(options_.use_result_cache);
+  ResultCache::Options ro = options_.result_cache;
+  ro.max_pages = ResolveResultCachePages(ro.max_pages);
+  ro.max_staleness = options_.result_cache_max_staleness;
+  ro.cost_model = options_.cost_model;
+  result_cache_ = std::make_unique<ResultCache>(ro);
+  // Cached results are charged against query memory: they compete with
+  // operator working memory and shed under the same revocation machinery.
+  result_cache_->AttachBroker(&memory_);
+}
 
 void Engine::AnalyzeAll(const AnalyzeOptions& options) {
   stats_.AnalyzeAll(*catalog_, options);
@@ -312,6 +341,67 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     result.faults.Accumulate(stats_faults.counters());
   }
 
+  // Result cache: the reuse tier above the plan cache. A hit skips
+  // optimization and execution entirely; its deterministic charges are the
+  // re-emit work plus any delta-patch scan. On a miss the single-flight
+  // guard is held for the rest of Run, so concurrent identical queries
+  // wait here and then find the published entry instead of recomputing.
+  const auto fill_cache_totals = [this](QueryResult* r) {
+    r->plan_cache_misses = plan_cache_.misses();
+    r->plan_cache_evictions = plan_cache_.evictions();
+  };
+  std::string rc_key;
+  ResultCache::Flight rc_flight;
+  ResultCache::Snapshot rc_snapshot;
+  if (result_cache_enabled_) {
+    // Scheduled cache-corruption faults draw from a per-query injector
+    // seeded by the schedule, like the stats perturbation above.
+    std::unique_ptr<FaultInjector> cache_faults;
+    if (!options_.faults.empty()) {
+      cache_faults = std::make_unique<FaultInjector>(options_.faults);
+    }
+    rc_key = PlanCache::Key(spec);
+    ResultCache::Hit hit;
+    bool found =
+        result_cache_->Lookup(rc_key, *catalog_, cache_faults.get(), &hit);
+    if (!found) {
+      rc_flight = result_cache_->AcquireFlight(rc_key);
+      if (rc_flight.waited()) {
+        // Another session computed this key while we blocked; its result
+        // is usually published now.
+        found = result_cache_->Lookup(rc_key, *catalog_, cache_faults.get(),
+                                      &hit);
+        if (found) rc_flight.Release();
+      }
+    }
+    if (cache_faults != nullptr) {
+      result.faults.Accumulate(cache_faults->counters());
+    }
+    if (found) {
+      result.result_cache_hit = true;
+      result.result_cache_patched = hit.patched;
+      result.result_cache_stale = hit.stale;
+      result.output_rows = hit.rows;
+      result.counters.cost_units = hit.cost_units;
+      result.counters.pages_read = hit.pages_read;
+      result.counters.rows_processed = hit.rows_processed;
+      result.counters.predicate_evals = hit.predicate_evals;
+      result.cost = hit.cost_units;
+      result.elapsed = hit.cost_units;
+      result.first_plan = "[ResultCache] hit";
+      result.final_plan = result.first_plan;
+      if (keep_rows) result.rows = *hit.batches;
+      fill_cache_totals(&result);
+      return result;
+    }
+    // Snapshot the referenced tables' epochs *before* execution: rows
+    // appended mid-computation count as post-snapshot delta, never as
+    // silently-included state.
+    rc_snapshot = ResultCache::TakeSnapshot(spec, *catalog_);
+    // Give cached results back before the query claims working memory.
+    memory_.PollRevocation(result_cache_.get());
+  }
+
   // Rio proactive box check: is one plan optimal across the whole
   // cardinality-uncertainty box?
   bool rio_skip_checks = false;
@@ -361,13 +451,22 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
 
   PlanNodePtr plan;
   std::string cache_key;
+  PlanCache::Flight pc_flight;
   if (options_.use_plan_cache) {
     cache_key = PlanCache::Key(spec);
     PlanCoster verifier(&model, final_opts.cost);
     bool failed = false;
     plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
-    result.plan_cache_hit = plan != nullptr;
     result.plan_verification_failed = failed;
+    if (plan == nullptr) {
+      // Single-flight on the optimization: concurrent identical queries
+      // wait for the leader's Put instead of optimizing in parallel.
+      pc_flight = plan_cache_.BeginCompute(cache_key);
+      if (pc_flight.waited()) {
+        plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
+      }
+    }
+    result.plan_cache_hit = plan != nullptr;
   }
   if (plan == nullptr) {
     auto opt = optimizer.Optimize(spec);
@@ -376,6 +475,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     result.plans_considered = opt.value().plans_considered;
     if (options_.use_plan_cache) plan_cache_.Put(cache_key, *plan);
   }
+  pc_flight.Release();  // the plan is published; stop serializing peers
   result.first_plan = plan->Explain();
 
   std::vector<MaterializedLeaf> leaves;
@@ -396,7 +496,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     accumulated.parallel_phases += c.parallel_phases;
   };
   const GuardrailOptions& guard = options_.guardrails;
-  const int64_t query_seq = query_seq_++;
+  const int64_t query_seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
 
   // Parallel execution setup. The pool is shared across queries and lazily
   // created (and grown) on first DOP > 1 use; at DOP 1 no pool exists and
@@ -405,6 +505,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   parallel.num_threads = ResolveNumThreads(options_.num_threads);
   parallel.morsel_rows = options_.morsel_rows;
   if (parallel.num_threads > 1) {
+    std::lock_guard<std::mutex> pool_lock(pool_mu_);
     if (pool_ == nullptr || pool_->num_threads() < parallel.num_threads) {
       pool_ = std::make_unique<ThreadPool>(parallel.num_threads);
     }
@@ -439,9 +540,12 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     auto op = BuildExecutable(*plan, catalog_, spec.params, &parallel);
     if (!op.ok()) return op.status();
 
+    // Materialize when the caller wants rows or when this session is the
+    // result-cache leader for the key (the flight held since the miss).
+    const bool materialize = keep_rows || rc_flight.active();
     std::vector<RowBatch> rows;
     auto drained =
-        DrainOperator(op.value().get(), &ctx, keep_rows ? &rows : nullptr);
+        DrainOperator(op.value().get(), &ctx, materialize ? &rows : nullptr);
     if (ctx.faults() != nullptr) {
       result.faults.Accumulate(ctx.faults()->counters());
     }
@@ -555,7 +659,17 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     if (options_.auto_index_tuning) {
       TuneIndexes(*plan, ctx.actual_cardinalities(), &result.indexes_built);
     }
+    // Publish into the result cache only here, on the one fully-successful
+    // exit: aborted attempts (guardrail trips, POP restarts, injected
+    // failures) re-enter the loop with a fresh `rows`, so a partially
+    // filled result can never become visible. The flight releases when
+    // Run returns, waking any sessions queued on this key.
+    if (rc_flight.active()) {
+      result_cache_->Insert(rc_key, spec, *catalog_, std::move(rc_snapshot),
+                            keep_rows ? rows : std::move(rows), *drained);
+    }
     if (keep_rows) result.rows = std::move(rows);
+    fill_cache_totals(&result);
     return result;
   }
 }

@@ -1,12 +1,15 @@
 #ifndef RQP_ENGINE_ENGINE_H_
 #define RQP_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "adaptive/index_tuner.h"
+#include "cache/result_cache.h"
 #include "engine/plan_cache.h"
 #include "fault/fault.h"
 #include "optimizer/builder.h"
@@ -81,6 +84,17 @@ struct EngineOptions {
   /// the plan-management experiment contrasts against.
   bool plan_cache_skip_verification = false;
   PlanCache::Options plan_cache;
+  /// Semantic result cache (the result-reuse tier above the plan cache):
+  /// -1 = read $RQP_RESULT_CACHE (unset/"0" → off), 0 = off, 1 = on.
+  int use_result_cache = -1;
+  /// Result-cache sizing/behavior. `max_pages` may be overridden by
+  /// $RQP_RESULT_CACHE_PAGES; `max_staleness` and `cost_model` are filled
+  /// from the fields below at engine construction.
+  ResultCache::Options result_cache;
+  /// Bounded staleness: serve a cached result unpatched while its
+  /// referenced tables have received at most this many appended rows since
+  /// the snapshot. 0 = always fresh (patch or recompute on any change).
+  int64_t result_cache_max_staleness = 0;
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
   /// Degree of parallelism for morsel-driven execution: 0 = read
@@ -130,6 +144,15 @@ struct QueryResult {
   /// Plan-cache outcome (when EngineOptions::use_plan_cache is set).
   bool plan_cache_hit = false;
   bool plan_verification_failed = false;
+  /// Engine-lifetime plan-cache totals as of this query's completion.
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_evictions = 0;
+  /// Result-cache outcome (when the result cache is enabled). A hit means
+  /// execution was skipped entirely; `cost`/`elapsed` then carry only the
+  /// deterministic re-emit (and patch) charges.
+  bool result_cache_hit = false;
+  bool result_cache_patched = false;  ///< served after delta maintenance
+  bool result_cache_stale = false;    ///< served within the staleness bound
   /// Plans costed by the optimizer for this query (0 on a cache hit).
   int64_t plans_considered = 0;
   /// Guardrail outcomes.
@@ -176,6 +199,8 @@ class Engine {
   FeedbackCache* feedback() { return &feedback_; }
   StHistogramStore* st_histograms() { return &st_store_; }
   PlanCache* plan_cache() { return &plan_cache_; }
+  ResultCache* result_cache() { return result_cache_.get(); }
+  bool result_cache_enabled() const { return result_cache_enabled_; }
   MemoryBroker* memory() { return &memory_; }
   EngineOptions* mutable_options() { return &options_; }
   const EngineOptions& options() const { return options_; }
@@ -203,12 +228,21 @@ class Engine {
   IndexTuner index_tuner_;
   StHistogramStore st_store_;
   PlanCache plan_cache_;
-  int64_t query_seq_ = 0;  ///< deterministic spill-directory naming
+  /// Declared after memory_ so it is destroyed first and releases its
+  /// broker pages into a still-live broker.
+  std::unique_ptr<ResultCache> result_cache_;
+  bool result_cache_enabled_ = false;
+  /// Deterministic spill-directory naming; atomic because concurrent
+  /// identical queries (stampedes onto the result cache) run Run() from
+  /// several threads at once.
+  std::atomic<int64_t> query_seq_{0};
   /// Process-unique engine tag prefixed to spill query ids, so engines
   /// sharing one $RQP_SPILL_DIR (or one process) never collide.
   std::string engine_tag_;
   /// Shared worker pool, created lazily on the first DOP > 1 query and
-  /// reused (and grown) across queries.
+  /// reused (and grown) across queries. Guarded by pool_mu_ so concurrent
+  /// first queries don't race the creation.
+  std::mutex pool_mu_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

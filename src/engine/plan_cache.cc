@@ -1,5 +1,6 @@
 #include "engine/plan_cache.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "expr/rewriter.h"
@@ -45,10 +46,13 @@ PlanNodePtr PlanCache::LookupVerified(const std::string& key,
   double cached_cost = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    if (it == entries_.end()) return nullptr;
-    clone = it->second.plan->Clone();
-    cached_cost = it->second.cached_cost;
+    Entry* entry = entries_.Get(key);
+    if (entry == nullptr) {
+      ++misses_;
+      return nullptr;
+    }
+    clone = entry->plan->Clone();
+    cached_cost = entry->cached_cost;
   }
   // Verification: re-cost the cached structure under the current
   // cardinality model. The clone is private, so costing runs unlocked.
@@ -58,12 +62,13 @@ PlanNodePtr PlanCache::LookupVerified(const std::string& key,
   std::lock_guard<std::mutex> lock(mu_);
   if (ratio > options_.verify_factor || ratio < 1.0 / options_.verify_factor) {
     ++verification_failures_;
+    ++misses_;
     if (verification_failed != nullptr) *verification_failed = true;
     // Stale: correct by re-optimizing. The entry may already have been
     // replaced by a concurrent Put — erasing by key is still the right
     // invalidation (the replacement was verified against the same drifted
     // statistics snapshot at best).
-    entries_.erase(key);
+    entries_.Erase(key);
     return nullptr;
   }
   ++hits_;
@@ -76,12 +81,12 @@ void PlanCache::Put(const std::string& key, const PlanNode& plan) {
   entry.plan = plan.Clone();
   entry.cached_cost = plan.est_cost;
   std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.size() >= options_.max_entries &&
-      entries_.count(key) == 0) {
-    // Simple capacity policy: drop the lexicographically first entry.
-    entries_.erase(entries_.begin());
+  const bool replacing = entries_.Peek(key) != nullptr;
+  if (!replacing && entries_.size() >= options_.max_entries &&
+      entries_.EvictOldest()) {
+    ++evictions_;
   }
-  entries_[key] = std::move(entry);
+  entries_.Put(key, std::move(entry));
 }
 
 }  // namespace rqp

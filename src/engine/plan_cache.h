@@ -1,12 +1,12 @@
 #ifndef RQP_ENGINE_PLAN_CACHE_H_
 #define RQP_ENGINE_PLAN_CACHE_H_
 
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 
 #include "optimizer/optimizer.h"
+#include "util/cache_util.h"
 
 namespace rqp {
 
@@ -19,6 +19,10 @@ namespace rqp {
 /// entry is discarded and the query re-optimized. This is the mechanism
 /// behind "plan stability with change management" (Ziauddin et al., the
 /// Oracle 11g paper in the reading list).
+///
+/// Capacity is enforced as true LRU (via the shared LruMap utility, also
+/// used by ResultCache): a lookup hit refreshes recency, and inserting
+/// beyond `max_entries` evicts the least recently used plan.
 ///
 /// Thread-safe: sessions running on different threads may look up, insert,
 /// and invalidate concurrently; all cache state is guarded by an internal
@@ -34,6 +38,9 @@ class PlanCache {
     size_t max_entries = 256;
   };
 
+  /// Single-flight token for one key's optimization (see KeyedFlight).
+  using Flight = KeyedFlight<std::string>::Guard;
+
   PlanCache() : PlanCache(Options()) {}
   explicit PlanCache(Options options) : options_(options) {}
 
@@ -43,13 +50,21 @@ class PlanCache {
 
   /// Looks up and verifies. Returns a clone of the cached plan when the
   /// entry exists and passes verification under `coster`; otherwise null
-  /// (a failed verification also evicts the stale entry).
+  /// (a failed verification also evicts the stale entry). Every null
+  /// return counts as a miss.
   PlanNodePtr LookupVerified(const std::string& key, const PlanCoster& coster,
                              bool* verification_failed = nullptr);
 
   /// Caches `plan` (cloned). Plans containing re-optimization intermediates
   /// are rejected (they reference one execution's materialized state).
+  /// Inserting a new key at capacity evicts the LRU entry.
   void Put(const std::string& key, const PlanNode& plan);
+
+  /// Single-flight suppression for the miss path: the caller that acquires
+  /// the flight without waiting is the leader and should optimize + Put;
+  /// a caller whose flight `waited()` should re-run LookupVerified first —
+  /// the leader usually just published the plan.
+  Flight BeginCompute(const std::string& key) { return flight_.Acquire(key); }
 
   size_t size() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -59,13 +74,25 @@ class PlanCache {
     std::lock_guard<std::mutex> lock(mu_);
     return hits_;
   }
+  /// Lookups that returned no usable plan (absent key or failed
+  /// verification).
+  int64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  /// Entries dropped by LRU capacity pressure (verification failures are
+  /// counted separately, not here).
+  int64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
   int64_t verification_failures() const {
     std::lock_guard<std::mutex> lock(mu_);
     return verification_failures_;
   }
   void Clear() {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_.clear();
+    entries_.Clear();
   }
 
  private:
@@ -76,8 +103,11 @@ class PlanCache {
 
   Options options_;
   mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  LruMap<std::string, Entry> entries_;
+  KeyedFlight<std::string> flight_;
   int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
   int64_t verification_failures_ = 0;
 };
 

@@ -159,6 +159,18 @@ class MemoryBroker {
     used_ -= std::min(pages, used_);
   }
 
+  /// All-or-nothing grant with no progress minimum and no overcommit —
+  /// for *discretionary* memory (the result cache) that must never push
+  /// the broker past capacity the way operator grants may. Returns false
+  /// without taking anything when `pages` doesn't fit.
+  bool TryGrant(int64_t pages) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pages < 0 || used_ + pages > capacity_) return false;
+    used_ += pages;
+    peak_used_ = std::max(peak_used_, used_);
+    return true;
+  }
+
   /// High-water mark of `used()`; exceeds capacity() exactly when the broker
   /// ran over-committed (progress-minimum grants after a shrink).
   int64_t peak_used() const {

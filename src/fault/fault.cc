@@ -47,6 +47,14 @@ FaultSchedule& FaultSchedule::ScanFailures(std::string table,
   return *this;
 }
 
+FaultSchedule& FaultSchedule::CacheCorruption(double probability) {
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kCacheCorruption;
+  e.fail_probability = probability;
+  events.push_back(std::move(e));
+  return *this;
+}
+
 FaultInjector::FaultInjector(FaultSchedule schedule)
     : schedule_(std::move(schedule)), rng_(schedule_.seed),
       memory_drop_fired_(schedule_.events.size(), false) {}
@@ -145,6 +153,23 @@ FaultInjector::ReadOutcome FaultInjector::OnMorselReadAttempt(
   if (p_fail <= 0.0) return ReadOutcome{};
   Rng morsel_rng(schedule_.seed ^ MixSeed(static_cast<uint64_t>(morsel_id)));
   return DrawReadFailures(p_fail, &morsel_rng);
+}
+
+bool FaultInjector::DrawCacheCorruption() {
+  // Compound probability across scheduled corruption events (independent
+  // causes, same shape as ReadFailProbability).
+  double survive = 1.0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultEvent::Kind::kCacheCorruption) {
+      survive *= 1.0 - e.fail_probability;
+    }
+  }
+  const double p = 1.0 - survive;
+  if (p <= 0.0) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!rng_.Bernoulli(p)) return false;
+  ++counters_.cache_corruptions;
+  return true;
 }
 
 std::map<std::string, double> FaultInjector::StatsFactors() {

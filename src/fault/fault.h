@@ -34,6 +34,12 @@ struct FaultEvent {
     /// attempt while the clock is inside [at_cost, until_cost); the reader
     /// retries with bounded exponential backoff (see FaultSchedule).
     kScanFailure,
+    /// A result-cache entry read is corrupted with `fail_probability` per
+    /// lookup (bit rot / torn write in the cache tier). The cache detects
+    /// the corruption via checksum, drops the entry, and recomputes —
+    /// never serves the damaged rows. `at_cost`/`until_cost`/`table` are
+    /// ignored: cache lookups happen before the query's clock starts.
+    kCacheCorruption,
   };
   Kind kind = Kind::kIoSlowdown;
   std::string table;  ///< target table; empty = every table
@@ -67,6 +73,7 @@ struct FaultSchedule {
   FaultSchedule& ScanFailures(
       std::string table, double probability, double at_cost = 0,
       double until_cost = std::numeric_limits<double>::infinity());
+  FaultSchedule& CacheCorruption(double probability);
 };
 
 /// What an execution actually experienced; surfaced into QueryResult.
@@ -77,6 +84,7 @@ struct FaultCounters {
   int transient_read_failures = 0;   ///< individual failed read attempts
   int read_retries = 0;              ///< backoff retries performed
   int exhausted_reads = 0;           ///< reads whose retry budget ran out
+  int cache_corruptions = 0;         ///< result-cache entries corrupted
 
   void Accumulate(const FaultCounters& o) {
     memory_drops += o.memory_drops;
@@ -85,10 +93,11 @@ struct FaultCounters {
     transient_read_failures += o.transient_read_failures;
     read_retries += o.read_retries;
     exhausted_reads += o.exhausted_reads;
+    cache_corruptions += o.cache_corruptions;
   }
   bool any() const {
     return memory_drops > 0 || slowed_pages > 0 || stats_perturbations > 0 ||
-           transient_read_failures > 0;
+           transient_read_failures > 0 || cache_corruptions > 0;
   }
 };
 
@@ -129,6 +138,12 @@ class FaultInjector {
   /// Pre-optimization statistics perturbation: believed-row-count
   /// multipliers keyed by table (factors for the same table compound).
   std::map<std::string, double> StatsFactors();
+
+  /// Draws whether the current result-cache lookup observes a corrupted
+  /// entry (compound probability across kCacheCorruption events). Consumes
+  /// shared-stream randomness only when a corruption event is scheduled,
+  /// so cache-fault-free schedules replay unchanged.
+  bool DrawCacheCorruption();
 
   const FaultCounters& counters() const { return counters_; }
   const FaultSchedule& schedule() const { return schedule_; }

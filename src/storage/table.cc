@@ -17,12 +17,14 @@ void Table::AppendRow(const std::vector<int64_t>& values) {
     columns_[i].push_back(values[i]);
   }
   ++num_rows_;
+  append_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Table::SetColumnData(size_t i, std::vector<int64_t> data) {
   assert(i < columns_.size());
   num_rows_ = static_cast<int64_t>(data.size());
   columns_[i] = std::move(data);
+  reload_epoch_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void SortedIndex::Build(const Table& table) {

@@ -1,6 +1,7 @@
 #ifndef RQP_STORAGE_TABLE_H_
 #define RQP_STORAGE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -24,6 +25,28 @@ class Table {
  public:
   Table(std::string name, Schema schema);
 
+  // The atomic epochs would otherwise delete the move operations, which
+  // value-returning builders rely on. A moved-from table carries its
+  // epochs along so derived state keyed on them stays coherent.
+  Table(Table&& other) noexcept
+      : name_(std::move(other.name_)),
+        schema_(std::move(other.schema_)),
+        columns_(std::move(other.columns_)),
+        num_rows_(other.num_rows_),
+        append_epoch_(other.append_epoch_.load(std::memory_order_relaxed)),
+        reload_epoch_(other.reload_epoch_.load(std::memory_order_relaxed)) {}
+  Table& operator=(Table&& other) noexcept {
+    name_ = std::move(other.name_);
+    schema_ = std::move(other.schema_);
+    columns_ = std::move(other.columns_);
+    num_rows_ = other.num_rows_;
+    append_epoch_.store(other.append_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    reload_epoch_.store(other.reload_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    return *this;
+  }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   int64_t num_rows() const { return num_rows_; }
@@ -32,7 +55,28 @@ class Table {
   }
 
   const std::vector<int64_t>& column(size_t i) const { return columns_[i]; }
-  std::vector<int64_t>& mutable_column(size_t i) { return columns_[i]; }
+  std::vector<int64_t>& mutable_column(size_t i) {
+    // Handing out a writable column is an arbitrary in-place mutation: the
+    // caller can rewrite existing values, so any derived state (cached
+    // results) must be treated as wholesale invalid, not patchable.
+    reload_epoch_.fetch_add(1, std::memory_order_relaxed);
+    return columns_[i];
+  }
+
+  /// Monotone change counters, used by the result cache to reason about
+  /// data change without observing content. `append_epoch` advances by
+  /// exactly one per AppendRow — rows in [old_epoch_rows, num_rows) are the
+  /// delta, so append-only change is *patchable*. `reload_epoch` advances
+  /// on any in-place mutation (SetColumnData, mutable_column), which can
+  /// rewrite history — never patchable, only invalidation.
+  int64_t append_epoch() const {
+    return append_epoch_.load(std::memory_order_relaxed);
+  }
+  int64_t reload_epoch() const {
+    return reload_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Combined version: changes whenever either epoch changes.
+  int64_t version() const { return append_epoch() + reload_epoch(); }
 
   StatusOr<size_t> ColumnIndex(const std::string& name) const {
     return schema_.ColumnIndex(name);
@@ -55,6 +99,8 @@ class Table {
   Schema schema_;
   std::vector<std::vector<int64_t>> columns_;
   int64_t num_rows_ = 0;
+  std::atomic<int64_t> append_epoch_{0};
+  std::atomic<int64_t> reload_epoch_{0};
 };
 
 /// Sorted secondary index over one column: (key, row_id) pairs in key order.

@@ -1,0 +1,173 @@
+#ifndef RQP_UTIL_CACHE_UTIL_H_
+#define RQP_UTIL_CACHE_UTIL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+namespace rqp {
+
+/// Least-recently-used map: O(1) lookup plus an explicit recency order used
+/// for eviction. Shared by PlanCache and ResultCache so the two caches run
+/// one eviction policy instead of two hand-rolled copies.
+///
+/// NOT thread-safe — both caches guard all access with their own mutex, so
+/// a second lock here would only add deadlock surface. Eviction is
+/// caller-driven (EvictOldest), because the callers account evictions
+/// differently: PlanCache counts them, ResultCache also releases the
+/// evicted entry's MemoryBroker pages.
+template <typename Key, typename Value>
+class LruMap {
+ public:
+  /// Returns the value for `key` and marks it most recently used; null when
+  /// absent.
+  Value* Get(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Lookup without touching recency (stats, tests).
+  const Value* Peek(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &it->second->second;
+  }
+
+  /// Inserts or replaces; either way `key` becomes most recently used.
+  void Put(Key key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(std::move(key), order_.begin());
+  }
+
+  bool Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  /// Pops the least recently used entry into `key`/`value` (either may be
+  /// null); false when empty.
+  bool EvictOldest(Key* key = nullptr, Value* value = nullptr) {
+    if (order_.empty()) return false;
+    auto& back = order_.back();
+    if (key != nullptr) *key = back.first;
+    if (value != nullptr) *value = std::move(back.second);
+    index_.erase(back.first);
+    order_.pop_back();
+    return true;
+  }
+
+  /// Key of the least recently used entry; requires !empty().
+  const Key& OldestKey() const { return order_.back().first; }
+
+  size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  /// Visits entries from most to least recently used.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& [k, v] : order_) fn(k, v);
+  }
+
+ private:
+  std::list<std::pair<Key, Value>> order_;  ///< front = most recently used
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+};
+
+/// Single-flight stampede suppression: a keyed mutex. The first session to
+/// Acquire a key becomes the computation's leader; identical concurrent
+/// sessions block in Acquire until the leader's guard is released, then
+/// re-check the cache (Guard::waited tells them a flight completed while
+/// they slept) and find the published entry instead of recomputing it.
+template <typename Key>
+class KeyedFlight {
+ public:
+  /// RAII flight token. Movable; releases the key (and wakes waiters) on
+  /// destruction, so error paths can never leave a key permanently locked.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept
+        : owner_(o.owner_), key_(std::move(o.key_)), waited_(o.waited_) {
+      o.owner_ = nullptr;
+    }
+    Guard& operator=(Guard&& o) noexcept {
+      if (this != &o) {
+        Release();
+        owner_ = o.owner_;
+        key_ = std::move(o.key_);
+        waited_ = o.waited_;
+        o.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    /// True while this guard holds its key.
+    bool active() const { return owner_ != nullptr; }
+    /// True when Acquire blocked on another session's flight — the signal
+    /// to re-check the cache before computing.
+    bool waited() const { return waited_; }
+
+    void Release() {
+      if (owner_ == nullptr) return;
+      KeyedFlight* owner = owner_;
+      owner_ = nullptr;
+      {
+        std::lock_guard<std::mutex> lock(owner->mu_);
+        owner->active_.erase(key_);
+      }
+      owner->cv_.notify_all();
+    }
+
+   private:
+    friend class KeyedFlight;
+    Guard(KeyedFlight* owner, Key key, bool waited)
+        : owner_(owner), key_(std::move(key)), waited_(waited) {}
+
+    KeyedFlight* owner_ = nullptr;
+    Key key_{};
+    bool waited_ = false;
+  };
+
+  /// Blocks while another flight for `key` is active, then acquires it.
+  Guard Acquire(const Key& key) {
+    std::unique_lock<std::mutex> lock(mu_);
+    bool waited = false;
+    while (active_.count(key) != 0) {
+      waited = true;
+      cv_.wait(lock);
+    }
+    active_.insert(key);
+    return Guard(this, key, waited);
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<Key> active_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_UTIL_CACHE_UTIL_H_

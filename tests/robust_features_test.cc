@@ -228,6 +228,58 @@ TEST_F(RobustFeaturesFixture, PlanCacheHitsAndSavesOptimization) {
   EXPECT_EQ(engine.plan_cache()->hits(), 1);
 }
 
+TEST_F(RobustFeaturesFixture, PlanCacheCountsMissesAndSurfacesThem) {
+  EngineOptions opts;
+  opts.use_plan_cache = true;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  QuerySpec q = WellEstimatedQuery();
+  auto first = engine.Run(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->plan_cache_misses, 1);
+  EXPECT_EQ(first->plan_cache_evictions, 0);
+  auto second = engine.Run(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->plan_cache_hit);
+  EXPECT_EQ(second->plan_cache_misses, 1);  // lifetime total, unchanged
+  EXPECT_EQ(engine.plan_cache()->misses(), 1);
+  EXPECT_EQ(engine.plan_cache()->hits(), 1);
+  EXPECT_EQ(engine.plan_cache()->evictions(), 0);
+}
+
+TEST_F(RobustFeaturesFixture, PlanCacheEnforcesLruEvictionAtCapacity) {
+  EngineOptions opts;
+  opts.use_plan_cache = true;
+  opts.plan_cache.max_entries = 2;
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+
+  QuerySpec q1, q2, q3;
+  q1.tables.push_back({"fact", MakeBetween("fk0", 0, 100)});
+  q2.tables.push_back({"fact", MakeBetween("fk0", 0, 200)});
+  q3.tables.push_back({"fact", MakeBetween("fk0", 0, 300)});
+
+  ASSERT_TRUE(engine.Run(q1).ok());
+  ASSERT_TRUE(engine.Run(q2).ok());
+  auto touch = engine.Run(q1);  // refresh q1: q2 becomes the LRU victim
+  ASSERT_TRUE(touch.ok());
+  EXPECT_TRUE(touch->plan_cache_hit);
+  ASSERT_TRUE(engine.Run(q3).ok());  // at capacity: evicts q2, not q1
+
+  EXPECT_EQ(engine.plan_cache()->size(), 2u);
+  EXPECT_EQ(engine.plan_cache()->evictions(), 1);
+  auto r1 = engine.Run(q1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->plan_cache_hit);  // recency protected it
+  auto r2 = engine.Run(q2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->plan_cache_hit);  // the LRU entry was evicted
+  // Lifetime totals surfaced on the result: q1/q2/q3 cold misses plus the
+  // q2 re-miss; its re-insertion evicted another LRU victim.
+  EXPECT_EQ(r2->plan_cache_misses, 4);
+  EXPECT_EQ(r2->plan_cache_evictions, 2);
+}
+
 TEST_F(RobustFeaturesFixture, PlanCacheVerificationCatchesStatsDrift) {
   // Stats claim the fact table is tiny; the first plan is cached. A stats
   // refresh makes the cached plan's believed cost explode; verification

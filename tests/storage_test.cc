@@ -65,6 +65,47 @@ TEST(TableTest, SetColumnDataSetsRowCount) {
   EXPECT_EQ(t.Value(1, 2), 6);
 }
 
+TEST(TableTest, AppendRowBumpsAppendEpochExactlyOncePerRow) {
+  Table t("t", TwoColSchema());
+  EXPECT_EQ(t.append_epoch(), 0);
+  EXPECT_EQ(t.reload_epoch(), 0);
+  t.AppendRow({1, 10});
+  EXPECT_EQ(t.append_epoch(), 1);
+  t.AppendRow({2, 20});
+  t.AppendRow({3, 30});
+  EXPECT_EQ(t.append_epoch(), 3);
+  EXPECT_EQ(t.reload_epoch(), 0);
+  EXPECT_EQ(t.version(), 3);
+  // The append epoch tracks the row count exactly — the invariant the
+  // result cache's delta-patching relies on.
+  EXPECT_EQ(t.append_epoch(), t.num_rows());
+}
+
+TEST(TableTest, InPlaceMutationBumpsReloadEpoch) {
+  Table t("t", TwoColSchema());
+  t.SetColumnData(0, {1, 2, 3});
+  t.SetColumnData(1, {4, 5, 6});
+  EXPECT_EQ(t.reload_epoch(), 2);
+  EXPECT_EQ(t.append_epoch(), 0);
+  t.mutable_column(0)[0] = 9;
+  EXPECT_EQ(t.reload_epoch(), 3);
+  EXPECT_EQ(t.version(), 3);
+}
+
+TEST(TableTest, IndexMaintenancePreservesEpochs) {
+  Catalog catalog;
+  Table* t = catalog.AddTable("t", TwoColSchema()).value();
+  t->AppendRow({3, 0});
+  t->AppendRow({1, 1});
+  const int64_t append = t->append_epoch();
+  const int64_t reload = t->reload_epoch();
+  // Index construction only reads the table: derived structures must not
+  // masquerade as data change.
+  ASSERT_TRUE(catalog.BuildIndex("t", "a").ok());
+  EXPECT_EQ(t->append_epoch(), append);
+  EXPECT_EQ(t->reload_epoch(), reload);
+}
+
 TEST(TableTest, PageCountRoundsUp) {
   Table t("t", TwoColSchema());
   std::vector<int64_t> col(kRowsPerPage + 1, 0);

@@ -47,6 +47,15 @@ bool ResolveResultCacheEnabled(int configured) {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Resolves EngineOptions::vectorized: -1 defers to $RQP_VECTORIZED, which
+/// defaults ON (only an explicit "0" disables it).
+bool ResolveVectorized(int configured) {
+  if (configured >= 0) return configured != 0;
+  const char* env = std::getenv("RQP_VECTORIZED");
+  return env == nullptr || env[0] == '\0' ||
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 /// Applies the $RQP_RESULT_CACHE_PAGES override to the configured budget.
 int64_t ResolveResultCachePages(int64_t configured) {
   if (const char* env = std::getenv("RQP_RESULT_CACHE_PAGES")) {
@@ -70,6 +79,7 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
       }()),
       engine_tag_(MakeEngineTag()) {
   result_cache_enabled_ = ResolveResultCacheEnabled(options_.use_result_cache);
+  vectorized_ = ResolveVectorized(options_.vectorized);
   ResultCache::Options ro = options_.result_cache;
   ro.max_pages = ResolveResultCachePages(ro.max_pages);
   ro.max_staleness = options_.result_cache_max_staleness;
@@ -518,6 +528,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   for (int attempt = 0;; ++attempt) {
     ExecContext ctx(&memory_);
     ctx.set_cost_model(options_.cost_model);
+    ctx.set_vectorized(vectorized_);
     ctx.set_spill_dir(options_.spill_dir);
     std::string query_id = engine_tag_;
     query_id += "-q";

@@ -95,6 +95,11 @@ struct EngineOptions {
   /// referenced tables have received at most this many appended rows since
   /// the snapshot. 0 = always fresh (patch or recompute on any change).
   int64_t result_cache_max_staleness = 0;
+  /// Vectorized execution (selection-vector batches + flattened predicate
+  /// bytecode + batched hot-path charging; DESIGN.md §10): -1 = read
+  /// $RQP_VECTORIZED (unset/"" → on, "0" → off), 0 = scalar per-row
+  /// execution, 1 = vectorized. Both paths are byte-identical.
+  int vectorized = -1;
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
   /// Degree of parallelism for morsel-driven execution: 0 = read
@@ -201,6 +206,7 @@ class Engine {
   PlanCache* plan_cache() { return &plan_cache_; }
   ResultCache* result_cache() { return result_cache_.get(); }
   bool result_cache_enabled() const { return result_cache_enabled_; }
+  bool vectorized() const { return vectorized_; }
   MemoryBroker* memory() { return &memory_; }
   EngineOptions* mutable_options() { return &options_; }
   const EngineOptions& options() const { return options_; }
@@ -232,6 +238,7 @@ class Engine {
   /// broker pages into a still-live broker.
   std::unique_ptr<ResultCache> result_cache_;
   bool result_cache_enabled_ = false;
+  bool vectorized_ = true;  ///< resolved from options/$RQP_VECTORIZED at ctor
   /// Deterministic spill-directory naming; atomic because concurrent
   /// identical queries (stampedes onto the result cache) run Run() from
   /// several threads at once.

@@ -56,6 +56,10 @@ class RowBatch {
   void Reset(size_t num_cols) {
     num_cols_ = num_cols;
     data_.clear();
+    // Reserve a full batch up front so the hot append loops (AppendRow /
+    // AppendConcat) never reallocate mid-batch. clear() keeps capacity, so
+    // after the first batch through an operator this is a no-op.
+    if (num_cols_ > 0) data_.reserve(num_cols_ * kBatchRows);
   }
 
   std::vector<int64_t>& mutable_data() { return data_; }

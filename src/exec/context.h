@@ -248,6 +248,13 @@ class ExecContext {
   const CostModel& cost_model() const { return cost_model_; }
   void set_cost_model(const CostModel& cm) { cost_model_ = cm; }
 
+  /// Vectorized execution gate (EngineOptions::vectorized / $RQP_VECTORIZED).
+  /// Operators read this at Open and pick the selection-vector path or the
+  /// per-row scalar path; both produce byte-identical output and identical
+  /// cost-clock totals (DESIGN.md §10).
+  void set_vectorized(bool v) { vectorized_ = v; }
+  bool vectorized() const { return vectorized_; }
+
   ExecCounters& counters() { return counters_; }
   const ExecCounters& counters() const { return counters_; }
   double cost() const { return counters_.cost_units; }
@@ -551,6 +558,7 @@ class ExecContext {
   }
 
   CostModel cost_model_;
+  bool vectorized_ = true;
   ExecCounters counters_;
   MemoryBroker own_memory_;
   MemoryBroker* memory_;

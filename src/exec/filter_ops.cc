@@ -13,18 +13,44 @@ Status FilterOp::Open(ExecContext* ctx) {
       CompiledPredicate::Compile(predicate_, child_->output_slots());
   if (!compiled.ok()) return compiled.status();
   compiled_ = std::move(compiled.value());
+  program_.reset();
+  vectorized_ = ctx->vectorized();
+  if (vectorized_) {
+    // Unflattenable predicates (unbound parameters) fall back to scalar.
+    auto program =
+        PredicateProgram::Compile(predicate_, child_->output_slots());
+    if (program.ok()) {
+      program_ = std::move(program.value());
+    } else {
+      vectorized_ = false;
+    }
+  }
   return Status::OK();
 }
 
 Status FilterOp::Next(RowBatch* out) {
   out->Reset(output_slots().size());
   while (!out->full()) {
-    RowBatch in;
-    RQP_RETURN_IF_ERROR(child_->Next(&in));
-    if (in.empty()) break;
-    for (size_t r = 0; r < in.num_rows(); ++r) {
-      ctx_->ChargePredicateEvals(1);
-      if (compiled_->Eval(in.row(r))) out->AppendRow(in.row(r));
+    RQP_RETURN_IF_ERROR(child_->Next(&in_));
+    if (in_.empty()) break;
+    if (vectorized_) {
+      // One eval charge per input batch, flushed right where the scalar
+      // path's per-row charges would all have landed anyway (between the
+      // two child Next calls) — identical clock at every external charge
+      // point (DESIGN.md §10).
+      ctx_->ChargePredicateEvals(static_cast<int64_t>(in_.num_rows()));
+      const size_t ncols = in_.num_cols();
+      col_ptrs_.resize(ncols);
+      const int64_t* base = in_.data().data();
+      for (size_t c = 0; c < ncols; ++c) col_ptrs_[c] = base + c;
+      program_->BuildSelection(col_ptrs_.data(), /*stride=*/ncols,
+                               in_.num_rows(), &sel_);
+      for (const uint32_t r : sel_) out->AppendRow(in_.row(r));
+    } else {
+      for (size_t r = 0; r < in_.num_rows(); ++r) {
+        ctx_->ChargePredicateEvals(1);
+        if (compiled_->Eval(in_.row(r))) out->AppendRow(in_.row(r));
+      }
     }
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
@@ -97,21 +123,22 @@ void AdaptiveFilterOp::MaybeReorder() {
 }
 
 Status AdaptiveFilterOp::Next(RowBatch* out) {
+  // Stays scalar under the vectorized gate: its whole point is per-row
+  // adaptive predicate ordering with per-predicate pass-rate statistics.
   out->Reset(output_slots().size());
   while (!out->full()) {
-    RowBatch in;
-    RQP_RETURN_IF_ERROR(child_->Next(&in));
-    if (in.empty()) break;
-    for (size_t r = 0; r < in.num_rows(); ++r) {
+    RQP_RETURN_IF_ERROR(child_->Next(&in_));
+    if (in_.empty()) break;
+    for (size_t r = 0; r < in_.num_rows(); ++r) {
       bool pass = true;
       for (size_t k : order_) {
         ctx_->ChargePredicateEvals(1);
         evals_[k] += 1.0;
-        const bool ok = compiled_[k].Eval(in.row(r));
+        const bool ok = compiled_[k].Eval(in_.row(r));
         if (ok) passes_[k] += 1.0;
         if (!ok) { pass = false; break; }
       }
-      if (pass) out->AppendRow(in.row(r));
+      if (pass) out->AppendRow(in_.row(r));
       ++rows_since_reorder_;
       MaybeReorder();
     }

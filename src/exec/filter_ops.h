@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "expr/pred_program.h"
 #include "expr/predicate.h"
 
 namespace rqp {
@@ -30,6 +31,13 @@ class FilterOp : public Operator {
   PredicatePtr predicate_;
   std::optional<CompiledPredicate> compiled_;
   ExecContext* ctx_ = nullptr;
+  // Vectorized path (ctx->vectorized()): the predicate as flat bytecode run
+  // over the input batch viewed column-wise (stride = num_cols).
+  bool vectorized_ = false;
+  std::optional<PredicateProgram> program_;
+  RowBatch in_;  ///< reused input batch — no per-Next allocation
+  std::vector<const int64_t*> col_ptrs_;
+  SelectionVector sel_;
 };
 
 /// Projects/reorders child slots by qualified name.
@@ -98,6 +106,7 @@ class AdaptiveFilterOp : public Operator {
   std::vector<double> passes_;  // decayed pass counts per predicate
   int64_t rows_since_reorder_ = 0;
   ExecContext* ctx_ = nullptr;
+  RowBatch in_;  ///< reused input batch — no per-Next allocation
 };
 
 }  // namespace rqp

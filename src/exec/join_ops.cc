@@ -216,7 +216,22 @@ Status HashJoinOp::FetchProbeBatch() {
   }
   probe_row_ = 0;
   // Batch boundary = phase boundary: no live match references, safe to shed.
-  if (!probe_batch_.empty()) RQP_RETURN_IF_ERROR(PollRevocation());
+  if (!probe_batch_.empty()) {
+    RQP_RETURN_IF_ERROR(PollRevocation());
+    if (vectorized_) {
+      // Charge the whole batch's probes in one flush and precompute every
+      // row's partition before probing — the scalar path's per-row charges
+      // all land within this batch's probe window anyway, so totals and the
+      // clock at every batch boundary agree (DESIGN.md §10).
+      const size_t n = probe_batch_.num_rows();
+      ctx_->ChargeHashOps(static_cast<int64_t>(n));
+      probe_parts_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        probe_parts_[i] = static_cast<uint32_t>(
+            PartitionOf(probe_batch_.row(i)[probe_key_idx_]));
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -375,6 +390,7 @@ void HashJoinOp::ReleaseAllMemory() {
 Status HashJoinOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   broker_ = ctx->memory();
+  vectorized_ = ctx->vectorized();
   ResetCount();
   done_ = false;
   depth_ = 0;
@@ -438,8 +454,13 @@ Status HashJoinOp::Next(RowBatch* out) {
           }
         }
         const int64_t* row = probe_batch_.row(probe_row_);
-        ctx_->ChargeHashOps(1);
-        const size_t p = PartitionOf(row[probe_key_idx_]);
+        size_t p;
+        if (vectorized_) {
+          p = probe_parts_[probe_row_];
+        } else {
+          ctx_->ChargeHashOps(1);
+          p = PartitionOf(row[probe_key_idx_]);
+        }
         Partition& part = parts_[p];
         match_rows_.clear();
         match_next_ = 0;
@@ -480,9 +501,13 @@ Status HashJoinOp::Next(RowBatch* out) {
             phase_ = Phase::kChunkLoad;
             continue;
           }
+          if (vectorized_) {
+            ctx_->ChargeHashOps(
+                static_cast<int64_t>(probe_batch_.num_rows()));
+          }
         }
         const int64_t* row = probe_batch_.row(probe_row_);
-        ctx_->ChargeHashOps(1);
+        if (!vectorized_) ctx_->ChargeHashOps(1);
         match_rows_.clear();
         match_next_ = 0;
         auto [begin, end] = chunk_table_.equal_range(row[probe_key_idx_]);

@@ -138,6 +138,11 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   // phases) or chunk_ (chunked fallback).
   std::unique_ptr<SpillFile> probe_file_;  ///< recursive probe input
   RowBatch probe_batch_;
+  // Vectorized path (ctx->vectorized()): hash ops are charged per probe
+  // batch and partition numbers precomputed for the whole batch before any
+  // row is probed.
+  bool vectorized_ = false;
+  std::vector<uint32_t> probe_parts_;
   size_t probe_row_ = 0;
   size_t match_part_ = 0;
   std::vector<size_t> match_rows_;

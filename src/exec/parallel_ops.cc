@@ -73,6 +73,12 @@ Status GatherOp::Open(ExecContext* ctx) {
     auto compiled = CompiledPredicate::Compile(filter_, all);
     if (!compiled.ok()) return compiled.status();
     compiled_ = std::move(compiled.value());
+    program_.reset();
+    if (ctx->vectorized()) {
+      // Unflattenable predicates fall back to the scalar per-row loop.
+      auto program = PredicateProgram::Compile(filter_, all);
+      if (program.ok()) program_ = std::move(program.value());
+    }
   }
 
   RQP_RETURN_IF_ERROR(MaterializeBuilds(ctx));
@@ -290,10 +296,12 @@ void GatherOp::WorkerLoop(int worker_id) {
   std::vector<int64_t> row(pipeline_slots_.size());
   std::vector<int64_t> key(group_idx_.size());
   std::vector<int64_t> stage_counts(stage_state_.size(), 0);
+  std::vector<const int64_t*> col_ptrs(table_->schema().num_columns());
+  SelectionVector sel;
   Morsel m;
   while (!ctx_->cancelled() && cursor_->Claim(&m)) {
-    const Status s =
-        ProcessMorsel(m, worker_id, &charge, local, &row, &key, &stage_counts);
+    const Status s = ProcessMorsel(m, worker_id, &charge, local, &row, &key,
+                                   &stage_counts, &col_ptrs, &sel);
     ledger_[static_cast<size_t>(m.id)] = charge.cost();
     charge.Flush();
     if (!s.ok()) {
@@ -339,7 +347,9 @@ Status GatherOp::ProcessMorsel(const Morsel& m, int /*worker_id*/,
                                WorkerCharge* charge, GroupMap* local_groups,
                                std::vector<int64_t>* row_storage,
                                std::vector<int64_t>* key_storage,
-                               std::vector<int64_t>* stage_counts) {
+                               std::vector<int64_t>* stage_counts,
+                               std::vector<const int64_t*>* col_ptrs,
+                               SelectionVector* sel) {
   // Deterministic per-morsel fault point: the failure draw is keyed off the
   // morsel id, the fault window off the phase-start clock — identical at
   // every DOP and on every replay.
@@ -394,14 +404,35 @@ Status GatherOp::ProcessMorsel(const Morsel& m, int /*worker_id*/,
     }
   };
 
-  for (int64_t r = m.begin; r < m.end; ++r) {
-    for (size_t c = 0; c < scan_cols; ++c) row[c] = table_->Value(c, r);
-    if (compiled_) {
-      charge->ChargePredicateEvals(1);
-      if (!compiled_->Eval(row.data())) continue;
+  if (program_) {
+    // Vectorized filter: evals are charged per morsel (the worker's local
+    // counters flush at the morsel boundary either way, so the clock is
+    // exactly the scalar path's) and the selection is built straight over
+    // the table's columns — only survivors get transposed into the
+    // pipeline row.
+    charge->ChargePredicateEvals(rows);
+    std::vector<const int64_t*>& cols = *col_ptrs;
+    for (size_t c = 0; c < scan_cols; ++c) {
+      cols[c] = table_->column(c).data() + m.begin;
     }
-    ++scan_count;
-    expand(expand, 0);
+    program_->BuildSelection(cols.data(), /*stride=*/1,
+                             static_cast<size_t>(rows), sel);
+    for (const uint32_t s : *sel) {
+      const int64_t r = m.begin + s;
+      for (size_t c = 0; c < scan_cols; ++c) row[c] = table_->Value(c, r);
+      ++scan_count;
+      expand(expand, 0);
+    }
+  } else {
+    for (int64_t r = m.begin; r < m.end; ++r) {
+      for (size_t c = 0; c < scan_cols; ++c) row[c] = table_->Value(c, r);
+      if (compiled_) {
+        charge->ChargePredicateEvals(1);
+        if (!compiled_->Eval(row.data())) continue;
+      }
+      ++scan_count;
+      expand(expand, 0);
+    }
   }
   scan_produced_.fetch_add(scan_count, std::memory_order_relaxed);
   return Status::OK();

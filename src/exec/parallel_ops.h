@@ -14,6 +14,7 @@
 #include "exec/operator.h"
 #include "exec/parallel.h"
 #include "exec/sort_agg_ops.h"
+#include "expr/pred_program.h"
 #include "expr/predicate.h"
 #include "storage/table.h"
 
@@ -127,7 +128,9 @@ class GatherOp : public Operator, public MemoryRevocable {
   Status ProcessMorsel(const Morsel& m, int worker_id, WorkerCharge* charge,
                        GroupMap* local_groups, std::vector<int64_t>* row,
                        std::vector<int64_t>* key,
-                       std::vector<int64_t>* stage_counts);
+                       std::vector<int64_t>* stage_counts,
+                       std::vector<const int64_t*>* col_ptrs,
+                       SelectionVector* sel);
   void EnsureLocalCapacity(int worker_id, const GroupMap& local,
                            WorkerCharge* charge);
   void ShedLocalGroups(int worker_id, GroupMap* local, WorkerCharge* charge);
@@ -147,6 +150,10 @@ class GatherOp : public Operator, public MemoryRevocable {
   std::vector<std::string> pipeline_slots_;  ///< scan ⧺ build slots
   std::vector<std::string> output_slots_;    ///< pipeline or agg layout
   std::optional<CompiledPredicate> compiled_;
+  /// Vectorized morsel filter (ctx->vectorized()): the scan predicate as
+  /// flat bytecode run per morsel straight over the table's columns, so
+  /// rejected rows are never transposed into the pipeline row.
+  std::optional<PredicateProgram> program_;
   std::vector<StageState> stage_state_;
   std::vector<size_t> group_idx_, agg_idx_;  ///< against pipeline_slots_
   ExecContext* ctx_ = nullptr;

@@ -38,6 +38,11 @@ Status TableScanOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   next_row_ = 0;
   charged_end_ = 0;
+  sel_.clear();
+  sel_pos_ = 0;
+  sel_base_ = 0;
+  program_.reset();
+  vectorized_ = ctx->vectorized();
   ResetCount();
   if (projection_error_) {
     return Status::InvalidArgument("bad projection for table " +
@@ -54,11 +59,27 @@ Status TableScanOp::Open(ExecContext* ctx) {
     auto compiled = CompiledPredicate::Compile(filter_, all);
     if (!compiled.ok()) return compiled.status();
     compiled_ = std::move(compiled.value());
+    if (vectorized_) {
+      // Predicates the bytecode compiler can't flatten (unbound parameters)
+      // fall back to the scalar path rather than failing the query.
+      auto program = PredicateProgram::Compile(filter_, all);
+      if (program.ok()) {
+        program_ = std::move(program.value());
+        chunk_cols_.resize(all.size());
+      } else {
+        vectorized_ = false;
+      }
+    }
+  } else {
+    // Without a filter there is no per-row dispatch to eliminate; the
+    // scalar copy loop is already optimal.
+    vectorized_ = false;
   }
   return Status::OK();
 }
 
 Status TableScanOp::Next(RowBatch* out) {
+  if (vectorized_) return NextVectorized(out);
   out->Reset(slots_.size());
   const int64_t n = table_->num_rows();
   std::vector<int64_t> full_row(table_->schema().num_columns());
@@ -94,6 +115,60 @@ Status TableScanOp::Next(RowBatch* out) {
       out->AppendRow(proj_row);
     }
     next_row_ = r;
+  }
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+// Vectorized scan: per source chunk of kBatchRows rows, the filter bytecode
+// builds a selection vector straight over the table's column storage (stride
+// 1, zero-copy) and only surviving rows are transposed into the output. The
+// charge block mirrors the scalar path exactly — guardrail check, fault
+// draw, sequential pages, per-row CPU — followed by the chunk's predicate
+// evals in one flush. In the scalar path all of a chunk's per-row eval
+// charges also land before the next chunk's charge block, so the cost clock
+// agrees at every fault-draw and guardrail point and the output is
+// byte-identical (DESIGN.md §10).
+Status TableScanOp::NextVectorized(RowBatch* out) {
+  out->Reset(slots_.size());
+  const int64_t n = table_->num_rows();
+  const size_t ncols = columns_.size();
+  while (out->capacity_remaining() > 0) {
+    if (sel_pos_ >= sel_.size()) {
+      if (next_row_ >= n) break;
+      RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      const int64_t chunk_end =
+          std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
+      const int64_t chunk = chunk_end - next_row_;
+      RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
+      ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
+                           table_->name());
+      ctx_->ChargeRowCpu(chunk);
+      ctx_->ChargePredicateEvals(chunk);
+      for (size_t c = 0; c < chunk_cols_.size(); ++c) {
+        chunk_cols_[c] = table_->column(c).data() + next_row_;
+      }
+      program_->BuildSelection(chunk_cols_.data(), /*stride=*/1,
+                               static_cast<size_t>(chunk), &sel_);
+      sel_base_ = next_row_;
+      sel_pos_ = 0;
+      next_row_ = chunk_end;
+    }
+    const size_t take =
+        std::min(sel_.size() - sel_pos_, out->capacity_remaining());
+    // Column-at-a-time gather of the survivors, writing straight into the
+    // batch storage: one resize, then strided stores from each source
+    // column — no per-row Value() calls or AppendRow bookkeeping.
+    std::vector<int64_t>& data = out->mutable_data();
+    const size_t base = data.size();
+    data.resize(base + take * ncols);
+    const uint32_t* sel = sel_.data() + sel_pos_;
+    for (size_t c = 0; c < ncols; ++c) {
+      const int64_t* src = table_->column(columns_[c]).data() + sel_base_;
+      int64_t* dst = data.data() + base + c;
+      for (size_t i = 0; i < take; ++i) dst[i * ncols] = src[sel[i]];
+    }
+    sel_pos_ += take;
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "expr/pred_program.h"
 #include "expr/predicate.h"
 #include "storage/table.h"
 
@@ -30,6 +31,8 @@ class TableScanOp : public Operator {
   std::string name() const override { return "TableScan(" + table_->name() + ")"; }
 
  private:
+  Status NextVectorized(RowBatch* out);
+
   const Table* table_;
   PredicatePtr filter_;
   std::vector<size_t> columns_;       // projected source column indices
@@ -39,6 +42,15 @@ class TableScanOp : public Operator {
   int64_t next_row_ = 0;
   int64_t charged_end_ = 0;  ///< source rows already charged (chunk-aligned)
   bool projection_error_ = false;
+  // Vectorized path (ctx->vectorized()): the filter compiled to flat
+  // bytecode, evaluated column-at-a-time straight over Table::column()
+  // storage — rejected rows are never transposed.
+  bool vectorized_ = false;
+  std::optional<PredicateProgram> program_;
+  std::vector<const int64_t*> chunk_cols_;  ///< per-chunk column base ptrs
+  SelectionVector sel_;    ///< surviving rows of the current chunk
+  size_t sel_pos_ = 0;     ///< next unconsumed selection entry
+  int64_t sel_base_ = 0;   ///< source row of selection index 0
 };
 
 /// Index range scan: descends a sorted index, fetches qualifying rows by

@@ -488,6 +488,7 @@ Status HashAggOp::SealShedFiles() {
 Status HashAggOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   broker_ = ctx->memory();
+  vectorized_ = ctx->vectorized();
   ResetCount();
   groups_.clear();
   emitting_ = false;
@@ -529,12 +530,15 @@ Status HashAggOp::Open(ExecContext* ctx) {
     // capacity drop charged during the child's Next is shed as a revocation
     // rather than resolved incidentally by the grow path.
     RQP_RETURN_IF_ERROR(PollRevocation());
+    // Vectorized: one hash-op flush per input batch right where the scalar
+    // path's per-row charges would all land anyway (DESIGN.md §10).
+    if (vectorized_) ctx->ChargeHashOps(static_cast<int64_t>(in.num_rows()));
     for (size_t r = 0; r < in.num_rows(); ++r) {
       const int64_t* row = in.row(r);
       for (size_t g = 0; g < group_idx_.size(); ++g) {
         key[g] = row[group_idx_[g]];
       }
-      ctx->ChargeHashOps(1);
+      if (!vectorized_) ctx->ChargeHashOps(1);
       auto [it, inserted] = groups_.try_emplace(key);
       if (inserted) {
         InitAccumulators(&it->second);
@@ -583,10 +587,13 @@ Status HashAggOp::ProcessPending() {
       RQP_RETURN_IF_ERROR(task.file->ReadBatch(&in));
       if (in.empty()) break;
       RQP_RETURN_IF_ERROR(PollRevocation());
+      if (vectorized_) {
+        ctx_->ChargeHashOps(static_cast<int64_t>(in.num_rows()));
+      }
       for (size_t r = 0; r < in.num_rows(); ++r) {
         const int64_t* row = in.row(r);
         for (size_t g = 0; g < group_idx_.size(); ++g) key[g] = row[g];
-        ctx_->ChargeHashOps(1);
+        if (!vectorized_) ctx_->ChargeHashOps(1);
         auto [it, inserted] = groups_.try_emplace(key);
         if (inserted) {
           InitAccumulators(&it->second);

@@ -195,6 +195,7 @@ class HashAggOp : public Operator, public MemoryRevocable {
   GroupMap groups_;
   GroupMap::iterator emit_it_;
   bool emitting_ = false;
+  bool vectorized_ = false;  ///< per-batch (not per-row) hash-op charging
   ExecContext* ctx_ = nullptr;
   MemoryBroker* broker_ = nullptr;
   bool registered_ = false;

@@ -182,7 +182,10 @@ PredicatePtr BindParams(const PredicatePtr& p,
         using T = std::decay_t<decltype(n)>;
         if constexpr (std::is_same_v<T, Comparison>) {
           if (n.param_index < 0) return p;
-          assert(static_cast<size_t>(n.param_index) < params.size());
+          // Too few params: leave the placeholder unbound rather than read
+          // out of bounds; compilation then rejects the predicate with
+          // FailedPrecondition instead of crashing.
+          if (static_cast<size_t>(n.param_index) >= params.size()) return p;
           return MakeCmp(n.column, n.op,
                          params[static_cast<size_t>(n.param_index)]);
         } else if constexpr (std::is_same_v<T, Conjunction>) {
@@ -344,8 +347,19 @@ StatusOr<CompiledPredicate::CNodePtr> CompiledPredicate::CompileNode(
           }
           std::vector<int64_t> sorted = n.values;
           std::sort(sorted.begin(), sorted.end());
-          return std::make_shared<CNode>(
-              CNode{CIn{static_cast<size_t>(s), std::move(sorted)}});
+          CIn in{static_cast<size_t>(s), std::move(sorted), {}, 0};
+          if (!in.sorted_values.empty()) {
+            const int64_t lo = in.sorted_values.front();
+            const int64_t hi = in.sorted_values.back();
+            if (hi - lo < kInBitmapSpan) {
+              in.bitmap_min = lo;
+              in.bitmap.assign(static_cast<size_t>(hi - lo + 1), 0);
+              for (const int64_t v : in.sorted_values) {
+                in.bitmap[static_cast<size_t>(v - lo)] = 1;
+              }
+            }
+          }
+          return std::make_shared<CNode>(CNode{std::move(in)});
         } else if constexpr (std::is_same_v<T, ColumnCmp>) {
           const int ls = find_slot(n.left_column);
           const int rs = find_slot(n.right_column);
@@ -397,6 +411,11 @@ bool CompiledPredicate::EvalNode(const CNode& n, const int64_t* row) {
         } else if constexpr (std::is_same_v<T, CBetween>) {
           return row[c.slot] >= c.lo && row[c.slot] <= c.hi;
         } else if constexpr (std::is_same_v<T, CIn>) {
+          if (!c.bitmap.empty()) {
+            const int64_t off = row[c.slot] - c.bitmap_min;
+            return off >= 0 && off < static_cast<int64_t>(c.bitmap.size()) &&
+                   c.bitmap[static_cast<size_t>(off)] != 0;
+          }
           return std::binary_search(c.sorted_values.begin(),
                                     c.sorted_values.end(), row[c.slot]);
         } else if constexpr (std::is_same_v<T, CAnd>) {

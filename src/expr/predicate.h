@@ -113,13 +113,23 @@ class CompiledPredicate {
   bool Eval(const int64_t* row) const { return EvalNode(*root_, row); }
   const PredicatePtr& source() const { return source_; }
 
+  /// IN lists whose value range spans fewer than this many integers use a
+  /// dense membership bitmap (bounds check + one load) instead of a binary
+  /// search over sorted_values.
+  static constexpr int64_t kInBitmapSpan = 4096;
+
  private:
   struct CNode;
   using CNodePtr = std::shared_ptr<const CNode>;
   struct CCmp { size_t slot; CmpOp op; int64_t value; };
   struct CColCmp { size_t left_slot; CmpOp op; size_t right_slot; };
   struct CBetween { size_t slot; int64_t lo, hi; };
-  struct CIn { size_t slot; std::vector<int64_t> sorted_values; };
+  struct CIn {
+    size_t slot;
+    std::vector<int64_t> sorted_values;
+    std::vector<uint8_t> bitmap;  ///< non-empty: use bitmap membership
+    int64_t bitmap_min = 0;
+  };
   struct CAnd { std::vector<CNodePtr> children; };
   struct COr { std::vector<CNodePtr> children; };
   struct CNot { CNodePtr child; };

@@ -93,6 +93,7 @@ StatusOr<std::vector<PlanSample>> SamplePlanSpace(
         if (!op.ok()) return op.status();
         ExecContext ctx(engine->memory());
         ctx.set_cost_model(engine->options().cost_model);
+        ctx.set_vectorized(engine->vectorized());
         auto rows = DrainOperator(op.value().get(), &ctx, nullptr);
         if (!rows.ok()) return rows.status();
 

@@ -1,0 +1,456 @@
+// Vectorized-execution tests (DESIGN.md §10): the flattened predicate
+// bytecode (PredicateProgram) agrees with CompiledPredicate on every
+// predicate shape, the CIn lookup structures (sorted binary search + dense
+// bitmap fallback) are correct, and the vectorized engine path is
+// byte-identical to the scalar path — at DOP 1 and 4, under 8-page spill
+// grants, fault injection, and result-cache reuse. Runs under the
+// `vectorized` ctest label (both sanitizer CI legs).
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "expr/pred_program.h"
+#include "expr/predicate.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- PredicateProgram vs CompiledPredicate ---------------------------------
+
+/// Two-column row set covering negatives, zero, domain edges, and values on
+/// both sides of every constant used by the predicate corpus below.
+std::vector<std::vector<int64_t>> TestRows() {
+  std::vector<std::vector<int64_t>> rows;
+  const int64_t interesting[] = {-5000, -7, -1, 0, 1,  2,    3,    7,
+                                 10,    49, 50, 51, 99, 4095, 4097, 9999};
+  for (const int64_t a : interesting) {
+    for (const int64_t b : interesting) {
+      rows.push_back({a, b});
+    }
+  }
+  return rows;
+}
+
+/// The predicate corpus: every leaf kind, every comparison op, narrow and
+/// wide IN lists, and nested AND/OR/NOT structure.
+std::vector<PredicatePtr> PredicateCorpus() {
+  std::vector<PredicatePtr> corpus;
+  for (const CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                         CmpOp::kGt, CmpOp::kGe}) {
+    corpus.push_back(MakeCmp("a", op, 50));
+    corpus.push_back(MakeColCmp("a", op, "b"));
+  }
+  corpus.push_back(MakeBetween("a", -1, 99));
+  corpus.push_back(MakeBetween("b", 3, 3));
+  corpus.push_back(MakeIn("a", {3, 7, 50}));                  // bitmap
+  corpus.push_back(MakeIn("a", {-5000, 0, 4097, 9999}));      // binary search
+  corpus.push_back(MakeIn("b", {}));                          // empty -> false
+  corpus.push_back(MakeConst(true));
+  corpus.push_back(MakeConst(false));
+  corpus.push_back(MakeNot(MakeCmp("a", CmpOp::kLt, 10)));
+  corpus.push_back(MakeOr({MakeCmp("a", CmpOp::kLt, 0),
+                           MakeCmp("b", CmpOp::kGt, 50)}));
+  corpus.push_back(MakeAnd({MakeBetween("a", 0, 4095),
+                            MakeOr({MakeIn("b", {1, 2, 3}),
+                                    MakeCmp("b", CmpOp::kGe, 99)})}));
+  corpus.push_back(MakeNot(MakeOr({MakeNot(MakeCmp("a", CmpOp::kGe, 0)),
+                                   MakeAnd({MakeCmp("b", CmpOp::kEq, 7),
+                                            MakeCmp("a", CmpOp::kNe, 7)})})));
+  corpus.push_back(MakeAnd({}));  // empty conjunction -> true
+  corpus.push_back(MakeOr({}));   // empty disjunction -> false
+  return corpus;
+}
+
+TEST(PredProgramTest, AgreesWithCompiledPredicateEverywhere) {
+  const std::vector<std::string> slots = {"a", "b"};
+  const auto rows = TestRows();
+
+  // Row-major "batch" of all test rows, for the strided evaluation path.
+  std::vector<int64_t> batch;
+  for (const auto& r : rows) batch.insert(batch.end(), r.begin(), r.end());
+  const int64_t* strided_cols[2] = {batch.data(), batch.data() + 1};
+
+  // Columnar copy, for the stride-1 (table scan) path.
+  std::vector<int64_t> col_a, col_b;
+  for (const auto& r : rows) {
+    col_a.push_back(r[0]);
+    col_b.push_back(r[1]);
+  }
+  const int64_t* columnar_cols[2] = {col_a.data(), col_b.data()};
+
+  for (const auto& p : PredicateCorpus()) {
+    auto compiled = CompiledPredicate::Compile(p, slots);
+    ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+    auto program = PredicateProgram::Compile(p, slots);
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+    SelectionVector expect;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const bool want = compiled.value().Eval(rows[i].data());
+      EXPECT_EQ(program.value().EvalRow(rows[i].data()), want)
+          << "EvalRow row " << i;
+      if (want) expect.push_back(static_cast<uint32_t>(i));
+    }
+
+    SelectionVector sel;
+    program.value().BuildSelection(strided_cols, /*stride=*/2, rows.size(),
+                                   &sel);
+    EXPECT_EQ(sel, expect) << "strided BuildSelection";
+    program.value().BuildSelection(columnar_cols, /*stride=*/1, rows.size(),
+                                   &sel);
+    EXPECT_EQ(sel, expect) << "columnar BuildSelection";
+
+    // FilterSelection refines an arbitrary subset (every other test row).
+    SelectionVector odd, odd_expect;
+    for (size_t i = 1; i < rows.size(); i += 2) {
+      odd.push_back(static_cast<uint32_t>(i));
+      if (compiled.value().Eval(rows[i].data())) {
+        odd_expect.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    program.value().FilterSelection(strided_cols, /*stride=*/2, &odd);
+    EXPECT_EQ(odd, odd_expect) << "FilterSelection over subset";
+  }
+}
+
+TEST(PredProgramTest, ConjunctionSplitsIntoConjuncts) {
+  const std::vector<std::string> slots = {"a", "b"};
+  auto program = PredicateProgram::Compile(
+      MakeAnd({MakeCmp("a", CmpOp::kGt, 0), MakeBetween("b", 0, 9),
+               MakeOr({MakeCmp("a", CmpOp::kEq, 1),
+                       MakeCmp("b", CmpOp::kEq, 2)})}),
+      slots);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program.value().num_conjuncts(), 3u);
+  EXPECT_EQ(program.value().num_slots_used(), 2u);
+}
+
+TEST(PredProgramTest, UnboundParameterIsRejected) {
+  auto program =
+      PredicateProgram::Compile(MakeParamCmp("a", CmpOp::kLt, 0), {"a"});
+  EXPECT_FALSE(program.ok());
+}
+
+// ---- CIn regression (satellite: verify binary search & bitmap fallback) ----
+
+TEST(CInRegressionTest, UnsortedInputIsSortedBeforeBinarySearch) {
+  // Wide span (> kInBitmapSpan) forces the binary-search path. The input
+  // list is descending with duplicates and negatives: if Compile did not
+  // sort it, std::binary_search's precondition would be violated and
+  // members would be missed.
+  const std::vector<int64_t> values = {9999, 7, 7, -3, 0, 4200, -5000};
+  ASSERT_GT(9999 - (-5000), CompiledPredicate::kInBitmapSpan);
+  auto compiled = CompiledPredicate::Compile(MakeIn("a", values), {"a"});
+  ASSERT_TRUE(compiled.ok());
+  for (const int64_t v : values) {
+    const int64_t row[1] = {v};
+    EXPECT_TRUE(compiled.value().Eval(row)) << v;
+  }
+  for (const int64_t v : {-5001, -4, -1, 1, 8, 4199, 10000}) {
+    const int64_t row[1] = {v};
+    EXPECT_FALSE(compiled.value().Eval(row)) << v;
+  }
+}
+
+TEST(CInRegressionTest, NarrowRangeUsesBitmapWithSameSemantics) {
+  // Narrow span: the dense-bitmap fallback. Membership must match the
+  // binary-search semantics exactly, including below-min and above-max
+  // probes (the bounds check) and negatives.
+  const std::vector<int64_t> values = {-3, 5, 8, 8, 100};
+  ASSERT_LT(100 - (-3), CompiledPredicate::kInBitmapSpan);
+  auto compiled = CompiledPredicate::Compile(MakeIn("a", values), {"a"});
+  ASSERT_TRUE(compiled.ok());
+  for (const int64_t v : values) {
+    const int64_t row[1] = {v};
+    EXPECT_TRUE(compiled.value().Eval(row)) << v;
+  }
+  for (const int64_t v : {-1000000, -4, -2, 0, 4, 6, 99, 101, 1000000}) {
+    const int64_t row[1] = {v};
+    EXPECT_FALSE(compiled.value().Eval(row)) << v;
+  }
+}
+
+TEST(CInRegressionTest, BitmapAndSearchPathsAgreeOnSharedValues) {
+  // The same membership set probed through both structures: a narrow list
+  // and the narrow list plus one far-away value (pushing the span past the
+  // bitmap threshold) must agree on the shared values.
+  const std::vector<int64_t> narrow = {2, 40, 777};
+  std::vector<int64_t> wide = narrow;
+  wide.push_back(100000);
+  auto c_narrow = CompiledPredicate::Compile(MakeIn("a", narrow), {"a"});
+  auto c_wide = CompiledPredicate::Compile(MakeIn("a", wide), {"a"});
+  ASSERT_TRUE(c_narrow.ok());
+  ASSERT_TRUE(c_wide.ok());
+  for (int64_t v = -10; v <= 1000; ++v) {
+    const int64_t row[1] = {v};
+    EXPECT_EQ(c_narrow.value().Eval(row), c_wide.value().Eval(row)) << v;
+  }
+}
+
+// ---- engine-level byte identity: scalar vs vectorized ----------------------
+
+struct VectorizedFixture : ::testing::Test {
+  Catalog catalog;
+
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 20000;
+    spec.dim_rows = 500;
+    spec.num_dimensions = 3;
+    BuildStarSchema(&catalog, spec);
+  }
+
+  std::string SpillDir(const std::string& tag) {
+    return (fs::temp_directory_path() /
+            ("rqp-vectorized-test-" + std::to_string(getpid()) + "-" + tag))
+        .string();
+  }
+
+  StatusOr<QueryResult> RunMode(const QuerySpec& q, bool vectorized, int dop,
+                                EngineOptions options) {
+    options.vectorized = vectorized ? 1 : 0;
+    options.num_threads = dop;
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    return engine.Run(q, /*keep_rows=*/true);
+  }
+
+  static std::vector<int64_t> Flatten(const QueryResult& r) {
+    std::vector<int64_t> values;
+    for (const auto& b : r.rows) {
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        const int64_t* row = b.row(i);
+        values.insert(values.end(), row, row + b.num_cols());
+      }
+    }
+    return values;
+  }
+
+  /// Runs `q` scalar and vectorized at DOP 1 and 4 and requires identical
+  /// output value streams AND identical charge totals — the byte-identity
+  /// contract of DESIGN.md §10.
+  void CheckModesIdentical(const QuerySpec& q,
+                           EngineOptions options = EngineOptions()) {
+    for (const int dop : {1, 4}) {
+      auto scalar = RunMode(q, /*vectorized=*/false, dop, options);
+      ASSERT_TRUE(scalar.ok()) << "scalar dop " << dop << ": "
+                               << scalar.status().ToString();
+      auto vec = RunMode(q, /*vectorized=*/true, dop, options);
+      ASSERT_TRUE(vec.ok()) << "vectorized dop " << dop << ": "
+                            << vec.status().ToString();
+      EXPECT_EQ(vec->output_rows, scalar->output_rows) << "dop " << dop;
+      EXPECT_EQ(Flatten(*vec), Flatten(*scalar)) << "dop " << dop;
+      EXPECT_EQ(vec->counters.predicate_evals, scalar->counters.predicate_evals)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.hash_ops, scalar->counters.hash_ops)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.pages_read, scalar->counters.pages_read)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.rows_processed, scalar->counters.rows_processed)
+          << "dop " << dop;
+      // Same charge terms summed in coarser groups: tolerate only
+      // accumulation-order rounding.
+      EXPECT_NEAR(vec->cost, scalar->cost,
+                  1e-9 * (1.0 + std::abs(scalar->cost)))
+          << "dop " << dop;
+    }
+  }
+
+  /// Single-table corpus exercising every bytecode shape through the scan.
+  std::vector<QuerySpec> ScanCorpus() {
+    std::vector<QuerySpec> corpus;
+    auto add = [&corpus](PredicatePtr p) {
+      QuerySpec q;
+      q.tables.push_back({"fact", std::move(p)});
+      corpus.push_back(std::move(q));
+    };
+    add(MakeBetween("measure", 0, 4000));
+    add(MakeCmp("measure", CmpOp::kGt, 9000));
+    add(MakeIn("measure", {5, 17, 4099, 9999}));            // bitmap span
+    add(MakeIn("measure", {0, 5000, 9999}));                // wide span
+    add(MakeOr({MakeCmp("measure", CmpOp::kLt, 100),
+                MakeBetween("measure", 9000, 9100)}));
+    add(MakeNot(MakeBetween("measure", 100, 9900)));
+    add(MakeAnd({MakeCmp("measure", CmpOp::kGe, 1000),
+                 MakeOr({MakeIn("fk0", {1, 2, 3}),
+                         MakeCmp("fk1", CmpOp::kLt, 50)})}));
+    add(MakeColCmp("fk0", CmpOp::kLt, "fk1"));
+    add(MakeCmp("measure", CmpOp::kLt, -1));  // empty result
+    return corpus;
+  }
+};
+
+TEST_F(VectorizedFixture, ScanCorpusByteIdentical) {
+  for (const auto& q : ScanCorpus()) CheckModesIdentical(q);
+}
+
+TEST_F(VectorizedFixture, JoinAndAggByteIdentical) {
+  CheckModesIdentical(workload::StarQuery(3, {2500, 3500, 4500}));
+
+  QuerySpec agg = workload::StarQuery(3, {2500, 3500, 4500});
+  agg.group_by = {"dim0.band"};
+  agg.aggregates = {{AggFn::kCount, "", "cnt"},
+                    {AggFn::kSum, "fact.measure", "sum_m"},
+                    {AggFn::kMin, "fact.measure", "min_m"},
+                    {AggFn::kMax, "fact.measure", "max_m"}};
+  CheckModesIdentical(agg);
+}
+
+TEST_F(VectorizedFixture, EquivalenceSuiteByteIdentical) {
+  // The rewrite-equivalence families (negation, IN-vs-OR, range phrasing,
+  // tautological padding) stress exactly the predicate shapes where bytecode
+  // and tree-walk could diverge.
+  Catalog eq_catalog;
+  Table* t = eq_catalog
+                 .AddTable("t", Schema({{"a", LogicalType::kInt64, 0, nullptr},
+                                        {"b", LogicalType::kInt64, 0, nullptr}}))
+                 .value();
+  Rng rng(6);
+  t->SetColumnData(0, gen::Uniform(&rng, 5000, 0, 1000));
+  t->SetColumnData(1, gen::Uniform(&rng, 5000, 0, 1000));
+  for (const auto& family : workload::EquivalenceSuite(1000)) {
+    for (const auto& formulation : family.formulations) {
+      QuerySpec q;
+      q.tables.push_back({"t", formulation});
+      for (const int dop : {1, 4}) {
+        EngineOptions options;
+        options.num_threads = dop;
+        options.vectorized = 0;
+        Engine scalar_engine(&eq_catalog, options);
+        scalar_engine.AnalyzeAll();
+        auto scalar = scalar_engine.Run(q, /*keep_rows=*/true);
+        ASSERT_TRUE(scalar.ok()) << scalar.status().ToString();
+        options.vectorized = 1;
+        Engine vec_engine(&eq_catalog, options);
+        vec_engine.AnalyzeAll();
+        auto vec = vec_engine.Run(q, /*keep_rows=*/true);
+        ASSERT_TRUE(vec.ok()) << vec.status().ToString();
+        EXPECT_EQ(Flatten(*vec), Flatten(*scalar))
+            << family.description << ": " << ToString(formulation);
+      }
+    }
+  }
+}
+
+TEST_F(VectorizedFixture, ByteIdenticalUnderSpill) {
+  // 8-page grant (the CI sanitizer leg's RQP_TEST_MEMORY_PAGES value):
+  // every blocking operator spills; spilled probe partitions re-read their
+  // batches through the vectorized charging path too.
+  QuerySpec q = workload::StarQuery(3, {2500, 3500, 4500});
+  q.group_by = {"dim0.band"};
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"}};
+  EngineOptions options;
+  options.memory_pages = 8;
+  options.spill_dir = SpillDir("spill");
+  CheckModesIdentical(q, options);
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(VectorizedFixture, ByteIdenticalUnderFaultInjection) {
+  // Mid-query memory drop + per-table I/O slowdown + transient scan
+  // failures: fault draws key off the cost clock, which the vectorized
+  // charging discipline keeps aligned with the scalar clock at every draw
+  // point.
+  QuerySpec q = workload::StarQuery(3, {2500, 3500, 4500});
+  EngineOptions options;
+  options.spill_dir = SpillDir("faults");
+  options.faults.MemoryDrop(120, 64)
+      .IoSlowdown("fact", 2.0, /*at_cost=*/50, /*until_cost=*/600)
+      .ScanFailures("fact", 0.2, /*at_cost=*/0, /*until_cost=*/300);
+  CheckModesIdentical(q, options);
+  for (const int dop : {1, 4}) {
+    auto vec = RunMode(q, /*vectorized=*/true, dop, options);
+    ASSERT_TRUE(vec.ok());
+    EXPECT_EQ(vec->faults.memory_drops, 1) << "dop " << dop;
+  }
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(VectorizedFixture, ByteIdenticalWithResultCache) {
+  // Result-cache reuse on a repeated query: the cached replay must match
+  // the fresh run regardless of which mode produced the cached entry.
+  QuerySpec q = workload::StarQuery(2, {2500, 3500});
+  q.group_by = {"dim0.band"};
+  q.aggregates = {{AggFn::kCount, "", "cnt"}};
+  std::vector<int64_t> reference;
+  for (const int vectorized : {0, 1}) {
+    EngineOptions options;
+    options.use_result_cache = 1;
+    options.vectorized = vectorized;
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    auto first = engine.Run(q, /*keep_rows=*/true);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    auto second = engine.Run(q, /*keep_rows=*/true);
+    ASSERT_TRUE(second.ok()) << second.status().ToString();
+    EXPECT_EQ(Flatten(*second), Flatten(*first)) << "vectorized=" << vectorized;
+    if (vectorized == 0) {
+      reference = Flatten(*first);
+    } else {
+      EXPECT_EQ(Flatten(*first), reference);
+    }
+  }
+}
+
+TEST_F(VectorizedFixture, UnboundParameterFailsCleanlyInBothModes) {
+  // A parameterized predicate with no params supplied must surface a clean
+  // status, not crash: BindParams leaves the placeholder unbound when the
+  // param vector is too short, and compilation rejects it.
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeParamCmp("measure", CmpOp::kLt, 0)});
+  for (const int vectorized : {0, 1}) {
+    auto r = RunMode(q, vectorized != 0, /*dop=*/1, EngineOptions());
+    EXPECT_FALSE(r.ok()) << "vectorized=" << vectorized;
+  }
+}
+
+// ---- the gate --------------------------------------------------------------
+
+TEST(VectorizedGateTest, OptionAndEnvResolution) {
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = 100;
+  spec.dim_rows = 10;
+  spec.num_dimensions = 1;
+  BuildStarSchema(&catalog, spec);
+
+  const char* saved = std::getenv("RQP_VECTORIZED");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  auto resolved = [&catalog](int configured) {
+    EngineOptions options;
+    options.vectorized = configured;
+    Engine engine(&catalog, options);
+    return engine.vectorized();
+  };
+
+  ::unsetenv("RQP_VECTORIZED");
+  EXPECT_TRUE(resolved(-1));   // default ON
+  EXPECT_FALSE(resolved(0));   // explicit off
+  EXPECT_TRUE(resolved(1));    // explicit on
+  ::setenv("RQP_VECTORIZED", "0", 1);
+  EXPECT_FALSE(resolved(-1));  // env disables
+  EXPECT_TRUE(resolved(1));    // option beats env
+  ::setenv("RQP_VECTORIZED", "1", 1);
+  EXPECT_TRUE(resolved(-1));
+
+  if (saved == nullptr) {
+    ::unsetenv("RQP_VECTORIZED");
+  } else {
+    ::setenv("RQP_VECTORIZED", saved_value.c_str(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace rqp

@@ -91,11 +91,13 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
 }
 
 void Engine::AnalyzeAll(const AnalyzeOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
   stats_.AnalyzeAll(*catalog_, options);
 }
 
 void Engine::DetectAllCorrelations(
     const CorrelationDetectorOptions& options) {
+  std::unique_lock<std::shared_mutex> lock(stats_mu_);
   correlations_storage_.clear();
   correlations_.clear();
   for (const auto& name : catalog_->TableNames()) {
@@ -122,6 +124,7 @@ Optimizer Engine::MakeOptimizer(const CardinalityModel* model) const {
 }
 
 StatusOr<PlanNodePtr> Engine::Plan(const QuerySpec& spec) const {
+  std::shared_lock<std::shared_mutex> lock(stats_mu_);
   CardinalityModel model = MakeCardinalityModel();
   Optimizer optimizer = MakeOptimizer(&model);
   auto result = optimizer.Optimize(spec);
@@ -151,32 +154,18 @@ void WidenChecks(PlanNode* node) {
 }
 
 /// Applies fault-injected statistics staleness (believed row counts scaled
-/// by per-table factors) for the duration of one Run; originals are
-/// restored on destruction so the perturbation stays per-query.
-class ScopedStatsPerturbation {
- public:
-  ScopedStatsPerturbation() = default;
-  ScopedStatsPerturbation(const ScopedStatsPerturbation&) = delete;
-  ScopedStatsPerturbation& operator=(const ScopedStatsPerturbation&) = delete;
-
-  void Apply(StatsCatalog* stats,
-             const std::map<std::string, double>& factors) {
-    for (const auto& [table, factor] : factors) {
-      TableStats* ts = stats->FindMutable(table);
-      if (ts == nullptr) continue;
-      saved_.emplace_back(ts, ts->row_count());
-      const double scaled = static_cast<double>(ts->row_count()) * factor;
-      ts->set_row_count(std::max<int64_t>(1, std::llround(scaled)));
-    }
+/// by per-table factors) to `stats`. Under concurrent serving the target is
+/// a private per-query copy of the shared catalog, so one query's injected
+/// staleness never perturbs a neighbor's optimization.
+void ApplyStatsFactors(StatsCatalog* stats,
+                       const std::map<std::string, double>& factors) {
+  for (const auto& [table, factor] : factors) {
+    TableStats* ts = stats->FindMutable(table);
+    if (ts == nullptr) continue;
+    const double scaled = static_cast<double>(ts->row_count()) * factor;
+    ts->set_row_count(std::max<int64_t>(1, std::llround(scaled)));
   }
-
-  ~ScopedStatsPerturbation() {
-    for (auto& [ts, rows] : saved_) ts->set_row_count(rows);
-  }
-
- private:
-  std::vector<std::pair<TableStats*, int64_t>> saved_;
-};
+}
 
 }  // namespace
 
@@ -313,7 +302,8 @@ void Engine::ArmFuses(const PlanNode& plan, ExecContext* ctx) const {
 }
 
 void Engine::RepairTrippedStats(const PlanNode& plan,
-                                const ExecContext::GuardrailTrip& trip) {
+                                const ExecContext::GuardrailTrip& trip,
+                                StatsCatalog* stats) {
   // Emergency statistics repair before the safe retry (LEO-style, same
   // precedent as HarvestFeedback): the fuse proved the estimates under the
   // tripped node wrong, so re-anchor the believed base-table cardinalities
@@ -324,7 +314,7 @@ void Engine::RepairTrippedStats(const PlanNode& plan,
   if (root == nullptr) root = &plan;
   std::function<void(const PlanNode&)> walk = [&](const PlanNode& n) {
     if (n.op == PlanOp::kTableScan || n.op == PlanOp::kIndexScan) {
-      TableStats* ts = stats_.FindMutable(n.table);
+      TableStats* ts = stats->FindMutable(n.table);
       auto live = catalog_->GetTable(n.table);
       if (ts != nullptr && live.ok()) {
         ts->set_row_count(live.value()->num_rows());
@@ -335,20 +325,49 @@ void Engine::RepairTrippedStats(const PlanNode& plan,
   walk(*root);
 }
 
-StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
+StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
+                                  const QueryControl* control) {
   QueryResult result;
 
+  // Serving-layer plumbing: a scheduler-submitted query executes against
+  // its tenant's broker, may carry a per-query fault schedule, and resets
+  // faulted attempts to its tenant quota rather than the engine baseline.
+  MemoryBroker* broker =
+      control != nullptr && control->broker != nullptr ? control->broker
+                                                       : &memory_;
+  const FaultSchedule& faults =
+      control != nullptr && control->faults != nullptr ? *control->faults
+                                                       : options_.faults;
+  const int64_t baseline_pages =
+      control != nullptr && control->baseline_pages > 0
+          ? control->baseline_pages
+          : options_.memory_pages;
+  const auto wall_deadline =
+      control != nullptr && control->deadline_ms > 0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(control->deadline_ms)
+          : std::chrono::steady_clock::time_point{};
+
   // Fault injection: statistics staleness must land before optimization so
-  // the optimizer plans against the perturbed world; believed row counts
-  // are restored when Run returns.
-  ScopedStatsPerturbation perturbation;
-  if (!options_.faults.empty()) {
+  // the optimizer plans against the perturbed world. The perturbation goes
+  // into a private copy of the statistics catalog — concurrent queries keep
+  // planning against the clean shared catalog, and nothing needs restoring
+  // when Run returns.
+  const StatsCatalog* stats_view = &stats_;
+  std::unique_ptr<StatsCatalog> perturbed_stats;
+  if (!faults.empty()) {
     // A previous faulted query may have left the broker at a dropped
     // capacity; faulted queries always start from the configured baseline.
-    memory_.set_capacity(options_.memory_pages);
-    FaultInjector stats_faults(options_.faults);
-    perturbation.Apply(&stats_, stats_faults.StatsFactors());
+    broker->set_capacity(baseline_pages);
+    FaultInjector stats_faults(faults);
+    const std::map<std::string, double> factors = stats_faults.StatsFactors();
     result.faults.Accumulate(stats_faults.counters());
+    if (!factors.empty()) {
+      std::shared_lock<std::shared_mutex> lock(stats_mu_);
+      perturbed_stats = std::make_unique<StatsCatalog>(stats_);
+      ApplyStatsFactors(perturbed_stats.get(), factors);
+      stats_view = perturbed_stats.get();
+    }
   }
 
   // Result cache: the reuse tier above the plan cache. A hit skips
@@ -418,16 +437,17 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   bool rio_conservative = false;
   if (options_.use_rio) {
     auto signature_at = [&](double percentile) -> StatusOr<std::string> {
+      std::shared_lock<std::shared_mutex> lock(stats_mu_);
       CardinalityOptions card_opts = options_.cardinality;
       card_opts.percentile = percentile;
       CardinalityModel corner_model(
-          &stats_, card_opts,
+          stats_view, card_opts,
           correlations_.empty() ? nullptr : &correlations_,
           card_opts.estimator.use_feedback ? &feedback_ : nullptr,
           options_.use_st_histograms ? &st_store_ : nullptr);
       OptimizerOptions oo = options_.optimizer;
       oo.add_pop_checks = false;
-      oo.cost.memory_pages = memory_.capacity();
+      oo.cost.memory_pages = broker->capacity();
       oo.cost.exec = options_.cost_model;
       Optimizer corner_opt(catalog_, &corner_model, oo);
       auto r = corner_opt.Optimize(spec);
@@ -450,12 +470,12 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   CardinalityOptions card_opts = options_.cardinality;
   if (rio_conservative) card_opts.percentile = options_.rio_high_percentile;
   CardinalityModel model(
-      &stats_, card_opts, correlations_.empty() ? nullptr : &correlations_,
+      stats_view, card_opts, correlations_.empty() ? nullptr : &correlations_,
       card_opts.estimator.use_feedback ? &feedback_ : nullptr,
       options_.use_st_histograms ? &st_store_ : nullptr);
   OptimizerOptions final_opts = options_.optimizer;
   final_opts.add_pop_checks = options_.use_pop && !rio_skip_checks;
-  final_opts.cost.memory_pages = memory_.capacity();
+  final_opts.cost.memory_pages = broker->capacity();
   final_opts.cost.exec = options_.cost_model;
   Optimizer optimizer(catalog_, &model, final_opts);
 
@@ -464,21 +484,30 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   PlanCache::Flight pc_flight;
   if (options_.use_plan_cache) {
     cache_key = PlanCache::Key(spec);
-    PlanCoster verifier(&model, final_opts.cost);
     bool failed = false;
-    plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
+    {
+      std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
+      PlanCoster verifier(&model, final_opts.cost);
+      plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
+    }
     result.plan_verification_failed = failed;
     if (plan == nullptr) {
       // Single-flight on the optimization: concurrent identical queries
-      // wait for the leader's Put instead of optimizing in parallel.
+      // wait for the leader's Put instead of optimizing in parallel. The
+      // wait happens with the stats lock dropped — holding it here while a
+      // writer queued for exclusive access could wedge the leader's own
+      // re-acquisition on writer-priority implementations.
       pc_flight = plan_cache_.BeginCompute(cache_key);
       if (pc_flight.waited()) {
+        std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
+        PlanCoster verifier(&model, final_opts.cost);
         plan = plan_cache_.LookupVerified(cache_key, verifier, &failed);
       }
     }
     result.plan_cache_hit = plan != nullptr;
   }
   if (plan == nullptr) {
+    std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
     auto opt = optimizer.Optimize(spec);
     if (!opt.ok()) return opt.status();
     plan = std::move(opt.value().plan);
@@ -526,7 +555,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
   bool safe_plan_active = false;
 
   for (int attempt = 0;; ++attempt) {
-    ExecContext ctx(&memory_);
+    ExecContext ctx(broker);
     ctx.set_cost_model(options_.cost_model);
     ctx.set_vectorized(vectorized_);
     ctx.set_spill_dir(options_.spill_dir);
@@ -536,11 +565,18 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
     query_id += "-a";
     query_id += std::to_string(attempt);
     ctx.set_query_id(std::move(query_id));
-    if (!options_.faults.empty()) {
+    if (control != nullptr) {
+      if (control->cancel != nullptr) ctx.set_cancel_token(control->cancel);
+      if (control->deadline_cost > 0) {
+        ctx.set_deadline_cost(control->deadline_cost);
+      }
+      if (control->deadline_ms > 0) ctx.set_deadline_wall(wall_deadline);
+    }
+    if (!faults.empty()) {
       // Re-arm the schedule and reset broker capacity so every attempt
       // experiences the identical environment.
-      memory_.set_capacity(options_.memory_pages);
-      ctx.InstallFaults(options_.faults);
+      broker->set_capacity(baseline_pages);
+      ctx.InstallFaults(faults);
     }
     const bool guarded = guard.enabled && !circuit_open;
     if (guarded) {
@@ -583,15 +619,25 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
         result.degradation = QueryResult::Degradation::kUnguarded;
         continue;
       }
-      RepairTrippedStats(*plan, trip);
+      {
+        // The repair is shared learning (the live catalog is ground truth),
+        // so it lands in the shared stats; a fault-perturbed query also
+        // repairs its private copy, which is what its safe retry plans from.
+        std::unique_lock<std::shared_mutex> stats_lock(stats_mu_);
+        RepairTrippedStats(*plan, trip, &stats_);
+      }
+      if (perturbed_stats != nullptr) {
+        RepairTrippedStats(*plan, trip, perturbed_stats.get());
+      }
       CardinalityOptions safe_card = options_.cardinality;
       safe_card.percentile = guard.safe_percentile;
       CardinalityModel safe_model(
-          &stats_, safe_card,
+          stats_view, safe_card,
           correlations_.empty() ? nullptr : &correlations_,
           safe_card.estimator.use_feedback ? &feedback_ : nullptr,
           options_.use_st_histograms ? &st_store_ : nullptr);
       Optimizer safe_opt(catalog_, &safe_model, final_opts);
+      std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
       auto safe = safe_opt.Optimize(spec, leaves);
       if (!safe.ok()) return safe.status();
       plan = std::move(safe.value().plan);
@@ -635,6 +681,7 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
                    leaves.end());
       leaves.push_back(std::move(leaf));
 
+      std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
       auto reopt = optimizer.Optimize(spec, leaves);
       if (!reopt.ok()) return reopt.status();
       plan = std::move(reopt.value().plan);
@@ -664,11 +711,14 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows) {
         result.counters.cost_units - result.counters.parallel_saved_units;
     result.final_plan = plan->Explain();
     CollectNodeCards(*plan, ctx.actual_cardinalities(), &result.node_cards);
-    if (options_.collect_feedback) {
-      HarvestFeedback(*plan, ctx.actual_cardinalities());
-    }
-    if (options_.auto_index_tuning) {
-      TuneIndexes(*plan, ctx.actual_cardinalities(), &result.indexes_built);
+    if (options_.collect_feedback || options_.auto_index_tuning) {
+      std::unique_lock<std::shared_mutex> stats_lock(stats_mu_);
+      if (options_.collect_feedback) {
+        HarvestFeedback(*plan, ctx.actual_cardinalities());
+      }
+      if (options_.auto_index_tuning) {
+        TuneIndexes(*plan, ctx.actual_cardinalities(), &result.indexes_built);
+      }
     }
     // Publish into the result cache only here, on the one fully-successful
     // exit: aborted attempts (guardrail trips, POP restarts, injected

@@ -5,12 +5,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "adaptive/index_tuner.h"
 #include "cache/result_cache.h"
 #include "engine/plan_cache.h"
+#include "exec/context.h"
 #include "fault/fault.h"
 #include "optimizer/builder.h"
 #include "optimizer/optimizer.h"
@@ -122,6 +124,34 @@ struct EngineOptions {
   FaultSchedule faults;
 };
 
+/// Per-query control surface for the serving layer (src/server): external
+/// cancellation, deadlines, a tenant-broker override, and a per-query fault
+/// schedule. Every field is optional; Run with a null control behaves
+/// exactly like the classic single-query path.
+struct QueryControl {
+  /// External cancel/shed token polled at the existing cooperative
+  /// cancellation points. A cancellation surfaces as the token's typed
+  /// status (kOverloaded for memory sheds, kDeadlineExceeded for deadlines)
+  /// and never triggers the safe-plan retry.
+  const QueryCancelToken* cancel = nullptr;
+  /// Per-tenant memory broker; operators grant/release against it instead
+  /// of the engine-wide broker, which is how the scheduler enforces tenant
+  /// page quotas and arbitrates under pressure. Borrowed; must outlive Run.
+  MemoryBroker* broker = nullptr;
+  /// Deadline on the deterministic cost clock (<= 0: none).
+  double deadline_cost = 0;
+  /// Wall-clock deadline in milliseconds from Run entry (<= 0: none).
+  int64_t deadline_ms = 0;
+  /// Capacity the broker is reset to at each faulted attempt (0: the
+  /// engine's configured memory_pages). The scheduler passes the tenant
+  /// quota so fault re-arming never undoes quota enforcement.
+  int64_t baseline_pages = 0;
+  /// Per-query fault schedule overriding EngineOptions::faults (non-null
+  /// wins even when empty — the stress harness uses that to fault a subset
+  /// of in-flight queries while the rest run clean).
+  const FaultSchedule* faults = nullptr;
+};
+
 /// Result of one query execution.
 struct QueryResult {
   int64_t output_rows = 0;
@@ -192,7 +222,16 @@ class Engine {
 
   /// Optimizes and executes `spec`, driving POP re-optimization when
   /// enabled. `keep_rows` materializes the output into the result.
-  StatusOr<QueryResult> Run(const QuerySpec& spec, bool keep_rows = false);
+  ///
+  /// Thread-safe (PR 6): many threads may Run concurrently on one engine.
+  /// Statistics/feedback reads during optimization take a shared lock;
+  /// mutations (LEO harvest, guardrail stats repair, AnalyzeAll) take it
+  /// exclusively, and fault-perturbed queries optimize against a private
+  /// statistics copy so one tenant's injected staleness never leaks into a
+  /// neighbor's plans. `control` (optional) attaches the serving-layer
+  /// plumbing — external cancellation, deadlines, and a tenant broker.
+  StatusOr<QueryResult> Run(const QuerySpec& spec, bool keep_rows = false,
+                            const QueryControl* control = nullptr);
 
   /// Builds the cardinality model the optimizer currently sees.
   CardinalityModel MakeCardinalityModel() const;
@@ -222,10 +261,15 @@ class Engine {
                         std::vector<QueryResult::NodeCard>* out) const;
   void ArmFuses(const PlanNode& plan, ExecContext* ctx) const;
   void RepairTrippedStats(const PlanNode& plan,
-                          const ExecContext::GuardrailTrip& trip);
+                          const ExecContext::GuardrailTrip& trip,
+                          StatsCatalog* stats);
 
   Catalog* catalog_;
   EngineOptions options_;
+  /// Guards stats_/feedback_/st_store_/correlations_ (and index builds)
+  /// under concurrent Run: shared for optimization-time reads, exclusive
+  /// for the mutation paths (harvest, repair, analyze, tuning).
+  mutable std::shared_mutex stats_mu_;
   StatsCatalog stats_;
   FeedbackCache feedback_;
   std::map<std::string, CorrelationInfo> correlations_storage_;

@@ -1,117 +1,39 @@
 #include "engine/workload_manager.h"
 
-#include <algorithm>
-#include <cassert>
-#include <limits>
+#include "server/simulator.h"
 
 namespace rqp {
-namespace {
 
-struct Running {
-  size_t job_index;
-  double remaining;
-  double speed = 0;
-};
-
-}  // namespace
-
+// Legacy entry point, kept for the §5.5 experiments: delegates to the
+// server-layer simulator so the exact admission/queuing policy the
+// QueryScheduler ships (AdmissionController) is also the one these tables
+// measure. The old hand-rolled event loop is gone; legacy semantics map to
+// an unbounded queue with no deadlines and no memory gate.
 std::vector<JobOutcome> SimulateWorkload(
     const std::vector<Job>& jobs, const WorkloadManagerOptions& options) {
-  std::vector<JobOutcome> outcomes(jobs.size());
+  std::vector<SimJob> sim_jobs(jobs.size());
   for (size_t i = 0; i < jobs.size(); ++i) {
-    outcomes[i].name = jobs[i].name;
-    outcomes[i].arrival = jobs[i].arrival;
+    sim_jobs[i].name = jobs[i].name;
+    sim_jobs[i].arrival = jobs[i].arrival;
+    sim_jobs[i].cost = jobs[i].cost;
+    sim_jobs[i].requested_slots = jobs[i].requested_slots;
+    sim_jobs[i].priority = jobs[i].priority;
   }
+  SimOptions sim_options;
+  sim_options.max_mpl = options.max_mpl;
+  sim_options.capacity_slots = options.capacity_slots;
+  sim_options.priority_scheduling = options.priority_scheduling;
+  sim_options.priority_weighted_sharing = options.priority_weighted_sharing;
+  sim_options.max_queue_depth = 0;  // legacy queues are unbounded
 
-  // Arrival order.
-  std::vector<size_t> arrival_order(jobs.size());
-  for (size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
-  std::stable_sort(arrival_order.begin(), arrival_order.end(),
-                   [&](size_t a, size_t b) {
-                     return jobs[a].arrival < jobs[b].arrival;
-                   });
-
-  size_t next_arrival = 0;
-  std::vector<size_t> queue;    // waiting job indices
-  std::vector<Running> running;
-  double now = 0;
-
-  auto weight_of = [&](size_t job_index) {
-    double w = static_cast<double>(jobs[job_index].requested_slots);
-    if (options.priority_weighted_sharing) {
-      w *= 1.0 + std::max(0, jobs[job_index].priority);
-    }
-    return w;
-  };
-  auto allocate_speeds = [&]() {
-    double total_weight = 0;
-    for (const auto& r : running) total_weight += weight_of(r.job_index);
-    for (auto& r : running) {
-      const double req =
-          static_cast<double>(jobs[r.job_index].requested_slots);
-      // Proportional (possibly priority-weighted) share, capped by the
-      // request.
-      const double fair = total_weight > 0
-                              ? options.capacity_slots *
-                                    (weight_of(r.job_index) / total_weight)
-                              : req;
-      r.speed = std::max(1e-9, std::min(req, fair));
-    }
-  };
-
-  auto admit = [&]() {
-    while (static_cast<int>(running.size()) < options.max_mpl &&
-           !queue.empty()) {
-      size_t pick = 0;
-      if (options.priority_scheduling) {
-        for (size_t i = 1; i < queue.size(); ++i) {
-          if (jobs[queue[i]].priority > jobs[queue[pick]].priority) pick = i;
-        }
-      }
-      const size_t job = queue[pick];
-      queue.erase(queue.begin() + static_cast<long>(pick));
-      outcomes[job].start = now;
-      running.push_back({job, std::max(1e-12, jobs[job].cost), 0});
-    }
-    allocate_speeds();
-  };
-
-  while (next_arrival < jobs.size() || !running.empty() || !queue.empty()) {
-    // Next arrival time and earliest completion time.
-    const double t_arrival =
-        next_arrival < jobs.size()
-            ? jobs[arrival_order[next_arrival]].arrival
-            : std::numeric_limits<double>::infinity();
-    double t_complete = std::numeric_limits<double>::infinity();
-    for (const auto& r : running) {
-      t_complete = std::min(t_complete, now + r.remaining / r.speed);
-    }
-
-    if (running.empty() && queue.empty()) {
-      // Idle: jump to the next arrival.
-      now = t_arrival;
-    } else if (t_arrival < t_complete) {
-      // Progress everyone to the arrival instant.
-      for (auto& r : running) r.remaining -= (t_arrival - now) * r.speed;
-      now = t_arrival;
-    } else {
-      for (auto& r : running) r.remaining -= (t_complete - now) * r.speed;
-      now = t_complete;
-    }
-
-    // Handle arrivals at `now`.
-    while (next_arrival < jobs.size() &&
-           jobs[arrival_order[next_arrival]].arrival <= now) {
-      queue.push_back(arrival_order[next_arrival++]);
-    }
-    // Handle completions at `now`.
-    for (size_t i = running.size(); i-- > 0;) {
-      if (running[i].remaining <= 1e-9) {
-        outcomes[running[i].job_index].finish = now;
-        running.erase(running.begin() + static_cast<long>(i));
-      }
-    }
-    admit();
+  const std::vector<SimOutcome> results = SimulateSchedule(sim_jobs,
+                                                           sim_options);
+  std::vector<JobOutcome> outcomes(results.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    outcomes[i].name = results[i].name;
+    outcomes[i].arrival = results[i].arrival;
+    outcomes[i].start = results[i].start;
+    outcomes[i].finish = results[i].finish;
   }
   return outcomes;
 }

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -98,6 +99,46 @@ class MemoryRevocable {
   /// broker pointer — test fixtures may destroy the ExecContext before the
   /// operators that executed under it.
   virtual void OnBrokerDestroyed() {}
+};
+
+/// External cancellation token shared between a query's ExecContext and
+/// whoever may kill the query from outside (the scheduler's deadline
+/// enforcement and memory arbitration). Cancel() is one-shot: the first
+/// caller's code/reason win and later calls are ignored, so a deadline
+/// firing concurrently with a memory shed yields one deterministic-typed
+/// status per query. Operators observe the token at their existing
+/// cooperative-cancellation points (CheckGuardrails per batch, cancelled()
+/// per morsel) — no new unwind paths.
+class QueryCancelToken {
+ public:
+  QueryCancelToken() = default;
+  QueryCancelToken(const QueryCancelToken&) = delete;
+  QueryCancelToken& operator=(const QueryCancelToken&) = delete;
+
+  /// Requests cancellation with a typed status. First call wins.
+  void Cancel(StatusCode code, std::string reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (code_.load(std::memory_order_relaxed) != StatusCode::kOk) return;
+    reason_ = std::move(reason);
+    code_.store(code, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return code_.load(std::memory_order_acquire) != StatusCode::kOk;
+  }
+
+  /// The typed status carried by the cancellation (OK when not cancelled).
+  Status ToStatus() const {
+    const StatusCode code = code_.load(std::memory_order_acquire);
+    if (code == StatusCode::kOk) return Status::OK();
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status(code, reason_);
+  }
+
+ private:
+  std::atomic<StatusCode> code_{StatusCode::kOk};
+  mutable std::mutex mu_;  ///< guards reason_ until code_ is published
+  std::string reason_;
 };
 
 /// Grants query memory (in pages). Capacity may be changed while queries
@@ -363,10 +404,58 @@ class ExecContext {
   bool has_trip() const { return trip_ != nullptr; }
   const GuardrailTrip* trip() const { return trip_.get(); }
 
+  // -- external cancellation and deadlines (PR 6) ---------------------------
+  /// Attaches an external cancellation token (scheduler deadline enforcement
+  /// and memory arbitration). Borrowed; must outlive this context.
+  void set_cancel_token(const QueryCancelToken* token) {
+    cancel_token_ = token;
+  }
+  const QueryCancelToken* cancel_token() const { return cancel_token_; }
+
+  /// Deadline on the deterministic cost clock (<= 0: none). Unlike the cost
+  /// budget this is not a guardrail: passing it yields a typed
+  /// kDeadlineExceeded with no trip record, so the engine propagates the
+  /// status instead of hedging with a safe-plan retry.
+  void set_deadline_cost(double units) { deadline_cost_ = units; }
+  double deadline_cost() const { return deadline_cost_; }
+
+  /// Wall-clock deadline for real serving ($RQP_QUERY_DEADLINE_MS); checked
+  /// at batch granularity in CheckGuardrails. Off the deterministic paths —
+  /// benchmarks use cost-clock deadlines instead.
+  void set_deadline_wall(std::chrono::steady_clock::time_point tp) {
+    deadline_wall_ = tp;
+    has_wall_deadline_ = true;
+  }
+
+  /// External-cancel poll shared by the serial and parallel paths. Returns
+  /// the typed status carried by the token (or kDeadlineExceeded) and flips
+  /// the worker-visible cancelled flag so morsel loops stop claiming.
+  Status CheckExternalCancel() {
+    if (cancel_token_ != nullptr && cancel_token_->cancelled()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return cancel_token_->ToStatus();
+    }
+    if (deadline_cost_ > 0 && counters_.cost_units > deadline_cost_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return Status::DeadlineExceeded("query deadline (cost clock) exceeded");
+    }
+    if (has_wall_deadline_ &&
+        std::chrono::steady_clock::now() > deadline_wall_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return Status::DeadlineExceeded("query deadline (wall clock) exceeded");
+    }
+    return Status::OK();
+  }
+
   /// Cooperative cancellation point: operators call this once per batch (or
   /// chunk) and propagate the non-OK status up the tree. Cheap when nothing
   /// is armed (two branches).
   Status CheckGuardrails() {
+    if (cancel_token_ != nullptr || deadline_cost_ > 0 ||
+        has_wall_deadline_) {
+      Status ext = CheckExternalCancel();
+      if (!ext.ok()) return ext;
+    }
     if (trip_ == nullptr && cost_budget_ > 0 &&
         counters_.cost_units > cost_budget_) {
       trip_ = std::make_unique<GuardrailTrip>();
@@ -407,7 +496,10 @@ class ExecContext {
   /// morsel boundaries and stop claiming morsels. Trip *outcome* is
   /// deterministic (the same fuse/budget trips at every DOP); trip *timing*
   /// is not, which is fine because tripped attempts are discarded.
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed) ||
+           (cancel_token_ != nullptr && cancel_token_->cancelled());
+  }
   /// Cooperative cancellation for worker-side failures (fault exhaustion,
   /// I/O errors): stops sibling workers at their next morsel boundary.
   void CancelParallel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -420,6 +512,12 @@ class ExecContext {
     std::lock_guard<std::mutex> lock(merge_mu_);
     counters_.Merge(delta);
     ApplyScheduledEvents();
+    if (deadline_cost_ > 0 && counters_.cost_units > deadline_cost_) {
+      // Deadline passed mid-phase: stop sibling workers now; the
+      // coordinator's post-phase CheckGuardrails turns this into the typed
+      // kDeadlineExceeded status (no trip record — deadlines never hedge).
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
     if (trip_ == nullptr && cost_budget_ > 0 &&
         counters_.cost_units > cost_budget_) {
       trip_ = std::make_unique<GuardrailTrip>();
@@ -567,6 +665,10 @@ class ExecContext {
   std::unique_ptr<ReoptRequest> reopt_;
   std::map<int, int64_t> actuals_;
   double cost_budget_ = 0;
+  const QueryCancelToken* cancel_token_ = nullptr;
+  double deadline_cost_ = 0;
+  std::chrono::steady_clock::time_point deadline_wall_{};
+  bool has_wall_deadline_ = false;
   std::map<int, Fuse> fuses_;
   std::unique_ptr<GuardrailTrip> trip_;
   std::atomic<bool> cancelled_{false};

@@ -1,8 +1,27 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace rqp {
+namespace {
+
+/// Set while this thread runs a phase callback (worker 0 = the RunOnWorkers
+/// caller, or a background worker). Re-entry cannot be made to work lazily:
+/// the run mutex is held for the whole outer phase, so an inner RunOnWorkers
+/// from any participant would wait on itself forever. Failing loudly at the
+/// call site beats a silent hang.
+thread_local bool tls_in_phase = false;
+
+struct PhaseScope {
+  PhaseScope() { tls_in_phase = true; }
+  ~PhaseScope() { tls_in_phase = false; }
+};
+
+}  // namespace
+
+bool ThreadPool::InParallelPhase() { return tls_in_phase; }
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -22,6 +41,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunOnWorkers(int n, const std::function<void(int)>& fn) {
+  if (tls_in_phase) {
+    std::fprintf(stderr,
+                 "ThreadPool::RunOnWorkers re-entered from inside a parallel "
+                 "phase; this would self-deadlock on the phase mutex\n");
+    std::abort();
+  }
   n = std::clamp(n, 1, num_threads_);
   std::lock_guard<std::mutex> run_lock(run_mu_);
   {
@@ -32,7 +57,10 @@ void ThreadPool::RunOnWorkers(int n, const std::function<void(int)>& fn) {
     ++generation_;
   }
   work_cv_.notify_all();
-  fn(0);  // the caller is worker 0
+  {
+    PhaseScope in_phase;
+    fn(0);  // the caller is worker 0
+  }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return pending_ == 0; });
   job_ = nullptr;
@@ -52,7 +80,10 @@ void ThreadPool::WorkerMain(int background_id) {
       if (background_id < job_workers_) job = job_;
     }
     if (job != nullptr) {
-      (*job)(background_id);
+      {
+        PhaseScope in_phase;
+        (*job)(background_id);
+      }
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) done_cv_.notify_all();
     }

@@ -17,10 +17,18 @@ namespace rqp {
 /// RunOnWorkers is the parallel phase's barrier: it returns only after every
 /// participating worker has finished, which is what lets the coordinator
 /// merge thread-local state (per-worker counters, partial aggregates)
-/// without further synchronization. Phases are serialized through a run
-/// mutex — one parallel phase at a time per pool — which keeps re-entrant
-/// use (a build subtree that is itself parallel, executed during the outer
-/// operator's serial build phase) safe by construction.
+/// without further synchronization.
+///
+/// Concurrency contract (PR 6): *concurrent* RunOnWorkers calls from
+/// distinct threads (many queries sharing one pool) are safe — phases are
+/// serialized through a run mutex, one parallel phase at a time per pool,
+/// later callers block until the current phase drains. What is NOT legal is
+/// *re-entry*: calling RunOnWorkers from inside a phase callback (from any
+/// participating worker, including the caller acting as worker 0) would
+/// self-deadlock on the run mutex, so it aborts with a diagnostic instead.
+/// Nested parallel subtrees must run their inner phase from coordinator
+/// code outside any phase (which is what the parallel operators do: the
+/// build side completes its phase before the probe phase starts).
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -33,8 +41,15 @@ class ThreadPool {
   /// Runs `fn(worker_id)` for worker ids [0, n); the calling thread executes
   /// worker 0 and the call blocks until every worker returns. `n` is clamped
   /// to [1, num_threads()]. `fn` must be internally synchronized; exceptions
-  /// must not escape it.
+  /// must not escape it. Safe to call concurrently from many threads (calls
+  /// serialize); aborts if called from inside a running phase (see the class
+  /// comment).
   void RunOnWorkers(int n, const std::function<void(int)>& fn);
+
+  /// True while the calling thread is executing a phase callback (as any
+  /// worker, on any pool). Guards against re-entrant RunOnWorkers, which
+  /// would self-deadlock on the phase mutex.
+  static bool InParallelPhase();
 
  private:
   void WorkerMain(int background_id);

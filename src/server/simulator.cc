@@ -1,0 +1,227 @@
+#include "server/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rqp {
+namespace {
+
+struct Running {
+  size_t job_index;
+  double remaining;
+  double speed = 0;
+};
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+std::vector<SimOutcome> SimulateSchedule(const std::vector<SimJob>& jobs,
+                                         const SimOptions& options) {
+  std::vector<SimOutcome> outcomes(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    outcomes[i].name = jobs[i].name;
+    outcomes[i].arrival = jobs[i].arrival;
+  }
+
+  // The shipped admission policy, driven from this event loop. Fields not
+  // exercised by the simulation (env-deferred knobs, wall deadlines) are
+  // pinned so no environment leaks into a deterministic run.
+  AdmissionOptions admission;
+  admission.max_concurrent = std::max(1, options.max_mpl);
+  admission.max_queue_depth = options.max_queue_depth;
+  admission.priority_scheduling = options.priority_scheduling;
+  admission.weighted_fair = options.weighted_fair;
+  admission.tenants = options.tenants;
+  admission.deadline_ms = 0;
+  if (options.memory_pages > 0) {
+    admission.total_memory_pages = options.memory_pages;
+    admission.tenant_quota_pages = options.memory_pages;
+    admission.memory_watermark = options.memory_watermark;
+  } else {
+    admission.total_memory_pages = std::numeric_limits<int64_t>::max() / 4;
+    admission.tenant_quota_pages = admission.total_memory_pages;
+    admission.memory_watermark = 1.0;
+  }
+  AdmissionController ctrl(admission);
+
+  // Arrival order.
+  std::vector<size_t> arrival_order(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](size_t a, size_t b) {
+                     return jobs[a].arrival < jobs[b].arrival;
+                   });
+
+  size_t next_arrival = 0;
+  std::vector<Running> running;
+  std::vector<size_t> queued;  ///< job indices waiting inside ctrl
+  double now = 0;
+
+  auto weight_of = [&](size_t job_index) {
+    double w = static_cast<double>(jobs[job_index].requested_slots);
+    if (options.priority_weighted_sharing) {
+      w *= 1.0 + std::max(0, jobs[job_index].priority);
+    }
+    return w;
+  };
+  auto allocate_speeds = [&]() {
+    double total_weight = 0;
+    for (const auto& r : running) total_weight += weight_of(r.job_index);
+    for (auto& r : running) {
+      const double req =
+          static_cast<double>(jobs[r.job_index].requested_slots);
+      // Proportional (possibly priority-weighted) share, capped by the
+      // request.
+      const double fair = total_weight > 0
+                              ? options.capacity_slots *
+                                    (weight_of(r.job_index) / total_weight)
+                              : req;
+      r.speed = std::max(1e-9, std::min(req, fair));
+    }
+  };
+  auto deadline_of = [&](size_t job_index) {
+    return jobs[job_index].deadline > 0
+               ? jobs[job_index].arrival + jobs[job_index].deadline
+               : kInf;
+  };
+  auto admit = [&]() {
+    int64_t id;
+    while ((id = ctrl.PickNext()) >= 0) {
+      const size_t job = static_cast<size_t>(id);
+      queued.erase(std::remove(queued.begin(), queued.end(), job),
+                   queued.end());
+      outcomes[job].start = now;
+      running.push_back({job, std::max(1e-12, jobs[job].cost), 0});
+    }
+    allocate_speeds();
+  };
+
+  auto arrive = [&](size_t job) {
+    if (options.reject_hopeless && jobs[job].deadline > 0) {
+      // Oracle: with true costs known, reject only queries whose deadline
+      // is *provably* unreachable under the most optimistic schedule: the
+      // query starts the instant the first running query could free a slot
+      // (immediately, if the MPL is not saturated) and then runs at its
+      // full requested speed. Because the bound is optimistic, the oracle
+      // never rejects a feasible query — it converts guaranteed deadline
+      // sheds into instant rejections, an upper bound on what admission
+      // control alone can recover.
+      const double service =
+          jobs[job].cost /
+          std::max(1, std::min(jobs[job].requested_slots,
+                               options.capacity_slots));
+      double start_bound = 0;
+      if (static_cast<int>(running.size()) >= std::max(1, options.max_mpl)) {
+        start_bound = kInf;
+        for (const auto& r : running) {
+          const double full_speed =
+              std::max(1, std::min(jobs[r.job_index].requested_slots,
+                                   options.capacity_slots));
+          double frees = r.remaining / full_speed;
+          if (options.shed_on_deadline) {
+            // A running query also vacates its slot if its own deadline
+            // fires first.
+            frees = std::min(
+                frees, std::max(0.0, deadline_of(r.job_index) - now));
+          }
+          start_bound = std::min(start_bound, frees);
+        }
+      }
+      const double projected = start_bound + service;
+      if (projected > jobs[job].deadline) {
+        outcomes[job].fate = SimOutcome::Fate::kRejectedHopeless;
+        outcomes[job].start = outcomes[job].finish = now;
+        return;
+      }
+    }
+    AdmissionController::Item item;
+    item.id = static_cast<int64_t>(job);
+    item.tenant = jobs[job].tenant;
+    item.est_pages = jobs[job].est_pages;
+    item.priority = jobs[job].priority;
+    const Status s = ctrl.Enqueue(std::move(item));
+    if (!s.ok()) {
+      outcomes[job].fate = s.message().rfind("admission queue full", 0) == 0
+                               ? SimOutcome::Fate::kRejectedQueue
+                               : SimOutcome::Fate::kRejectedMemory;
+      outcomes[job].start = outcomes[job].finish = now;
+      return;
+    }
+    queued.push_back(job);
+  };
+
+  while (next_arrival < jobs.size() || !running.empty() || !queued.empty()) {
+    // Next event: arrival, earliest completion, or earliest deadline.
+    const double t_arrival =
+        next_arrival < jobs.size()
+            ? jobs[arrival_order[next_arrival]].arrival
+            : kInf;
+    double t_complete = kInf;
+    for (const auto& r : running) {
+      t_complete = std::min(t_complete, now + r.remaining / r.speed);
+    }
+    double t_deadline = kInf;
+    if (options.shed_on_deadline) {
+      for (const auto& r : running) {
+        t_deadline = std::min(t_deadline, deadline_of(r.job_index));
+      }
+      for (const size_t j : queued) {
+        t_deadline = std::min(t_deadline, deadline_of(j));
+      }
+      t_deadline = std::max(t_deadline, now);  // already-due: fires now
+    }
+
+    if (running.empty() && queued.empty()) {
+      // Idle: jump to the next arrival.
+      now = t_arrival;
+    } else {
+      const double t_next = std::min({t_arrival, t_complete, t_deadline});
+      for (auto& r : running) r.remaining -= (t_next - now) * r.speed;
+      now = t_next;
+    }
+
+    // Handle arrivals at `now`.
+    while (next_arrival < jobs.size() &&
+           jobs[arrival_order[next_arrival]].arrival <= now) {
+      arrive(arrival_order[next_arrival++]);
+    }
+    // Handle completions at `now`.
+    for (size_t i = running.size(); i-- > 0;) {
+      if (running[i].remaining <= 1e-9) {
+        const size_t job = running[i].job_index;
+        outcomes[job].finish = now;
+        ctrl.OnFinish(static_cast<int64_t>(job), jobs[job].cost);
+        running.erase(running.begin() + static_cast<long>(i));
+      }
+    }
+    // Deadline load shedding at `now`: abort expired running queries and
+    // drop expired queued ones — their slot/queue space goes to queries
+    // that can still make their deadlines.
+    if (options.shed_on_deadline) {
+      for (size_t i = running.size(); i-- > 0;) {
+        const size_t job = running[i].job_index;
+        if (deadline_of(job) <= now + 1e-12) {
+          outcomes[job].fate = SimOutcome::Fate::kDeadlineShed;
+          outcomes[job].finish = now;
+          const double served = jobs[job].cost - running[i].remaining;
+          ctrl.OnFinish(static_cast<int64_t>(job), std::max(0.0, served));
+          running.erase(running.begin() + static_cast<long>(i));
+        }
+      }
+      for (size_t i = queued.size(); i-- > 0;) {
+        const size_t job = queued[i];
+        if (deadline_of(job) <= now + 1e-12) {
+          outcomes[job].fate = SimOutcome::Fate::kDeadlineShed;
+          outcomes[job].start = outcomes[job].finish = now;
+          ctrl.RemoveQueued(static_cast<int64_t>(job));
+          queued.erase(queued.begin() + static_cast<long>(i));
+        }
+      }
+    }
+    admit();
+  }
+  return outcomes;
+}
+
+}  // namespace rqp

@@ -1,0 +1,83 @@
+#ifndef RQP_SERVER_SIMULATOR_H_
+#define RQP_SERVER_SIMULATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "server/admission.h"
+
+namespace rqp {
+
+/// One simulated client query: `cost` units of work (measured on the
+/// engine's deterministic clock) arriving at `arrival`.
+struct SimJob {
+  std::string name;
+  std::string tenant = "default";
+  double arrival = 0;
+  double cost = 0;
+  /// Degree of parallelism requested (process slots; FPT experiments).
+  int requested_slots = 1;
+  /// Larger = more important (legacy priority_scheduling pick order).
+  int priority = 0;
+  /// Response-time deadline relative to arrival (0 = none).
+  double deadline = 0;
+  /// Estimated memory demand in pages (admission watermark input).
+  int64_t est_pages = 0;
+};
+
+/// Scheduling policy for the simulation. The admission/queuing fields feed
+/// the same AdmissionController the real QueryScheduler runs, so the bench
+/// tables measure exactly the shipped shed policy; the slots fields drive
+/// the legacy processor-sharing speed model.
+struct SimOptions {
+  int max_mpl = 4;
+  int capacity_slots = 4;
+  bool priority_scheduling = false;
+  bool priority_weighted_sharing = false;
+  /// Bound on waiting queries; <= 0 = unbounded (admission control off).
+  int max_queue_depth = 0;
+  /// Weighted-fair queuing across tenants.
+  bool weighted_fair = false;
+  std::map<std::string, TenantOptions> tenants;
+  /// Abort queries (running or queued) whose deadline passes — the
+  /// load-shedding half of deadline enforcement.
+  bool shed_on_deadline = false;
+  /// Oracle admission: clairvoyantly reject at arrival any query whose
+  /// deadline is provably unreachable given the *true* remaining work of
+  /// everything admitted — the upper bound the admission-control tables
+  /// compare against.
+  bool reject_hopeless = false;
+  /// Global page budget for the estimated-demand admission gate
+  /// (<= 0: gate disabled).
+  int64_t memory_pages = 0;
+  double memory_watermark = 1.0;
+};
+
+struct SimOutcome {
+  std::string name;
+  double arrival = 0;
+  double start = 0;   ///< admission time (= finish for rejected jobs)
+  double finish = 0;
+  enum class Fate {
+    kCompleted,
+    kRejectedQueue,     ///< admission queue full
+    kRejectedMemory,    ///< estimated-demand watermark / tenant quota
+    kRejectedHopeless,  ///< oracle: deadline provably unreachable
+    kDeadlineShed,      ///< started or queued, but the deadline passed
+  };
+  Fate fate = Fate::kCompleted;
+  bool completed() const { return fate == Fate::kCompleted; }
+  double response_time() const { return finish - arrival; }
+};
+
+/// Deterministic discrete-event simulation of admission + weighted-fair
+/// queuing + processor sharing + deadline shedding. Returns one outcome per
+/// job, input order preserved.
+std::vector<SimOutcome> SimulateSchedule(const std::vector<SimJob>& jobs,
+                                         const SimOptions& options);
+
+}  // namespace rqp
+
+#endif  // RQP_SERVER_SIMULATOR_H_

@@ -20,6 +20,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// Admission control shed this query (queue full, tenant quota, or memory
+  /// arbitration robbed it). Retryable by the client after backoff.
+  kOverloaded,
+  /// The query's deadline passed before it finished; partial work was
+  /// discarded via cooperative cancellation.
+  kDeadlineExceeded,
 };
 
 /// Lightweight status object used instead of exceptions on all engine paths.
@@ -56,6 +62,12 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +90,8 @@ class Status {
       case StatusCode::kFailedPrecondition: return "FailedPrecondition";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kOverloaded: return "Overloaded";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }

@@ -1,0 +1,296 @@
+// E27 — Penalty-aware robust plan selection (PARQO-style). Three engine
+// configurations run the same star workload:
+//
+//   nominal  default optimizer — commits to the plan that is cheapest at the
+//            point estimate;
+//   robust   RQP_ROBUST_PLAN — top-K candidate plans re-costed at seeded
+//            perturbations of every uncertain selectivity, chosen by
+//            expected penalty with a worst-case cap;
+//   oracle   feedback-warmed (LEO) engine — each query runs once to record
+//            observed selectivities, then again with exact cardinalities.
+//
+// The workload mixes the Black-Hat trap family (redundant correlated
+// predicates square the fact-side estimate) with a well-estimated family.
+// Every query carries decomposable aggregates, so all three configurations
+// must produce byte-identical answers regardless of join order; the bench
+// aborts on any divergence. Costs are deterministic charged cost units —
+// no wall clock anywhere — so the whole report (and the JSON) must
+// reproduce byte-for-byte across runs; CI diffs two runs.
+//
+// Penalty P(q) = E(q) − O(q) against the oracle's cost, per Sattler et
+// al.'s robustness metric; the table reports S(Q) (CV of penalties), mean,
+// and max per family and configuration. Acceptance, enforced by abort:
+//   * robust max P(q) < nominal max P(q) on the trap family;
+//   * robust cost within 10% of nominal on every well-estimated query.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "metrics/robustness.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+constexpr int64_t kFactRows = 200000;
+constexpr int64_t kDimRows = 10000;
+constexpr int kDims = 2;
+
+/// FNV-1a over output rows — the cross-configuration identity witness.
+uint64_t Checksum(const QueryResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<uint64_t>(v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(r.output_rows);
+  for (const auto& b : r.rows) {
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      const int64_t* row = b.row(i);
+      for (size_t c = 0; c < b.num_cols(); ++c) mix(row[c]);
+    }
+  }
+  return h;
+}
+
+/// Decomposable aggregates give every query a canonical single-row answer,
+/// making byte-identity meaningful across different join orders.
+QuerySpec WithAggregates(QuerySpec q) {
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"},
+                  {AggFn::kMin, "fact.measure", "min_m"},
+                  {AggFn::kMax, "fact.measure", "max_m"}};
+  return q;
+}
+
+struct BenchQuery {
+  std::string name;
+  std::string family;  // "trap" or "well-estimated"
+  QuerySpec spec;
+};
+
+std::vector<BenchQuery> MakeWorkload() {
+  std::vector<BenchQuery> qs;
+  // Trap family: redundant corr/corr2 conjuncts square the fact estimate;
+  // the true fact cardinality scales with fk0_hi.
+  for (int64_t fk0_hi : {200, 800, 3200}) {
+    for (int64_t attr_hi : {20000, 80000}) {
+      BenchQuery q;
+      q.name = "trap fk0<=" + std::to_string(fk0_hi) + " attr<=" +
+               std::to_string(attr_hi / 1000) + "k";
+      q.family = "trap";
+      q.spec = WithAggregates(
+          workload::TrapStarQuery(kDims, fk0_hi, {attr_hi, attr_hi}));
+      qs.push_back(std::move(q));
+    }
+  }
+  // Well-estimated family: plain attribute ranges the histograms nail.
+  for (int64_t attr_hi : {10000, 30000, 60000, 90000}) {
+    BenchQuery q;
+    q.name = "star attr<=" + std::to_string(attr_hi / 1000) + "k";
+    q.family = "well-estimated";
+    q.spec = WithAggregates(workload::StarQuery(kDims, {attr_hi, attr_hi / 2}));
+    qs.push_back(std::move(q));
+  }
+  return qs;
+}
+
+struct RunRecord {
+  double cost = 0;
+  uint64_t checksum = 0;
+  int64_t output_rows = 0;
+  bool robust_used = false;
+  bool hedged = false;
+  bool fallback_used = false;
+};
+
+RunRecord RunOnce(Engine* engine, const BenchQuery& q) {
+  auto r = bench::ValueOrDie(engine->Run(q.spec, /*keep_rows=*/true),
+                             q.name.c_str());
+  RunRecord rec;
+  rec.cost = r.cost;
+  rec.checksum = Checksum(r);
+  rec.output_rows = r.output_rows;
+  rec.robust_used = r.robust_plan_used;
+  rec.hedged = r.robust_hedged;
+  rec.fallback_used = r.hedged_fallback_used;
+  return rec;
+}
+
+void PenaltyTable(const char* family, const std::vector<double>& nominal,
+                  const std::vector<double>& robust,
+                  const std::vector<double>& oracle) {
+  TablePrinter t({"config", "S(Q)", "mean P(q)", "max P(q)"});
+  const SmoothnessResult sn = Smoothness(nominal, oracle);
+  const SmoothnessResult sr = Smoothness(robust, oracle);
+  const SmoothnessResult so = Smoothness(oracle, oracle);
+  auto row = [&t](const char* name, const SmoothnessResult& s) {
+    t.AddRow({name, TablePrinter::Num(s.s_metric, 3),
+              TablePrinter::Num(s.mean_penalty, 0),
+              TablePrinter::Num(s.max_penalty, 0)});
+  };
+  std::printf("penalties vs. oracle, %s family:\n", family);
+  row("nominal", sn);
+  row("robust", sr);
+  row("oracle", so);
+  t.Print();
+  std::printf("\n");
+}
+
+void Run() {
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = kFactRows;
+  spec.dim_rows = kDimRows;
+  spec.num_dimensions = kDims;
+  bench::BuildIndexedStar(&catalog, spec);
+
+  bench::Banner("E27", "Penalty-aware robust plan selection",
+                "PARQO (penalty-aware robust optimization); Babcock & "
+                "Chaudhuri percentile plans; Dagstuhl 10381 robust plan "
+                "selection");
+
+  Engine nominal(&catalog);
+  nominal.AnalyzeAll();
+
+  EngineOptions ropts;
+  ropts.optimizer.robust_selection.enabled = 1;
+  Engine robust(&catalog, ropts);
+  robust.AnalyzeAll();
+
+  EngineOptions oopts;
+  oopts.collect_feedback = true;
+  Engine oracle(&catalog, oopts);
+  oracle.AnalyzeAll();
+
+  const std::vector<BenchQuery> workload = MakeWorkload();
+
+  std::printf("star schema: fact=%lld, %d dims x %lld rows; %zu queries\n\n",
+              static_cast<long long>(kFactRows), kDims,
+              static_cast<long long>(kDimRows), workload.size());
+
+  TablePrinter t({"query", "family", "nominal cost", "robust cost",
+                  "oracle cost", "nom P(q)", "rob P(q)", "hedged", "rows"});
+  struct JsonRow {
+    const BenchQuery* q;
+    RunRecord nom, rob, ora;
+  };
+  std::vector<JsonRow> rows;
+  std::vector<double> trap_nom, trap_rob, trap_ora;
+  std::vector<double> well_nom, well_rob, well_ora;
+  int hedged_count = 0, fallback_count = 0;
+
+  for (const BenchQuery& q : workload) {
+    const RunRecord rn = RunOnce(&nominal, q);
+    const RunRecord rr = RunOnce(&robust, q);
+    RunOnce(&oracle, q);  // warm-up: record observed selectivities
+    const RunRecord ro = RunOnce(&oracle, q);  // exact cardinalities
+    if (!rr.robust_used) {
+      std::fprintf(stderr, "FATAL: robust selection inactive on %s\n",
+                   q.name.c_str());
+      std::abort();
+    }
+    if (rn.checksum != rr.checksum || rn.checksum != ro.checksum ||
+        rn.output_rows != rr.output_rows) {
+      std::fprintf(stderr,
+                   "FATAL: %s results diverged (nominal %016" PRIx64
+                   " robust %016" PRIx64 " oracle %016" PRIx64 ")\n",
+                   q.name.c_str(), rn.checksum, rr.checksum, ro.checksum);
+      std::abort();
+    }
+    // The oracle is "best achievable": exact-cardinality plan, floored by
+    // the best any configuration actually did, so penalties are >= 0.
+    const double o = std::min({ro.cost, rn.cost, rr.cost});
+    if (q.family == "trap") {
+      trap_nom.push_back(rn.cost);
+      trap_rob.push_back(rr.cost);
+      trap_ora.push_back(o);
+    } else {
+      well_nom.push_back(rn.cost);
+      well_rob.push_back(rr.cost);
+      well_ora.push_back(o);
+    }
+    hedged_count += rr.hedged ? 1 : 0;
+    fallback_count += rr.fallback_used ? 1 : 0;
+    t.AddRow({q.name, q.family, TablePrinter::Num(rn.cost, 0),
+              TablePrinter::Num(rr.cost, 0), TablePrinter::Num(o, 0),
+              TablePrinter::Num(rn.cost - o, 0),
+              TablePrinter::Num(rr.cost - o, 0), rr.hedged ? "yes" : "no",
+              TablePrinter::Int(rn.output_rows)});
+    rows.push_back({&q, rn, rr, ro});
+  }
+  t.Print();
+  std::printf("\nhedged plans: %d/%zu (fallback engaged mid-query: %d)\n\n",
+              hedged_count, workload.size(), fallback_count);
+
+  PenaltyTable("trap", trap_nom, trap_rob, trap_ora);
+  PenaltyTable("well-estimated", well_nom, well_rob, well_ora);
+
+  // Acceptance check 1: robust strictly flattens the worst case on traps.
+  const double nom_max = Smoothness(trap_nom, trap_ora).max_penalty;
+  const double rob_max = Smoothness(trap_rob, trap_ora).max_penalty;
+  if (!(rob_max < nom_max)) {
+    std::fprintf(stderr,
+                 "FATAL: robust worst-case penalty %.0f is not below "
+                 "nominal %.0f on the trap family\n",
+                 rob_max, nom_max);
+    std::abort();
+  }
+  // Acceptance check 2: <= 10% regression where the estimates are right.
+  for (size_t i = 0; i < well_nom.size(); ++i) {
+    if (well_rob[i] > 1.10 * well_nom[i]) {
+      std::fprintf(stderr,
+                   "FATAL: robust cost %.0f exceeds 110%% of nominal %.0f "
+                   "on a well-estimated query\n",
+                   well_rob[i], well_nom[i]);
+      std::abort();
+    }
+  }
+  std::printf("robust worst-case trap penalty %.0f < nominal %.0f; "
+              "well-estimated regression within 10%%; all checksums "
+              "identical.\n",
+              rob_max, nom_max);
+
+  FILE* f = std::fopen("BENCH_robust_plan.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_robust_plan.json\n");
+    std::abort();
+  }
+  std::fprintf(f,
+               "{\n  \"experiment\": \"E27\",\n  \"fact_rows\": %lld,\n"
+               "  \"hedged\": %d,\n  \"results\": [\n",
+               static_cast<long long>(kFactRows), hedged_count);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    const double o = std::min({r.ora.cost, r.nom.cost, r.rob.cost});
+    std::fprintf(f,
+                 "    {\"query\": \"%s\", \"family\": \"%s\", "
+                 "\"nominal_cost\": %.0f, \"robust_cost\": %.0f, "
+                 "\"oracle_cost\": %.0f, \"nominal_penalty\": %.0f, "
+                 "\"robust_penalty\": %.0f, \"hedged\": %s, "
+                 "\"output_rows\": %lld}%s\n",
+                 r.q->name.c_str(), r.q->family.c_str(), r.nom.cost,
+                 r.rob.cost, o, r.nom.cost - o, r.rob.cost - o,
+                 r.rob.hedged ? "true" : "false",
+                 static_cast<long long>(r.nom.output_rows),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_robust_plan.json\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main() {
+  rqp::Run();
+  return 0;
+}

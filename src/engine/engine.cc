@@ -506,12 +506,19 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
     }
     result.plan_cache_hit = plan != nullptr;
   }
+  // Hedged robust selection: the pre-scored runner-up the retry paths
+  // switch to instead of re-optimizing (null on plan-cache hits — the cache
+  // stores only winners).
+  PlanNodePtr hedge_fallback;
   if (plan == nullptr) {
     std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
     auto opt = optimizer.Optimize(spec);
     if (!opt.ok()) return opt.status();
     plan = std::move(opt.value().plan);
     result.plans_considered = opt.value().plans_considered;
+    result.robust_plan_used = opt.value().robust_used;
+    result.robust_hedged = opt.value().hedged;
+    hedge_fallback = std::move(opt.value().fallback_plan);
     if (options_.use_plan_cache) plan_cache_.Put(cache_key, *plan);
   }
   pc_flight.Release();  // the plan is published; stop serializing peers
@@ -629,6 +636,16 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
       if (perturbed_stats != nullptr) {
         RepairTrippedStats(*plan, trip, perturbed_stats.get());
       }
+      if (hedge_fallback != nullptr) {
+        // Hedged robust mode: switch to the pre-scored runner-up — already
+        // costed over the same perturbation set — instead of re-optimizing.
+        plan = std::move(hedge_fallback);
+        safe_plan_active = true;
+        result.safe_plan_used = true;
+        result.hedged_fallback_used = true;
+        result.degradation = QueryResult::Degradation::kSafeRetry;
+        continue;
+      }
       CardinalityOptions safe_card = options_.cardinality;
       safe_card.percentile = guard.safe_percentile;
       CardinalityModel safe_model(
@@ -681,6 +698,16 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
                    leaves.end());
       leaves.push_back(std::move(leaf));
 
+      if (hedge_fallback != nullptr) {
+        // A CHECK on the hedged winner fired: the penalty surface was as
+        // steep as feared. Switch to the pre-scored runner-up directly —
+        // it was selected for the flattest worst case, so no fresh
+        // optimization round is needed (the materialized leaf is kept for
+        // any later re-optimization).
+        plan = std::move(hedge_fallback);
+        result.hedged_fallback_used = true;
+        continue;
+      }
       std::shared_lock<std::shared_mutex> stats_lock(stats_mu_);
       auto reopt = optimizer.Optimize(spec, leaves);
       if (!reopt.ok()) return reopt.status();

@@ -200,6 +200,11 @@ struct QueryResult {
   /// opened and the query completed with guardrails disarmed.
   enum class Degradation { kNone, kSafeRetry, kUnguarded };
   Degradation degradation = Degradation::kNone;
+  /// Robust plan selection outcomes (OptimizerOptions::robust_selection /
+  /// $RQP_ROBUST_PLAN).
+  bool robust_plan_used = false;  ///< plan chosen by penalty scoring
+  bool robust_hedged = false;     ///< CHECKs armed with a pre-scored fallback
+  bool hedged_fallback_used = false;  ///< mid-query switch to the runner-up
   /// Faults encountered during execution (summed over attempts) plus the
   /// statistics perturbations applied before optimization.
   FaultCounters faults;

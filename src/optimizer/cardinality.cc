@@ -3,8 +3,36 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdlib>
 
 namespace rqp {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0') return fallback;
+  return v;
+}
+
+}  // namespace
+
+CardinalityOptions ResolveCardinalityOptions(CardinalityOptions options) {
+  if (options.percentile <= 0.0) {
+    options.percentile = EnvDouble("RQP_PLAN_PERCENTILE", 0.5);
+  }
+  if (options.percentile <= 0.0 || options.percentile >= 1.0) {
+    options.percentile = 0.5;
+  }
+  if (options.sigma_per_term < 0.0) {
+    options.sigma_per_term = EnvDouble("RQP_SIGMA_PER_TERM", 0.8);
+  }
+  if (options.sigma_per_term < 0.0) options.sigma_per_term = 0.8;
+  return options;
+}
 
 double InverseNormalCdf(double p) {
   assert(p > 0.0 && p < 1.0);
@@ -81,15 +109,20 @@ double CardinalityModel::Shift(const SelEstimate& e) const {
 
 double CardinalityModel::ScanSelectivity(const std::string& table,
                                          const PredicatePtr& pred) const {
+  return Shift(ScanEstimate(table, pred));
+}
+
+SelEstimate CardinalityModel::ScanEstimate(const std::string& table,
+                                           const PredicatePtr& pred) const {
   auto it = scan_override_.find(table);
-  if (it != scan_override_.end()) return it->second;
-  if (pred == nullptr) return 1.0;
+  if (it != scan_override_.end()) return {it->second, 0, 0};
+  if (pred == nullptr) return {1.0, 0, 0};
   PredicatePtr effective = pred;
   if (!peek_params_.empty() && HasParams(pred)) {
     effective = BindParams(pred, peek_params_);  // bind peeking
   }
   SelectivityEstimator est = MakeEstimator(table);
-  return Shift(est.EstimateWithPedigree(effective));
+  return est.EstimateWithPedigree(effective);
 }
 
 double CardinalityModel::QualifiedSelectivity(const PredicatePtr& pred) const {
@@ -151,12 +184,42 @@ double CardinalityModel::DistinctValues(const std::string& table,
 
 double CardinalityModel::JoinSelectivity(const std::string& left_slot,
                                          const std::string& right_slot) const {
+  return Shift(JoinEstimate(left_slot, right_slot));
+}
+
+SelEstimate CardinalityModel::JoinEstimate(const std::string& left_slot,
+                                           const std::string& right_slot)
+    const {
+  auto ov = join_override_.find(JoinKey(left_slot, right_slot));
+  if (ov != join_override_.end()) return {ov->second, 0, 0};
   std::string lt, lc, rt, rc;
   double ndv = 100.0;
+  bool stats_backed = false;
+  bool key_join = false;
   if (SplitSlot(left_slot, &lt, &lc) && SplitSlot(right_slot, &rt, &rc)) {
     ndv = std::max(DistinctValues(lt, lc), DistinctValues(rt, rc));
+    auto unique_key = [&](const std::string& t, const std::string& c) {
+      const TableStats* ts = stats_->Find(t);
+      if (ts == nullptr || !ts->HasColumn(c) || ts->row_count() <= 0) {
+        return false;
+      }
+      return static_cast<double>(ts->column(c).num_distinct) >=
+             0.99 * static_cast<double>(ts->row_count());
+    };
+    auto has = [&](const std::string& t, const std::string& c) {
+      const TableStats* ts = stats_->Find(t);
+      return ts != nullptr && ts->HasColumn(c);
+    };
+    stats_backed = has(lt, lc) || has(rt, rc);
+    key_join = unique_key(lt, lc) || unique_key(rt, rc);
   }
-  return 1.0 / std::max(1.0, ndv);
+  // Pedigree: 1/max(ndv) assumes containment + uniform key frequencies.
+  // When one side is a unique key (ndv ≈ rows) the containment estimate is
+  // well-grounded — a PK–FK join carries no independence term; a general
+  // (many-to-many) join carries one. Without distinct-count stats the
+  // 100.0 default is a magic-number guess on top.
+  return {1.0 / std::max(1.0, ndv), key_join && stats_backed ? 0 : 1,
+          stats_backed ? 0 : 1};
 }
 
 }  // namespace rqp

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "stats/correlation.h"
@@ -23,11 +24,20 @@ struct CardinalityOptions {
   /// 0.5 = classical expected-value optimization. Higher values inflate
   /// uncertain estimates (log-normal model whose spread grows with the
   /// number of independence multiplications and magic-number guesses),
-  /// trading average-case speed for tail robustness.
-  double percentile = 0.5;
-  /// Log-scale spread contributed by each uncertain derivation step.
-  double sigma_per_term = 0.8;
+  /// trading average-case speed for tail robustness. The sentinel 0 (the
+  /// default) resolves from $RQP_PLAN_PERCENTILE, falling back to 0.5.
+  double percentile = 0.0;
+  /// Log-scale spread contributed by each uncertain derivation step. The
+  /// sentinel -1 (the default) resolves from $RQP_SIGMA_PER_TERM, falling
+  /// back to 0.8.
+  double sigma_per_term = -1.0;
 };
+
+/// Fills sentinel fields from the environment ($RQP_PLAN_PERCENTILE,
+/// $RQP_SIGMA_PER_TERM). Applied by the CardinalityModel constructor so
+/// every model — engine, plan diagrams, metric sweeps — resolves the knobs
+/// the same way; explicitly set values always win.
+CardinalityOptions ResolveCardinalityOptions(CardinalityOptions options);
 
 /// The optimizer's view of cardinalities: per-table row counts, selection
 /// selectivities, join selectivities, and distinct counts — everything the
@@ -40,8 +50,9 @@ class CardinalityModel {
                        correlations = nullptr,
                    const FeedbackCache* feedback = nullptr,
                    const StHistogramStore* st_store = nullptr)
-      : stats_(stats), options_(options), correlations_(correlations),
-        feedback_(feedback), st_store_(st_store) {}
+      : stats_(stats), options_(ResolveCardinalityOptions(options)),
+        correlations_(correlations), feedback_(feedback),
+        st_store_(st_store) {}
 
   /// Believed row count of a base table.
   double TableRows(const std::string& table) const;
@@ -50,6 +61,12 @@ class CardinalityModel {
   /// percentile shift applied. Honors overrides.
   double ScanSelectivity(const std::string& table,
                          const PredicatePtr& pred) const;
+
+  /// Unshifted scan estimate with its derivation pedigree — the robust
+  /// selector's error-band input. Honors overrides (an override is a
+  /// zero-uncertainty point) and bind peeking.
+  SelEstimate ScanEstimate(const std::string& table,
+                           const PredicatePtr& pred) const;
 
   /// Selectivity of a predicate whose columns are qualified "table.column"
   /// (join residuals, post-join filters). And/Or/Not combine with the same
@@ -61,16 +78,33 @@ class CardinalityModel {
   double DistinctValues(const std::string& table,
                         const std::string& column) const;
 
-  /// Equi-join selectivity 1 / max(ndv(left), ndv(right)); keys qualified.
+  /// Equi-join selectivity 1 / max(ndv(left), ndv(right)) with the
+  /// percentile shift applied; keys qualified. Honors join overrides.
   double JoinSelectivity(const std::string& left_slot,
                          const std::string& right_slot) const;
+
+  /// Unshifted join estimate with pedigree: the 1/max(ndv) rule carries one
+  /// independence-style assumption (containment + uniformity); missing
+  /// distinct-count statistics downgrade it to a guess. Symmetric in the
+  /// two slots; an override is a zero-uncertainty point.
+  SelEstimate JoinEstimate(const std::string& left_slot,
+                           const std::string& right_slot) const;
 
   /// Forces the selectivity of *any* scan predicate on `table` (the plan
   /// diagram's axis knob).
   void SetScanSelectivityOverride(const std::string& table, double s) {
     scan_override_[table] = s;
   }
-  void ClearOverrides() { scan_override_.clear(); }
+  /// Forces the selectivity of the join edge between two slots (the robust
+  /// selector's perturbation knob). Symmetric: either slot order matches.
+  void SetJoinSelectivityOverride(const std::string& left_slot,
+                                  const std::string& right_slot, double s) {
+    join_override_[JoinKey(left_slot, right_slot)] = s;
+  }
+  void ClearOverrides() {
+    scan_override_.clear();
+    join_override_.clear();
+  }
 
   /// Bind peeking (Session 2.3 "late binding"): supply the current call's
   /// parameter values so that parameterized predicates are estimated with
@@ -85,9 +119,17 @@ class CardinalityModel {
 
   const CardinalityOptions& options() const { return options_; }
 
- private:
-  /// Applies the percentile shift to an estimate with pedigree `e`.
+  /// Applies the percentile shift to an estimate with pedigree `e`:
+  /// value * exp(z(percentile) * sigma_per_term * sqrt(terms)) clamped to 1,
+  /// terms = independence_terms + 2 * guessed_terms. A zero-term pedigree
+  /// collapses the band to the point estimate.
   double Shift(const SelEstimate& e) const;
+
+ private:
+  static std::pair<std::string, std::string> JoinKey(const std::string& a,
+                                                     const std::string& b) {
+    return a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
   SelectivityEstimator MakeEstimator(const std::string& table) const;
 
   const StatsCatalog* stats_;
@@ -96,6 +138,7 @@ class CardinalityModel {
   const FeedbackCache* feedback_;
   const StHistogramStore* st_store_ = nullptr;
   std::map<std::string, double> scan_override_;
+  std::map<std::pair<std::string, std::string>, double> join_override_;
   std::vector<int64_t> peek_params_;
 };
 

@@ -123,7 +123,8 @@ struct Optimizer::Unit {
   std::vector<std::string> covered;  // tables covered by this unit
 };
 
-PlanNodePtr Optimizer::MakeLeafPlan(const Unit& unit) const {
+PlanNodePtr Optimizer::MakeLeafPlan(const Unit& unit,
+                                    std::vector<PlanNodePtr>* sink) const {
   int ids = 0;  // leaf-internal; reassigned by the caller
   if (unit.is_materialized) {
     auto node = NewPlanNode(PlanOp::kMaterializedSource, &ids);
@@ -138,6 +139,7 @@ PlanNodePtr Optimizer::MakeLeafPlan(const Unit& unit) const {
   scan->table = unit.table;
   scan->predicate = unit.predicate;
   coster_.Cost(scan.get());
+  if (sink != nullptr) sink->push_back(scan->Clone());
   PlanNodePtr best = std::move(scan);
 
   if (options_.consider_index_scan && unit.predicate != nullptr) {
@@ -153,6 +155,7 @@ PlanNodePtr Optimizer::MakeLeafPlan(const Unit& unit) const {
         iscan->index_hi = hi;
         iscan->predicate = residual;
         coster_.Cost(iscan.get());
+        if (sink != nullptr) sink->push_back(iscan->Clone());
         if (iscan->est_cost < best->est_cost) best = std::move(iscan);
         continue;
       }
@@ -168,6 +171,7 @@ PlanNodePtr Optimizer::MakeLeafPlan(const Unit& unit) const {
         iscan->index_hi_param = hi_param;
         iscan->predicate = residual;
         coster_.Cost(iscan.get());
+        if (sink != nullptr) sink->push_back(iscan->Clone());
         if (iscan->est_cost < best->est_cost) best = std::move(iscan);
       }
     }
@@ -279,7 +283,8 @@ PlanNodePtr Optimizer::MakeJoinPlan(const PlanNode& left,
                                     const std::vector<const JoinEdge*>& edges,
                                     const std::vector<Unit>& units,
                                     int64_t* plans_considered,
-                                    int* id_counter) const {
+                                    int* id_counter,
+                                    std::vector<PlanNodePtr>* sink) const {
   (void)units;
   if (edges.empty()) return nullptr;
   // The first edge is the physical join key; any further crossing edges
@@ -361,13 +366,10 @@ PlanNodePtr Optimizer::MakeJoinPlan(const PlanNode& left,
     }
   }
 
-  PlanNodePtr best;
-  for (auto& cand : candidates) {
-    coster_.Cost(cand.get());
-    ++*plans_considered;
-    if (!best || cand->est_cost < best->est_cost) best = std::move(cand);
-  }
-  if (best && edges.size() > 1) {
+  // Extra crossing edges (cyclic join graphs) become a residual
+  // column-comparison filter above whichever join shape is emitted.
+  auto wrap_residual = [&](PlanNodePtr p) -> PlanNodePtr {
+    if (edges.size() <= 1) return p;
     std::vector<PredicatePtr> residuals;
     for (size_t e = 1; e < edges.size(); ++e) {
       residuals.push_back(MakeColCmp(edges[e]->LeftSlot(), CmpOp::kEq,
@@ -376,10 +378,19 @@ PlanNodePtr Optimizer::MakeJoinPlan(const PlanNode& left,
     auto filter = NewPlanNode(PlanOp::kFilter, id_counter);
     filter->predicate = residuals.size() == 1 ? residuals[0]
                                               : MakeAnd(std::move(residuals));
-    filter->children.push_back(std::move(best));
+    filter->children.push_back(std::move(p));
     coster_.Cost(filter.get());
-    best = std::move(filter);
+    return filter;
+  };
+
+  PlanNodePtr best;
+  for (auto& cand : candidates) {
+    coster_.Cost(cand.get());
+    ++*plans_considered;
+    if (sink != nullptr) sink->push_back(wrap_residual(cand->Clone()));
+    if (!best || cand->est_cost < best->est_cost) best = std::move(cand);
   }
+  if (best) best = wrap_residual(std::move(best));
   return best;
 }
 
@@ -547,11 +558,21 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
     uedges.push_back({ia->second, ib->second, &e});
   }
 
+  // Robust selection re-costs candidates with selectivity overrides pinned
+  // per perturbation point; materialized leaves already have exact
+  // cardinalities, so re-optimization rounds fall back to nominal choice.
+  const bool robust_on =
+      RobustSelectionEnabled(options_.robust_selection.enabled) &&
+      materialized.empty();
+  std::vector<PlanNodePtr> robust_sink;
+  std::vector<PlanNodePtr>* top_sink = robust_on ? &robust_sink : nullptr;
+
   // 4. Leaf plans.
   std::vector<PlanNodePtr> leaf_plans;
   leaf_plans.reserve(m);
   for (const auto& u : units) {
-    leaf_plans.push_back(MakeLeafPlan(u));
+    // For single-table queries the leaf alternatives are the candidate set.
+    leaf_plans.push_back(MakeLeafPlan(u, m == 1 ? top_sink : nullptr));
     ++result.plans_considered;
   }
   // Reassign leaf ids to be unique across the plan.
@@ -597,8 +618,9 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
           break;
         }
         PlanNodePtr cand = MakeJoinPlan(*dp[sub], *dp[rest], edges, units,
-                                        &result.plans_considered,
-                                        &id_counter);
+                                        &result.plans_considered, &id_counter,
+                                        mask == (1u << m) - 1 ? top_sink
+                                                              : nullptr);
         if (cand && (!best || cand->est_cost < best->est_cost)) {
           best = std::move(cand);
         }
@@ -660,7 +682,8 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
           if (edges.empty()) continue;
           PlanNodePtr cand =
               MakeJoinPlan(*entries[i].plan, *entries[j].plan, edges, units,
-                           &result.plans_considered, &id_counter);
+                           &result.plans_considered, &id_counter,
+                           entries.size() == 2 ? top_sink : nullptr);
           if (cand && cand->est_cost < best_cost) {
             best_cost = cand->est_cost;
             best = std::move(cand);
@@ -702,8 +725,98 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
     root = std::move(agg);
   }
 
-  // 6. POP checkpoints.
-  if (options_.add_pop_checks) InsertChecks(root.get());
+  // 5b. Penalty-aware robust selection (PARQO): score the surfaced
+  // candidates over deterministic perturbations of the selectivity error
+  // bands and replace the nominal winner with the flattest-surface plan.
+  if (robust_on) {
+    auto with_agg = [&](PlanNodePtr p) -> PlanNodePtr {
+      if (spec.aggregates.empty() && spec.group_by.empty()) return p;
+      int ids = 0;
+      auto agg = NewPlanNode(PlanOp::kHashAgg, &ids);
+      agg->group_by = spec.group_by;
+      agg->aggregates = spec.aggregates;
+      agg->children.push_back(std::move(p));
+      return agg;
+    };
+    // Candidate set: the nominal winner plus every surfaced alternative,
+    // deduplicated by structural signature, cheapest-first, top-K.
+    std::vector<PlanNodePtr> collected;
+    collected.push_back(root->Clone());
+    for (auto& alt : robust_sink) {
+      collected.push_back(with_agg(std::move(alt)));
+    }
+    std::set<std::string> seen;
+    std::vector<PlanNodePtr> candidates;
+    for (auto& cand : collected) {
+      int ids = 0;
+      std::function<void(PlanNode*)> renum = [&](PlanNode* n) {
+        n->id = ids++;
+        for (auto& c : n->children) renum(c.get());
+      };
+      renum(cand.get());
+      coster_.Cost(cand.get());
+      if (seen.insert(cand->Explain(false)).second) {
+        candidates.push_back(std::move(cand));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const PlanNodePtr& a, const PlanNodePtr& b) {
+                if (a->est_cost != b->est_cost) {
+                  return a->est_cost < b->est_cost;
+                }
+                return a->Explain(false) < b->Explain(false);
+              });
+    const size_t top_k =
+        static_cast<size_t>(std::max(1, options_.robust_selection.top_k));
+    if (candidates.size() > top_k) candidates.resize(top_k);
+
+    // Error-band dimensions from each uncertain estimate's pedigree.
+    std::vector<PerturbDimension> dims;
+    for (const auto& u : units) {
+      if (u.is_materialized || u.predicate == nullptr) continue;
+      const SelEstimate e = card_->ScanEstimate(u.table, u.predicate);
+      PerturbDimension d;
+      d.kind = PerturbDimension::Kind::kScan;
+      d.table = u.table;
+      d.center = e.value;
+      d.sigma = BandSigma(e, card_->options().sigma_per_term);
+      dims.push_back(std::move(d));
+    }
+    for (const auto& ue : uedges) {
+      const SelEstimate e =
+          card_->JoinEstimate(ue.edge->LeftSlot(), ue.edge->RightSlot());
+      PerturbDimension d;
+      d.kind = PerturbDimension::Kind::kJoin;
+      d.left_slot = ue.edge->LeftSlot();
+      d.right_slot = ue.edge->RightSlot();
+      d.center = e.value;
+      d.sigma = BandSigma(e, card_->options().sigma_per_term);
+      dims.push_back(std::move(d));
+    }
+
+    RobustSelection sel =
+        SelectRobustPlan(candidates, dims, *card_, options_.cost,
+                         options_.robust_selection);
+    if (sel.chosen >= 0) {
+      result.robust_used = true;
+      result.hedged = sel.hedged;
+      result.candidate_signatures.reserve(candidates.size());
+      for (const auto& cand : candidates) {
+        result.candidate_signatures.push_back(cand->Explain(false));
+      }
+      if (sel.hedged && sel.runner_up >= 0) {
+        result.fallback_plan =
+            candidates[static_cast<size_t>(sel.runner_up)]->Clone();
+        coster_.Cost(result.fallback_plan.get());
+      }
+      root = std::move(candidates[static_cast<size_t>(sel.chosen)]);
+      result.robust_report = std::move(sel);
+    }
+  }
+
+  // 6. POP checkpoints. A hedged robust winner arms CHECKs even when POP is
+  // off — the probes are what trigger the switch to the fallback.
+  if (options_.add_pop_checks || result.hedged) InsertChecks(root.get());
 
   coster_.Cost(root.get());
   result.plan = std::move(root);

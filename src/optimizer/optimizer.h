@@ -9,6 +9,7 @@
 #include "optimizer/cardinality.h"
 #include "optimizer/cost.h"
 #include "optimizer/plan.h"
+#include "optimizer/robust_select.h"
 #include "storage/table.h"
 
 namespace rqp {
@@ -78,12 +79,28 @@ struct OptimizerOptions {
   /// formulations get the same access path. Off = the fragile syntactic
   /// matching that the §5.1 equivalence benchmark exposes.
   bool normalize_for_sargable = true;
+  /// Penalty-aware robust plan selection (PARQO; DESIGN.md §12): retain
+  /// top-K enumeration candidates, re-cost them over deterministic
+  /// perturbations of the selectivity error bands, choose by expected
+  /// penalty, and hedge with the runner-up when no candidate is flat.
+  RobustSelectionOptions robust_selection;
 };
 
 struct OptimizationResult {
   PlanNodePtr plan;
   int64_t plans_considered = 0;
   bool used_greedy = false;
+  /// Robust selection (OptimizerOptions::robust_selection / $RQP_ROBUST_PLAN):
+  bool robust_used = false;  ///< the plan was chosen by penalty scoring
+  bool hedged = false;       ///< steep surface: CHECKs armed + fallback set
+  /// Runner-up candidate pre-computed as the mid-query fallback: when a
+  /// hedged winner's CHECK fires (or the guardrails trip), the engine
+  /// switches to this already-scored plan instead of re-optimizing.
+  PlanNodePtr fallback_plan;
+  /// Per-candidate penalty scores, parallel to `candidate_signatures`
+  /// (diagnostics and the penalty-table benches).
+  RobustSelection robust_report;
+  std::vector<std::string> candidate_signatures;
 };
 
 /// Cost-based optimizer: access-path selection, DP (DPsize) join
@@ -134,7 +151,10 @@ class Optimizer {
  private:
   struct Unit;  // enumeration leaf (base table or materialized intermediate)
 
-  PlanNodePtr MakeLeafPlan(const Unit& unit) const;
+  /// `sink` (when non-null) additionally receives every costed alternative,
+  /// not just the winner — the robust selector's candidate feed.
+  PlanNodePtr MakeLeafPlan(const Unit& unit,
+                           std::vector<PlanNodePtr>* sink = nullptr) const;
   /// Best join of `left` and `right` given the connecting edges (the first
   /// is the physical join key; extra edges — cyclic join graphs — become a
   /// residual column-comparison filter above the join); returns null when
@@ -142,7 +162,8 @@ class Optimizer {
   PlanNodePtr MakeJoinPlan(const PlanNode& left, const PlanNode& right,
                            const std::vector<const JoinEdge*>& edges,
                            const std::vector<Unit>& units,
-                           int64_t* plans_considered, int* id_counter) const;
+                           int64_t* plans_considered, int* id_counter,
+                           std::vector<PlanNodePtr>* sink = nullptr) const;
   void InsertChecks(PlanNode* node) const;
 
   const Catalog* catalog_;

@@ -76,17 +76,9 @@ StatusOr<PlanDiagram> ComputePlanDiagram(const Catalog* catalog,
   return diagram;
 }
 
-StatusOr<ReductionResult> ReducePlanDiagram(
-    const PlanDiagram& diagram, double lambda, const Catalog* catalog,
-    const StatsCatalog* stats, const PlanDiagramOptions& options,
-    const OptimizerOptions& opt_options) {
-  (void)catalog;
-  ReductionResult result;
-  result.plan_at = diagram.plan_at;
-  result.plans_before = diagram.num_plans();
-
-  // Cost of every plan at every cell (recosted with that cell's
-  // selectivities).
+std::vector<std::vector<double>> PlanCostMatrix(
+    const PlanDiagram& diagram, const StatsCatalog* stats,
+    const PlanDiagramOptions& options, const OptimizerOptions& opt_options) {
   const size_t cells = diagram.plan_at.size();
   const int num_plans = diagram.num_plans();
   std::vector<std::vector<double>> cost(
@@ -107,6 +99,42 @@ StatusOr<ReductionResult> ReducePlanDiagram(
       }
     }
   }
+  return cost;
+}
+
+std::vector<DiagramPlanPenalty> DiagramPenalties(
+    const PlanDiagram& diagram,
+    const std::vector<std::vector<double>>& cost) {
+  const size_t cells = diagram.plan_at.size();
+  std::vector<DiagramPlanPenalty> penalties;
+  for (int p = 0; p < diagram.num_plans(); ++p) {
+    DiagramPlanPenalty dp;
+    dp.plan = p;
+    for (size_t c = 0; c < cells; ++c) {
+      const double pen =
+          cost[static_cast<size_t>(p)][c] - diagram.optimal_cost_at[c];
+      dp.expected_penalty += pen;
+      dp.worst_penalty = std::max(dp.worst_penalty, pen);
+    }
+    if (cells > 0) dp.expected_penalty /= static_cast<double>(cells);
+    penalties.push_back(dp);
+  }
+  return penalties;
+}
+
+StatusOr<ReductionResult> ReducePlanDiagram(
+    const PlanDiagram& diagram, double lambda, const Catalog* catalog,
+    const StatsCatalog* stats, const PlanDiagramOptions& options,
+    const OptimizerOptions& opt_options) {
+  (void)catalog;
+  ReductionResult result;
+  result.plan_at = diagram.plan_at;
+  result.plans_before = diagram.num_plans();
+
+  const size_t cells = diagram.plan_at.size();
+  const int num_plans = diagram.num_plans();
+  const std::vector<std::vector<double>> cost =
+      PlanCostMatrix(diagram, stats, options, opt_options);
 
   // Greedy swallowing, smallest-area plans first (CostGreedy flavor): a
   // plan is eliminated if every one of its cells can be recolored to some

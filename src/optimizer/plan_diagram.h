@@ -47,6 +47,26 @@ StatusOr<PlanDiagram> ComputePlanDiagram(const Catalog* catalog,
                                          const PlanDiagramOptions& options,
                                          const OptimizerOptions& opt_options);
 
+/// cost[p][cell]: every representative plan recosted at every cell's
+/// selectivities — shared by anorexic reduction and penalty scoring.
+std::vector<std::vector<double>> PlanCostMatrix(
+    const PlanDiagram& diagram, const StatsCatalog* stats,
+    const PlanDiagramOptions& options, const OptimizerOptions& opt_options);
+
+struct DiagramPlanPenalty {
+  int plan = -1;                ///< index into diagram.signatures
+  double expected_penalty = 0;  ///< mean over cells of cost − optimal
+  double worst_penalty = 0;     ///< max over cells of cost − optimal
+};
+
+/// The penalty of committing to a single plan across the whole diagram —
+/// the plan-diagram view of penalty-aware robust selection: the plan with
+/// the smallest expected penalty is the one you would pick if forced to
+/// choose before learning which cell (selectivity) is real. One entry per
+/// diagram plan, in plan-index order.
+std::vector<DiagramPlanPenalty> DiagramPenalties(
+    const PlanDiagram& diagram, const std::vector<std::vector<double>>& cost);
+
 struct ReductionResult {
   std::vector<int> plan_at;  ///< recolored diagram
   int plans_before = 0;

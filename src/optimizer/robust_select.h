@@ -1,0 +1,112 @@
+#ifndef RQP_OPTIMIZER_ROBUST_SELECT_H_
+#define RQP_OPTIMIZER_ROBUST_SELECT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "optimizer/cardinality.h"
+#include "optimizer/cost.h"
+#include "optimizer/plan.h"
+
+namespace rqp {
+
+/// PARQO-style penalty-aware plan selection (DESIGN.md §12). Instead of
+/// committing to the cost-minimal plan at point estimates, the optimizer
+/// retains a top-K candidate set from enumeration, samples deterministic
+/// perturbation points over each uncertain selectivity's error band (bands
+/// derived from the SelEstimate pedigree), re-costs every candidate at every
+/// point, and picks the candidate with the lowest expected penalty — the
+/// flat cost surface — subject to a worst-case cap. When even the winner's
+/// surface is steep, the selection is "hedged": the engine arms POP CHECK
+/// probes and keeps the runner-up as a pre-scored mid-query fallback.
+struct RobustSelectionOptions {
+  /// Tri-state: -1 = resolve from $RQP_ROBUST_PLAN (unset or "0" = off),
+  /// 0 = off, 1 = on.
+  int enabled = -1;
+  /// Candidate plans retained from enumeration (distinct join orders and
+  /// methods, deduplicated by structural signature).
+  int top_k = 8;
+  /// Perturbation points sampled over the error bands. Sample 0 is always
+  /// the unperturbed center, so `samples` = 1 degenerates to nominal
+  /// costing.
+  int samples = 24;
+  /// Seed for the perturbation sampler; the whole selection is a pure
+  /// function of (candidates, bands, options), so equal seeds give
+  /// bit-identical scores and choices.
+  uint64_t seed = 17;
+  /// Penalty-vs-nominal trade-off: score = expected penalty +
+  /// nominal_tradeoff * nominal cost. 0 = pure expected penalty; large
+  /// values recover classical nominal-cost optimization.
+  double nominal_tradeoff = 0.10;
+  /// Candidates whose worst sampled cost exceeds cap × the best worst-case
+  /// among all candidates are rejected before the expected-penalty
+  /// comparison (<= 0 disables the cap).
+  double worst_case_cap = 3.0;
+  /// Hedge when the winner's worst sampled penalty exceeds this fraction of
+  /// its nominal cost: no flat candidate exists, so arm CHECK probes and
+  /// pre-compute the fallback. <= 0 = always hedge (given >= 2 candidates).
+  double hedge_threshold = 0.5;
+  /// Floor for perturbed selectivities.
+  double min_selectivity = 1e-6;
+};
+
+/// Resolves the tri-state `enabled` against $RQP_ROBUST_PLAN.
+bool RobustSelectionEnabled(int enabled);
+
+/// One uncertain selectivity dimension of the query: a scanned table's
+/// local predicate or a join edge. `center` is the unshifted point
+/// estimate; `sigma` the log-normal spread derived from its pedigree.
+struct PerturbDimension {
+  enum class Kind { kScan, kJoin };
+  Kind kind = Kind::kScan;
+  std::string table;                   ///< scan dimensions
+  std::string left_slot, right_slot;   ///< join dimensions
+  double center = 1.0;
+  double sigma = 0.0;
+};
+
+/// Band spread for a pedigree under the same log-normal model as the
+/// Babcock–Chaudhuri percentile shift: sigma_per_term * sqrt(terms) with
+/// terms = independence_terms + 2 * guessed_terms. Zero-term pedigrees
+/// (histogram- or feedback-backed estimates) collapse to the point.
+double BandSigma(const SelEstimate& e, double sigma_per_term);
+
+/// Deterministic perturbation points: points[s][d] is dimension d's
+/// selectivity at sample s, drawn log-normally around its center and
+/// clamped to [min_selectivity, 1]. Sample 0 is the unperturbed center.
+std::vector<std::vector<double>> MakePerturbationPoints(
+    const std::vector<PerturbDimension>& dims,
+    const RobustSelectionOptions& options);
+
+struct CandidateScore {
+  double nominal_cost = 0.0;      ///< cost at the center point
+  double expected_penalty = 0.0;  ///< mean over samples of cost − best cost
+  double worst_penalty = 0.0;     ///< max over samples of cost − best cost
+  double worst_cost = 0.0;        ///< max over samples of cost
+  bool capped = false;            ///< rejected by the worst-case cap
+};
+
+struct RobustSelection {
+  int chosen = -1;
+  int runner_up = -1;  ///< hedge fallback; -1 with fewer than 2 candidates
+  bool hedged = false; ///< no flat candidate: arm checks + fallback
+  int dimensions = 0;  ///< dimensions with non-zero band width
+  int samples = 0;
+  std::vector<CandidateScore> scores;  ///< parallel to the candidate vector
+};
+
+/// Scores `candidates` over the perturbation points of `dims` (re-costing
+/// each candidate at each point through a copy of `model` with scan/join
+/// selectivity overrides) and selects by expected penalty with the
+/// worst-case cap and nominal trade-off of `options`. Pure and
+/// deterministic: same inputs → identical scores and choice.
+RobustSelection SelectRobustPlan(const std::vector<PlanNodePtr>& candidates,
+                                 const std::vector<PerturbDimension>& dims,
+                                 const CardinalityModel& model,
+                                 const CostParams& cost_params,
+                                 const RobustSelectionOptions& options);
+
+}  // namespace rqp
+
+#endif  // RQP_OPTIMIZER_ROBUST_SELECT_H_

@@ -1,0 +1,451 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <memory>
+
+#include "engine/engine.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/robust_select.h"
+#include "storage/data_generator.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+/// Restores (or clears) an environment variable when the scope ends.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value != nullptr) {
+      setenv(name, value, 1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+int64_t RowChecksum(const std::vector<RowBatch>& batches) {
+  uint64_t h = 1469598103934665603ULL;  // FNV offset basis
+  for (const auto& b : batches) {
+    for (int64_t v : b.data()) {
+      h ^= static_cast<uint64_t>(v);
+      h *= 1099511628211ULL;
+    }
+  }
+  return static_cast<int64_t>(h);
+}
+
+// ---------------------------------------------------------------------------
+// InverseNormalCdf edge cases (satellite: extreme percentiles).
+
+TEST(InverseNormalCdfTest, ExtremePercentiles) {
+  // Known quantiles of the standard normal.
+  EXPECT_NEAR(InverseNormalCdf(0.01), -2.3263478740, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.99), 2.3263478740, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.001), -3.0902323062, 1e-6);
+  EXPECT_NEAR(InverseNormalCdf(0.999), 3.0902323062, 1e-6);
+  // Below Acklam's lower-region break (0.02425) the tail branch engages;
+  // symmetry and monotonicity must hold across the seams.
+  double prev = -std::numeric_limits<double>::infinity();
+  for (double p = 0.0005; p < 1.0; p += 0.0005) {
+    const double z = InverseNormalCdf(p);
+    EXPECT_GT(z, prev) << "non-monotonic at p=" << p;
+    EXPECT_NEAR(z, -InverseNormalCdf(1.0 - p), 1e-7) << "asymmetric at " << p;
+    prev = z;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Band model: zero-term pedigrees collapse to the point estimate.
+
+TEST(BandSigmaTest, ZeroTermPedigreeCollapses) {
+  EXPECT_DOUBLE_EQ(BandSigma({0.2, 0, 0}, 0.8), 0.0);
+  EXPECT_DOUBLE_EQ(BandSigma({0.2, 1, 0}, 0.8), 0.8);
+  // Guesses are double-weighted relative to independence terms.
+  EXPECT_DOUBLE_EQ(BandSigma({0.2, 0, 1}, 0.8),
+                   0.8 * std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(BandSigma({0.2, 2, 1}, 0.5), 0.5 * 2.0);
+}
+
+TEST(ShiftTest, ZeroTermPedigreeIgnoresExtremePercentile) {
+  StatsCatalog stats;
+  CardinalityOptions opts;
+  opts.percentile = 0.99;
+  // Small enough that neither one- nor two-term bands clamp at 1.0, so the
+  // strict ordering between them stays observable.
+  opts.sigma_per_term = 0.3;
+  CardinalityModel model(&stats, opts);
+  // Feedback-backed/histogram point estimates carry no uncertainty terms:
+  // even the 99th percentile must not move them.
+  EXPECT_DOUBLE_EQ(model.Shift({0.2, 0, 0}), 0.2);
+  // Uncertain estimates move, and are clamped to 1.
+  EXPECT_GT(model.Shift({0.2, 1, 0}), 0.2);
+  EXPECT_GT(model.Shift({0.2, 0, 1}), model.Shift({0.2, 1, 0}));
+  EXPECT_LE(model.Shift({0.9, 3, 3}), 1.0);
+  // The low tail deflates instead.
+  CardinalityOptions low = opts;
+  low.percentile = 0.01;
+  CardinalityModel low_model(&stats, low);
+  EXPECT_LT(low_model.Shift({0.2, 1, 0}), 0.2);
+  EXPECT_DOUBLE_EQ(low_model.Shift({0.2, 0, 0}), 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// ValidityRange at the probe limit (satellite: 2^16 multiplier cap).
+
+TEST(ValidityRangeLimitTest, InfiniteSlackReachesTheProbeCap) {
+  Catalog catalog;
+  StatsCatalog stats;
+  CardinalityModel model(&stats);
+  Optimizer opt(&catalog, &model, OptimizerOptions());
+  // With astronomically loose slack the chosen method is always "valid", so
+  // probing runs out at the 2^16 multiplier in both directions.
+  const double left = 1e6;
+  auto [lo, hi] = opt.ValidityRange(JoinMethod::kHashBuildRight, left, 1e3,
+                                    1e-3, false, 0.0, 1e30);
+  EXPECT_EQ(lo, static_cast<int64_t>(std::floor(left / 65536.0)));
+  EXPECT_EQ(hi, static_cast<int64_t>(std::ceil(left * 65536.0)));
+}
+
+TEST(ValidityRangeLimitTest, HugeCardinalityClampsToInt64) {
+  Catalog catalog;
+  StatsCatalog stats;
+  CardinalityModel model(&stats);
+  Optimizer opt(&catalog, &model, OptimizerOptions());
+  const double left = 1e15;  // * 2^16 overflows int64/2; must clamp
+  auto [lo, hi] = opt.ValidityRange(JoinMethod::kHashBuildRight, left, 1e3,
+                                    1e-3, false, 0.0, 1e30);
+  // The clamp happens in double space, where int64max/2 rounds up to 2^62.
+  EXPECT_EQ(hi, static_cast<int64_t>(std::ceil(static_cast<double>(
+                    std::numeric_limits<int64_t>::max() / 2))));
+  EXPECT_GE(lo, 0);
+  EXPECT_LE(lo, static_cast<int64_t>(left));
+}
+
+TEST(ValidityRangeLimitTest, TinyCardinalityFloorsAtZero) {
+  Catalog catalog;
+  StatsCatalog stats;
+  CardinalityModel model(&stats);
+  Optimizer opt(&catalog, &model, OptimizerOptions());
+  auto [lo, hi] = opt.ValidityRange(JoinMethod::kHashBuildRight, 1.0, 1e3,
+                                    1e-3, false, 0.0, 1e30);
+  EXPECT_EQ(lo, 0);  // floor(1 / 65536)
+  EXPECT_GE(hi, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Env knobs (satellite: $RQP_PLAN_PERCENTILE / $RQP_SIGMA_PER_TERM /
+// $RQP_ROBUST_PLAN).
+
+TEST(CardinalityEnvTest, SentinelsResolveFromEnvironment) {
+  {
+    ScopedEnv p("RQP_PLAN_PERCENTILE", "0.9");
+    ScopedEnv s("RQP_SIGMA_PER_TERM", "1.25");
+    CardinalityOptions resolved = ResolveCardinalityOptions({});
+    EXPECT_DOUBLE_EQ(resolved.percentile, 0.9);
+    EXPECT_DOUBLE_EQ(resolved.sigma_per_term, 1.25);
+    // Explicit settings beat the environment.
+    CardinalityOptions explicit_opts;
+    explicit_opts.percentile = 0.5;
+    explicit_opts.sigma_per_term = 2.0;
+    explicit_opts = ResolveCardinalityOptions(explicit_opts);
+    EXPECT_DOUBLE_EQ(explicit_opts.percentile, 0.5);
+    EXPECT_DOUBLE_EQ(explicit_opts.sigma_per_term, 2.0);
+  }
+  {
+    ScopedEnv p("RQP_PLAN_PERCENTILE", nullptr);
+    ScopedEnv s("RQP_SIGMA_PER_TERM", nullptr);
+    CardinalityOptions resolved = ResolveCardinalityOptions({});
+    EXPECT_DOUBLE_EQ(resolved.percentile, 0.5);
+    EXPECT_DOUBLE_EQ(resolved.sigma_per_term, 0.8);
+  }
+  {
+    // Garbage or out-of-range values fall back to the defaults.
+    ScopedEnv p("RQP_PLAN_PERCENTILE", "nonsense");
+    ScopedEnv s("RQP_SIGMA_PER_TERM", "-3");
+    CardinalityOptions resolved = ResolveCardinalityOptions({});
+    EXPECT_DOUBLE_EQ(resolved.percentile, 0.5);
+    EXPECT_DOUBLE_EQ(resolved.sigma_per_term, 0.8);
+  }
+}
+
+TEST(RobustPlanEnvTest, TriStateResolution) {
+  EXPECT_TRUE(RobustSelectionEnabled(1));
+  EXPECT_FALSE(RobustSelectionEnabled(0));
+  {
+    ScopedEnv e("RQP_ROBUST_PLAN", nullptr);
+    EXPECT_FALSE(RobustSelectionEnabled(-1));
+  }
+  {
+    ScopedEnv e("RQP_ROBUST_PLAN", "0");
+    EXPECT_FALSE(RobustSelectionEnabled(-1));
+    EXPECT_TRUE(RobustSelectionEnabled(1));  // explicit beats env
+  }
+  {
+    ScopedEnv e("RQP_ROBUST_PLAN", "1");
+    EXPECT_TRUE(RobustSelectionEnabled(-1));
+    EXPECT_FALSE(RobustSelectionEnabled(0));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Perturbation sampling.
+
+TEST(PerturbationPointsTest, DeterministicSeededAndClamped) {
+  std::vector<PerturbDimension> dims(3);
+  dims[0] = {PerturbDimension::Kind::kScan, "a", "", "", 0.01, 1.2};
+  dims[1] = {PerturbDimension::Kind::kJoin, "", "x.k", "y.k", 1e-4, 0.8};
+  dims[2] = {PerturbDimension::Kind::kScan, "b", "", "", 0.5, 0.0};
+  RobustSelectionOptions opts;
+  opts.samples = 16;
+  opts.seed = 99;
+  const auto p1 = MakePerturbationPoints(dims, opts);
+  const auto p2 = MakePerturbationPoints(dims, opts);
+  ASSERT_EQ(p1.size(), 16u);
+  EXPECT_EQ(p1, p2);  // bit-identical across runs
+  // Sample 0 is the unperturbed center.
+  EXPECT_DOUBLE_EQ(p1[0][0], 0.01);
+  EXPECT_DOUBLE_EQ(p1[0][1], 1e-4);
+  EXPECT_DOUBLE_EQ(p1[0][2], 0.5);
+  bool moved = false;
+  for (const auto& point : p1) {
+    ASSERT_EQ(point.size(), 3u);
+    for (double v : point) {
+      EXPECT_GE(v, opts.min_selectivity);
+      EXPECT_LE(v, 1.0);
+    }
+    // Zero-sigma dimensions never move off their center.
+    EXPECT_DOUBLE_EQ(point[2], 0.5);
+    if (point[0] != 0.01) moved = true;
+  }
+  EXPECT_TRUE(moved);  // non-zero bands actually perturb
+  RobustSelectionOptions other = opts;
+  other.seed = 100;
+  EXPECT_NE(MakePerturbationPoints(dims, other), p1);
+}
+
+// ---------------------------------------------------------------------------
+// Join-edge pedigree (satellite 1).
+
+class RobustSelectFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 50000;
+    spec.dim_rows = 10000;
+    spec.num_dimensions = 2;
+    BuildStarSchema(&catalog_, spec);
+    ASSERT_TRUE(catalog_.BuildIndex("dim0", "id").ok());
+    ASSERT_TRUE(catalog_.BuildIndex("dim1", "id").ok());
+    stats_.AnalyzeAll(catalog_, AnalyzeOptions{});
+  }
+
+  // Raw join output is a plan-shaped permutation (column and row order track
+  // the join order), so the byte-identity checks compare decomposable
+  // aggregates, whose single output row is canonical across plan shapes.
+  static QuerySpec WithAggregates(QuerySpec q) {
+    q.aggregates = {{AggFn::kCount, "", "cnt"},
+                    {AggFn::kSum, "fact.measure", "sum_m"},
+                    {AggFn::kMin, "fact.measure", "min_m"},
+                    {AggFn::kMax, "fact.measure", "max_m"}};
+    return q;
+  }
+
+  QuerySpec TrapQuery() {
+    return WithAggregates(workload::TrapStarQuery(2, 800, {100000, 100000}));
+  }
+  QuerySpec WellEstimatedQuery() {
+    return WithAggregates(workload::StarQuery(2, {20000, 50000}));
+  }
+
+  // The CI robust_opt leg re-runs this suite with the env knobs forced on;
+  // the fixture pins the default environment so expectations about nominal
+  // baselines hold either way.
+  ScopedEnv robust_env_{"RQP_ROBUST_PLAN", nullptr};
+  ScopedEnv percentile_env_{"RQP_PLAN_PERCENTILE", nullptr};
+  ScopedEnv sigma_env_{"RQP_SIGMA_PER_TERM", nullptr};
+  Catalog catalog_;
+  StatsCatalog stats_;
+};
+
+TEST_F(RobustSelectFixture, JoinEstimateCarriesPedigree) {
+  CardinalityModel model(&stats_);
+  // PK–FK: dim0.id is a unique key with fresh ndv stats, so the
+  // containment estimate is well-grounded — no uncertainty terms.
+  const SelEstimate pkfk = model.JoinEstimate("fact.fk0", "dim0.id");
+  EXPECT_GT(pkfk.value, 0.0);
+  EXPECT_EQ(pkfk.independence_terms, 0);
+  EXPECT_EQ(pkfk.guessed_terms, 0);
+  // Many-to-many (band has ndv << rows on both sides): containment +
+  // uniformity is an assumption — one independence term.
+  const SelEstimate m2m = model.JoinEstimate("dim0.band", "dim1.band");
+  EXPECT_EQ(m2m.independence_terms, 1);
+  EXPECT_EQ(m2m.guessed_terms, 0);
+  const SelEstimate unknown = model.JoinEstimate("nope.x", "nada.y");
+  EXPECT_EQ(unknown.independence_terms, 1);
+  EXPECT_EQ(unknown.guessed_terms, 1);  // magic 100.0 default ndv
+}
+
+TEST_F(RobustSelectFixture, JoinSelectivityShiftsWithPercentile) {
+  CardinalityOptions hi;
+  hi.percentile = 0.95;
+  hi.sigma_per_term = 1.0;
+  CardinalityModel shifted(&stats_, hi);
+  CardinalityModel plain(&stats_);
+  // Satellite 1: uncertain join edges carry their pedigree into the
+  // percentile shift, exactly like scan predicates...
+  EXPECT_GT(shifted.JoinSelectivity("dim0.band", "dim1.band"),
+            plain.JoinSelectivity("dim0.band", "dim1.band"));
+  // ...while a stats-backed PK–FK edge is certain and never shifts.
+  EXPECT_DOUBLE_EQ(shifted.JoinSelectivity("fact.fk0", "dim0.id"),
+                   plain.JoinSelectivity("fact.fk0", "dim0.id"));
+  // Overrides are exact points: no shift, either slot order.
+  shifted.SetJoinSelectivityOverride("dim0.id", "fact.fk0", 0.25);
+  EXPECT_DOUBLE_EQ(shifted.JoinSelectivity("fact.fk0", "dim0.id"), 0.25);
+  const SelEstimate e = shifted.JoinEstimate("fact.fk0", "dim0.id");
+  EXPECT_DOUBLE_EQ(e.value, 0.25);
+  EXPECT_EQ(e.independence_terms + e.guessed_terms, 0);
+}
+
+TEST_F(RobustSelectFixture, ScanOverrideIsZeroUncertaintyPoint) {
+  CardinalityOptions hi;
+  hi.percentile = 0.99;
+  CardinalityModel model(&stats_, hi);
+  model.SetScanSelectivityOverride("fact", 0.125);
+  EXPECT_DOUBLE_EQ(model.ScanSelectivity("fact", nullptr), 0.125);
+  const SelEstimate e = model.ScanEstimate("fact", nullptr);
+  EXPECT_DOUBLE_EQ(e.value, 0.125);
+  EXPECT_EQ(e.independence_terms + e.guessed_terms, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Robust selection end to end.
+
+TEST_F(RobustSelectFixture, SurfacesDistinctCandidatesDeterministically) {
+  CardinalityModel model(&stats_);
+  OptimizerOptions opts;
+  opts.robust_selection.enabled = 1;
+  Optimizer opt(&catalog_, &model, opts);
+  auto r1 = opt.Optimize(TrapQuery());
+  auto r2 = opt.Optimize(TrapQuery());
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_TRUE(r1->robust_used);
+  // Candidates are distinct join orders/methods, not re-costings of one
+  // shape.
+  ASSERT_GE(r1->candidate_signatures.size(), 2u);
+  for (size_t i = 0; i + 1 < r1->candidate_signatures.size(); ++i) {
+    for (size_t j = i + 1; j < r1->candidate_signatures.size(); ++j) {
+      EXPECT_NE(r1->candidate_signatures[i], r1->candidate_signatures[j]);
+    }
+  }
+  // Determinism: identical candidate sets, scores, and choice.
+  EXPECT_EQ(r1->candidate_signatures, r2->candidate_signatures);
+  EXPECT_EQ(r1->plan->Explain(), r2->plan->Explain());
+  ASSERT_EQ(r1->robust_report.scores.size(), r2->robust_report.scores.size());
+  for (size_t i = 0; i < r1->robust_report.scores.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1->robust_report.scores[i].expected_penalty,
+                     r2->robust_report.scores[i].expected_penalty);
+    EXPECT_DOUBLE_EQ(r1->robust_report.scores[i].worst_penalty,
+                     r2->robust_report.scores[i].worst_penalty);
+  }
+  EXPECT_EQ(r1->robust_report.chosen, r2->robust_report.chosen);
+  EXPECT_EQ(r1->robust_report.runner_up, r2->robust_report.runner_up);
+  // The trap query has uncertain scan and join dimensions.
+  EXPECT_GT(r1->robust_report.dimensions, 0);
+}
+
+TEST_F(RobustSelectFixture, EngineResultsAreByteIdenticalEitherWay) {
+  Engine nominal(&catalog_);
+  nominal.AnalyzeAll();
+  EngineOptions ropts;
+  ropts.optimizer.robust_selection.enabled = 1;
+  Engine robust(&catalog_, ropts);
+  robust.AnalyzeAll();
+  for (const QuerySpec& q : {TrapQuery(), WellEstimatedQuery()}) {
+    auto rn = nominal.Run(q, /*keep_rows=*/true);
+    auto rr = robust.Run(q, /*keep_rows=*/true);
+    ASSERT_TRUE(rn.ok() && rr.ok());
+    EXPECT_TRUE(rr->robust_plan_used);
+    EXPECT_EQ(rn->output_rows, rr->output_rows);
+    EXPECT_EQ(RowChecksum(rn->rows), RowChecksum(rr->rows));
+  }
+}
+
+TEST_F(RobustSelectFixture, HedgedModeArmsChecksAndFallback) {
+  EngineOptions opts;
+  opts.optimizer.robust_selection.enabled = 1;
+  opts.optimizer.robust_selection.hedge_threshold = 0.0;  // always hedge
+  Engine engine(&catalog_, opts);
+  engine.AnalyzeAll();
+  auto r = engine.Run(TrapQuery(), /*keep_rows=*/true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->robust_plan_used);
+  EXPECT_TRUE(r->robust_hedged);
+  // Hedging plants CHECK probes even though use_pop is off.
+  EXPECT_NE(r->first_plan.find("Check"), std::string::npos) << r->first_plan;
+
+  Engine nominal(&catalog_);
+  nominal.AnalyzeAll();
+  auto rn = nominal.Run(TrapQuery(), /*keep_rows=*/true);
+  ASSERT_TRUE(rn.ok());
+  EXPECT_EQ(r->output_rows, rn->output_rows);
+  EXPECT_EQ(RowChecksum(r->rows), RowChecksum(rn->rows));
+}
+
+TEST_F(RobustSelectFixture, SelectionIsFlatterThanNominalOnTheTrap) {
+  // The nominal optimizer commits to the plan that is cheapest at the
+  // (catastrophically under-) estimated fact cardinality. The robust
+  // selector must choose a candidate whose worst-case sampled penalty is no
+  // worse than the nominal winner's.
+  CardinalityModel model(&stats_);
+  OptimizerOptions nominal_opts;
+  Optimizer nominal(&catalog_, &model, nominal_opts);
+  auto np = nominal.Optimize(TrapQuery());
+  ASSERT_TRUE(np.ok());
+
+  OptimizerOptions ropts;
+  ropts.robust_selection.enabled = 1;
+  Optimizer robust(&catalog_, &model, ropts);
+  auto rp = robust.Optimize(TrapQuery());
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rp->robust_used);
+  const auto& report = rp->robust_report;
+  ASSERT_GE(report.chosen, 0);
+  // Locate the nominal winner among the candidates (it is always fed in).
+  const std::string nominal_sig = np->plan->Explain(false);
+  int nominal_idx = -1;
+  for (size_t i = 0; i < rp->candidate_signatures.size(); ++i) {
+    if (rp->candidate_signatures[i] == nominal_sig) {
+      nominal_idx = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(nominal_idx, 0) << "nominal winner missing from candidate set";
+  const auto& chosen = report.scores[static_cast<size_t>(report.chosen)];
+  const auto& nom = report.scores[static_cast<size_t>(nominal_idx)];
+  EXPECT_LE(chosen.worst_penalty, nom.worst_penalty);
+  EXPECT_LE(chosen.expected_penalty,
+            nom.expected_penalty + 1e-9 + ropts.robust_selection
+                                              .nominal_tradeoff *
+                                              nom.nominal_cost);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -71,6 +71,10 @@ ResultCache::MaintenanceInfo ResultCache::AnalyzeMaintenance(
   // order, not append order) and are invalidated instead.
   if (spec.tables.size() != 1 || !spec.joins.empty()) return info;
   if (spec.aggregates.empty() && spec.group_by.empty()) return info;
+  // Derived columns run through the expression VM above the scan; folding a
+  // delta here would skip their evaluation (and any runtime error a
+  // recompute would raise), so such results are invalidated, not patched.
+  if (!spec.derived.empty()) return info;
   auto table_or = catalog.GetTable(spec.tables[0].table);
   if (!table_or.ok()) return info;
   const Table* t = table_or.value();

@@ -18,6 +18,10 @@ std::string PlanCache::Key(const QuerySpec& spec) {
     os << j.LeftSlot() << "=" << j.RightSlot() << ";";
   }
   os << "|";
+  for (const auto& d : spec.derived) {
+    os << d.name << ":" << ToString(d.expr) << ",";
+  }
+  os << "|";
   for (const auto& g : spec.group_by) os << g << ",";
   os << "|";
   for (const auto& a : spec.aggregates) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "expr/rewriter.h"
+
 namespace rqp {
 
 Status FilterOp::Open(ExecContext* ctx) {
@@ -84,6 +86,85 @@ Status ProjectOp::Next(RowBatch* out) {
     out->AppendRow(row);
   }
   ctx_->ChargeRowCpu(static_cast<int64_t>(in.num_rows()));
+  CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+MapOp::MapOp(OperatorPtr child, std::vector<DerivedColumn> derived)
+    : child_(std::move(child)), derived_(std::move(derived)) {
+  slots_ = child_->output_slots();
+  for (const auto& d : derived_) slots_.push_back(d.name);
+}
+
+Status MapOp::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  ResetCount();
+  RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  slots_ = child_->output_slots();
+  for (const auto& d : derived_) slots_.push_back(d.name);
+  compiled_.clear();
+  programs_.clear();
+  vectorized_ = ctx->vectorized();
+  const auto& in_slots = child_->output_slots();
+  for (const auto& d : derived_) {
+    const ExprPtr folded = FoldExpr(d.expr);
+    auto c = CompiledExpr::Compile(folded, in_slots);
+    if (!c.ok()) return c.status();
+    compiled_.push_back(std::move(c.value()));
+    if (vectorized_) {
+      auto p = ExprProgram::Compile(folded, in_slots);
+      if (p.ok()) {
+        programs_.push_back(std::move(p.value()));
+      } else {
+        vectorized_ = false;  // whole operator falls back to scalar
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MapOp::Next(RowBatch* out) {
+  out->Reset(slots_.size());
+  RQP_RETURN_IF_ERROR(child_->Next(&in_));
+  const size_t n = in_.num_rows();
+  const size_t width = in_.num_cols();
+  // Whole-batch eval charge, flushed before any evaluation in BOTH modes:
+  // the clock (and thus guardrail/fault trigger points) agrees between
+  // modes even when an expression errors mid-batch.
+  if (n > 0 && !derived_.empty()) {
+    ctx_->ChargePredicateEvals(static_cast<int64_t>(n * derived_.size()));
+  }
+  std::vector<int64_t> row(slots_.size());
+  if (vectorized_ && n > 0) {
+    col_ptrs_.resize(width);
+    const int64_t* base = in_.data().data();
+    for (size_t c = 0; c < width; ++c) col_ptrs_[c] = base + c;
+    derived_vals_.resize(programs_.size());
+    for (size_t d = 0; d < programs_.size(); ++d) {
+      derived_vals_[d].resize(n);
+      RQP_RETURN_IF_ERROR(programs_[d].EvalDense(col_ptrs_.data(), width, n,
+                                                 derived_vals_[d].data(),
+                                                 &scratch_));
+    }
+    for (size_t r = 0; r < n; ++r) {
+      const int64_t* src = in_.row(r);
+      std::copy(src, src + width, row.begin());
+      for (size_t d = 0; d < derived_.size(); ++d) {
+        row[width + d] = derived_vals_[d][r];
+      }
+      out->AppendRow(row);
+    }
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      const int64_t* src = in_.row(r);
+      std::copy(src, src + width, row.begin());
+      for (size_t d = 0; d < compiled_.size(); ++d) {
+        RQP_RETURN_IF_ERROR(compiled_[d].Eval(src, &row[width + d]));
+      }
+      out->AppendRow(row);
+    }
+  }
+  ctx_->ChargeRowCpu(static_cast<int64_t>(n));
   CountProduced(ctx_, *out, /*eof=*/out->empty());
   return Status::OK();
 }

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "exec/operator.h"
+#include "expr/expr.h"
+#include "expr/expr_program.h"
 #include "expr/pred_program.h"
 #include "expr/predicate.h"
 
@@ -59,6 +61,44 @@ class ProjectOp : public Operator {
   std::vector<std::string> slots_;
   std::vector<size_t> mapping_;
   ExecContext* ctx_ = nullptr;
+};
+
+/// Computes derived columns through the expression layer and appends them
+/// to the child's slots. Each expression is constant-folded (FoldExpr) at
+/// Open and compiled both to a scalar tree-walk (CompiledExpr) and — under
+/// the vectorized gate — to the postfix ExprProgram VM, evaluated
+/// column-at-a-time over the input batch. Division by zero is the sole
+/// expression runtime error and carries identical fixed text in both modes;
+/// the VM checks every divisor lane before dividing and CASE evaluates both
+/// branches eagerly, so an error occurs in one mode iff in the other, and
+/// the whole-batch eval charge is flushed before evaluation in BOTH modes
+/// so the cost clock agrees even on the error path.
+class MapOp : public Operator {
+ public:
+  MapOp(OperatorPtr child, std::vector<DerivedColumn> derived);
+
+  Status Open(ExecContext* ctx) override;
+  Status Next(RowBatch* out) override;
+  void Close() override { child_->Close(); }
+  const std::vector<std::string>& output_slots() const override {
+    return slots_;
+  }
+  std::string name() const override { return "Map"; }
+
+ private:
+  OperatorPtr child_;
+  std::vector<DerivedColumn> derived_;
+  std::vector<std::string> slots_;  ///< child slots + derived names
+  std::vector<CompiledExpr> compiled_;
+  ExecContext* ctx_ = nullptr;
+  // Vectorized path: one VM program per derived column, run dense over the
+  // batch (stride = num_cols); falls back to scalar if any compile fails.
+  bool vectorized_ = false;
+  std::vector<ExprProgram> programs_;
+  ExprScratch scratch_;
+  RowBatch in_;  ///< reused input batch — no per-Next allocation
+  std::vector<const int64_t*> col_ptrs_;
+  std::vector<std::vector<int64_t>> derived_vals_;
 };
 
 /// Conjunctive filter with run-time predicate reordering — the A-Greedy /

@@ -24,6 +24,28 @@ std::vector<std::string> ConcatSlots(const std::vector<std::string>& a,
 
 }  // namespace
 
+void JoinHashTable::Build(const RowBuffer& rows, size_t key_idx) {
+  const size_t n = rows.num_rows();
+  size_t buckets = 1;
+  while (buckets < n) buckets <<= 1;  // load factor <= 1
+  // Floor the bucket count for sparse non-empty tables: with one bucket per
+  // row a 2-row table sends half of all probes into a chain walk. Extra
+  // buckets only respread keys — match results and order are bucket-count
+  // independent — but they let the vectorized head-fetch pass reject misses
+  // without touching a chain. 64 empty heads cost 256 bytes.
+  if (n > 0 && buckets < kMinBuckets) buckets = kMinBuckets;
+  heads.assign(buckets, kEmpty);
+  nexts.resize(n);
+  bucket_mask = static_cast<uint64_t>(buckets - 1);
+  // Prepend in reverse row order so each chain reads forward in build-row
+  // order — the defined match order both probe modes rely on.
+  for (size_t i = n; i-- > 0;) {
+    const size_t b = BucketOf(rows.row(i)[key_idx]);
+    nexts[i] = heads[b];
+    heads[b] = static_cast<uint32_t>(i);
+  }
+}
+
 Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf) {
   buf->num_cols = child->output_slots().size();
   buf->data.clear();
@@ -54,6 +76,12 @@ HashJoinOp::HashJoinOp(OperatorPtr probe_child, OperatorPtr build_child,
                        build_child_->output_slots());
   if (options_.fan_out < 2) options_.fan_out = 2;
   if (options_.max_recursion < 1) options_.max_recursion = 1;
+  // x % 2^k == x & (2^k - 1) for unsigned x: for the (default) power-of-two
+  // fan-out the partition reduction is a mask instead of a hardware divide.
+  // PartitionOf runs once per build row and once per probe row, and a
+  // runtime-divisor div is ~25 cycles the probe loop otherwise eats.
+  const uint64_t f = static_cast<uint64_t>(options_.fan_out);
+  fan_mask_ = (f & (f - 1)) == 0 ? f - 1 : 0;
 }
 
 HashJoinOp::~HashJoinOp() {
@@ -68,8 +96,8 @@ HashJoinOp::~HashJoinOp() {
 
 size_t HashJoinOp::PartitionOf(int64_t key) const {
   // splitmix64-style finalizer salted by recursion depth, so each level
-  // splits keys independently — and independently of the unordered_multimap
-  // bucket function used inside a partition.
+  // splits keys independently — and independently of the JoinHashTable
+  // bucket function (murmur3 fmix64) used inside a partition.
   uint64_t x = static_cast<uint64_t>(key) +
                0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(depth_ + 1);
   x ^= x >> 30;
@@ -77,6 +105,7 @@ size_t HashJoinOp::PartitionOf(int64_t key) const {
   x ^= x >> 27;
   x *= 0x94d049bb133111ebULL;
   x ^= x >> 31;
+  if (fan_mask_ != 0) return static_cast<size_t>(x & fan_mask_);
   return static_cast<size_t>(x % static_cast<uint64_t>(options_.fan_out));
 }
 
@@ -150,11 +179,12 @@ Status HashJoinOp::PartitionBuildRow(const int64_t* row) {
 
 Status HashJoinOp::FinishBuildPhase() {
   for (Partition& part : parts_) {
-    if (part.spilled || part.rows.num_rows() == 0) continue;
-    part.table.reserve(part.rows.num_rows());
-    for (size_t r = 0; r < part.rows.num_rows(); ++r) {
-      part.table.emplace(part.rows.row(r)[build_key_idx_], r);
-    }
+    if (part.spilled) continue;
+    // Empty resident partitions get a 1-bucket table whose single head is
+    // kEmpty: the vectorized probe's head-fetch pass can then load every
+    // partition's bucket unconditionally instead of branching on emptiness.
+    part.table.Build(part.rows, build_key_idx_);
+    if (part.rows.num_rows() == 0) continue;
     ctx_->ChargeHashOps(static_cast<int64_t>(
         static_cast<double>(part.rows.num_rows()) *
         ctx_->cost_model().hash_build_factor));
@@ -219,16 +249,90 @@ Status HashJoinOp::FetchProbeBatch() {
   if (!probe_batch_.empty()) {
     RQP_RETURN_IF_ERROR(PollRevocation());
     if (vectorized_) {
-      // Charge the whole batch's probes in one flush and precompute every
-      // row's partition before probing — the scalar path's per-row charges
-      // all land within this batch's probe window anyway, so totals and the
-      // clock at every batch boundary agree (DESIGN.md §10).
+      // Fused whole-batch probe: charge every probe in one flush, compute
+      // every row's partition in one pass, route spilled-partition rows to
+      // their probe files in row order, and walk the flat hash chains for
+      // resident rows into fused_pairs_. Emission in Next() is then a bare
+      // cursor over precomputed (probe row, build row) pairs. The scalar
+      // path's per-row charges and spill appends all land within this same
+      // batch window, so totals and the clock at every batch boundary agree
+      // (DESIGN.md §10), and spill-file contents stay in row order.
       const size_t n = probe_batch_.num_rows();
       ctx_->ChargeHashOps(static_cast<int64_t>(n));
+      probe_keys_.resize(n);
       probe_parts_.resize(n);
-      for (size_t i = 0; i < n; ++i) {
-        probe_parts_[i] = static_cast<uint32_t>(
-            PartitionOf(probe_batch_.row(i)[probe_key_idx_]));
+      const int64_t* key_col = probe_batch_.data().data() + probe_key_idx_;
+      const size_t stride = probe_batch_.num_cols();
+      fused_pairs_.clear();
+      fused_next_ = 0;
+      bool any_spilled = false;
+      for (const Partition& part : parts_) any_spilled |= part.spilled;
+      if (!any_spilled) {
+        // In-memory fast path: a two-pass branchless probe. Mispredicted
+        // per-row branches are what the scalar probe pays for — keys arrive
+        // in random order, so "is this bucket empty" and "does this key
+        // match" never predict. Pass 1 fuses the key gather, the partition
+        // precompute, and an unconditional bucket-head fetch (every resident
+        // partition has a built table, even the empty ones), compacting the
+        // rows with non-empty heads by branch-free index append. Pass 2
+        // walks chains only for those candidates, emitting matches with an
+        // arithmetic k-bump instead of a conditional append. Match order is
+        // unchanged: probe-row major, build-row order within a chain.
+        cand_rows_.resize(n);
+        cand_heads_.resize(n);
+        size_t cands = 0;
+        for (size_t i = 0; i < n; ++i) {
+          const int64_t key = key_col[i * stride];
+          probe_keys_[i] = key;
+          const uint32_t p = static_cast<uint32_t>(PartitionOf(key));
+          probe_parts_[i] = p;
+          const JoinHashTable& t = parts_[p].table;
+          const uint32_t head = t.heads[JoinHashTable::Mix(key) & t.bucket_mask];
+          cand_rows_[cands] = static_cast<uint32_t>(i);
+          cand_heads_[cands] = head;
+          cands += head != JoinHashTable::kEmpty;
+        }
+        size_t k = 0;
+        if (fused_pairs_.size() < cands) fused_pairs_.resize(cands);
+        for (size_t c = 0; c < cands; ++c) {
+          const uint32_t i = cand_rows_[c];
+          const int64_t key = probe_keys_[i];
+          const Partition& part = parts_[probe_parts_[i]];
+          const uint32_t* nexts = part.table.nexts.data();
+          const int64_t* rows = part.rows.data.data();
+          const size_t width = part.rows.num_cols;
+          for (uint32_t r = cand_heads_[c]; r != JoinHashTable::kEmpty;
+               r = nexts[r]) {
+            if (k == fused_pairs_.size()) fused_pairs_.resize(2 * k + 64);
+            fused_pairs_[k] = {i, r};
+            k += rows[r * width + build_key_idx_] == key;
+          }
+        }
+        fused_pairs_.resize(k);
+      } else {
+        // Spill path: keys and partitions still precompute in one stride-1
+        // pass; routing then appends spilled-partition rows in row order.
+        for (size_t i = 0; i < n; ++i) {
+          probe_keys_[i] = key_col[i * stride];
+          probe_parts_[i] = static_cast<uint32_t>(PartitionOf(probe_keys_[i]));
+        }
+        for (size_t i = 0; i < n; ++i) {
+          Partition& part = parts_[probe_parts_[i]];
+          if (part.spilled) {
+            if (part.probe_spill == nullptr) {
+              auto file = ctx_->spill()->Create(probe_cols_);
+              if (!file.ok()) return file.status();
+              part.probe_spill = std::move(file).value();
+            }
+            RQP_RETURN_IF_ERROR(part.probe_spill->AppendRow(probe_batch_.row(i)));
+            continue;
+          }
+          part.table.ForEachMatch(
+              part.rows, build_key_idx_, probe_keys_[i], [&](size_t r) {
+                fused_pairs_.emplace_back(static_cast<uint32_t>(i),
+                                          static_cast<uint32_t>(r));
+              });
+        }
       }
     }
   }
@@ -278,6 +382,8 @@ Status HashJoinOp::SetupNextTask() {
   probe_row_ = 0;
   match_rows_.clear();
   match_next_ = 0;
+  fused_pairs_.clear();
+  fused_next_ = 0;
   if (depth_ >= options_.max_recursion) {
     // Duplicate-heavy keys defeat re-partitioning; chunked hash probing
     // guarantees progress at any grant.
@@ -322,10 +428,7 @@ Status HashJoinOp::LoadNextChunk() {
     phase_ = Phase::kTaskSetup;
     return Status::OK();
   }
-  chunk_table_.reserve(chunk_.num_rows());
-  for (size_t r = 0; r < chunk_.num_rows(); ++r) {
-    chunk_table_.emplace(chunk_.row(r)[build_key_idx_], r);
-  }
+  chunk_table_.Build(chunk_, build_key_idx_);
   ctx_->ChargeHashOps(
       static_cast<int64_t>(static_cast<double>(chunk_.num_rows()) *
                            ctx_->cost_model().hash_build_factor));
@@ -335,6 +438,8 @@ Status HashJoinOp::LoadNextChunk() {
   probe_row_ = 0;
   match_rows_.clear();
   match_next_ = 0;
+  fused_pairs_.clear();
+  fused_next_ = 0;
   phase_ = Phase::kChunkProbe;
   return Status::OK();
 }
@@ -404,6 +509,8 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   probe_row_ = 0;
   match_rows_.clear();
   match_next_ = 0;
+  fused_pairs_.clear();
+  fused_next_ = 0;
   spill_fraction_ = 0;
   build_rows_total_ = 0;
   build_rows_spilled_ = 0;
@@ -438,6 +545,25 @@ Status HashJoinOp::Next(RowBatch* out) {
   while (!out->full() && !done_) {
     switch (phase_) {
       case Phase::kProbe: {
+        if (vectorized_) {
+          // Everything per-row was precomputed at fetch time; emission is a
+          // bare cursor over (probe row, build row) pairs, resumable when
+          // the output batch fills mid-batch.
+          if (fused_next_ >= fused_pairs_.size()) {
+            RQP_RETURN_IF_ERROR(FetchProbeBatch());
+            if (probe_batch_.empty()) {
+              RQP_RETURN_IF_ERROR(FinishProbePhase());
+            }
+            continue;
+          }
+          while (fused_next_ < fused_pairs_.size() && !out->full()) {
+            const auto& [pr, br] = fused_pairs_[fused_next_++];
+            out->AppendConcat(probe_batch_.row(pr), probe_cols_,
+                              parts_[probe_parts_[pr]].rows.row(br),
+                              build_cols_);
+          }
+          continue;
+        }
         if (match_next_ < match_rows_.size()) {
           out->AppendConcat(probe_batch_.row(probe_row_), probe_cols_,
                             parts_[match_part_].rows.row(
@@ -454,13 +580,8 @@ Status HashJoinOp::Next(RowBatch* out) {
           }
         }
         const int64_t* row = probe_batch_.row(probe_row_);
-        size_t p;
-        if (vectorized_) {
-          p = probe_parts_[probe_row_];
-        } else {
-          ctx_->ChargeHashOps(1);
-          p = PartitionOf(row[probe_key_idx_]);
-        }
+        ctx_->ChargeHashOps(1);
+        const size_t p = PartitionOf(row[probe_key_idx_]);
         Partition& part = parts_[p];
         match_rows_.clear();
         match_next_ = 0;
@@ -474,10 +595,9 @@ Status HashJoinOp::Next(RowBatch* out) {
           continue;
         }
         match_part_ = p;
-        auto [begin, end] = part.table.equal_range(row[probe_key_idx_]);
-        for (auto it = begin; it != end; ++it) {
-          match_rows_.push_back(it->second);
-        }
+        part.table.ForEachMatch(part.rows, build_key_idx_,
+                                row[probe_key_idx_],
+                                [&](size_t r) { match_rows_.push_back(r); });
         continue;
       }
       case Phase::kTaskSetup:
@@ -487,6 +607,37 @@ Status HashJoinOp::Next(RowBatch* out) {
         RQP_RETURN_IF_ERROR(LoadNextChunk());
         continue;
       case Phase::kChunkProbe: {
+        if (vectorized_) {
+          if (fused_next_ >= fused_pairs_.size()) {
+            RQP_RETURN_IF_ERROR(probe_file_->ReadBatch(&probe_batch_));
+            probe_row_ = 0;
+            if (probe_batch_.empty()) {
+              phase_ = Phase::kChunkLoad;
+              continue;
+            }
+            // Whole-batch fused probe against the resident chunk, exactly
+            // like the partition probe path above.
+            const size_t n = probe_batch_.num_rows();
+            ctx_->ChargeHashOps(static_cast<int64_t>(n));
+            fused_pairs_.clear();
+            fused_next_ = 0;
+            for (size_t i = 0; i < n; ++i) {
+              chunk_table_.ForEachMatch(
+                  chunk_, build_key_idx_,
+                  probe_batch_.row(i)[probe_key_idx_], [&](size_t r) {
+                    fused_pairs_.emplace_back(static_cast<uint32_t>(i),
+                                              static_cast<uint32_t>(r));
+                  });
+            }
+            continue;
+          }
+          while (fused_next_ < fused_pairs_.size() && !out->full()) {
+            const auto& [pr, br] = fused_pairs_[fused_next_++];
+            out->AppendConcat(probe_batch_.row(pr), probe_cols_,
+                              chunk_.row(br), build_cols_);
+          }
+          continue;
+        }
         if (match_next_ < match_rows_.size()) {
           out->AppendConcat(probe_batch_.row(probe_row_), probe_cols_,
                             chunk_.row(match_rows_[match_next_++]),
@@ -501,19 +652,14 @@ Status HashJoinOp::Next(RowBatch* out) {
             phase_ = Phase::kChunkLoad;
             continue;
           }
-          if (vectorized_) {
-            ctx_->ChargeHashOps(
-                static_cast<int64_t>(probe_batch_.num_rows()));
-          }
         }
         const int64_t* row = probe_batch_.row(probe_row_);
-        if (!vectorized_) ctx_->ChargeHashOps(1);
+        ctx_->ChargeHashOps(1);
         match_rows_.clear();
         match_next_ = 0;
-        auto [begin, end] = chunk_table_.equal_range(row[probe_key_idx_]);
-        for (auto it = begin; it != end; ++it) {
-          match_rows_.push_back(it->second);
-        }
+        chunk_table_.ForEachMatch(chunk_, build_key_idx_,
+                                  row[probe_key_idx_],
+                                  [&](size_t r) { match_rows_.push_back(r); });
         continue;
       }
       case Phase::kDone:
@@ -915,11 +1061,8 @@ Status GJoinOp::EmitAll() {
           std::ceil(f * static_cast<double>(build_pages + probe.num_pages())));
       ctx_->ChargeSpill(spill, spill);
     }
-    std::unordered_multimap<int64_t, size_t> table;
-    table.reserve(build.num_rows());
-    for (size_t r = 0; r < build.num_rows(); ++r) {
-      table.emplace(build.row(r)[build_key], r);
-    }
+    JoinHashTable table;
+    table.Build(build, build_key);
     ctx_->ChargeHashOps(static_cast<int64_t>(
         static_cast<double>(build.num_rows()) * cm.hash_build_factor));
     for (size_t p = 0; p < probe.num_rows(); ++p) {
@@ -927,14 +1070,14 @@ Status GJoinOp::EmitAll() {
         RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
       }
       ctx_->ChargeHashOps(1);
-      auto [begin, end] = table.equal_range(probe.row(p)[probe_key]);
-      for (auto it = begin; it != end; ++it) {
-        const int64_t* l =
-            build_left ? build.row(it->second) : probe.row(p);
-        const int64_t* r =
-            build_left ? probe.row(p) : build.row(it->second);
-        emit(l, r);
-      }
+      table.ForEachMatch(build, build_key, probe.row(p)[probe_key],
+                         [&](size_t m) {
+                           const int64_t* l =
+                               build_left ? build.row(m) : probe.row(p);
+                           const int64_t* r =
+                               build_left ? probe.row(p) : build.row(m);
+                           emit(l, r);
+                         });
     }
     ctx_->memory()->Release(granted);
   }

@@ -1,10 +1,10 @@
 #ifndef RQP_EXEC_JOIN_OPS_H_
 #define RQP_EXEC_JOIN_OPS_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "exec/operator.h"
@@ -33,6 +33,71 @@ struct RowBuffer {
 
 /// Drains `child` into `buf`. Sets buf.num_cols from the child's slots.
 Status MaterializeChild(Operator* child, ExecContext* ctx, RowBuffer* buf);
+
+/// Deterministic chained hash table over a RowBuffer's key column — flat
+/// head/next arrays with power-of-two buckets, replacing the
+/// unordered_multimap the joins used to carry per partition.
+///
+/// Two properties the multimap could not give:
+///  - *Defined* match order: chains are built by prepending rows in reverse
+///    row order, so forward traversal visits equal keys in build-row order.
+///    unordered_multimap's equal_range order among duplicates is
+///    implementation-defined; build-row order is what the parallel
+///    exchange's probe tables already emit, so serial and DOP > 1 now agree
+///    by construction even on duplicate build keys.
+///  - Probe cost: a probe is one mix, one head load, and a short chain walk
+///    over 8-byte indexes — no node allocations, no pointer-heavy buckets —
+///    which is what the fused vectorized whole-batch probe runs over.
+///
+/// Buckets mix arbitrary keys together, so every chain visit re-checks the
+/// row's actual key. Shared by the scalar and vectorized probe paths (byte
+/// identity demands one match order, so both modes must use one table).
+struct JoinHashTable {
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  /// Bucket-count floor for non-empty tables (see Build).
+  static constexpr size_t kMinBuckets = 64;
+
+  std::vector<uint32_t> heads;  ///< bucket -> first row index (or kEmpty)
+  std::vector<uint32_t> nexts;  ///< row index -> next row in chain
+  uint64_t bucket_mask = 0;
+
+  bool empty() const { return nexts.empty(); }
+  void clear() {
+    heads.clear();
+    nexts.clear();
+    bucket_mask = 0;
+  }
+
+  /// murmur3 fmix64 — deliberately a different finalizer from the
+  /// depth-salted splitmix64 that grace partitioning uses, so bucket
+  /// placement is independent of partition placement.
+  static uint64_t Mix(int64_t key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+  size_t BucketOf(int64_t key) const {
+    return static_cast<size_t>(Mix(key) & bucket_mask);
+  }
+
+  /// (Re)builds the table over all rows of `rows`, keyed on `key_idx`.
+  void Build(const RowBuffer& rows, size_t key_idx);
+
+  /// Invokes `fn(row_index)` for every row whose key equals `key`, in
+  /// build-row order.
+  template <typename Fn>
+  void ForEachMatch(const RowBuffer& rows, size_t key_idx, int64_t key,
+                    Fn fn) const {
+    if (heads.empty()) return;
+    for (uint32_t r = heads[BucketOf(key)]; r != kEmpty; r = nexts[r]) {
+      if (rows.row(r)[key_idx] == key) fn(static_cast<size_t>(r));
+    }
+  }
+};
 
 /// Hybrid hash join with recursive grace partitioning: builds on the right
 /// child, probes with the left. Build rows are hash-partitioned; partitions
@@ -85,7 +150,7 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   /// One grace partition at the current recursion level.
   struct Partition {
     RowBuffer rows;  ///< resident build rows (empty once spilled)
-    std::unordered_multimap<int64_t, size_t> table;
+    JoinHashTable table;
     std::unique_ptr<SpillFile> build_spill;
     std::unique_ptr<SpillFile> probe_spill;
     int64_t charged_pages = 0;  ///< broker pages held for `rows`
@@ -117,6 +182,9 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   OperatorPtr probe_child_, build_child_;
   std::string probe_key_, build_key_;
   Options options_;
+  /// fan_out - 1 when fan_out is a power of two (mask reduction in
+  /// PartitionOf, bit-identical to the modulo), 0 otherwise.
+  uint64_t fan_mask_ = 0;
   std::vector<std::string> slots_;
   size_t probe_key_idx_ = 0, build_key_idx_ = 0;
   size_t probe_cols_ = 0, build_cols_ = 0;
@@ -138,11 +206,18 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   // phases) or chunk_ (chunked fallback).
   std::unique_ptr<SpillFile> probe_file_;  ///< recursive probe input
   RowBatch probe_batch_;
-  // Vectorized path (ctx->vectorized()): hash ops are charged per probe
-  // batch and partition numbers precomputed for the whole batch before any
-  // row is probed.
+  // Vectorized path (ctx->vectorized()): the whole probe batch is processed
+  // at fetch time — hash charges flushed in one call, partitions computed
+  // in one pass, spilled rows routed to their probe files in row order, and
+  // resident rows' matches gathered into fused_pairs_ so emission is a
+  // branch-free cursor walk instead of a per-row state machine.
   bool vectorized_ = false;
   std::vector<uint32_t> probe_parts_;
+  std::vector<int64_t> probe_keys_;    ///< contiguous key-column gather
+  std::vector<uint32_t> cand_rows_;    ///< rows with non-empty heads (pass 2)
+  std::vector<uint32_t> cand_heads_;   ///< their chain heads (pass 2)
+  std::vector<std::pair<uint32_t, uint32_t>> fused_pairs_;  ///< (probe, build)
+  size_t fused_next_ = 0;
   size_t probe_row_ = 0;
   size_t match_part_ = 0;
   std::vector<size_t> match_rows_;
@@ -152,7 +227,7 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   // Chunked-hash fallback state.
   std::unique_ptr<SpillFile> fb_build_;
   RowBuffer chunk_;
-  std::unordered_multimap<int64_t, size_t> chunk_table_;
+  JoinHashTable chunk_table_;
   int64_t chunk_pages_ = 0;
 };
 

@@ -28,7 +28,25 @@ GatherOp::GatherOp(const Table* table, PredicatePtr filter, int scan_node_id,
       scan_node_id_(scan_node_id),
       stages_(std::move(stages)),
       agg_(std::move(agg)),
-      opts_(opts) {}
+      opts_(opts) {
+  // Provisional pre-Open slot layout: parents (HashAggOp, MapOp) resolve
+  // their inputs against output_slots() before Open runs, the same contract
+  // every serial operator honors. Open recomputes and validates.
+  std::vector<size_t> cols;
+  (void)ResolveProjection(*table_, {}, &cols, &pipeline_slots_);
+  for (const JoinStage& s : stages_) {
+    const auto& bs = s.build_child->output_slots();
+    pipeline_slots_.insert(pipeline_slots_.end(), bs.begin(), bs.end());
+  }
+  if (agg_.has_value()) {
+    for (const auto& g : agg_->group_slots) output_slots_.push_back(g);
+    for (const auto& a : agg_->aggregates) {
+      output_slots_.push_back(a.output_name);
+    }
+  } else {
+    output_slots_ = pipeline_slots_;
+  }
+}
 
 GatherOp::~GatherOp() {
   ReleaseAllMemory();

@@ -104,10 +104,9 @@ class GatherOp : public Operator, public MemoryRevocable {
 
   /// Run-time state of one join stage. After the build phase the hash table
   /// is strictly read-only — workers probe it without synchronization.
-  /// Matches are stored in build-row order (deterministic, unlike
-  /// unordered_multimap equal_range); with unique build keys (the star
-  /// schema's dimension keys) the probe output order is identical to
-  /// HashJoinOp's.
+  /// Matches are stored in build-row order, matching HashJoinOp's
+  /// JoinHashTable (which also yields matches in build-row order), so the
+  /// serial and parallel probe outputs agree even on duplicate build keys.
   struct StageState {
     std::shared_ptr<std::vector<RowBatch>> build_batches;
     std::vector<std::string> build_slots;

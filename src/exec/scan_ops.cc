@@ -70,11 +70,12 @@ Status TableScanOp::Open(ExecContext* ctx) {
         vectorized_ = false;
       }
     }
-  } else {
-    // Without a filter there is no per-row dispatch to eliminate; the
-    // scalar copy loop is already optimal.
-    vectorized_ = false;
   }
+  // Without a filter program_ stays null and NextVectorized takes the dense
+  // block-copy path: every chunk row survives, so the transpose streams each
+  // column contiguously with no selection vector at all. That beats the
+  // scalar per-row Value()/AppendRow loop by a wide margin and is what keeps
+  // the unfiltered probe side of a hash join fed at memory speed.
   return Status::OK();
 }
 
@@ -129,6 +130,10 @@ Status TableScanOp::Next(RowBatch* out) {
 // charges also land before the next chunk's charge block, so the cost clock
 // agrees at every fault-draw and guardrail point and the output is
 // byte-identical (DESIGN.md §10).
+// Scans of up to this many projected columns transpose through a
+// stack-resident pointer array; wider scans fall back to a heap vector.
+constexpr size_t kMaxDenseCols = 16;
+
 Status TableScanOp::NextVectorized(RowBatch* out) {
   out->Reset(slots_.size());
   const int64_t n = table_->num_rows();
@@ -144,6 +149,33 @@ Status TableScanOp::NextVectorized(RowBatch* out) {
       ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
                            table_->name());
       ctx_->ChargeRowCpu(chunk);
+      if (!program_.has_value()) {
+        // Dense path (no filter): the whole chunk survives. Transpose in
+        // row-major write order — the destination stream is sequential and
+        // each source column is a sequential read stream — with no selection
+        // vector and no per-row predicate charges (the scalar path charges
+        // none for an unfiltered scan either).
+        const size_t take = static_cast<size_t>(chunk);
+        std::vector<int64_t>& data = out->mutable_data();
+        const size_t base = data.size();
+        data.resize(base + take * ncols);
+        const int64_t* srcs[kMaxDenseCols];
+        const int64_t** col_ptrs = srcs;
+        std::vector<const int64_t*> wide;
+        if (ncols > kMaxDenseCols) {
+          wide.resize(ncols);
+          col_ptrs = wide.data();
+        }
+        for (size_t c = 0; c < ncols; ++c) {
+          col_ptrs[c] = table_->column(columns_[c]).data() + next_row_;
+        }
+        int64_t* dst = data.data() + base;
+        for (size_t i = 0; i < take; ++i) {
+          for (size_t c = 0; c < ncols; ++c) *dst++ = col_ptrs[c][i];
+        }
+        next_row_ = chunk_end;
+        continue;
+      }
       ctx_->ChargePredicateEvals(chunk);
       for (size_t c = 0; c < chunk_cols_.size(); ++c) {
         chunk_cols_[c] = table_->column(c).data() + next_row_;

@@ -55,6 +55,7 @@ void SortOp::ReleaseAllMemory() {
 Status SortOp::Open(ExecContext* ctx) {
   ctx_ = ctx;
   broker_ = ctx->memory();
+  vectorized_ = ctx->vectorized();
   ResetCount();
   next_ = 0;
   external_ = false;
@@ -84,11 +85,7 @@ Status SortOp::Open(ExecContext* ctx) {
       ctx->ChargeCompareOps(static_cast<int64_t>(
           static_cast<double>(n) * std::log2(static_cast<double>(n))));
     }
-    order_.resize(static_cast<size_t>(n));
-    std::iota(order_.begin(), order_.end(), 0);
-    std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
-      return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
-    });
+    SortBuffer();
     return Status::OK();
   }
   // The still-buffered tail becomes the last run; then merge.
@@ -136,14 +133,30 @@ Status SortOp::ConsumeInput(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status SortOp::FlushRun() {
+void SortOp::SortBuffer() {
   const size_t n = rows_.num_rows();
-  if (n == 0) return Status::OK();
   order_.resize(n);
   std::iota(order_.begin(), order_.end(), 0);
+  if (vectorized_) {
+    // Gather keys once; the comparator then reads a dense array instead of
+    // striding row pointers. Same stable sort on the same key values, so
+    // the resulting permutation is identical to the scalar comparator's.
+    key_gather_.resize(n);
+    for (size_t i = 0; i < n; ++i) key_gather_[i] = rows_.row(i)[key_idx_];
+    std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
+      return key_gather_[a] < key_gather_[b];
+    });
+    return;
+  }
   std::stable_sort(order_.begin(), order_.end(), [this](size_t a, size_t b) {
     return rows_.row(a)[key_idx_] < rows_.row(b)[key_idx_];
   });
+}
+
+Status SortOp::FlushRun() {
+  const size_t n = rows_.num_rows();
+  if (n == 0) return Status::OK();
+  SortBuffer();
   if (n > 1) {
     ctx_->ChargeCompareOps(static_cast<int64_t>(
         static_cast<double>(n) * std::log2(static_cast<double>(n))));
@@ -340,6 +353,70 @@ void SortOp::Close() {
   runs_.clear();
 }
 
+// ---- FlatGroups ------------------------------------------------------------
+
+void FlatGroups::Reset(size_t kw, size_t aw) {
+  key_width = kw;
+  acc_width = aw;
+  num_groups = 0;
+  keys.clear();
+  accs.clear();
+  buckets.assign(16, kEmpty);
+  mask = buckets.size() - 1;
+}
+
+uint64_t FlatGroups::Hash(const int64_t* k) const {
+  // splitmix64 chain from a fixed seed — independent of the depth-salted
+  // chain HashAggOp::PartitionOfKey uses, so bucket placement inside the
+  // table is uncorrelated with shed-partition placement.
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t i = 0; i < key_width; ++i) {
+    h = Mix64(h ^ static_cast<uint64_t>(k[i]));
+  }
+  return h;
+}
+
+void FlatGroups::Grow() {
+  buckets.assign(buckets.size() * 2, kEmpty);
+  mask = buckets.size() - 1;
+  for (uint32_t g = 0; g < static_cast<uint32_t>(num_groups); ++g) {
+    size_t b = static_cast<size_t>(Hash(key(g)) & mask);
+    while (buckets[b] != kEmpty) b = (b + 1) & mask;
+    buckets[b] = g;
+  }
+}
+
+uint32_t FlatGroups::Upsert(const int64_t* k, bool* inserted) {
+  if ((num_groups + 1) * 4 >= buckets.size() * 3) Grow();  // load < 3/4
+  size_t b = static_cast<size_t>(Hash(k) & mask);
+  while (buckets[b] != kEmpty) {
+    const uint32_t g = buckets[b];
+    if (std::equal(k, k + key_width, key(g))) {
+      *inserted = false;
+      return g;
+    }
+    b = (b + 1) & mask;
+  }
+  const uint32_t g = static_cast<uint32_t>(num_groups++);
+  buckets[b] = g;
+  keys.insert(keys.end(), k, k + key_width);
+  accs.resize(accs.size() + acc_width);
+  *inserted = true;
+  return g;
+}
+
+std::vector<uint32_t> FlatGroups::SortedIds() const {
+  std::vector<uint32_t> ids(num_groups);
+  std::iota(ids.begin(), ids.end(), 0);
+  std::sort(ids.begin(), ids.end(), [this](uint32_t a, uint32_t b) {
+    const int64_t* ka = key(a);
+    const int64_t* kb = key(b);
+    return std::lexicographical_compare(ka, ka + key_width, kb,
+                                        kb + key_width);
+  });
+  return ids;
+}
+
 // ---- HashAggOp -------------------------------------------------------------
 
 HashAggOp::HashAggOp(OperatorPtr child, std::vector<std::string> group_slots,
@@ -366,10 +443,14 @@ void HashAggOp::ReleaseAllMemory() {
   charged_pages_ = 0;
 }
 
-size_t HashAggOp::PartitionOf(const std::vector<int64_t>& key) const {
+size_t HashAggOp::PartitionOfKey(const int64_t* key, size_t n) const {
   uint64_t h = Mix64(static_cast<uint64_t>(depth_) + 1);
-  for (int64_t cell : key) h = Mix64(h ^ static_cast<uint64_t>(cell));
+  for (size_t i = 0; i < n; ++i) h = Mix64(h ^ static_cast<uint64_t>(key[i]));
   return static_cast<size_t>(h % static_cast<uint64_t>(options_.fan_out));
+}
+
+size_t HashAggOp::PartitionOf(const std::vector<int64_t>& key) const {
+  return PartitionOfKey(key.data(), key.size());
 }
 
 void InitAggAccumulators(const std::vector<AggSpec>& aggs,
@@ -427,10 +508,116 @@ void HashAggOp::MergePartialRow(const int64_t* partial,
   MergeAggPartial(aggs_, partial + group_idx_.size(), accs);
 }
 
+void HashAggOp::InitAggCells(int64_t* acc) const {
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    switch (aggs_[a].fn) {
+      case AggFn::kCount:
+      case AggFn::kSum: acc[a] = 0; break;
+      case AggFn::kMin: acc[a] = std::numeric_limits<int64_t>::max(); break;
+      case AggFn::kMax: acc[a] = std::numeric_limits<int64_t>::min(); break;
+    }
+  }
+}
+
+void HashAggOp::MergeRowIntoCells(int64_t* acc, const int64_t* row,
+                                  bool partial) const {
+  const size_t kw = group_idx_.size();
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    const int64_t v = partial ? row[kw + a]
+                              : (aggs_[a].fn == AggFn::kCount
+                                     ? 0
+                                     : row[agg_idx_[a]]);
+    switch (aggs_[a].fn) {
+      case AggFn::kCount: acc[a] += partial ? v : 1; break;
+      case AggFn::kSum: acc[a] += v; break;
+      case AggFn::kMin: acc[a] = std::min(acc[a], v); break;
+      case AggFn::kMax: acc[a] = std::max(acc[a], v); break;
+    }
+  }
+}
+
+void HashAggOp::FlushDeferred(const RowBatch& in, bool partial) {
+  if (def_rows_.empty()) return;
+  const size_t n = def_rows_.size();
+  const size_t kw = group_idx_.size();
+  const size_t stride = aggs_.size();
+  // Op-major: one aggregate-function dispatch per column, then a tight
+  // gather-accumulate loop over the deferred selection — no per-row switch,
+  // no map lookups. All four functions are commutative and associative in
+  // exact int64 arithmetic, so regrouping rows per column produces the same
+  // accumulator bytes as the scalar row-at-a-time order.
+  for (size_t a = 0; a < stride; ++a) {
+    int64_t* cells = flat_.accs.data() + a;
+    const size_t src = partial ? kw + a : agg_idx_[a];
+    switch (aggs_[a].fn) {
+      case AggFn::kCount:
+        if (partial) {
+          for (size_t i = 0; i < n; ++i) {
+            cells[def_grps_[i] * stride] += in.row(def_rows_[i])[src];
+          }
+        } else {
+          for (size_t i = 0; i < n; ++i) ++cells[def_grps_[i] * stride];
+        }
+        break;
+      case AggFn::kSum:
+        for (size_t i = 0; i < n; ++i) {
+          cells[def_grps_[i] * stride] += in.row(def_rows_[i])[src];
+        }
+        break;
+      case AggFn::kMin:
+        for (size_t i = 0; i < n; ++i) {
+          int64_t& c = cells[def_grps_[i] * stride];
+          c = std::min(c, in.row(def_rows_[i])[src]);
+        }
+        break;
+      case AggFn::kMax:
+        for (size_t i = 0; i < n; ++i) {
+          int64_t& c = cells[def_grps_[i] * stride];
+          c = std::max(c, in.row(def_rows_[i])[src]);
+        }
+        break;
+    }
+  }
+  def_rows_.clear();
+  def_grps_.clear();
+}
+
+Status HashAggOp::AbsorbBatch(const RowBatch& in, bool partial) {
+  const size_t kw = group_idx_.size();
+  key_scratch_.resize(kw);
+  def_rows_.clear();
+  def_grps_.clear();
+  for (size_t r = 0; r < in.num_rows(); ++r) {
+    const int64_t* row = in.row(r);
+    for (size_t g = 0; g < kw; ++g) {
+      key_scratch_[g] = partial ? row[g] : row[group_idx_[g]];
+    }
+    bool inserted = false;
+    const uint32_t gid = flat_.Upsert(key_scratch_.data(), &inserted);
+    if (!inserted) {
+      // Existing group: defer; the op-major flush absorbs it later. Group
+      // ids stay stable across Upsert growth, so the recorded id is safe.
+      def_rows_.push_back(static_cast<uint32_t>(r));
+      def_grps_.push_back(gid);
+      continue;
+    }
+    // New group: flush the deferred tail first, so if the capacity check
+    // below sheds the table, every earlier row of this batch has already
+    // been absorbed — exactly the state the scalar per-row loop would shed.
+    FlushDeferred(in, partial);
+    int64_t* acc = flat_.acc(gid);
+    InitAggCells(acc);
+    MergeRowIntoCells(acc, row, partial);
+    RQP_RETURN_IF_ERROR(EnsureGroupCapacity());
+  }
+  FlushDeferred(in, partial);
+  return Status::OK();
+}
+
 Status HashAggOp::EnsureGroupCapacity() {
   while (true) {
     const int64_t needed = std::max<int64_t>(
-        1, (static_cast<int64_t>(groups_.size()) + kRowsPerPage - 1) /
+        1, (static_cast<int64_t>(GroupCount()) + kRowsPerPage - 1) /
                kRowsPerPage);
     if (needed <= charged_pages_) return Status::OK();
     if (broker_->available() > 0) {
@@ -438,7 +625,7 @@ Status HashAggOp::EnsureGroupCapacity() {
       continue;
     }
     if (depth_ < options_.max_recursion && !slots_.empty() &&
-        groups_.size() > 1) {
+        GroupCount() > 1) {
       RQP_RETURN_IF_ERROR(ShedGroups());
       continue;
     }
@@ -452,21 +639,34 @@ Status HashAggOp::ShedGroups() {
   if (shed_files_.empty()) {
     shed_files_.resize(static_cast<size_t>(options_.fan_out));
   }
+  const size_t kw = group_idx_.size();
   std::vector<int64_t> row(slots_.size());
-  for (const auto& [key, accs] : groups_) {
+  auto shed_one = [&](const int64_t* key, const int64_t* accs) -> Status {
     size_t c = 0;
-    for (int64_t g : key) row[c++] = g;
-    for (int64_t a : accs) row[c++] = a;
-    auto& file = shed_files_[PartitionOf(key)];
+    for (size_t i = 0; i < kw; ++i) row[c++] = key[i];
+    for (size_t a = 0; a < aggs_.size(); ++a) row[c++] = accs[a];
+    auto& file = shed_files_[PartitionOfKey(key, kw)];
     if (file == nullptr) {
       auto created = ctx_->spill()->Create(slots_.size());
       if (!created.ok()) return created.status();
       file = std::move(created).value();
       ++ctx_->counters().spill_partitions;
     }
-    RQP_RETURN_IF_ERROR(file->AppendRow(row.data()));
+    return file->AppendRow(row.data());
+  };
+  if (vectorized_) {
+    // Sorted-id walk = the scalar map's iteration order, so the shed files'
+    // row order is byte-identical between modes.
+    for (uint32_t g : flat_.SortedIds()) {
+      RQP_RETURN_IF_ERROR(shed_one(flat_.key(g), flat_.acc(g)));
+    }
+    flat_.Reset(kw, aggs_.size());
+  } else {
+    for (const auto& [key, accs] : groups_) {
+      RQP_RETURN_IF_ERROR(shed_one(key.data(), accs.data()));
+    }
+    groups_.clear();
   }
-  groups_.clear();
   broker_->Release(charged_pages_);
   charged_pages_ = 0;
   shed_this_level_ = true;
@@ -491,6 +691,8 @@ Status HashAggOp::Open(ExecContext* ctx) {
   vectorized_ = ctx->vectorized();
   ResetCount();
   groups_.clear();
+  emit_order_.clear();
+  emit_pos_ = 0;
   emitting_ = false;
   depth_ = 0;
   shed_this_level_ = false;
@@ -520,6 +722,7 @@ Status HashAggOp::Open(ExecContext* ctx) {
   }
 
   RQP_RETURN_IF_ERROR(child_->Open(ctx));
+  if (vectorized_) flat_.Reset(group_idx_.size(), aggs_.size());
   std::vector<int64_t> key(group_idx_.size());
   while (true) {
     RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
@@ -530,15 +733,20 @@ Status HashAggOp::Open(ExecContext* ctx) {
     // capacity drop charged during the child's Next is shed as a revocation
     // rather than resolved incidentally by the grow path.
     RQP_RETURN_IF_ERROR(PollRevocation());
-    // Vectorized: one hash-op flush per input batch right where the scalar
-    // path's per-row charges would all land anyway (DESIGN.md §10).
-    if (vectorized_) ctx->ChargeHashOps(static_cast<int64_t>(in.num_rows()));
+    if (vectorized_) {
+      // One hash-op flush per input batch right where the scalar path's
+      // per-row charges would all land anyway (DESIGN.md §10), then the
+      // batched flat-table kernel.
+      ctx->ChargeHashOps(static_cast<int64_t>(in.num_rows()));
+      RQP_RETURN_IF_ERROR(AbsorbBatch(in, /*partial=*/false));
+      continue;
+    }
     for (size_t r = 0; r < in.num_rows(); ++r) {
       const int64_t* row = in.row(r);
       for (size_t g = 0; g < group_idx_.size(); ++g) {
         key[g] = row[group_idx_[g]];
       }
-      if (!vectorized_) ctx->ChargeHashOps(1);
+      ctx->ChargeHashOps(1);
       auto [it, inserted] = groups_.try_emplace(key);
       if (inserted) {
         InitAccumulators(&it->second);
@@ -554,20 +762,30 @@ Status HashAggOp::Open(ExecContext* ctx) {
   if (shed_this_level_ || !shed_files_.empty()) {
     // Spilled: the resident remainder may share keys with shed partitions,
     // so it must go through the partition merge too.
-    if (!groups_.empty()) RQP_RETURN_IF_ERROR(ShedGroups());
+    if (GroupCount() > 0) RQP_RETURN_IF_ERROR(ShedGroups());
     RQP_RETURN_IF_ERROR(SealShedFiles());
     return Status::OK();  // Next() drives ProcessPending()
   }
 
-  emit_it_ = groups_.begin();
-  emitting_ = true;
   // Global aggregation over an empty input still yields one row.
-  if (group_slots_.empty() && groups_.empty()) {
-    std::vector<int64_t> accs;
-    InitAccumulators(&accs);
-    groups_.emplace(std::vector<int64_t>{}, std::move(accs));
-    emit_it_ = groups_.begin();
+  if (group_slots_.empty() && GroupCount() == 0) {
+    if (vectorized_) {
+      bool inserted = false;
+      key_scratch_.clear();
+      flat_.Upsert(key_scratch_.data(), &inserted);
+      InitAggCells(flat_.acc(0));
+    } else {
+      std::vector<int64_t> accs;
+      InitAccumulators(&accs);
+      groups_.emplace(std::vector<int64_t>{}, std::move(accs));
+    }
   }
+  emit_it_ = groups_.begin();
+  if (vectorized_) {
+    emit_order_ = flat_.SortedIds();
+    emit_pos_ = 0;
+  }
+  emitting_ = true;
   return Status::OK();
 }
 
@@ -589,11 +807,13 @@ Status HashAggOp::ProcessPending() {
       RQP_RETURN_IF_ERROR(PollRevocation());
       if (vectorized_) {
         ctx_->ChargeHashOps(static_cast<int64_t>(in.num_rows()));
+        RQP_RETURN_IF_ERROR(AbsorbBatch(in, /*partial=*/true));
+        continue;
       }
       for (size_t r = 0; r < in.num_rows(); ++r) {
         const int64_t* row = in.row(r);
         for (size_t g = 0; g < group_idx_.size(); ++g) key[g] = row[g];
-        if (!vectorized_) ctx_->ChargeHashOps(1);
+        ctx_->ChargeHashOps(1);
         auto [it, inserted] = groups_.try_emplace(key);
         if (inserted) {
           InitAccumulators(&it->second);
@@ -608,12 +828,16 @@ Status HashAggOp::ProcessPending() {
     if (shed_this_level_) {
       // This partition overflowed again: its state is now split across
       // depth+1 partitions; finish them and recurse (LIFO → depth first).
-      if (!groups_.empty()) RQP_RETURN_IF_ERROR(ShedGroups());
+      if (GroupCount() > 0) RQP_RETURN_IF_ERROR(ShedGroups());
       RQP_RETURN_IF_ERROR(SealShedFiles());
       continue;
     }
-    if (groups_.empty()) continue;
+    if (GroupCount() == 0) continue;
     emit_it_ = groups_.begin();
+    if (vectorized_) {
+      emit_order_ = flat_.SortedIds();
+      emit_pos_ = 0;
+    }
     emitting_ = true;
     return Status::OK();
   }
@@ -625,18 +849,34 @@ Status HashAggOp::Next(RowBatch* out) {
   out->Reset(slots_.size());
   std::vector<int64_t> row(slots_.size());
   while (!out->full()) {
-    if (emitting_ && emit_it_ != groups_.end()) {
+    const bool have = emitting_ && (vectorized_
+                                        ? emit_pos_ < emit_order_.size()
+                                        : emit_it_ != groups_.end());
+    if (have) {
       size_t c = 0;
-      for (int64_t g : emit_it_->first) row[c++] = g;
-      for (int64_t a : emit_it_->second) row[c++] = a;
+      if (vectorized_) {
+        const uint32_t g = emit_order_[emit_pos_++];
+        const int64_t* k = flat_.key(g);
+        const int64_t* a = flat_.acc(g);
+        for (size_t i = 0; i < group_idx_.size(); ++i) row[c++] = k[i];
+        for (size_t i = 0; i < aggs_.size(); ++i) row[c++] = a[i];
+      } else {
+        for (int64_t g : emit_it_->first) row[c++] = g;
+        for (int64_t a : emit_it_->second) row[c++] = a;
+        ++emit_it_;
+      }
       out->AppendRow(row);
-      ++emit_it_;
       continue;
     }
     if (emitting_) {
       // Current partition fully emitted; recycle its memory.
       emitting_ = false;
       groups_.clear();
+      if (vectorized_) {
+        flat_.Reset(group_idx_.size(), aggs_.size());
+        emit_order_.clear();
+        emit_pos_ = 0;
+      }
       if (broker_ != nullptr) {
         broker_->Release(charged_pages_);
         charged_pages_ = 0;
@@ -667,7 +907,7 @@ Status HashAggOp::PollRevocation() {
 
 int64_t HashAggOp::ShedPages(int64_t deficit) {
   (void)deficit;
-  if (emitting_ || groups_.size() <= 1 || charged_pages_ <= 1 ||
+  if (emitting_ || GroupCount() <= 1 || charged_pages_ <= 1 ||
       depth_ >= options_.max_recursion || slots_.empty()) {
     return 0;
   }
@@ -688,6 +928,9 @@ void HashAggOp::Close() {
   }
   broker_ = nullptr;  // the broker may not outlive this operator
   groups_.clear();
+  flat_.Reset(0, 0);
+  emit_order_.clear();
+  emit_pos_ = 0;
   shed_files_.clear();
   pending_.clear();
 }

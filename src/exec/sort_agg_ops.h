@@ -60,6 +60,12 @@ class SortOp : public Operator, public MemoryRevocable {
   };
 
   Status ConsumeInput(ExecContext* ctx);
+  /// Stable-sorts the buffered rows into order_. The vectorized path first
+  /// gathers the key column into one contiguous array so the comparator's
+  /// loads are dense instead of striding across full rows; the comparator
+  /// semantics (stable, ascending on the same key values) are unchanged, so
+  /// the resulting order is identical to the scalar sort.
+  void SortBuffer();
   Status FlushRun();
   Status MergeRuns();
   Status MergeGeneration(int64_t fanin);
@@ -74,11 +80,13 @@ class SortOp : public Operator, public MemoryRevocable {
   ExecContext* ctx_ = nullptr;
   MemoryBroker* broker_ = nullptr;
   bool registered_ = false;
+  bool vectorized_ = false;  ///< batched key gather before run sorts
   Status shed_error_;
 
   // In-memory path (doubles as the run-formation buffer).
   RowBuffer rows_;
   std::vector<size_t> order_;
+  std::vector<int64_t> key_gather_;  ///< vectorized contiguous sort keys
   size_t next_ = 0;
   int64_t buffer_pages_ = 0;
   int64_t merge_pages_ = 0;
@@ -125,6 +133,45 @@ void MergeAggInputRow(const std::vector<AggSpec>& aggs,
 /// cells (past any group-key prefix).
 void MergeAggPartial(const std::vector<AggSpec>& aggs, const int64_t* partial,
                      std::vector<int64_t>* accs);
+
+/// Flat group table used by the vectorized aggregation kernel: group keys
+/// and accumulators live in two flat row-major arrays indexed by a dense
+/// group id, with an open-addressing probe table (power-of-two, linear
+/// probing) mapping key hashes to ids. Replaces the scalar path's
+/// std::map<vector, vector> group state — no per-group heap allocations and
+/// no O(log n) vector compares per input row. The probe-table layout never
+/// leaks into output: emission and shedding walk SortedIds(), which is
+/// exactly the scalar map's lexicographic key order, so the two modes stay
+/// byte-identical.
+struct FlatGroups {
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  size_t key_width = 0;
+  size_t acc_width = 0;
+  size_t num_groups = 0;
+  std::vector<int64_t> keys;      ///< num_groups * key_width, row-major
+  std::vector<int64_t> accs;      ///< num_groups * acc_width, row-major
+  std::vector<uint32_t> buckets;  ///< open addressing, power-of-two
+  uint64_t mask = 0;
+
+  void Reset(size_t kw, size_t aw);
+  const int64_t* key(size_t g) const { return keys.data() + g * key_width; }
+  int64_t* acc(size_t g) { return accs.data() + g * acc_width; }
+  const int64_t* acc(size_t g) const { return accs.data() + g * acc_width; }
+
+  /// Probe-or-insert; returns the group id and sets *inserted. A new
+  /// group's accumulator cells are zero — the caller initializes them.
+  /// Group ids are stable until Reset() (growth only rehashes buckets).
+  uint32_t Upsert(const int64_t* k, bool* inserted);
+
+  /// Group ids sorted lexicographically by key — the scalar std::map's
+  /// iteration order.
+  std::vector<uint32_t> SortedIds() const;
+
+ private:
+  uint64_t Hash(const int64_t* k) const;
+  void Grow();
+};
 
 /// Hash aggregation on zero or more group-by slots. All four aggregate
 /// functions are decomposable, so when the group state outgrows the memory
@@ -175,9 +222,28 @@ class HashAggOp : public Operator, public MemoryRevocable {
   };
 
   size_t PartitionOf(const std::vector<int64_t>& key) const;
+  size_t PartitionOfKey(const int64_t* key, size_t n) const;
   void InitAccumulators(std::vector<int64_t>* accs) const;
   void MergeInputRow(const int64_t* row, std::vector<int64_t>* accs) const;
   void MergePartialRow(const int64_t* partial, std::vector<int64_t>* accs) const;
+  /// Resident group count regardless of mode (flat table vs. map).
+  size_t GroupCount() const {
+    return vectorized_ ? flat_.num_groups : groups_.size();
+  }
+  /// Initializes / merges one flat accumulator row (same semantics as the
+  /// vector-based helpers above, over FlatGroups cells).
+  void InitAggCells(int64_t* acc) const;
+  void MergeRowIntoCells(int64_t* acc, const int64_t* row, bool partial) const;
+  /// Vectorized batch kernel: per-row key assembly + flat-table upsert;
+  /// rows landing on existing groups are deferred and accumulated op-major
+  /// (one aggregate-function dispatch per column per flush) instead of
+  /// per-row. Deferred rows are flushed before every insertion's capacity
+  /// check, so a shed triggered mid-batch writes exactly the state the
+  /// scalar one-row-at-a-time path would have had at the same point.
+  /// `partial` selects MergePartialRow semantics (spilled partial rows:
+  /// keys in the leading cells, counts add instead of increment).
+  Status AbsorbBatch(const RowBatch& in, bool partial);
+  void FlushDeferred(const RowBatch& in, bool partial);
   Status EnsureGroupCapacity();
   Status ShedGroups();
   Status SealShedFiles();
@@ -192,10 +258,15 @@ class HashAggOp : public Operator, public MemoryRevocable {
   std::vector<std::string> slots_;
   std::vector<size_t> group_idx_;
   std::vector<size_t> agg_idx_;
-  GroupMap groups_;
+  GroupMap groups_;          ///< scalar-mode group state
   GroupMap::iterator emit_it_;
+  FlatGroups flat_;          ///< vectorized-mode group state
+  std::vector<uint32_t> emit_order_;  ///< vectorized emission (sorted ids)
+  size_t emit_pos_ = 0;
+  std::vector<int64_t> key_scratch_;
+  std::vector<uint32_t> def_rows_, def_grps_;  ///< deferred batch rows
   bool emitting_ = false;
-  bool vectorized_ = false;  ///< per-batch (not per-row) hash-op charging
+  bool vectorized_ = false;  ///< batched kernel + per-batch hash charging
   ExecContext* ctx_ = nullptr;
   MemoryBroker* broker_ = nullptr;
   bool registered_ = false;

@@ -112,6 +112,28 @@ StatusOr<PredicateProgram> PredicateProgram::Compile(
     conjuncts.push_back(node);
   };
   flatten(flatten, p);
+  // Prune constant conjuncts before emission: TRUE conjuncts refine nothing
+  // (predicate leaves have no side effects, so dropping them is always
+  // sound), and one FALSE conjunct makes the whole conjunction FALSE — the
+  // program collapses to that single constant. Always-true trees produced
+  // by Normalize/parameter folding then cost zero instructions per batch.
+  bool always_false = false;
+  for (const PredicatePtr& c : conjuncts) {
+    if (const auto* k = std::get_if<ConstPred>(&c->node)) {
+      if (!k->value) { always_false = true; break; }
+    }
+  }
+  if (always_false) {
+    conjuncts.assign(1, MakeConst(false));
+  } else {
+    conjuncts.erase(
+        std::remove_if(conjuncts.begin(), conjuncts.end(),
+                       [](const PredicatePtr& c) {
+                         const auto* k = std::get_if<ConstPred>(&c->node);
+                         return k != nullptr && k->value;
+                       }),
+        conjuncts.end());
+  }
   // An empty AND is the constant TRUE: zero conjuncts, nothing to refine.
   for (const PredicatePtr& c : conjuncts) {
     const auto begin = static_cast<uint32_t>(prog.code_.size());

@@ -88,7 +88,9 @@ class PredicateProgram {
   /// dense bitmap fallback when the value range is narrow (≤ kBitmapSpan)
   /// — one load + compare instead of a log₂(n) probe chain.
   struct InSet {
-    static constexpr int64_t kBitmapSpan = 4096;
+    /// IN-list bitmap crossover (see kInDenseBitmapSpan in predicate.h —
+    /// one shared constant so the scalar and vectorized paths can't drift).
+    static constexpr int64_t kBitmapSpan = kInDenseBitmapSpan;
 
     std::vector<int64_t> sorted_values;
     std::vector<uint8_t> bitmap;  ///< non-empty: use bitmap membership

@@ -14,6 +14,16 @@ namespace rqp {
 /// Comparison operators supported in selection predicates.
 enum class CmpOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
 
+/// IN-list membership crossover shared by every evaluator: lists whose
+/// value range spans fewer than this many integers use a dense membership
+/// bitmap (bounds check + one load) instead of a binary search over the
+/// sorted values. CompiledPredicate (scalar) and PredicateProgram
+/// (vectorized) must use the SAME crossover — the two modes are required to
+/// be byte-identical, and while both membership structures give the same
+/// answer, keeping one constant removes the risk of the thresholds
+/// drifting apart silently (they were two hard-coded 4096s before).
+inline constexpr int64_t kInDenseBitmapSpan = 4096;
+
 const char* CmpOpName(CmpOp op);
 bool EvalCmp(int64_t lhs, CmpOp op, int64_t rhs);
 
@@ -113,10 +123,8 @@ class CompiledPredicate {
   bool Eval(const int64_t* row) const { return EvalNode(*root_, row); }
   const PredicatePtr& source() const { return source_; }
 
-  /// IN lists whose value range spans fewer than this many integers use a
-  /// dense membership bitmap (bounds check + one load) instead of a binary
-  /// search over sorted_values.
-  static constexpr int64_t kInBitmapSpan = 4096;
+  /// IN-list bitmap crossover (see kInDenseBitmapSpan).
+  static constexpr int64_t kInBitmapSpan = kInDenseBitmapSpan;
 
  private:
   struct CNode;

@@ -300,12 +300,156 @@ PredicatePtr NormalizeNode(const PredicatePtr& p) {
       p->node);
 }
 
+// ---- Expression constant folding (see rewriter.h for the rule set) -------
+
+/// True when `e` is a literal; fills `*v`.
+bool IsConstExpr(const ExprPtr& e, int64_t* v) {
+  if (const auto* c = std::get_if<ExprConst>(&e->node)) {
+    *v = c->value;
+    return true;
+  }
+  return false;
+}
+
+/// True when evaluating `e` can never raise an error — the gate for every
+/// rewrite that drops a subtree from the evaluated program. Only Div/Mod
+/// can error (division by zero), so any tree free of them is elidable.
+bool CanElide(const ExprPtr& e) {
+  return std::visit(
+      [&](const auto& n) -> bool {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, ExprCol> ||
+                      std::is_same_v<T, ExprConst>) {
+          return true;
+        } else if constexpr (std::is_same_v<T, ExprNeg>) {
+          return CanElide(n.child);
+        } else if constexpr (std::is_same_v<T, ExprArith>) {
+          if (n.op == ArithOp::kDiv || n.op == ArithOp::kMod) return false;
+          return CanElide(n.left) && CanElide(n.right);
+        } else if constexpr (std::is_same_v<T, ExprCmp>) {
+          return CanElide(n.left) && CanElide(n.right);
+        } else {
+          return CanElide(n.cond) && CanElide(n.then_expr) &&
+                 CanElide(n.else_expr);
+        }
+      },
+      e->node);
+}
+
+ExprPtr FoldExprNode(const ExprPtr& e) {
+  return std::visit(
+      [&](const auto& n) -> ExprPtr {
+        using T = std::decay_t<decltype(n)>;
+        if constexpr (std::is_same_v<T, ExprCol> ||
+                      std::is_same_v<T, ExprConst>) {
+          return e;
+        } else if constexpr (std::is_same_v<T, ExprNeg>) {
+          ExprPtr child = FoldExprNode(n.child);
+          int64_t v;
+          if (IsConstExpr(child, &v)) return MakeConstExpr(WrapNeg(v));
+          if (const auto* inner = std::get_if<ExprNeg>(&child->node)) {
+            return inner->child;  // -(-x) == x under wraparound
+          }
+          return MakeNegExpr(std::move(child));
+        } else if constexpr (std::is_same_v<T, ExprArith>) {
+          ExprPtr left = FoldExprNode(n.left);
+          ExprPtr right = FoldExprNode(n.right);
+          int64_t lv, rv;
+          const bool lconst = IsConstExpr(left, &lv);
+          const bool rconst = IsConstExpr(right, &rv);
+          if (lconst && rconst) {
+            switch (n.op) {
+              case ArithOp::kAdd: return MakeConstExpr(WrapAdd(lv, rv));
+              case ArithOp::kSub: return MakeConstExpr(WrapSub(lv, rv));
+              case ArithOp::kMul: return MakeConstExpr(WrapMul(lv, rv));
+              case ArithOp::kDiv:
+                // Literal x/0 stays unfolded: the runtime error must fire.
+                if (rv != 0) return MakeConstExpr(WrapDiv(lv, rv));
+                break;
+              case ArithOp::kMod:
+                if (rv != 0) return MakeConstExpr(WrapMod(lv, rv));
+                break;
+            }
+            return MakeArith(std::move(left), n.op, std::move(right));
+          }
+          switch (n.op) {
+            case ArithOp::kAdd:
+              if (rconst && rv == 0) return left;
+              if (lconst && lv == 0) return right;
+              // Canonical: constant on the right.
+              if (lconst) return MakeArith(std::move(right), n.op,
+                                           std::move(left));
+              break;
+            case ArithOp::kSub:
+              if (rconst && rv == 0) return left;
+              break;
+            case ArithOp::kMul:
+              if (rconst && rv == 1) return left;
+              if (lconst && lv == 1) return right;
+              if (rconst && rv == 0 && CanElide(left)) {
+                return MakeConstExpr(0);
+              }
+              if (lconst && lv == 0 && CanElide(right)) {
+                return MakeConstExpr(0);
+              }
+              if (lconst) return MakeArith(std::move(right), n.op,
+                                           std::move(left));
+              break;
+            case ArithOp::kDiv:
+              if (rconst && rv == 1) return left;
+              break;
+            case ArithOp::kMod:
+              // x % 1 == 0 for every x (WrapMod(INT64_MIN, ... ) included).
+              if (rconst && rv == 1 && CanElide(left)) {
+                return MakeConstExpr(0);
+              }
+              break;
+          }
+          return MakeArith(std::move(left), n.op, std::move(right));
+        } else if constexpr (std::is_same_v<T, ExprCmp>) {
+          ExprPtr left = FoldExprNode(n.left);
+          ExprPtr right = FoldExprNode(n.right);
+          int64_t lv, rv;
+          const bool lconst = IsConstExpr(left, &lv);
+          const bool rconst = IsConstExpr(right, &rv);
+          if (lconst && rconst) {
+            return MakeConstExpr(EvalCmp(lv, n.op, rv) ? 1 : 0);
+          }
+          // Canonical: constant on the right, operator mirrored.
+          if (lconst) {
+            return MakeCmpExpr(std::move(right), MirrorOp(n.op),
+                               std::move(left));
+          }
+          return MakeCmpExpr(std::move(left), n.op, std::move(right));
+        } else {  // ExprCase
+          ExprPtr cond = FoldExprNode(n.cond);
+          ExprPtr then_expr = FoldExprNode(n.then_expr);
+          ExprPtr else_expr = FoldExprNode(n.else_expr);
+          int64_t cv;
+          if (IsConstExpr(cond, &cv)) {
+            // CASE is eager, so dropping the untaken branch elides it —
+            // legal only when that branch cannot error.
+            if (cv != 0 && CanElide(else_expr)) return then_expr;
+            if (cv == 0 && CanElide(then_expr)) return else_expr;
+          }
+          return MakeCaseExpr(std::move(cond), std::move(then_expr),
+                              std::move(else_expr));
+        }
+      },
+      e->node);
+}
+
 }  // namespace
 
 PredicatePtr Normalize(const PredicatePtr& p) { return NormalizeNode(p); }
 
 bool EquivalentNormalized(const PredicatePtr& a, const PredicatePtr& b) {
   return ToString(Normalize(a)) == ToString(Normalize(b));
+}
+
+ExprPtr FoldExpr(const ExprPtr& e) {
+  if (e == nullptr) return e;
+  return FoldExprNode(e);
 }
 
 }  // namespace rqp

@@ -1,6 +1,7 @@
 #ifndef RQP_EXPR_REWRITER_H_
 #define RQP_EXPR_REWRITER_H_
 
+#include "expr/expr.h"
 #include "expr/predicate.h"
 
 namespace rqp {
@@ -24,6 +25,26 @@ PredicatePtr Normalize(const PredicatePtr& p);
 /// (A syntactic equivalence check — sound but incomplete, which matches how
 /// real optimizers detect equivalence.)
 bool EquivalentNormalized(const PredicatePtr& a, const PredicatePtr& b);
+
+/// Constant-folds and simplifies a scalar expression tree before bytecode
+/// emission (the minmath-style optimizer half of the optimizer/bytecode
+/// split; ExprProgram is the bytecode half). Semantics-preserving under the
+/// engine's exact evaluation rules — wraparound arithmetic and the typed
+/// division-by-zero error — which shapes the rule set:
+///
+///  - const ⊕ const folds via the same Wrap* helpers evaluation uses; a
+///    literal division by zero is left UNfolded so the runtime error
+///    surfaces exactly as it would have.
+///  - Identities: x+0, 0+x, x-0, x*1, 1*x, x/1, -(-x), -(const), and
+///    const-const comparisons fold to 0/1.
+///  - ELIDING rewrites (x*0 → 0, 0*x → 0, x%1 → 0, constant-condition CASE
+///    dropping the untaken branch) apply only when the elided subtree
+///    cannot raise an error — i.e. contains no Div/Mod anywhere.
+///  - Canonicalization: commutative operands put the constant on the right
+///    (add/mul), comparisons mirror a constant left operand to the right.
+///  - NO algebraic shifting of comparisons (x + c1 < c2 ↛ x < c2 - c1):
+///    unsound under wraparound.
+ExprPtr FoldExpr(const ExprPtr& e);
 
 }  // namespace rqp
 

@@ -199,6 +199,12 @@ StatusOr<OperatorPtr> BuildExecutable(const PlanNode& plan,
                                      plan.right_key, hints);
       break;
     }
+    case PlanOp::kMap: {
+      auto child = build_child(0);
+      if (!child.ok()) return child.status();
+      op = std::make_unique<MapOp>(std::move(child.value()), plan.derived);
+      break;
+    }
     case PlanOp::kSort: {
       auto child = build_child(0);
       if (!child.ok()) return child.status();

@@ -163,6 +163,16 @@ void PlanCoster::Cost(PlanNode* node) const {
                                      PagesOf(std::max(l.est_rows, r.est_rows)));
       break;
     }
+    case PlanOp::kMap: {
+      assert(node->children.size() == 1);
+      const PlanNode& child = *node->children[0];
+      node->est_rows = child.est_rows;
+      node->est_cost = child.est_cost +
+                       child.est_rows *
+                           static_cast<double>(node->derived.size()) *
+                           cm.row_cpu;
+      break;
+    }
     case PlanOp::kSort: {
       assert(node->children.size() == 1);
       const PlanNode& child = *node->children[0];

@@ -715,8 +715,15 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
     joined = std::move(entries[0].plan);
   }
 
-  // 5. Aggregation.
+  // 5. Derived columns (expression-VM Map above the join tree), then
+  // aggregation: Map's output slots are visible to group_by/aggregates.
   PlanNodePtr root = std::move(joined);
+  if (!spec.derived.empty()) {
+    auto map = NewPlanNode(PlanOp::kMap, &id_counter);
+    map->derived = spec.derived;
+    map->children.push_back(std::move(root));
+    root = std::move(map);
+  }
   if (!spec.aggregates.empty() || !spec.group_by.empty()) {
     auto agg = NewPlanNode(PlanOp::kHashAgg, &id_counter);
     agg->group_by = spec.group_by;
@@ -730,6 +737,13 @@ StatusOr<OptimizationResult> Optimizer::Optimize(
   // bands and replace the nominal winner with the flattest-surface plan.
   if (robust_on) {
     auto with_agg = [&](PlanNodePtr p) -> PlanNodePtr {
+      if (!spec.derived.empty()) {
+        int mids = 0;
+        auto map = NewPlanNode(PlanOp::kMap, &mids);
+        map->derived = spec.derived;
+        map->children.push_back(std::move(p));
+        p = std::move(map);
+      }
       if (spec.aggregates.empty() && spec.group_by.empty()) return p;
       int ids = 0;
       auto agg = NewPlanNode(PlanOp::kHashAgg, &ids);

@@ -35,6 +35,9 @@ struct JoinEdge {
 struct QuerySpec {
   std::vector<TableRef> tables;
   std::vector<JoinEdge> joins;
+  /// Derived columns computed above the join tree (expression-VM Map node);
+  /// their names become slots visible to group_by/aggregates.
+  std::vector<DerivedColumn> derived;
   std::vector<std::string> group_by;  ///< qualified slots
   std::vector<AggSpec> aggregates;    ///< empty = no aggregation node
   std::vector<int64_t> params;        ///< parameter bindings (may be empty)

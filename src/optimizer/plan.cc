@@ -17,6 +17,7 @@ const char* PlanOpName(PlanOp op) {
     case PlanOp::kIndexNLJoin: return "IndexNLJoin";
     case PlanOp::kNestedLoopsJoin: return "NestedLoopsJoin";
     case PlanOp::kGJoin: return "GJoin";
+    case PlanOp::kMap: return "Map";
     case PlanOp::kSort: return "Sort";
     case PlanOp::kHashAgg: return "HashAgg";
     case PlanOp::kCheck: return "Check";
@@ -45,6 +46,7 @@ std::unique_ptr<PlanNode> PlanNode::Clone() const {
   copy->left_key = left_key;
   copy->right_key = right_key;
   copy->sort_key = sort_key;
+  copy->derived = derived;
   copy->group_by = group_by;
   copy->aggregates = aggregates;
   copy->check_lo = check_lo;
@@ -100,6 +102,15 @@ void ExplainRec(const PlanNode& node, bool with_estimates, int depth,
       *os << "(" << (node.predicate ? ToString(node.predicate) : "cross")
           << ")";
       break;
+    case PlanOp::kMap: {
+      *os << "(";
+      for (size_t i = 0; i < node.derived.size(); ++i) {
+        if (i) *os << ", ";
+        *os << node.derived[i].name << " = " << ToString(node.derived[i].expr);
+      }
+      *os << ")";
+      break;
+    }
     case PlanOp::kSort:
       *os << "(" << node.sort_key << ")";
       break;

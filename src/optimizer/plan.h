@@ -7,6 +7,7 @@
 
 #include "exec/batch.h"
 #include "exec/sort_agg_ops.h"
+#include "expr/expr.h"
 #include "expr/predicate.h"
 
 namespace rqp {
@@ -22,6 +23,7 @@ enum class PlanOp {
   kIndexNLJoin,  ///< left = outer, inner named by `table`
   kNestedLoopsJoin,
   kGJoin,
+  kMap,  ///< derived columns through the expression VM
   kSort,
   kHashAgg,
   kCheck,  ///< POP checkpoint with a validity range
@@ -48,6 +50,8 @@ struct PlanNode {
   std::string left_key, right_key;
   // Sort.
   std::string sort_key;
+  // Map (derived columns; expression trees are immutable and shared).
+  std::vector<DerivedColumn> derived;
   // Aggregation.
   std::vector<std::string> group_by;
   std::vector<AggSpec> aggregates;

@@ -1,0 +1,492 @@
+// Expression-VM tests (DESIGN.md §13): FoldExpr constant folding is
+// semantics-preserving under wraparound arithmetic and the typed
+// division-by-zero error, ExprProgram's op-major bytecode is bit-identical
+// to CompiledExpr's per-row tree walk (folded or not, dense or through a
+// selection vector), the shared IN-bitmap crossover constant keeps
+// CompiledPredicate and PredicateProgram on the same structure, and the
+// engine's Map path (derived columns + aggregates over them) is
+// byte-identical scalar vs vectorized at DOP 1 and 4, under 8-page spill
+// grants and fault injection. Runs under the `expr_vm` ctest label.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "expr/expr.h"
+#include "expr/expr_program.h"
+#include "expr/pred_program.h"
+#include "expr/predicate.h"
+#include "expr/rewriter.h"
+#include "storage/data_generator.h"
+#include "util/rng.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+
+// ---- constant folding ------------------------------------------------------
+
+std::string Folded(const ExprPtr& e) { return ToString(FoldExpr(e)); }
+
+TEST(FoldExprTest, ConstantArithmeticFoldsWithWraparound) {
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(2), ArithOp::kAdd,
+                             MakeConstExpr(3))),
+            ToString(MakeConstExpr(5)));
+  // INT64_MAX + 1 wraps to INT64_MIN — folding must use the same Wrap*
+  // helpers evaluation uses, not host signed arithmetic.
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(kI64Max), ArithOp::kAdd,
+                             MakeConstExpr(1))),
+            ToString(MakeConstExpr(kI64Min)));
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(kI64Min), ArithOp::kMul,
+                             MakeConstExpr(-1))),
+            ToString(MakeConstExpr(kI64Min)));
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(kI64Min), ArithOp::kDiv,
+                             MakeConstExpr(-1))),
+            ToString(MakeConstExpr(kI64Min)));
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(kI64Min), ArithOp::kMod,
+                             MakeConstExpr(-1))),
+            ToString(MakeConstExpr(0)));
+  EXPECT_EQ(Folded(MakeNegExpr(MakeConstExpr(kI64Min))),
+            ToString(MakeConstExpr(kI64Min)));
+  EXPECT_EQ(Folded(MakeCmpExpr(MakeConstExpr(3), CmpOp::kLt,
+                               MakeConstExpr(7))),
+            ToString(MakeConstExpr(1)));
+}
+
+TEST(FoldExprTest, IdentitiesSimplify) {
+  const ExprPtr a = MakeColExpr("a");
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kAdd, MakeConstExpr(0))),
+            ToString(a));
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(0), ArithOp::kAdd, a)),
+            ToString(a));
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kSub, MakeConstExpr(0))),
+            ToString(a));
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kMul, MakeConstExpr(1))),
+            ToString(a));
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kDiv, MakeConstExpr(1))),
+            ToString(a));
+  EXPECT_EQ(Folded(MakeNegExpr(MakeNegExpr(a))), ToString(a));
+  // Elidable zero-product and x % 1 collapse to the literal.
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kMul, MakeConstExpr(0))),
+            ToString(MakeConstExpr(0)));
+  EXPECT_EQ(Folded(MakeArith(a, ArithOp::kMod, MakeConstExpr(1))),
+            ToString(MakeConstExpr(0)));
+}
+
+TEST(FoldExprTest, ConstantsCanonicalizeToTheRight) {
+  const ExprPtr a = MakeColExpr("a");
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(5), ArithOp::kAdd, a)),
+            ToString(MakeArith(a, ArithOp::kAdd, MakeConstExpr(5))));
+  EXPECT_EQ(Folded(MakeArith(MakeConstExpr(5), ArithOp::kMul, a)),
+            ToString(MakeArith(a, ArithOp::kMul, MakeConstExpr(5))));
+  // Comparisons mirror the operator when the constant moves.
+  EXPECT_EQ(Folded(MakeCmpExpr(MakeConstExpr(5), CmpOp::kLt, a)),
+            ToString(MakeCmpExpr(a, CmpOp::kGt, MakeConstExpr(5))));
+}
+
+TEST(FoldExprTest, ErrorPreservationGatesEliding) {
+  const ExprPtr a = MakeColExpr("a");
+  const ExprPtr b = MakeColExpr("b");
+  const ExprPtr a_div_b = MakeArith(a, ArithOp::kDiv, b);
+
+  // A literal division by zero stays unfolded so the runtime error fires.
+  const ExprPtr div0 =
+      MakeArith(MakeConstExpr(1), ArithOp::kDiv, MakeConstExpr(0));
+  EXPECT_EQ(Folded(div0), ToString(div0));
+
+  // (a/b) * 0 may NOT fold to 0: the division can still error.
+  EXPECT_EQ(Folded(MakeArith(a_div_b, ArithOp::kMul, MakeConstExpr(0))),
+            ToString(MakeArith(a_div_b, ArithOp::kMul, MakeConstExpr(0))));
+  // (a/b) % 1 likewise keeps the division alive.
+  EXPECT_NE(Folded(MakeArith(a_div_b, ArithOp::kMod, MakeConstExpr(1))),
+            ToString(MakeConstExpr(0)));
+  // But a division-free subtree does elide.
+  EXPECT_EQ(Folded(MakeArith(MakeArith(a, ArithOp::kAdd, b), ArithOp::kMul,
+                             MakeConstExpr(0))),
+            ToString(MakeConstExpr(0)));
+
+  // Constant-condition CASE drops the untaken branch only when that branch
+  // cannot error (CASE is eager: both branches always run).
+  EXPECT_EQ(Folded(MakeCaseExpr(MakeConstExpr(1), a, b)), ToString(a));
+  EXPECT_EQ(Folded(MakeCaseExpr(MakeConstExpr(0), a, b)), ToString(b));
+  EXPECT_EQ(Folded(MakeCaseExpr(MakeConstExpr(1), a, a_div_b)),
+            ToString(MakeCaseExpr(MakeConstExpr(1), a, a_div_b)));
+  EXPECT_EQ(Folded(MakeCaseExpr(MakeConstExpr(0), a_div_b, b)),
+            ToString(MakeCaseExpr(MakeConstExpr(0), a_div_b, b)));
+}
+
+// ---- randomized corpus: folded vs unfolded vs tree walk vs VM --------------
+
+/// Depth-limited random expression over columns {a, b, c} and a constant
+/// pool rich in wraparound and divisor edge cases.
+ExprPtr RandomExpr(Rng* rng, int depth) {
+  static const int64_t kConsts[] = {0,  1,  -1, 2,       7,       -7,
+                                    97, kI64Max, kI64Min, 4096, 1000000};
+  static const char* kCols[] = {"a", "b", "c"};
+  if (depth <= 0 || rng->Uniform(0, 3) == 0) {
+    if (rng->Uniform(0, 1) == 0) {
+      return MakeColExpr(kCols[rng->Uniform(0, 2)]);
+    }
+    return MakeConstExpr(
+        kConsts[rng->Uniform(0, sizeof(kConsts) / sizeof(kConsts[0]) - 1)]);
+  }
+  switch (rng->Uniform(0, 7)) {
+    case 0:
+      return MakeNegExpr(RandomExpr(rng, depth - 1));
+    case 1:
+      return MakeArith(RandomExpr(rng, depth - 1), ArithOp::kAdd,
+                       RandomExpr(rng, depth - 1));
+    case 2:
+      return MakeArith(RandomExpr(rng, depth - 1), ArithOp::kSub,
+                       RandomExpr(rng, depth - 1));
+    case 3:
+      return MakeArith(RandomExpr(rng, depth - 1), ArithOp::kMul,
+                       RandomExpr(rng, depth - 1));
+    case 4:
+      return MakeArith(RandomExpr(rng, depth - 1),
+                       rng->Uniform(0, 1) == 0 ? ArithOp::kDiv : ArithOp::kMod,
+                       RandomExpr(rng, depth - 1));
+    case 5: {
+      static const CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                   CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+      return MakeCmpExpr(RandomExpr(rng, depth - 1), kOps[rng->Uniform(0, 5)],
+                         RandomExpr(rng, depth - 1));
+    }
+    default:
+      return MakeCaseExpr(RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1),
+                          RandomExpr(rng, depth - 1));
+  }
+}
+
+TEST(ExprVmEquivalenceTest, RandomCorpusBitForBit) {
+  const std::vector<std::string> slots = {"a", "b", "c"};
+  // Row values drawn from the same edge-heavy pool the generator uses.
+  const int64_t pool[] = {0, 1, -1, 2, -2, 7, 97, kI64Max, kI64Min,
+                          4095, 4097, -1000000};
+  Rng rows_rng(41);
+  const size_t kRows = 96;
+  std::vector<int64_t> batch;  // row-major, 3 columns
+  for (size_t i = 0; i < kRows; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      batch.push_back(
+          pool[rows_rng.Uniform(0, sizeof(pool) / sizeof(pool[0]) - 1)]);
+    }
+  }
+  const int64_t* cols[3] = {batch.data(), batch.data() + 1, batch.data() + 2};
+
+  Rng rng(7);
+  const Status div0 = ExprDivisionByZero();
+  int evaluable = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const ExprPtr e = RandomExpr(&rng, 4);
+    const ExprPtr folded = FoldExpr(e);
+
+    auto tree = CompiledExpr::Compile(e, slots);
+    auto tree_folded = CompiledExpr::Compile(folded, slots);
+    auto vm = ExprProgram::Compile(e, slots);
+    auto vm_folded = ExprProgram::Compile(folded, slots);
+    ASSERT_TRUE(tree.ok() && tree_folded.ok() && vm.ok() && vm_folded.ok())
+        << ToString(e);
+
+    // Per-row reference: the unfolded tree walk.
+    std::vector<int64_t> want(kRows, 0);
+    std::vector<bool> errs(kRows, false);
+    bool any_err = false;
+    for (size_t i = 0; i < kRows; ++i) {
+      const Status st = tree.value().Eval(&batch[i * 3], &want[i]);
+      errs[i] = !st.ok();
+      any_err |= errs[i];
+      if (!st.ok()) {
+        EXPECT_EQ(st.ToString(), div0.ToString()) << ToString(e);
+      }
+      // Folding is semantics-preserving row by row.
+      int64_t fv = 0;
+      const Status fst = tree_folded.value().Eval(&batch[i * 3], &fv);
+      EXPECT_EQ(fst.ok(), st.ok()) << ToString(e) << " row " << i;
+      if (st.ok() && fst.ok()) {
+        EXPECT_EQ(fv, want[i]) << ToString(e) << " row " << i;
+      }
+      // Scalar VM walk over the flat program.
+      int64_t pv = 0;
+      const Status pst = vm.value().EvalRow(&batch[i * 3], &pv);
+      EXPECT_EQ(pst.ok(), st.ok()) << ToString(e) << " row " << i;
+      if (st.ok() && pst.ok()) {
+        EXPECT_EQ(pv, want[i]) << ToString(e) << " row " << i;
+      }
+    }
+    if (!any_err) ++evaluable;
+
+    ExprScratch scratch;
+    for (const auto* prog : {&vm.value(), &vm_folded.value()}) {
+      // Dense: the whole batch errors iff any row errors, same fixed text.
+      std::vector<int64_t> out(kRows, 0);
+      const Status st = prog->EvalDense(cols, 3, kRows, out.data(), &scratch);
+      EXPECT_EQ(st.ok(), !any_err) << ToString(e);
+      if (!st.ok()) {
+        EXPECT_EQ(st.ToString(), div0.ToString()) << ToString(e);
+      } else {
+        EXPECT_EQ(out, want) << ToString(e);
+      }
+
+      // Selection: only selected lanes participate — errors in unselected
+      // rows are invisible, errors in selected rows still surface.
+      SelectionVector sel;
+      std::vector<int64_t> sel_want;
+      bool sel_err = false;
+      for (size_t i = 0; i < kRows; i += 3) {
+        sel.push_back(static_cast<uint32_t>(i));
+        sel_want.push_back(want[i]);
+        sel_err |= errs[i];
+      }
+      std::vector<int64_t> sel_out(sel.size(), 0);
+      const Status ss =
+          prog->EvalSelection(cols, 3, sel, sel_out.data(), &scratch);
+      EXPECT_EQ(ss.ok(), !sel_err) << ToString(e);
+      if (!ss.ok()) {
+        EXPECT_EQ(ss.ToString(), div0.ToString()) << ToString(e);
+      } else if (!sel_err) {
+        EXPECT_EQ(sel_out, sel_want) << ToString(e);
+      }
+    }
+  }
+  // The corpus must actually exercise the success path, not just errors.
+  EXPECT_GT(evaluable, 50);
+}
+
+// ---- shared IN-bitmap crossover (satellite regression) ---------------------
+
+static_assert(CompiledPredicate::kInBitmapSpan == kInDenseBitmapSpan,
+              "scalar IN crossover must track the shared constant");
+
+TEST(InBitmapSpanTest, BothPathsAgreeAcrossTheCrossover) {
+  // Two IN lists straddling the crossover: span just inside the bitmap
+  // threshold and span just past it (binary search). Scalar tree walk and
+  // vectorized bytecode must agree on membership for every probe value
+  // around the boundary, whichever structure each one picked.
+  const std::vector<std::string> slots = {"a"};
+  const int64_t lo = -17;
+  for (const int64_t span : {kInDenseBitmapSpan - 1, kInDenseBitmapSpan + 1}) {
+    const std::vector<int64_t> values = {lo, lo + 3, lo + span / 2, lo + span};
+    auto compiled = CompiledPredicate::Compile(MakeIn("a", values), slots);
+    auto program = PredicateProgram::Compile(MakeIn("a", values), slots);
+    ASSERT_TRUE(compiled.ok());
+    ASSERT_TRUE(program.ok());
+
+    std::vector<int64_t> probes;
+    for (int64_t v = lo - 2; v <= lo + 6; ++v) probes.push_back(v);
+    for (const int64_t v : values) {
+      for (int64_t d = -1; d <= 1; ++d) probes.push_back(v + d);
+    }
+    probes.push_back(lo + span + 2);
+    probes.push_back(kI64Min);
+    probes.push_back(kI64Max);
+
+    SelectionVector expect;
+    for (size_t i = 0; i < probes.size(); ++i) {
+      const bool want = compiled.value().Eval(&probes[i]);
+      EXPECT_EQ(program.value().EvalRow(&probes[i]), want)
+          << "span " << span << " probe " << probes[i];
+      if (want) expect.push_back(static_cast<uint32_t>(i));
+    }
+    const int64_t* cols[1] = {probes.data()};
+    SelectionVector sel;
+    program.value().BuildSelection(cols, 1, probes.size(), &sel);
+    EXPECT_EQ(sel, expect) << "span " << span;
+  }
+}
+
+// ---- engine-level byte identity through the Map path -----------------------
+
+struct ExprVmFixture : ::testing::Test {
+  Catalog catalog;
+
+  void SetUp() override {
+    StarSchemaSpec spec;
+    spec.fact_rows = 20000;
+    spec.dim_rows = 500;
+    spec.num_dimensions = 3;
+    BuildStarSchema(&catalog, spec);
+  }
+
+  std::string SpillDir(const std::string& tag) {
+    return (fs::temp_directory_path() /
+            ("rqp-expr-vm-test-" + std::to_string(getpid()) + "-" + tag))
+        .string();
+  }
+
+  StatusOr<QueryResult> RunMode(const QuerySpec& q, bool vectorized, int dop,
+                                EngineOptions options) {
+    options.vectorized = vectorized ? 1 : 0;
+    options.num_threads = dop;
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    return engine.Run(q, /*keep_rows=*/true);
+  }
+
+  static std::vector<int64_t> Flatten(const QueryResult& r) {
+    std::vector<int64_t> values;
+    for (const auto& b : r.rows) {
+      for (size_t i = 0; i < b.num_rows(); ++i) {
+        const int64_t* row = b.row(i);
+        values.insert(values.end(), row, row + b.num_cols());
+      }
+    }
+    return values;
+  }
+
+  void CheckModesIdentical(const QuerySpec& q,
+                           EngineOptions options = EngineOptions()) {
+    for (const int dop : {1, 4}) {
+      auto scalar = RunMode(q, /*vectorized=*/false, dop, options);
+      ASSERT_TRUE(scalar.ok()) << "scalar dop " << dop << ": "
+                               << scalar.status().ToString();
+      auto vec = RunMode(q, /*vectorized=*/true, dop, options);
+      ASSERT_TRUE(vec.ok()) << "vectorized dop " << dop << ": "
+                            << vec.status().ToString();
+      EXPECT_EQ(vec->output_rows, scalar->output_rows) << "dop " << dop;
+      EXPECT_EQ(Flatten(*vec), Flatten(*scalar)) << "dop " << dop;
+      EXPECT_EQ(vec->counters.predicate_evals, scalar->counters.predicate_evals)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.hash_ops, scalar->counters.hash_ops)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.pages_read, scalar->counters.pages_read)
+          << "dop " << dop;
+      EXPECT_EQ(vec->counters.rows_processed, scalar->counters.rows_processed)
+          << "dop " << dop;
+      EXPECT_NEAR(vec->cost, scalar->cost,
+                  1e-9 * (1.0 + std::abs(scalar->cost)))
+          << "dop " << dop;
+    }
+  }
+
+  /// Star-join query with derived columns over the joined slots and
+  /// aggregates over the derived slots — the full Map → HashAgg path.
+  QuerySpec DerivedStarQuery() {
+    QuerySpec q = workload::StarQuery(3, {2500, 3500, 4500});
+    q.derived = {
+        {"m2", MakeArith(MakeColExpr("fact.measure"), ArithOp::kMod,
+                         MakeConstExpr(97))},
+        {"m3", MakeCaseExpr(
+                   MakeCmpExpr(MakeColExpr("fact.fk0"), CmpOp::kLt,
+                               MakeConstExpr(250)),
+                   MakeColExpr("fact.measure"),
+                   MakeNegExpr(MakeColExpr("fact.measure")))},
+    };
+    q.group_by = {"dim0.band"};
+    q.aggregates = {{AggFn::kCount, "", "cnt"},
+                    {AggFn::kSum, "m3", "sum_m3"},
+                    {AggFn::kMin, "m3", "min_m3"},
+                    {AggFn::kMax, "m2", "max_m2"}};
+    return q;
+  }
+};
+
+TEST_F(ExprVmFixture, ProjectionByteIdentical) {
+  // Derived columns with no aggregation: MapOp output flows straight out.
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeBetween("measure", 0, 2000)});
+  q.derived = {
+      {"d0", MakeArith(MakeArith(MakeColExpr("fact.measure"), ArithOp::kMul,
+                                 MakeConstExpr(3)),
+                       ArithOp::kSub, MakeColExpr("fact.fk1"))},
+      {"d1", MakeArith(MakeColExpr("fact.measure"), ArithOp::kDiv,
+                       MakeArith(MakeColExpr("fact.fk0"), ArithOp::kAdd,
+                                 MakeConstExpr(1)))},
+  };
+  CheckModesIdentical(q);
+}
+
+TEST_F(ExprVmFixture, GroupByDerivedSlotByteIdentical) {
+  // Grouping on a derived slot exercises Map feeding HashAgg key assembly.
+  QuerySpec q;
+  q.tables.push_back({"fact", MakeCmp("measure", CmpOp::kLt, 5000)});
+  q.derived = {{"bucket", MakeArith(MakeColExpr("fact.measure"), ArithOp::kDiv,
+                                    MakeConstExpr(500))}};
+  q.group_by = {"bucket"};
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"}};
+  CheckModesIdentical(q);
+}
+
+TEST_F(ExprVmFixture, DerivedStarQueryByteIdentical) {
+  CheckModesIdentical(DerivedStarQuery());
+}
+
+TEST_F(ExprVmFixture, DerivedByteIdenticalUnderSpill) {
+  EngineOptions options;
+  options.memory_pages = 8;
+  options.spill_dir = SpillDir("spill");
+  CheckModesIdentical(DerivedStarQuery(), options);
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(ExprVmFixture, DerivedByteIdenticalUnderFaultInjection) {
+  EngineOptions options;
+  options.spill_dir = SpillDir("faults");
+  options.faults.MemoryDrop(120, 64)
+      .IoSlowdown("fact", 2.0, /*at_cost=*/50, /*until_cost=*/600)
+      .ScanFailures("fact", 0.2, /*at_cost=*/0, /*until_cost=*/300);
+  CheckModesIdentical(DerivedStarQuery(), options);
+  fs::remove_all(options.spill_dir);
+}
+
+TEST_F(ExprVmFixture, DivisionByZeroFailsIdenticallyInBothModes) {
+  // x - x does not fold (no such rule), so every row divides by zero; both
+  // modes must surface the same payload-free status.
+  QuerySpec q;
+  q.tables.push_back({"fact", nullptr});
+  q.derived = {{"boom", MakeArith(MakeColExpr("fact.measure"), ArithOp::kDiv,
+                                  MakeArith(MakeColExpr("fact.fk0"),
+                                            ArithOp::kSub,
+                                            MakeColExpr("fact.fk0")))}};
+  const Status want = ExprDivisionByZero();
+  for (const int dop : {1, 4}) {
+    for (const int vectorized : {0, 1}) {
+      auto r = RunMode(q, vectorized != 0, dop, EngineOptions());
+      ASSERT_FALSE(r.ok()) << "vectorized=" << vectorized << " dop " << dop;
+      EXPECT_EQ(r.status().ToString(), want.ToString())
+          << "vectorized=" << vectorized << " dop " << dop;
+    }
+  }
+}
+
+TEST_F(ExprVmFixture, CachedResultByteIdenticalAcrossModes) {
+  // Result-cache keys hash the query spec, never the execution mode, so a
+  // cached entry must be indistinguishable from either mode's fresh run —
+  // and the two modes' cached entries must match each other byte for byte.
+  const QuerySpec q = DerivedStarQuery();
+  std::vector<int64_t> cached_flat[2];
+  for (const int vectorized : {0, 1}) {
+    EngineOptions options;
+    options.use_result_cache = 1;
+    options.vectorized = vectorized;
+    options.num_threads = 1;
+    Engine engine(&catalog, options);
+    engine.AnalyzeAll();
+    auto first = engine.Run(q, /*keep_rows=*/true);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    EXPECT_FALSE(first->result_cache_hit) << "vectorized=" << vectorized;
+    auto replay = engine.Run(q, /*keep_rows=*/true);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_TRUE(replay->result_cache_hit) << "vectorized=" << vectorized;
+    EXPECT_EQ(replay->output_rows, first->output_rows);
+    EXPECT_EQ(Flatten(*replay), Flatten(*first)) << "vectorized=" << vectorized;
+    cached_flat[vectorized] = Flatten(*replay);
+  }
+  EXPECT_EQ(cached_flat[0], cached_flat[1]);
+}
+
+}  // namespace
+}  // namespace rqp

@@ -1,0 +1,365 @@
+// E29 — Sharded distributed execution with skew-robust exchange (PR 9;
+// DESIGN.md §14). Two reports on the deterministic cost clock:
+//
+//   speedup   shard-count curves (1/2/4/8) for a co-located star join (zero
+//             exchange traffic) and a repartitioning join (the anchor
+//             re-shuffles onto the join key);
+//   skew      a repartitioning join at 4 shards under uniform, Zipf(1.1),
+//             and single-hot-key probe distributions, with the skew
+//             mitigations (morsel stealing + hot-key diversion) off and on.
+//
+// Every configuration of the same query must produce byte-identical
+// aggregate answers — the bench aborts on any divergence. No wall clock
+// anywhere: the whole report and BENCH_shard.json reproduce byte-for-byte,
+// and CI diffs two runs. `--deterministic` shrinks the tables for the CI
+// smoke; the acceptance gates hold at both sizes:
+//   * >= 2x elapsed speedup at 4 shards on the co-located join;
+//   * single-hot-key degradation vs uniform strictly smaller with the
+//     mitigations on than off.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "shard/sharded_engine.h"
+#include "workload/workloads.h"
+
+namespace rqp {
+namespace {
+
+/// FNV-1a over output rows — the cross-configuration identity witness.
+uint64_t Checksum(const QueryResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](int64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<uint64_t>(v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(r.output_rows);
+  for (const auto& b : r.rows) {
+    for (size_t i = 0; i < b.num_rows(); ++i) {
+      const int64_t* row = b.row(i);
+      for (size_t c = 0; c < b.num_cols(); ++c) mix(row[c]);
+    }
+  }
+  return h;
+}
+
+struct Sizes {
+  int64_t fact_rows;
+  int64_t dim_rows;
+  int64_t probe_rows;
+  int64_t build_rows;
+};
+
+struct ShardRun {
+  double cost = 0;
+  double elapsed = 0;
+  uint64_t checksum = 0;
+  int64_t output_rows = 0;
+  int64_t rows_shuffled = 0;
+  int64_t rows_broadcast = 0;
+  int64_t morsels_stolen = 0;
+  int64_t hot_keys = 0;
+  double max_shard_cost = 0;  ///< work on the busiest shard (imbalance)
+};
+
+ShardRun RunSharded(Catalog* catalog, const QuerySpec& q, int shards,
+                    const PartitionMap& parts, bool mitigations) {
+  EngineOptions eopts;
+  eopts.num_threads = 1;  // isolate shard scaling from intra-shard DOP
+  ShardOptions sopts;
+  sopts.num_shards = shards;
+  sopts.partitions = parts;
+  sopts.morsel_stealing = mitigations;
+  sopts.hotkey_handling = mitigations;
+  ShardedEngine engine(catalog, eopts, sopts);
+  engine.AnalyzeAll();
+  auto r = bench::ValueOrDie(engine.Run(q, /*keep_rows=*/true), "shard run");
+  ShardRun out;
+  out.cost = r.cost;
+  out.elapsed = r.elapsed;
+  out.checksum = Checksum(r);
+  out.output_rows = r.output_rows;
+  out.rows_shuffled = r.counters.rows_shuffled;
+  out.rows_broadcast = r.counters.rows_broadcast;
+  out.morsels_stolen = r.counters.morsels_stolen;
+  out.hot_keys = r.counters.hot_keys;
+  for (const auto& st : r.shard_stats) {
+    out.max_shard_cost = std::max(out.max_shard_cost, st.cost);
+  }
+  return out;
+}
+
+void RequireIdentical(uint64_t want, const ShardRun& got, const char* what) {
+  if (got.checksum != want) {
+    std::fprintf(stderr,
+                 "FATAL: %s diverged (checksum %016" PRIx64
+                 " expected %016" PRIx64 ")\n",
+                 what, got.checksum, want);
+    std::abort();
+  }
+}
+
+struct CurveRow {
+  std::string plan;
+  int shards;
+  ShardRun run;
+  double speedup;
+};
+
+/// Shard-count speedup curves: co-located vs repartitioning star join.
+std::vector<CurveRow> SpeedupCurves(const Sizes& sz) {
+  Catalog catalog;
+  StarSchemaSpec spec;
+  spec.fact_rows = sz.fact_rows;
+  spec.dim_rows = sz.dim_rows;
+  spec.num_dimensions = 2;
+  BuildStarSchema(&catalog, spec);
+
+  QuerySpec q = workload::StarQuery(2, {sz.dim_rows * 5, sz.dim_rows * 7});
+  q.group_by = {"dim0.band"};
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "fact.measure", "sum_m"},
+                  {AggFn::kMin, "fact.measure", "min_m"},
+                  {AggFn::kMax, "fact.measure", "max_m"}};
+
+  PartitionMap colocated;
+  colocated["fact"] = {PartitionSpec::Kind::kHash, "fk0"};
+  colocated["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  // Anchor partitioned off the join key: every shard-count > 1 pays real
+  // exchange traffic (the planner replicates the misaligned dimension).
+  PartitionMap repart;
+  repart["fact"] = {PartitionSpec::Kind::kHash, "measure"};
+  repart["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+
+  std::vector<CurveRow> rows;
+  for (const auto& [name, parts] :
+       std::vector<std::pair<std::string, PartitionMap>>{
+           {"colocated", colocated}, {"repartitioning", repart}}) {
+    uint64_t want = 0;
+    double base_elapsed = 0;
+    for (int shards : {1, 2, 4, 8}) {
+      ShardRun run = RunSharded(&catalog, q, shards, parts,
+                                /*mitigations=*/true);
+      if (shards == 1) {
+        want = run.checksum;
+        base_elapsed = run.elapsed;
+      }
+      RequireIdentical(want, run, name.c_str());
+      rows.push_back({name, shards, run, base_elapsed / run.elapsed});
+    }
+  }
+
+  TablePrinter t({"plan", "shards", "cost", "elapsed", "speedup",
+                  "shuffled", "broadcast", "rows"});
+  for (const CurveRow& r : rows) {
+    t.AddRow({r.plan, TablePrinter::Int(r.shards),
+              TablePrinter::Num(r.run.cost, 0),
+              TablePrinter::Num(r.run.elapsed, 0),
+              TablePrinter::Num(r.speedup, 2) + "x",
+              TablePrinter::Int(r.run.rows_shuffled),
+              TablePrinter::Int(r.run.rows_broadcast),
+              TablePrinter::Int(r.run.output_rows)});
+  }
+  std::printf("shard-count speedup (star join, fact=%lld):\n",
+              static_cast<long long>(sz.fact_rows));
+  t.Print();
+  std::printf("\n");
+
+  // Gate 1: >= 2x elapsed speedup at 4 shards on the co-located join.
+  for (const CurveRow& r : rows) {
+    if (r.plan == "colocated" && r.shards == 4 && r.speedup < 2.0) {
+      std::fprintf(stderr,
+                   "FATAL: co-located speedup at 4 shards is %.2fx (< 2x)\n",
+                   r.speedup);
+      std::abort();
+    }
+  }
+  return rows;
+}
+
+struct SkewRow {
+  std::string dist;
+  ShardRun off, on;
+  double deg_off, deg_on;  ///< elapsed relative to the uniform distribution
+};
+
+/// Builds probe(k, other, pay) with the given key column and build(k, v);
+/// probe is partitioned off the join key so the anchor must re-shuffle on k
+/// — the configuration where key skew concentrates on one owner shard.
+void BuildProbeBuild(Catalog* catalog, std::vector<int64_t> keys,
+                     const Sizes& sz) {
+  Table* probe = catalog->AddTable(
+      "probe", Schema({{"k", LogicalType::kInt64, 0, nullptr},
+                       {"other", LogicalType::kInt64, 0, nullptr},
+                       {"pay", LogicalType::kInt64, 0, nullptr}})).value();
+  const int64_t n = static_cast<int64_t>(keys.size());
+  Rng rng(1234);
+  probe->SetColumnData(0, std::move(keys));
+  probe->SetColumnData(1, gen::Uniform(&rng, n, 0, 999999));
+  probe->SetColumnData(2, gen::Uniform(&rng, n, 0, 10000));
+  Table* build = catalog->AddTable(
+      "build", Schema({{"k", LogicalType::kInt64, 0, nullptr},
+                       {"v", LogicalType::kInt64, 0, nullptr}})).value();
+  build->SetColumnData(0, gen::Sequential(sz.build_rows));
+  build->SetColumnData(1, gen::Sequential(sz.build_rows, 100));
+}
+
+std::vector<SkewRow> SkewTable(const Sizes& sz) {
+  QuerySpec q;
+  q.tables.push_back({"probe", nullptr});
+  q.tables.push_back({"build", nullptr});
+  q.joins.push_back({"probe", "k", "build", "k"});
+  q.aggregates = {{AggFn::kCount, "", "cnt"},
+                  {AggFn::kSum, "probe.pay", "sum_pay"},
+                  {AggFn::kMax, "probe.pay", "max_pay"}};
+
+  PartitionMap parts;
+  parts["probe"] = {PartitionSpec::Kind::kHash, "other"};
+  parts["build"] = {PartitionSpec::Kind::kHash, "k"};
+
+  struct Dist {
+    const char* name;
+    std::vector<int64_t> keys;
+  };
+  std::vector<Dist> dists;
+  {
+    Rng rng(7);
+    dists.push_back(
+        {"uniform", gen::Uniform(&rng, sz.probe_rows, 0, sz.build_rows - 1)});
+    dists.push_back(
+        {"zipf-1.1", gen::Zipf(&rng, sz.probe_rows, sz.build_rows, 1.1)});
+    // 30% of the probe on one key, the rest uniform.
+    std::vector<int64_t> hot =
+        gen::Uniform(&rng, sz.probe_rows * 7 / 10, 0, sz.build_rows - 1);
+    hot.insert(hot.end(), static_cast<size_t>(sz.probe_rows -
+               static_cast<int64_t>(hot.size())), 7);
+    dists.push_back({"single-hot-key", std::move(hot)});
+  }
+
+  std::vector<SkewRow> rows;
+  for (Dist& d : dists) {
+    Catalog catalog;
+    BuildProbeBuild(&catalog, std::move(d.keys), sz);
+    SkewRow row;
+    row.dist = d.name;
+    row.off = RunSharded(&catalog, q, 4, parts, /*mitigations=*/false);
+    row.on = RunSharded(&catalog, q, 4, parts, /*mitigations=*/true);
+    RequireIdentical(row.off.checksum, row.on, d.name);
+    rows.push_back(std::move(row));
+  }
+  // Degradation: elapsed relative to the uniform distribution in the same
+  // mitigation mode — how much the skew alone costs.
+  for (SkewRow& r : rows) {
+    r.deg_off = r.off.elapsed / rows[0].off.elapsed;
+    r.deg_on = r.on.elapsed / rows[0].on.elapsed;
+  }
+
+  TablePrinter t({"distribution", "mitig.", "elapsed", "degradation",
+                  "max shard cost", "stolen", "hot keys"});
+  for (const SkewRow& r : rows) {
+    t.AddRow({r.dist, "off", TablePrinter::Num(r.off.elapsed, 0),
+              TablePrinter::Num(r.deg_off, 2) + "x",
+              TablePrinter::Num(r.off.max_shard_cost, 0),
+              TablePrinter::Int(r.off.morsels_stolen),
+              TablePrinter::Int(r.off.hot_keys)});
+    t.AddRow({r.dist, "on", TablePrinter::Num(r.on.elapsed, 0),
+              TablePrinter::Num(r.deg_on, 2) + "x",
+              TablePrinter::Num(r.on.max_shard_cost, 0),
+              TablePrinter::Int(r.on.morsels_stolen),
+              TablePrinter::Int(r.on.hot_keys)});
+  }
+  std::printf("skew degradation at 4 shards (repartitioning join, "
+              "probe=%lld):\n",
+              static_cast<long long>(sz.probe_rows));
+  t.Print();
+  std::printf("\n");
+
+  // Gate 2: the single-hot-key degradation vs uniform is strictly smaller
+  // with the mitigations on.
+  const SkewRow& hot = rows.back();
+  if (!(hot.deg_on < hot.deg_off)) {
+    std::fprintf(stderr,
+                 "FATAL: hot-key degradation %.3fx with mitigations on is "
+                 "not below %.3fx with them off\n",
+                 hot.deg_on, hot.deg_off);
+    std::abort();
+  }
+  return rows;
+}
+
+void Run(bool deterministic) {
+  const Sizes sz = deterministic
+                       ? Sizes{40000, 1000, 30000, 15000}
+                       : Sizes{100000, 2000, 80000, 40000};
+
+  bench::Banner("E29", "Sharded execution with skew-robust exchange",
+                "Graefe et al., Dagstuhl 10381 robust query processing; "
+                "DeWitt et al., practical skew handling in parallel joins");
+
+  std::vector<CurveRow> curves = SpeedupCurves(sz);
+  std::vector<SkewRow> skew = SkewTable(sz);
+
+  const double colo4 =
+      std::find_if(curves.begin(), curves.end(), [](const CurveRow& r) {
+        return r.plan == "colocated" && r.shards == 4;
+      })->speedup;
+  std::printf("co-located 4-shard speedup %.2fx (>= 2x); hot-key "
+              "degradation %.2fx off -> %.2fx on; all checksums "
+              "identical.\n",
+              colo4, skew.back().deg_off, skew.back().deg_on);
+
+  FILE* f = std::fopen("BENCH_shard.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot write BENCH_shard.json\n");
+    std::abort();
+  }
+  std::fprintf(f,
+               "{\n  \"experiment\": \"E29\",\n  \"fact_rows\": %lld,\n"
+               "  \"probe_rows\": %lld,\n  \"speedup\": [\n",
+               static_cast<long long>(sz.fact_rows),
+               static_cast<long long>(sz.probe_rows));
+  for (size_t i = 0; i < curves.size(); ++i) {
+    const CurveRow& r = curves[i];
+    std::fprintf(f,
+                 "    {\"plan\": \"%s\", \"shards\": %d, \"cost\": %.0f, "
+                 "\"elapsed\": %.0f, \"speedup\": %.3f, "
+                 "\"rows_shuffled\": %lld, \"rows_broadcast\": %lld}%s\n",
+                 r.plan.c_str(), r.shards, r.run.cost, r.run.elapsed,
+                 r.speedup, static_cast<long long>(r.run.rows_shuffled),
+                 static_cast<long long>(r.run.rows_broadcast),
+                 i + 1 < curves.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"skew\": [\n");
+  for (size_t i = 0; i < skew.size(); ++i) {
+    const SkewRow& r = skew[i];
+    std::fprintf(f,
+                 "    {\"distribution\": \"%s\", "
+                 "\"elapsed_off\": %.0f, \"elapsed_on\": %.0f, "
+                 "\"degradation_off\": %.3f, \"degradation_on\": %.3f, "
+                 "\"morsels_stolen\": %lld, \"hot_keys\": %lld}%s\n",
+                 r.dist.c_str(), r.off.elapsed, r.on.elapsed, r.deg_off,
+                 r.deg_on, static_cast<long long>(r.on.morsels_stolen),
+                 static_cast<long long>(r.on.hot_keys),
+                 i + 1 < skew.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_shard.json\n");
+}
+
+}  // namespace
+}  // namespace rqp
+
+int main(int argc, char** argv) {
+  const bool deterministic =
+      argc > 1 && std::strcmp(argv[1], "--deterministic") == 0;
+  rqp::Run(deterministic);
+  return 0;
+}

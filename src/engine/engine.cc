@@ -77,7 +77,9 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
         if (options_.plan_cache_skip_verification) po.verify_factor = 1e18;
         return po;
       }()),
-      engine_tag_(MakeEngineTag()) {
+      engine_tag_(options_.engine_tag_suffix.empty()
+                      ? MakeEngineTag()
+                      : MakeEngineTag() + "-" + options_.engine_tag_suffix) {
   result_cache_enabled_ = ResolveResultCacheEnabled(options_.use_result_cache);
   vectorized_ = ResolveVectorized(options_.vectorized);
   ResultCache::Options ro = options_.result_cache;

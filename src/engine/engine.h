@@ -116,6 +116,10 @@ struct EngineOptions {
   /// `<spill_dir>/q<seq>-a<attempt>/` and the directory is removed when the
   /// attempt's context dies — success, abort, and cancellation alike.
   std::string spill_dir;
+  /// Suffix appended to the process-unique engine tag (PR 9). Shard engines
+  /// pass "s<i>" so N shards sharing one $RQP_SPILL_DIR spill into
+  /// collision-free per-shard subdirectories (`<tag>-s<i>-q<seq>-a<n>/`).
+  std::string engine_tag_suffix;
   CostModel cost_model;
   /// Runtime guardrails (fuses, budgets, safe-plan retry).
   GuardrailOptions guardrails;
@@ -208,6 +212,22 @@ struct QueryResult {
   /// Faults encountered during execution (summed over attempts) plus the
   /// statistics perturbations applied before optimization.
   FaultCounters faults;
+  /// Sharded execution (PR 9; filled by ShardedEngine::Run, empty
+  /// otherwise). One entry per shard with that shard's slice of the work.
+  struct ShardStats {
+    int shard = 0;
+    double cost = 0;             ///< shard-local total work
+    double elapsed = 0;          ///< shard-local simulated elapsed
+    int64_t output_rows = 0;     ///< rows the shard contributed pre-merge
+    int64_t rows_shuffled = 0;   ///< rows this shard's senders repartitioned
+    int64_t rows_broadcast = 0;  ///< row copies this shard's senders replicated
+    int64_t morsels_stolen = 0;  ///< morsels this shard received from stealing
+    int64_t spill_pages = 0;     ///< shard-local spill pages written
+  };
+  std::vector<ShardStats> shard_stats;
+  /// Co-location pass verdict (ShardQueryPlan::Describe()); empty when the
+  /// query ran unsharded.
+  std::string shard_strategy;
 };
 
 /// The query engine facade: statistics, correlations, feedback, optimizer,
@@ -254,6 +274,8 @@ class Engine {
   MemoryBroker* memory() { return &memory_; }
   EngineOptions* mutable_options() { return &options_; }
   const EngineOptions& options() const { return options_; }
+  /// Process-unique spill-naming tag (plus any configured suffix).
+  const std::string& engine_tag() const { return engine_tag_; }
 
  private:
   void HarvestFeedback(const PlanNode& plan,

@@ -33,6 +33,7 @@ struct CostModel {
   double compare_op = 1.0 / 512; ///< comparison (sort/merge) per op
   double spill_page_write = 1.0; ///< spill partition write per page
   double spill_page_read = 1.0;  ///< spill partition re-read per page
+  double exchange_page = 1.0;    ///< cross-shard exchange transfer per page
 };
 
 /// Execution counters; the deterministic clock plus diagnostics.
@@ -59,6 +60,12 @@ struct ExecCounters {
   double parallel_saved_units = 0;
   int64_t morsels = 0;           ///< morsels executed by parallel phases
   int64_t parallel_phases = 0;   ///< parallel phases run
+  // Sharded-execution diagnostics (PR 9): filled by the exchange operators
+  // and the ShardedEngine's skew mitigations.
+  int64_t rows_shuffled = 0;     ///< rows repartitioned by hash shuffle
+  int64_t rows_broadcast = 0;    ///< rows replicated to all shards
+  int64_t morsels_stolen = 0;    ///< straggler morsels moved across shards
+  int64_t hot_keys = 0;          ///< heavy-hitter keys diverted to broadcast
 
   void Merge(const ExecCounters& o) {
     cost_units += o.cost_units;
@@ -77,6 +84,10 @@ struct ExecCounters {
     parallel_saved_units += o.parallel_saved_units;
     morsels += o.morsels;
     parallel_phases += o.parallel_phases;
+    rows_shuffled += o.rows_shuffled;
+    rows_broadcast += o.rows_broadcast;
+    morsels_stolen += o.morsels_stolen;
+    hot_keys += o.hot_keys;
   }
 };
 
@@ -376,6 +387,22 @@ class ExecContext {
   void ChargePredicateEvals(int64_t evals) {
     counters_.predicate_evals += evals;
     counters_.cost_units += cost_model_.row_cpu * evals;
+    ApplyScheduledEvents();
+  }
+  /// Cross-shard exchange traffic (PR 9): shuffles pay a hash op (route
+  /// choice) and row CPU (copy) per row plus a transfer charge per page;
+  /// broadcasts skip the hash — the destination set is every shard.
+  void ChargeExchange(int64_t rows, int64_t pages, bool broadcast) {
+    if (broadcast) {
+      counters_.rows_broadcast += rows;
+    } else {
+      counters_.rows_shuffled += rows;
+      counters_.hash_ops += rows;
+      counters_.cost_units += cost_model_.hash_op * rows;
+    }
+    counters_.rows_processed += rows;
+    counters_.cost_units += cost_model_.row_cpu * rows +
+                            cost_model_.exchange_page * pages;
     ApplyScheduledEvents();
   }
 

@@ -208,4 +208,22 @@ void PlanCoster::Cost(PlanNode* node) const {
   }
 }
 
+double ShuffleExchangeCost(const CostModel& cm, double rows, int num_shards) {
+  if (num_shards <= 1 || rows <= 0) return 0.0;
+  const double remote =
+      rows * (num_shards - 1) / static_cast<double>(num_shards);
+  const double pages =
+      std::ceil(remote / static_cast<double>(kRowsPerPage));
+  return remote * (cm.hash_op + cm.row_cpu) + pages * cm.exchange_page;
+}
+
+double BroadcastExchangeCost(const CostModel& cm, double rows,
+                             int num_shards) {
+  if (num_shards <= 1 || rows <= 0) return 0.0;
+  const double copies = rows * num_shards;
+  const double pages =
+      std::ceil(copies / static_cast<double>(kRowsPerPage));
+  return copies * cm.row_cpu + pages * cm.exchange_page;
+}
+
 }  // namespace rqp

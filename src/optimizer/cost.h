@@ -45,6 +45,20 @@ class PlanCoster {
   CostParams params_;
 };
 
+/// Estimated clock cost of hash-shuffling `rows` across `num_shards` shards
+/// (PR 9 exchange costing, DESIGN.md §14). On average (shards-1)/shards of
+/// the rows leave their sender: each pays a hash route + a row copy, and the
+/// remote volume pays exchange_page per page. The same formula the sharded
+/// engine's channel charges at run time, so the co-location pass's
+/// shuffle-vs-broadcast decision is measured in real clock units.
+double ShuffleExchangeCost(const CostModel& cm, double rows, int num_shards);
+
+/// Estimated clock cost of replicating `rows` to every one of `num_shards`
+/// shards: every copy (the sender's own included — the broadcast path stages
+/// uniformly) pays a row copy plus paged transfer, no hash.
+double BroadcastExchangeCost(const CostModel& cm, double rows,
+                             int num_shards);
+
 }  // namespace rqp
 
 #endif  // RQP_OPTIMIZER_COST_H_

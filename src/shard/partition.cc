@@ -1,0 +1,74 @@
+#include "shard/partition.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rqp {
+
+StatusOr<TablePartitioner> TablePartitioner::Make(const Table& table,
+                                                 const PartitionSpec& spec,
+                                                 int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  auto col = table.ColumnIndex(spec.column);
+  if (!col.ok()) {
+    return Status::NotFound("partition column " + table.name() + "." +
+                            spec.column + " not found");
+  }
+  TablePartitioner p(spec, num_shards, *col);
+  if (spec.kind == PartitionSpec::Kind::kRange) {
+    // Equal-width range slices over the observed key domain. An empty table
+    // degenerates to [0, 0] — everything clamps to shard 0, which is fine:
+    // there are no rows to place.
+    int64_t lo = std::numeric_limits<int64_t>::max();
+    int64_t hi = std::numeric_limits<int64_t>::min();
+    const auto& keys = table.column(*col);
+    for (int64_t k : keys) {
+      lo = std::min(lo, k);
+      hi = std::max(hi, k);
+    }
+    if (keys.empty()) { lo = 0; hi = 0; }
+    p.lo_ = lo;
+    p.width_ = std::max<int64_t>(1, (hi - lo) / num_shards + 1);
+  }
+  return p;
+}
+
+int TablePartitioner::ShardOf(int64_t key) const {
+  if (num_shards_ == 1) return 0;
+  if (spec_.kind == PartitionSpec::Kind::kHash) {
+    return static_cast<int>(HashKey(key) %
+                            static_cast<uint64_t>(num_shards_));
+  }
+  if (key < lo_) return 0;
+  int64_t slot = (key - lo_) / width_;
+  return static_cast<int>(std::min<int64_t>(slot, num_shards_ - 1));
+}
+
+std::vector<std::vector<int64_t>> TablePartitioner::AssignRows(
+    const Table& table) const {
+  std::vector<std::vector<int64_t>> out(static_cast<size_t>(num_shards_));
+  const auto& keys = table.column(column_idx_);
+  for (int64_t r = 0; r < table.num_rows(); ++r) {
+    out[static_cast<size_t>(ShardOf(keys[static_cast<size_t>(r)]))]
+        .push_back(r);
+  }
+  return out;
+}
+
+Table MakeShardTable(const Table& source,
+                     const std::vector<int64_t>& row_ids) {
+  Table out(source.name(), source.schema());
+  size_t ncols = source.schema().columns().size();
+  for (size_t c = 0; c < ncols; ++c) {
+    const auto& src = source.column(c);
+    std::vector<int64_t> data;
+    data.reserve(row_ids.size());
+    for (int64_t r : row_ids) data.push_back(src[static_cast<size_t>(r)]);
+    out.SetColumnData(c, std::move(data));
+  }
+  return out;
+}
+
+}  // namespace rqp

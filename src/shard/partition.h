@@ -1,0 +1,88 @@
+#ifndef RQP_SHARD_PARTITION_H_
+#define RQP_SHARD_PARTITION_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace rqp {
+
+/// How one table is split across the engine shards. Tables without a spec
+/// are replicated (a full copy on every shard) — the classic choice for
+/// small dimension tables, and the reason joins against them are always
+/// co-located.
+struct PartitionSpec {
+  enum class Kind { kHash, kRange };
+  Kind kind = Kind::kHash;
+  std::string column;  ///< unqualified partition-key column
+};
+
+/// Table name -> partition spec for every *partitioned* table.
+using PartitionMap = std::map<std::string, PartitionSpec>;
+
+/// Deterministic row -> shard assignment for one table. Hash partitioning
+/// uses murmur3's fmix64 finalizer (the same mixer as the join hash table,
+/// so skew behaves identically in both places); range partitioning splits
+/// the key domain observed at creation into equal-width slices. Both are
+/// pure functions of (key, num_shards), which is what makes every exchange
+/// decision — and therefore the whole sharded clock — exactly reproducible.
+class TablePartitioner {
+ public:
+  /// Builds a partitioner for `table` under `spec`. Range bounds are taken
+  /// from the column's min/max at call time. Fails when the column is
+  /// missing or num_shards < 1.
+  static StatusOr<TablePartitioner> Make(const Table& table,
+                                         const PartitionSpec& spec,
+                                         int num_shards);
+
+  /// The owning shard of a key. Range keys outside the creation-time domain
+  /// clamp to the edge shards.
+  int ShardOf(int64_t key) const;
+
+  /// Row ids of `table` grouped by owning shard (size num_shards; row order
+  /// within a shard preserves table order).
+  std::vector<std::vector<int64_t>> AssignRows(const Table& table) const;
+
+  const std::string& column() const { return spec_.column; }
+  PartitionSpec::Kind kind() const { return spec_.kind; }
+  int num_shards() const { return num_shards_; }
+
+  /// murmur3 fmix64 — shared with JoinHashTable::Mix so hash-partition skew
+  /// and bucket skew coincide.
+  static uint64_t HashKey(int64_t key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+ private:
+  TablePartitioner(PartitionSpec spec, int num_shards, size_t column_idx)
+      : spec_(std::move(spec)), num_shards_(num_shards),
+        column_idx_(column_idx) {}
+
+  PartitionSpec spec_;
+  int num_shards_ = 1;
+  size_t column_idx_ = 0;
+  // Range partitioning: shard s owns keys in [lo_ + s*width_, next bound).
+  int64_t lo_ = 0;
+  int64_t width_ = 1;
+};
+
+/// Builds the per-shard copy of `source` for shard `shard`: the owned rows
+/// under `rows` gathered column-wise into a fresh table with the same name
+/// and schema (per-shard catalogs keep original names so an unmodified
+/// QuerySpec runs on every shard).
+Table MakeShardTable(const Table& source,
+                     const std::vector<int64_t>& row_ids);
+
+}  // namespace rqp
+
+#endif  // RQP_SHARD_PARTITION_H_

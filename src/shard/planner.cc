@@ -1,0 +1,167 @@
+#include "shard/planner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "optimizer/cost.h"
+
+namespace rqp {
+
+const char* ShardTableStrategyName(ShardTableStrategy s) {
+  switch (s) {
+    case ShardTableStrategy::kLocal: return "local";
+    case ShardTableStrategy::kShuffle: return "shuffle";
+    case ShardTableStrategy::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+std::string ShardQueryPlan::Describe() const {
+  if (!runs_sharded) return "unsharded";
+  std::string out = "anchor=" + anchor;
+  out += colocated ? " colocated" : " repartitioning";
+  for (const auto& [table, d] : decisions) {
+    if (d.strategy == ShardTableStrategy::kLocal) continue;
+    out += " " + table + ":" + ShardTableStrategyName(d.strategy);
+    if (d.strategy == ShardTableStrategy::kShuffle) {
+      out += "(" + d.shuffle_column + ")";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// The edge between `table` and `anchor`, if any (columns oriented as
+/// table-side, anchor-side).
+bool FindAnchorEdge(const QuerySpec& spec, const std::string& table,
+                    const std::string& anchor, std::string* table_col,
+                    std::string* anchor_col) {
+  for (const auto& e : spec.joins) {
+    if (e.left_table == table && e.right_table == anchor) {
+      *table_col = e.left_column;
+      *anchor_col = e.right_column;
+      return true;
+    }
+    if (e.right_table == table && e.left_table == anchor) {
+      *table_col = e.right_column;
+      *anchor_col = e.left_column;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+ShardQueryPlan PlanShardedQuery(const QuerySpec& spec, const Catalog& catalog,
+                                const PartitionMap& partitions,
+                                int num_shards, const CostModel& cm) {
+  ShardQueryPlan plan;
+  if (num_shards <= 1) return plan;
+
+  // Partitioned tables referenced by the query, largest first (ties by name
+  // so the pass is deterministic under equal sizes).
+  std::vector<std::pair<int64_t, std::string>> parted;
+  for (const auto& ref : spec.tables) {
+    if (partitions.count(ref.table) == 0) continue;
+    auto t = catalog.GetTable(ref.table);
+    parted.emplace_back(t.ok() ? (*t)->num_rows() : 0, ref.table);
+  }
+  if (parted.empty()) return plan;
+  std::sort(parted.begin(), parted.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+
+  plan.runs_sharded = true;
+  plan.anchor = parted.front().second;
+  plan.decisions[plan.anchor] = {};
+
+  // The anchor's *effective* hash-partition column: its declared column when
+  // hash-partitioned, empty otherwise (range never hash-aligns). Updated in
+  // place if a repair decides to re-shuffle the anchor.
+  const PartitionSpec& anchor_spec = partitions.at(plan.anchor);
+  std::string anchor_hash_col =
+      anchor_spec.kind == PartitionSpec::Kind::kHash ? anchor_spec.column
+                                                     : std::string();
+  const double anchor_rows =
+      static_cast<double>(parted.front().first);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < parted.size(); ++i) {
+    const std::string& table = parted[i].second;
+    const double rows = static_cast<double>(parted[i].first);
+    ShardTableDecision d;
+
+    std::string tcol, acol;
+    if (!FindAnchorEdge(spec, table, plan.anchor, &tcol, &acol)) {
+      // No direct edge to the anchor: replicate rather than reason about
+      // transitive alignment.
+      d.strategy = ShardTableStrategy::kBroadcast;
+      d.est_cost = BroadcastExchangeCost(cm, rows, num_shards);
+      plan.decisions[table] = d;
+      plan.colocated = false;
+      plan.est_exchange_cost += d.est_cost;
+      continue;
+    }
+
+    const PartitionSpec& tspec = partitions.at(table);
+    const bool table_aligned =
+        tspec.kind == PartitionSpec::Kind::kHash && tspec.column == tcol;
+    if (table_aligned && anchor_hash_col == acol) {
+      plan.decisions[table] = d;  // co-located edge
+      continue;
+    }
+
+    // Three repairs, cheapest wins:
+    //  (a) shuffle the partner onto the anchor's existing partitioning;
+    //  (b) broadcast the partner;
+    //  (c) re-shuffle the anchor onto this edge (plus the partner if it is
+    //      itself misaligned) — worth it only against a partner too big to
+    //      broadcast, and it re-keys the anchor for later edges.
+    const double shuffle_partner =
+        anchor_hash_col == acol ? ShuffleExchangeCost(cm, rows, num_shards)
+                                : kInf;
+    const double broadcast_partner =
+        BroadcastExchangeCost(cm, rows, num_shards);
+    const double reshuffle_anchor =
+        ShuffleExchangeCost(cm, anchor_rows, num_shards) +
+        (table_aligned ? 0.0 : ShuffleExchangeCost(cm, rows, num_shards));
+
+    plan.colocated = false;
+    if (reshuffle_anchor < shuffle_partner &&
+        reshuffle_anchor < broadcast_partner) {
+      ShardTableDecision ad;
+      ad.strategy = ShardTableStrategy::kShuffle;
+      ad.shuffle_column = acol;
+      ad.est_cost = ShuffleExchangeCost(cm, anchor_rows, num_shards);
+      plan.decisions[plan.anchor] = ad;
+      plan.est_exchange_cost += ad.est_cost;
+      anchor_hash_col = acol;
+      if (table_aligned) {
+        plan.decisions[table] = d;  // now co-located with the re-keyed anchor
+      } else {
+        d.strategy = ShardTableStrategy::kShuffle;
+        d.shuffle_column = tcol;
+        d.est_cost = ShuffleExchangeCost(cm, rows, num_shards);
+        plan.decisions[table] = d;
+        plan.est_exchange_cost += d.est_cost;
+      }
+    } else if (shuffle_partner <= broadcast_partner) {
+      d.strategy = ShardTableStrategy::kShuffle;
+      d.shuffle_column = tcol;
+      d.est_cost = shuffle_partner;
+      plan.decisions[table] = d;
+      plan.est_exchange_cost += d.est_cost;
+    } else {
+      d.strategy = ShardTableStrategy::kBroadcast;
+      d.est_cost = broadcast_partner;
+      plan.decisions[table] = d;
+      plan.est_exchange_cost += d.est_cost;
+    }
+  }
+  return plan;
+}
+
+}  // namespace rqp

@@ -1,0 +1,58 @@
+#ifndef RQP_SHARD_PLANNER_H_
+#define RQP_SHARD_PLANNER_H_
+
+#include <map>
+#include <string>
+
+#include "optimizer/optimizer.h"
+#include "shard/partition.h"
+#include "storage/table.h"
+
+namespace rqp {
+
+/// How one table reaches the join on every shard.
+enum class ShardTableStrategy {
+  kLocal,      ///< already where it needs to be (co-located or replicated)
+  kShuffle,    ///< hash-repartition on a join column
+  kBroadcast,  ///< replicate the whole table to every shard
+};
+
+const char* ShardTableStrategyName(ShardTableStrategy s);
+
+struct ShardTableDecision {
+  ShardTableStrategy strategy = ShardTableStrategy::kLocal;
+  std::string shuffle_column;  ///< join column, for kShuffle
+  double est_cost = 0;         ///< exchange cost in clock units (0 for kLocal)
+};
+
+/// The co-location pass's verdict for one query (DESIGN.md §14).
+struct ShardQueryPlan {
+  /// False when the query touches no partitioned table (or shards == 1):
+  /// the sharded engine delegates to a single global engine, which is what
+  /// makes shards=1 byte-identical by construction.
+  bool runs_sharded = false;
+  /// True when every join is partition-aligned — zero exchange traffic.
+  bool colocated = true;
+  std::string anchor;  ///< largest partitioned table; joins hang off it
+  std::map<std::string, ShardTableDecision> decisions;
+  double est_exchange_cost = 0;
+
+  std::string Describe() const;
+};
+
+/// Shard-aware optimizer pass: picks the anchor (largest partitioned table),
+/// recognizes co-located joins (both edge endpoints hash-partitioned on
+/// their join columns), and prices the repair for every misaligned edge —
+/// shuffle the partner, broadcast the partner, or re-shuffle the anchor
+/// itself — through the deterministic exchange-cost formulas, choosing the
+/// cheapest. Range-partitioned tables never count as hash-aligned (equal
+/// range bounds across tables are not guaranteed), so they repair like any
+/// misaligned edge. Pure function of its inputs: the decision — like the
+/// clock it is costed in — is exactly reproducible.
+ShardQueryPlan PlanShardedQuery(const QuerySpec& spec, const Catalog& catalog,
+                                const PartitionMap& partitions,
+                                int num_shards, const CostModel& cm);
+
+}  // namespace rqp
+
+#endif  // RQP_SHARD_PLANNER_H_

@@ -1,0 +1,118 @@
+#ifndef RQP_SHARD_SHARDED_ENGINE_H_
+#define RQP_SHARD_SHARDED_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "shard/partition.h"
+#include "shard/planner.h"
+#include "stats/hotkey.h"
+
+namespace rqp {
+
+/// Sharded-execution configuration. Zero-valued knobs defer to environment
+/// variables at construction ($RQP_SHARDS, $RQP_EXCHANGE_QUEUE_PAGES,
+/// $RQP_HOTKEY_THRESHOLD; see README).
+struct ShardOptions {
+  /// Engine shards: 0 = read $RQP_SHARDS (unset/invalid -> 1), clamped to
+  /// [1, 64]. At 1 every query delegates to the plain engine.
+  int num_shards = 0;
+  /// Exchange staging bound per sender channel, in broker-charged pages:
+  /// 0 = read $RQP_EXCHANGE_QUEUE_PAGES (unset -> 64).
+  int64_t exchange_queue_pages = 0;
+  /// Heavy-hitter cut as a fraction of the shuffled input (a key is hot when
+  /// its count reaches max(16, fraction * rows)): 0 = read
+  /// $RQP_HOTKEY_THRESHOLD (unset -> 0.05).
+  double hotkey_threshold = 0;
+  /// Skew mitigations (the E29 off/on axes).
+  bool morsel_stealing = true;
+  bool hotkey_handling = true;
+  /// Stealing granularity (rows per stolen block) and the imbalance slack:
+  /// rebalancing starts once the loaded shard exceeds (1 + slack) * mean.
+  int64_t steal_morsel_rows = 4096;
+  double steal_slack = 0.125;
+  /// Which tables are split, and how. Unlisted tables are replicated to
+  /// every shard.
+  PartitionMap partitions;
+};
+
+/// Resolution helpers (exposed for tests/benches).
+int ResolveShards(int num_shards);
+int64_t ResolveExchangeQueuePages(int64_t pages);
+double ResolveHotkeyThreshold(double fraction);
+
+/// N in-process engine shards behind the single-engine interface (PR 9;
+/// DESIGN.md §14). Construction partitions the catalog: tables named in
+/// ShardOptions::partitions are split by their TablePartitioner, everything
+/// else is replicated, and each shard gets its own Catalog + Engine (with a
+/// per-shard spill tag, so N shards share one $RQP_SPILL_DIR safely).
+///
+/// Run() pipeline: the co-location pass (PlanShardedQuery) decides per-table
+/// local/shuffle/broadcast; hot keys detected on a repartitioning anchor are
+/// pinned in place with their build-side partners diverted to the broadcast
+/// side channel; exchange operators move rows through broker-bounded
+/// channels; morsel stealing rebalances straggler shards; the per-shard
+/// engines then run the unmodified QuerySpec concurrently (one plain thread
+/// per shard — each shard owns an independent worker pool); finally the
+/// coordinator merges (concatenation, or decomposable-aggregate folding in
+/// group-key order, which is exactly the single-engine emission order).
+///
+/// Clock assembly keeps the PR 3 invariant `elapsed = cost -
+/// parallel_saved_units`: cost is total work summed over shards and
+/// exchanges (DOP-invariant up to exchange/merge overhead), elapsed is the
+/// exchange makespan + the slowest shard + the serial merge.
+class ShardedEngine {
+ public:
+  ShardedEngine(Catalog* catalog, EngineOptions eopts = EngineOptions(),
+                ShardOptions sopts = ShardOptions());
+
+  /// Statistics for the global engine and every shard engine.
+  void AnalyzeAll(const AnalyzeOptions& options = AnalyzeOptions());
+
+  /// Runs `spec`. Unsharded queries (num_shards == 1, or no partitioned
+  /// table referenced) delegate to the internal global engine and are
+  /// byte-identical to it by construction.
+  StatusOr<QueryResult> Run(const QuerySpec& spec, bool keep_rows = false);
+
+  /// The co-location pass's verdict for `spec` (diagnostics / tests).
+  ShardQueryPlan PlanShards(const QuerySpec& spec) const;
+
+  int num_shards() const { return shards_; }
+  Engine* global_engine() { return &global_; }
+  /// Shard engine / catalog for tests (valid for 0 <= s < num_shards() when
+  /// num_shards() > 1).
+  Engine* shard_engine(int s) { return shard_states_[s].engine.get(); }
+  const Catalog* shard_catalog(int s) const {
+    return shard_states_[s].catalog.get();
+  }
+  HotKeyRegistry* hotkeys() { return &hotkeys_; }
+  const ShardOptions& shard_options() const { return sopts_; }
+
+ private:
+  struct ShardState {
+    std::unique_ptr<Catalog> catalog;
+    std::unique_ptr<Engine> engine;
+  };
+
+  StatusOr<QueryResult> RunSharded(const QuerySpec& spec,
+                                   const ShardQueryPlan& splan,
+                                   bool keep_rows);
+
+  Catalog* catalog_;  ///< the global (unpartitioned) catalog
+  EngineOptions eopts_;
+  ShardOptions sopts_;
+  int shards_ = 1;
+  Engine global_;
+  std::vector<ShardState> shard_states_;
+  HotKeyRegistry hotkeys_;
+  /// Remembered so per-query overlay engines analyze the same way the
+  /// persistent engines did.
+  AnalyzeOptions analyze_opts_;
+};
+
+}  // namespace rqp
+
+#endif  // RQP_SHARD_SHARDED_ENGINE_H_

@@ -1,0 +1,54 @@
+#include "stats/hotkey.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace rqp {
+
+void HotKeyRegistry::Record(const HotKeySet& set, FeedbackCache* feedback) {
+  if (feedback != nullptr && set.total_rows > 0) {
+    for (const auto& [key, count] : set.keys) {
+      feedback->Record(set.table, MakeCmp(set.column, CmpOp::kEq, key),
+                       static_cast<double>(count) /
+                           static_cast<double>(set.total_rows));
+    }
+  }
+  sets_[set.table + "." + set.column] = set;
+}
+
+const HotKeySet* HotKeyRegistry::Find(const std::string& table,
+                                      const std::string& column) const {
+  auto it = sets_.find(table + "." + column);
+  return it == sets_.end() ? nullptr : &it->second;
+}
+
+int64_t HotKeyRegistry::total_keys() const {
+  int64_t n = 0;
+  for (const auto& [_, set] : sets_) {
+    n += static_cast<int64_t>(set.keys.size());
+  }
+  return n;
+}
+
+HotKeySet DetectHotKeys(const std::string& table, const std::string& column,
+                        const std::vector<int64_t>& keys,
+                        double threshold_fraction, int64_t min_count) {
+  HotKeySet out;
+  out.table = table;
+  out.column = column;
+  out.total_rows = static_cast<int64_t>(keys.size());
+  if (keys.empty() || threshold_fraction <= 0) return out;
+  std::unordered_map<int64_t, int64_t> counts;
+  counts.reserve(keys.size());
+  for (int64_t k : keys) ++counts[k];
+  const int64_t cut = std::max<int64_t>(
+      min_count,
+      static_cast<int64_t>(threshold_fraction *
+                           static_cast<double>(keys.size())));
+  for (const auto& [key, count] : counts) {
+    if (count >= cut) out.keys[key] = count;
+  }
+  return out;
+}
+
+}  // namespace rqp

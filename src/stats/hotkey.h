@@ -1,0 +1,60 @@
+#ifndef RQP_STATS_HOTKEY_H_
+#define RQP_STATS_HOTKEY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/feedback.h"
+
+namespace rqp {
+
+/// Heavy hitters detected on one shuffled key column: key -> occurrence
+/// count out of `total_rows` (the shuffle's input volume).
+struct HotKeySet {
+  std::string table, column;
+  int64_t total_rows = 0;
+  std::map<int64_t, int64_t> keys;  ///< key -> frequency (deterministic order)
+
+  bool Contains(int64_t key) const { return keys.count(key) > 0; }
+  bool empty() const { return keys.empty(); }
+};
+
+/// Persistent registry of heavy-hitter keys observed during shuffles (PR 9).
+/// Two consumers: (a) subsequent shuffles of the same table.column pre-divert
+/// registered keys to the broadcast side channel without re-detecting them,
+/// and (b) the CORDS/LEO feedback path — each hot key is published into the
+/// FeedbackCache as the observed selectivity of `column = key`, so the
+/// optimizer's estimate for an equality predicate on a skewed key reflects
+/// the skew the exchange actually measured.
+class HotKeyRegistry {
+ public:
+  /// Records a detection pass's result and publishes each key's frequency
+  /// into `feedback` (ignored when null). Re-detections of the same
+  /// table.column replace the previous set (counts come from a full pass,
+  /// not a sample — newer is strictly better).
+  void Record(const HotKeySet& set, FeedbackCache* feedback);
+
+  /// The registered hot keys of `table.column`, or nullptr.
+  const HotKeySet* Find(const std::string& table,
+                        const std::string& column) const;
+
+  int64_t total_keys() const;
+  size_t size() const { return sets_.size(); }
+
+ private:
+  std::map<std::string, HotKeySet> sets_;  ///< key: "table.column"
+};
+
+/// Exact heavy-hitter scan over `keys`: a key is hot when its count reaches
+/// max(min_count, threshold_fraction * keys.size()). Exact counting (one
+/// map pass) keeps the decision deterministic; the cost of the pass is the
+/// caller's to charge (one hash op per row, like any detection sketch).
+HotKeySet DetectHotKeys(const std::string& table, const std::string& column,
+                        const std::vector<int64_t>& keys,
+                        double threshold_fraction, int64_t min_count = 16);
+
+}  // namespace rqp
+
+#endif  // RQP_STATS_HOTKEY_H_

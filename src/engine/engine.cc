@@ -56,6 +56,15 @@ bool ResolveVectorized(int configured) {
          !(env[0] == '0' && env[1] == '\0');
 }
 
+/// Resolves EngineOptions::late_materialize: -1 defers to $RQP_LATE_MAT,
+/// which defaults ON (only an explicit "0" disables it).
+bool ResolveLateMaterialize(int configured) {
+  if (configured >= 0) return configured != 0;
+  const char* env = std::getenv("RQP_LATE_MAT");
+  return env == nullptr || env[0] == '\0' ||
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 /// Applies the $RQP_RESULT_CACHE_PAGES override to the configured budget.
 int64_t ResolveResultCachePages(int64_t configured) {
   if (const char* env = std::getenv("RQP_RESULT_CACHE_PAGES")) {
@@ -82,6 +91,8 @@ Engine::Engine(Catalog* catalog, EngineOptions options)
                       : MakeEngineTag() + "-" + options_.engine_tag_suffix) {
   result_cache_enabled_ = ResolveResultCacheEnabled(options_.use_result_cache);
   vectorized_ = ResolveVectorized(options_.vectorized);
+  late_materialize_ = ResolveLateMaterialize(options_.late_materialize);
+  simd_level_ = ResolveSimdLevel(options_.simd);
   ResultCache::Options ro = options_.result_cache;
   ro.max_pages = ResolveResultCachePages(ro.max_pages);
   ro.max_staleness = options_.result_cache_max_staleness;
@@ -542,6 +553,8 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
     accumulated.parallel_saved_units += c.parallel_saved_units;
     accumulated.morsels += c.morsels;
     accumulated.parallel_phases += c.parallel_phases;
+    accumulated.rows_materialized += c.rows_materialized;
+    accumulated.transposes_elided += c.transposes_elided;
   };
   const GuardrailOptions& guard = options_.guardrails;
   const int64_t query_seq = query_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -567,6 +580,8 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
     ExecContext ctx(broker);
     ctx.set_cost_model(options_.cost_model);
     ctx.set_vectorized(vectorized_);
+    ctx.set_late_materialize(late_materialize_);
+    ctx.set_simd(simd_level_);
     ctx.set_spill_dir(options_.spill_dir);
     std::string query_id = engine_tag_;
     query_id += "-q";
@@ -735,6 +750,8 @@ StatusOr<QueryResult> Engine::Run(const QuerySpec& spec, bool keep_rows,
     result.counters.parallel_saved_units += accumulated.parallel_saved_units;
     result.counters.morsels += accumulated.morsels;
     result.counters.parallel_phases += accumulated.parallel_phases;
+    result.counters.rows_materialized += accumulated.rows_materialized;
+    result.counters.transposes_elided += accumulated.transposes_elided;
     result.cost = result.counters.cost_units;
     result.elapsed =
         result.counters.cost_units - result.counters.parallel_saved_units;

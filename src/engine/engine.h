@@ -102,6 +102,19 @@ struct EngineOptions {
   /// $RQP_VECTORIZED (unset/"" → on, "0" → off), 0 = scalar per-row
   /// execution, 1 = vectorized. Both paths are byte-identical.
   int vectorized = -1;
+  /// Late-materialized columnar execution over the vectorized pipeline
+  /// (ColumnBatch views + a single materialization point; DESIGN.md §15):
+  /// -1 = read $RQP_LATE_MAT (unset/"" → on, "0" → off), 0 = row-major
+  /// batches on every edge, 1 = late materialization. Requires vectorized
+  /// execution; silently off when that is off. All modes are byte-identical
+  /// in rows, cost, and every counter except the rows_materialized /
+  /// transposes_elided diagnostics.
+  int late_materialize = -1;
+  /// Explicit SIMD kernels (compare+compact, hash mix) inside the
+  /// vectorized VMs: -1 = read $RQP_SIMD (unset/"" → runtime CPU dispatch,
+  /// "0" → scalar), 0 = forced scalar, else runtime dispatch. The kernels
+  /// are integer-exact, so every level produces byte-identical results.
+  int simd = -1;
   /// Query memory capacity (pages) of the shared broker.
   int64_t memory_pages = 1 << 20;
   /// Degree of parallelism for morsel-driven execution: 0 = read
@@ -271,6 +284,8 @@ class Engine {
   ResultCache* result_cache() { return result_cache_.get(); }
   bool result_cache_enabled() const { return result_cache_enabled_; }
   bool vectorized() const { return vectorized_; }
+  bool late_materialize() const { return late_materialize_; }
+  SimdLevel simd_level() const { return simd_level_; }
   MemoryBroker* memory() { return &memory_; }
   EngineOptions* mutable_options() { return &options_; }
   const EngineOptions& options() const { return options_; }
@@ -310,6 +325,8 @@ class Engine {
   std::unique_ptr<ResultCache> result_cache_;
   bool result_cache_enabled_ = false;
   bool vectorized_ = true;  ///< resolved from options/$RQP_VECTORIZED at ctor
+  bool late_materialize_ = true;  ///< resolved from options/$RQP_LATE_MAT
+  SimdLevel simd_level_ = SimdLevel::kScalar;  ///< options/$RQP_SIMD + cpuid
   /// Deterministic spill-directory naming; atomic because concurrent
   /// identical queries (stampedes onto the result cache) run Run() from
   /// several threads at once.

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "expr/simd.h"
 #include "fault/fault.h"
 #include "storage/spill.h"
 #include "util/status.h"
@@ -66,6 +67,12 @@ struct ExecCounters {
   int64_t rows_broadcast = 0;    ///< rows replicated to all shards
   int64_t morsels_stolen = 0;    ///< straggler morsels moved across shards
   int64_t hot_keys = 0;          ///< heavy-hitter keys diverted to broadcast
+  // Late-materialization diagnostics (PR 10). Pure diagnostics with zero
+  // cost-clock charge: the columnar path must keep the clock byte-identical
+  // to the row-major path, so these two are the ONLY counters allowed to
+  // differ across modes (identity tests compare everything else).
+  int64_t rows_materialized = 0;  ///< columnar rows converted to row-major
+  int64_t transposes_elided = 0;  ///< rows consumed columnar, never transposed
 
   void Merge(const ExecCounters& o) {
     cost_units += o.cost_units;
@@ -88,6 +95,8 @@ struct ExecCounters {
     rows_broadcast += o.rows_broadcast;
     morsels_stolen += o.morsels_stolen;
     hot_keys += o.hot_keys;
+    rows_materialized += o.rows_materialized;
+    transposes_elided += o.transposes_elided;
   }
 };
 
@@ -306,6 +315,20 @@ class ExecContext {
   /// cost-clock totals (DESIGN.md §10).
   void set_vectorized(bool v) { vectorized_ = v; }
   bool vectorized() const { return vectorized_; }
+
+  /// Late-materialization gate (EngineOptions::late_materialize /
+  /// $RQP_LATE_MAT). Effective only when vectorized() is also set: the
+  /// columnar batch views are an overlay on the selection-vector path.
+  /// Operators read this at Open to decide whether to flow ColumnBatch views
+  /// to columnar-capable consumers or legacy row-major batches.
+  void set_late_materialize(bool v) { late_materialize_ = v; }
+  bool late_materialize() const { return late_materialize_ && vectorized_; }
+
+  /// Resolved SIMD dispatch level (EngineOptions::simd / $RQP_SIMD). Changes
+  /// instruction selection in the compare+compact and hash-mix kernels only;
+  /// results are byte-identical at every level.
+  void set_simd(SimdLevel level) { simd_ = level; }
+  SimdLevel simd() const { return simd_; }
 
   ExecCounters& counters() { return counters_; }
   const ExecCounters& counters() const { return counters_; }
@@ -684,6 +707,8 @@ class ExecContext {
 
   CostModel cost_model_;
   bool vectorized_ = true;
+  bool late_materialize_ = true;
+  SimdLevel simd_ = SimdLevel::kScalar;
   ExecCounters counters_;
   MemoryBroker own_memory_;
   MemoryBroker* memory_;

@@ -23,6 +23,9 @@ class FilterOp : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  bool supports_columnar() const override { return columnar_; }
+  bool stable_columnar_views() const override { return columnar_; }
+  Status NextColumnar(ColumnBatch* out) override;
   const std::vector<std::string>& output_slots() const override {
     return child_->output_slots();
   }
@@ -40,6 +43,11 @@ class FilterOp : public Operator {
   RowBatch in_;  ///< reused input batch — no per-Next allocation
   std::vector<const int64_t*> col_ptrs_;
   SelectionVector sel_;
+  // Late-materialized path: the child's column views pass through untouched
+  // and only the selection vector is refined — filtering never copies a row.
+  bool columnar_ = false;
+  ColumnBatch in_col_;       ///< reused columnar input
+  ColumnBatch col_scratch_;  ///< bridge scratch for row-major Next
 };
 
 /// Projects/reorders child slots by qualified name.
@@ -80,6 +88,11 @@ class MapOp : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
   void Close() override { child_->Close(); }
+  bool supports_columnar() const override { return columnar_; }
+  // Derived columns are flat vectors owned by a scratch batch that is
+  // rewritten every fetch, so Map output views are NOT stable across calls.
+  bool stable_columnar_views() const override { return false; }
+  Status NextColumnar(ColumnBatch* out) override;
   const std::vector<std::string>& output_slots() const override {
     return slots_;
   }
@@ -99,6 +112,12 @@ class MapOp : public Operator {
   RowBatch in_;  ///< reused input batch — no per-Next allocation
   std::vector<const int64_t*> col_ptrs_;
   std::vector<std::vector<int64_t>> derived_vals_;
+  // Late-materialized path: child views pass through, derived columns are
+  // computed stride-free straight off the views into flat vectors — input
+  // rows are never copied here.
+  bool columnar_ = false;
+  ColumnBatch in_col_;       ///< reused columnar input
+  ColumnBatch col_scratch_;  ///< bridge scratch for row-major Next
 };
 
 /// Conjunctive filter with run-time predicate reordering — the A-Greedy /

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "expr/simd.h"
+
 namespace rqp {
 namespace {
 
@@ -240,10 +242,12 @@ Status HashJoinOp::RunBuildFromFile(SpillFile* file) {
 
 Status HashJoinOp::FetchProbeBatch() {
   if (probe_file_ == nullptr) {
+    if (columnar_) return FetchProbeBatchColumnar();
     RQP_RETURN_IF_ERROR(probe_child_->Next(&probe_batch_));
   } else {
     RQP_RETURN_IF_ERROR(probe_file_->ReadBatch(&probe_batch_));
   }
+  probe_via_views_ = false;
   probe_row_ = 0;
   // Batch boundary = phase boundary: no live match references, safe to shed.
   if (!probe_batch_.empty()) {
@@ -339,6 +343,99 @@ Status HashJoinOp::FetchProbeBatch() {
   return Status::OK();
 }
 
+Status HashJoinOp::FetchProbeBatchColumnar() {
+  // Depth-0 late-materialized fetch: pull the probe child's column views and
+  // run the fused probe off the key column alone. Payload columns are never
+  // touched here — emission references them by absolute row id, and only
+  // spill routing gathers a full row (on demand, counted as materialized).
+  // Charge points, spill-append order, and match order are identical to the
+  // row-major fused probe above, so cost and output stay byte-identical.
+  RQP_RETURN_IF_ERROR(probe_child_->NextColumnar(&probe_col_));
+  probe_via_views_ = true;
+  probe_batch_.Clear();
+  probe_row_ = 0;
+  const size_t n = probe_col_.num_rows();
+  if (n == 0) return Status::OK();
+  ctx_->counters().transposes_elided += static_cast<int64_t>(n);
+  RQP_RETURN_IF_ERROR(PollRevocation());
+  ctx_->ChargeHashOps(static_cast<int64_t>(n));
+  probe_keys_.resize(n);
+  probe_parts_.resize(n);
+  probe_mixes_.resize(n);
+  // Key gather: stride-free off the dense view, or a selection gather.
+  const int64_t* key_base = probe_col_.col(probe_key_idx_).base;
+  if (probe_col_.has_selection()) {
+    const uint32_t* sel = probe_col_.sel().data();
+    for (size_t i = 0; i < n; ++i) probe_keys_[i] = key_base[sel[i]];
+  } else {
+    const int64_t* src = probe_col_.DensePtr(probe_key_idx_);
+    std::copy(src, src + n, probe_keys_.begin());
+  }
+  // Whole-batch hash mix; the SIMD kernel is integer-exact, so bucket
+  // choice, chain walks, and match order are bit-identical at every level.
+  SimdMixBatch(probe_keys_.data(), n, probe_mixes_.data(), ctx_->simd());
+  fused_pairs_.clear();
+  fused_next_ = 0;
+  bool any_spilled = false;
+  for (const Partition& part : parts_) any_spilled |= part.spilled;
+  if (!any_spilled) {
+    cand_rows_.resize(n);
+    cand_heads_.resize(n);
+    size_t cands = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t p = static_cast<uint32_t>(PartitionOf(probe_keys_[i]));
+      probe_parts_[i] = p;
+      const JoinHashTable& t = parts_[p].table;
+      const uint32_t head = t.heads[probe_mixes_[i] & t.bucket_mask];
+      cand_rows_[cands] = static_cast<uint32_t>(i);
+      cand_heads_[cands] = head;
+      cands += head != JoinHashTable::kEmpty;
+    }
+    size_t k = 0;
+    if (fused_pairs_.size() < cands) fused_pairs_.resize(cands);
+    for (size_t c = 0; c < cands; ++c) {
+      const uint32_t i = cand_rows_[c];
+      const int64_t key = probe_keys_[i];
+      const Partition& part = parts_[probe_parts_[i]];
+      const uint32_t* nexts = part.table.nexts.data();
+      const int64_t* rows = part.rows.data.data();
+      const size_t width = part.rows.num_cols;
+      for (uint32_t r = cand_heads_[c]; r != JoinHashTable::kEmpty;
+           r = nexts[r]) {
+        if (k == fused_pairs_.size()) fused_pairs_.resize(2 * k + 64);
+        fused_pairs_[k] = {i, r};
+        k += rows[r * width + build_key_idx_] == key;
+      }
+    }
+    fused_pairs_.resize(k);
+  } else {
+    for (size_t i = 0; i < n; ++i) {
+      probe_parts_[i] = static_cast<uint32_t>(PartitionOf(probe_keys_[i]));
+    }
+    row_scratch_.resize(probe_cols_);
+    for (size_t i = 0; i < n; ++i) {
+      Partition& part = parts_[probe_parts_[i]];
+      if (part.spilled) {
+        if (part.probe_spill == nullptr) {
+          auto file = ctx_->spill()->Create(probe_cols_);
+          if (!file.ok()) return file.status();
+          part.probe_spill = std::move(file).value();
+        }
+        probe_col_.GatherRow(i, row_scratch_.data());
+        ctx_->counters().rows_materialized += 1;
+        RQP_RETURN_IF_ERROR(part.probe_spill->AppendRow(row_scratch_.data()));
+        continue;
+      }
+      part.table.ForEachMatch(
+          part.rows, build_key_idx_, probe_keys_[i], [&](size_t r) {
+            fused_pairs_.emplace_back(static_cast<uint32_t>(i),
+                                      static_cast<uint32_t>(r));
+          });
+    }
+  }
+  return Status::OK();
+}
+
 Status HashJoinOp::FinishProbePhase() {
   if (depth_ == 0) probe_child_->Close();
   for (Partition& part : parts_) {
@@ -379,6 +476,7 @@ Status HashJoinOp::SetupNextTask() {
   probe_file_ = std::move(task.probe);
   RQP_RETURN_IF_ERROR(probe_file_->Rewind());
   probe_batch_.Clear();
+  probe_via_views_ = false;
   probe_row_ = 0;
   match_rows_.clear();
   match_next_ = 0;
@@ -511,6 +609,9 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   match_next_ = 0;
   fused_pairs_.clear();
   fused_next_ = 0;
+  columnar_ = false;
+  probe_via_views_ = false;
+  probe_col_.Reset(0);
   spill_fraction_ = 0;
   build_rows_total_ = 0;
   build_rows_spilled_ = 0;
@@ -535,11 +636,26 @@ Status HashJoinOp::Open(ExecContext* ctx) {
 
   RQP_RETURN_IF_ERROR(RunBuildFromChild(ctx));
   RQP_RETURN_IF_ERROR(probe_child_->Open(ctx));
+  // Late-materialized fused probe: requires a stable columnar probe child —
+  // emission packs view references from several probe fetches into one
+  // output batch, so the bases must outlive each fetch (decided after the
+  // probe child's Open, which is where it resolves its own gate).
+  columnar_ = vectorized_ && ctx->late_materialize() &&
+              probe_child_->supports_columnar() &&
+              probe_child_->stable_columnar_views();
   phase_ = Phase::kProbe;
   return Status::OK();
 }
 
 Status HashJoinOp::Next(RowBatch* out) {
+  if (columnar_) {
+    // Bridge: produce columnar, transpose once. NextColumnar counts the
+    // produced rows; MaterializeInto only counts rows_materialized.
+    RQP_RETURN_IF_ERROR(NextColumnar(&col_scratch_));
+    out->Reset(slots_.size());
+    col_scratch_.MaterializeInto(out, ctx_);
+    return Status::OK();
+  }
   RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
   out->Reset(slots_.size());
   while (!out->full() && !done_) {
@@ -668,6 +784,170 @@ Status HashJoinOp::Next(RowBatch* out) {
     }
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+Status HashJoinOp::NextColumnar(ColumnBatch* out) {
+  RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+  out->Reset(slots_.size());
+  // While emitting from the depth-0 fused probe, probe columns go out as
+  // views plus a selection of absolute probe row ids (stable child bases, so
+  // packing across probe fetches is safe) and only the gathered build
+  // columns are owned. The spill-recursion and chunk phases emit owned flat
+  // values — their probe rows come back from disk — and a mid-batch phase
+  // transition demotes the in-flight views, so output batch boundaries match
+  // the row-major path exactly.
+  bool views_active = false;
+  while (!out->full() && !done_) {
+    switch (phase_) {
+      case Phase::kProbe: {
+        if (fused_next_ >= fused_pairs_.size()) {
+          RQP_RETURN_IF_ERROR(FetchProbeBatch());
+          const bool fetch_empty =
+              probe_via_views_ ? probe_col_.empty() : probe_batch_.empty();
+          if (fetch_empty) {
+            RQP_RETURN_IF_ERROR(FinishProbePhase());
+          }
+          continue;
+        }
+        if (probe_via_views_) {
+          if (!views_active && out->num_rows() == 0) {
+            for (size_t c = 0; c < probe_cols_; ++c) {
+              out->SetView(c, probe_col_.col(c).base);
+            }
+            out->UseSelection();
+            views_active = true;
+          }
+          if (views_active) {
+            // Bulk emission: consume exactly the pairs that fit (identical
+            // batch boundaries to the per-row loop), append selection ids in
+            // one pass with the probe batch's addressing mode hoisted, and
+            // write the gathered build columns through raw pointers after a
+            // single resize per column.
+            const size_t take = std::min(fused_pairs_.size() - fused_next_,
+                                         kBatchRows - out->num_rows());
+            const auto* pairs = fused_pairs_.data() + fused_next_;
+            std::vector<uint32_t>& sel = out->mutable_sel();
+            sel.reserve(sel.size() + take);
+            if (probe_col_.has_selection()) {
+              const uint32_t* psel = probe_col_.sel().data();
+              for (size_t j = 0; j < take; ++j) {
+                sel.push_back(psel[pairs[j].first]);
+              }
+            } else {
+              const int64_t pb = probe_col_.phys_begin();
+              for (size_t j = 0; j < take; ++j) {
+                sel.push_back(static_cast<uint32_t>(
+                    pb + static_cast<int64_t>(pairs[j].first)));
+              }
+            }
+            const size_t base_n = out->num_rows();
+            dst_scratch_.resize(build_cols_);
+            for (size_t c = 0; c < build_cols_; ++c) {
+              auto& flat = out->col(probe_cols_ + c).flat;
+              flat.resize(base_n + take);
+              dst_scratch_[c] = flat.data() + base_n;
+            }
+            for (size_t j = 0; j < take; ++j) {
+              const int64_t* brow =
+                  parts_[probe_parts_[pairs[j].first]].rows.row(
+                      pairs[j].second);
+              for (size_t c = 0; c < build_cols_; ++c) {
+                dst_scratch_[c][j] = brow[c];
+              }
+            }
+            out->set_num_rows(base_n + take);
+            fused_next_ += take;
+            continue;
+          }
+          while (fused_next_ < fused_pairs_.size() && !out->full()) {
+            const auto& [pr, br] = fused_pairs_[fused_next_++];
+            const int64_t* brow = parts_[probe_parts_[pr]].rows.row(br);
+            // Batch already carries flat rows (unreachable in practice —
+            // view emission always precedes flat phases within a batch);
+            // gather the probe values so the output stays well-formed.
+            for (size_t c = 0; c < probe_cols_; ++c) {
+              out->col(c).flat.push_back(probe_col_.Value(c, pr));
+            }
+            for (size_t c = 0; c < build_cols_; ++c) {
+              out->col(probe_cols_ + c).flat.push_back(brow[c]);
+            }
+            out->set_num_rows(out->num_rows() + 1);
+          }
+          continue;
+        }
+        // Recursive-task probe rows come from the spill file: flat emission.
+        if (views_active) {
+          out->DemoteViewsToFlat();
+          views_active = false;
+        }
+        while (fused_next_ < fused_pairs_.size() && !out->full()) {
+          const auto& [pr, br] = fused_pairs_[fused_next_++];
+          const int64_t* prow = probe_batch_.row(pr);
+          const int64_t* brow = parts_[probe_parts_[pr]].rows.row(br);
+          for (size_t c = 0; c < probe_cols_; ++c) {
+            out->col(c).flat.push_back(prow[c]);
+          }
+          for (size_t c = 0; c < build_cols_; ++c) {
+            out->col(probe_cols_ + c).flat.push_back(brow[c]);
+          }
+          out->set_num_rows(out->num_rows() + 1);
+        }
+        continue;
+      }
+      case Phase::kTaskSetup:
+        RQP_RETURN_IF_ERROR(SetupNextTask());
+        continue;
+      case Phase::kChunkLoad:
+        RQP_RETURN_IF_ERROR(LoadNextChunk());
+        continue;
+      case Phase::kChunkProbe: {
+        if (fused_next_ >= fused_pairs_.size()) {
+          RQP_RETURN_IF_ERROR(probe_file_->ReadBatch(&probe_batch_));
+          probe_row_ = 0;
+          if (probe_batch_.empty()) {
+            phase_ = Phase::kChunkLoad;
+            continue;
+          }
+          const size_t n = probe_batch_.num_rows();
+          ctx_->ChargeHashOps(static_cast<int64_t>(n));
+          fused_pairs_.clear();
+          fused_next_ = 0;
+          for (size_t i = 0; i < n; ++i) {
+            chunk_table_.ForEachMatch(
+                chunk_, build_key_idx_,
+                probe_batch_.row(i)[probe_key_idx_], [&](size_t r) {
+                  fused_pairs_.emplace_back(static_cast<uint32_t>(i),
+                                            static_cast<uint32_t>(r));
+                });
+          }
+          continue;
+        }
+        if (views_active) {
+          out->DemoteViewsToFlat();
+          views_active = false;
+        }
+        while (fused_next_ < fused_pairs_.size() && !out->full()) {
+          const auto& [pr, br] = fused_pairs_[fused_next_++];
+          const int64_t* prow = probe_batch_.row(pr);
+          const int64_t* brow = chunk_.row(br);
+          for (size_t c = 0; c < probe_cols_; ++c) {
+            out->col(c).flat.push_back(prow[c]);
+          }
+          for (size_t c = 0; c < build_cols_; ++c) {
+            out->col(probe_cols_ + c).flat.push_back(brow[c]);
+          }
+          out->set_num_rows(out->num_rows() + 1);
+        }
+        continue;
+      }
+      case Phase::kDone:
+        done_ = true;
+        continue;
+    }
+  }
+  CountProducedRows(ctx_, static_cast<int64_t>(out->num_rows()),
+                    /*eof=*/out->empty());
   return Status::OK();
 }
 

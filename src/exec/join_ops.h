@@ -128,6 +128,11 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
   void Close() override;
+  bool supports_columnar() const override { return columnar_; }
+  // Build-side columns are flat vectors rewritten every batch, so join
+  // output views are NOT stable across calls (sink-only consumption).
+  bool stable_columnar_views() const override { return false; }
+  Status NextColumnar(ColumnBatch* out) override;
   const std::vector<std::string>& output_slots() const override {
     return slots_;
   }
@@ -173,6 +178,7 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   Status RunBuildFromChild(ExecContext* ctx);
   Status RunBuildFromFile(SpillFile* file);
   Status FetchProbeBatch();
+  Status FetchProbeBatchColumnar();
   Status FinishProbePhase();
   Status SetupNextTask();
   Status LoadNextChunk();
@@ -214,10 +220,25 @@ class HashJoinOp : public Operator, public MemoryRevocable {
   bool vectorized_ = false;
   std::vector<uint32_t> probe_parts_;
   std::vector<int64_t> probe_keys_;    ///< contiguous key-column gather
+  std::vector<uint64_t> probe_mixes_;  ///< SIMD-batched fmix64 of the keys
   std::vector<uint32_t> cand_rows_;    ///< rows with non-empty heads (pass 2)
   std::vector<uint32_t> cand_heads_;   ///< their chain heads (pass 2)
   std::vector<std::pair<uint32_t, uint32_t>> fused_pairs_;  ///< (probe, build)
   size_t fused_next_ = 0;
+  // Late-materialized probe (ctx->late_materialize() + a stable columnar
+  // probe child): the fused probe gathers ONLY the key column from the
+  // child's views; payload columns are carried as absolute row ids and
+  // emitted as (base, row-id) references — re-emitted probe columns are
+  // never transposed here. Emission switches to owned flat values when the
+  // spill-recursion/chunk phases take over (their probe rows come back from
+  // disk), demoting any in-flight view batch so output batch boundaries
+  // match the row-major path exactly.
+  bool columnar_ = false;
+  bool probe_via_views_ = false;  ///< current probe batch fetched as views
+  ColumnBatch probe_col_;         ///< reused columnar probe input
+  ColumnBatch col_scratch_;       ///< bridge scratch for row-major Next
+  std::vector<int64_t> row_scratch_;  ///< one gathered row (spill routing)
+  std::vector<int64_t*> dst_scratch_;  ///< build-column write cursors (emit)
   size_t probe_row_ = 0;
   size_t match_part_ = 0;
   std::vector<size_t> match_rows_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exec/batch.h"
+#include "exec/column_batch.h"
 #include "exec/context.h"
 #include "util/status.h"
 
@@ -26,6 +27,24 @@ class Operator {
   virtual Status Next(RowBatch* out) = 0;
   virtual void Close() {}
 
+  /// Whether this operator can emit ColumnBatch views this execution.
+  /// Decided at Open (late-materialization gate + operator preconditions);
+  /// callers must only invoke NextColumnar when this returns true.
+  virtual bool supports_columnar() const { return false; }
+  /// Whether emitted view bases stay valid and unchanged across successive
+  /// NextColumnar calls (they point into immutable table storage, not reused
+  /// scratch). Consumers holding views across fetches require this.
+  virtual bool stable_columnar_views() const { return false; }
+  /// Columnar analogue of Next: fills `out` with column views/vectors; empty
+  /// batch signals EOF. On the columnar path this is the counting primitive
+  /// — the row-major Next of a columnar operator bridges through it, so the
+  /// produced-row ledger is updated exactly once either way.
+  virtual Status NextColumnar(ColumnBatch* out) {
+    (void)out;
+    return Status::Internal("operator '" + name() +
+                            "' does not support columnar output");
+  }
+
   /// Names of the output tuple slots (qualified "table.column").
   virtual const std::vector<std::string>& output_slots() const = 0;
 
@@ -45,6 +64,15 @@ class Operator {
   /// cardinality at EOF.
   void CountProduced(ExecContext* ctx, const RowBatch& batch, bool eof) {
     rows_produced_ += static_cast<int64_t>(batch.num_rows());
+    if (ctx != nullptr && plan_node_id_ >= 0) {
+      ctx->ObserveProduced(plan_node_id_, rows_produced_);
+      if (eof) ctx->actual_cardinalities()[plan_node_id_] = rows_produced_;
+    }
+  }
+  /// Row-count variant of CountProduced for columnar batches (and for the
+  /// bridge in Next, which must not count the materialized copy again).
+  void CountProducedRows(ExecContext* ctx, int64_t rows, bool eof) {
+    rows_produced_ += rows;
     if (ctx != nullptr && plan_node_id_ >= 0) {
       ctx->ObserveProduced(plan_node_id_, rows_produced_);
       if (eof) ctx->actual_cardinalities()[plan_node_id_] = rows_produced_;

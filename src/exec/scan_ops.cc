@@ -43,6 +43,7 @@ Status TableScanOp::Open(ExecContext* ctx) {
   sel_base_ = 0;
   program_.reset();
   vectorized_ = ctx->vectorized();
+  columnar_ = false;
   ResetCount();
   if (projection_error_) {
     return Status::InvalidArgument("bad projection for table " +
@@ -76,10 +77,25 @@ Status TableScanOp::Open(ExecContext* ctx) {
   // column contiguously with no selection vector at all. That beats the
   // scalar per-row Value()/AppendRow loop by a wide margin and is what keeps
   // the unfiltered probe side of a hash join fed at memory speed.
+  //
+  // Under the late-materialization gate the scan goes one step further:
+  // batches become column views over Table::column() storage (dense range or
+  // absolute selection vector) and the transpose moves to whichever consumer
+  // actually needs rows — often nowhere at all.
+  columnar_ = vectorized_ && ctx->late_materialize();
   return Status::OK();
 }
 
 Status TableScanOp::Next(RowBatch* out) {
+  if (columnar_) {
+    // Bridge: the columnar primitive produces (and counts) the batch; the
+    // materialization here is the single conversion point for row-major
+    // consumers and reproduces NextVectorized's batches byte for byte.
+    RQP_RETURN_IF_ERROR(NextColumnar(&col_scratch_));
+    out->Reset(slots_.size());
+    col_scratch_.MaterializeInto(out, ctx_);
+    return Status::OK();
+  }
   if (vectorized_) return NextVectorized(out);
   out->Reset(slots_.size());
   const int64_t n = table_->num_rows();
@@ -181,7 +197,8 @@ Status TableScanOp::NextVectorized(RowBatch* out) {
         chunk_cols_[c] = table_->column(c).data() + next_row_;
       }
       program_->BuildSelection(chunk_cols_.data(), /*stride=*/1,
-                               static_cast<size_t>(chunk), &sel_);
+                               static_cast<size_t>(chunk), &sel_,
+                               ctx_->simd());
       sel_base_ = next_row_;
       sel_pos_ = 0;
       next_row_ = chunk_end;
@@ -203,6 +220,79 @@ Status TableScanOp::NextVectorized(RowBatch* out) {
     sel_pos_ += take;
   }
   CountProduced(ctx_, *out, /*eof=*/out->empty());
+  return Status::OK();
+}
+
+// Columnar scan: same chunk cadence and charge blocks as NextVectorized —
+// guardrail check, fault draw, sequential pages, per-row CPU, then the
+// chunk's predicate evals — but survivors are *described*, not copied: the
+// dense path emits one chunk as a view range and the filtered path packs
+// absolute surviving row ids into the batch's selection vector, both over
+// zero-copy bases into Table::column() storage. Batch boundaries match the
+// row-major vectorized path exactly (one chunk per dense batch; filtered
+// batches pack to kBatchRows), so the bridge in Next and every charge point
+// stay byte-identical (DESIGN.md §15).
+Status TableScanOp::NextColumnar(ColumnBatch* out) {
+  out->Reset(slots_.size());
+  out->set_stable_views(true);
+  const int64_t n = table_->num_rows();
+  const size_t ncols = columns_.size();
+  for (size_t c = 0; c < ncols; ++c) {
+    out->SetView(c, table_->column(columns_[c]).data());
+  }
+  if (!program_.has_value()) {
+    // Dense path (no filter): one chunk per batch, zero copies.
+    if (next_row_ < n) {
+      RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      const int64_t chunk_end =
+          std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
+      const int64_t chunk = chunk_end - next_row_;
+      RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
+      ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
+                           table_->name());
+      ctx_->ChargeRowCpu(chunk);
+      out->SetDense(next_row_, static_cast<size_t>(chunk));
+      next_row_ = chunk_end;
+    }
+    CountProducedRows(ctx_, static_cast<int64_t>(out->num_rows()),
+                      /*eof=*/out->empty());
+    return Status::OK();
+  }
+  out->UseSelection();
+  std::vector<uint32_t>& osel = out->mutable_sel();
+  while (out->num_rows() < kBatchRows) {
+    if (sel_pos_ >= sel_.size()) {
+      if (next_row_ >= n) break;
+      RQP_RETURN_IF_ERROR(ctx_->CheckGuardrails());
+      const int64_t chunk_end =
+          std::min(n, next_row_ + static_cast<int64_t>(kBatchRows));
+      const int64_t chunk = chunk_end - next_row_;
+      RQP_RETURN_IF_ERROR(ctx_->MaybeInjectReadFault(table_->name()));
+      ctx_->ChargeSeqPages((chunk + kRowsPerPage - 1) / kRowsPerPage,
+                           table_->name());
+      ctx_->ChargeRowCpu(chunk);
+      ctx_->ChargePredicateEvals(chunk);
+      for (size_t c = 0; c < chunk_cols_.size(); ++c) {
+        chunk_cols_[c] = table_->column(c).data() + next_row_;
+      }
+      program_->BuildSelection(chunk_cols_.data(), /*stride=*/1,
+                               static_cast<size_t>(chunk), &sel_,
+                               ctx_->simd());
+      sel_base_ = next_row_;
+      sel_pos_ = 0;
+      next_row_ = chunk_end;
+    }
+    const size_t take =
+        std::min(sel_.size() - sel_pos_, kBatchRows - out->num_rows());
+    // Survivors are appended as absolute row ids — no gather, no transpose.
+    const uint32_t* sel = sel_.data() + sel_pos_;
+    const uint32_t base = static_cast<uint32_t>(sel_base_);
+    for (size_t i = 0; i < take; ++i) osel.push_back(base + sel[i]);
+    out->set_num_rows(out->num_rows() + take);
+    sel_pos_ += take;
+  }
+  CountProducedRows(ctx_, static_cast<int64_t>(out->num_rows()),
+                    /*eof=*/out->empty());
   return Status::OK();
 }
 
@@ -287,6 +377,22 @@ StatusOr<int64_t> DrainOperator(Operator* op, ExecContext* ctx,
                                 std::vector<RowBatch>* out) {
   RQP_RETURN_IF_ERROR(op->Open(ctx));
   int64_t total = 0;
+  if (out == nullptr && op->supports_columnar()) {
+    // Count-only drain of a columnar root: consume the views directly and
+    // skip the row-major conversion entirely — the pipeline's final
+    // transpose is elided, not merely deferred. Charge points (inside
+    // NextColumnar) and the guardrail cadence match the row path exactly.
+    ColumnBatch batch;
+    while (true) {
+      RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
+      RQP_RETURN_IF_ERROR(op->NextColumnar(&batch));
+      if (batch.empty()) break;
+      total += static_cast<int64_t>(batch.num_rows());
+      ctx->counters().transposes_elided += static_cast<int64_t>(batch.num_rows());
+    }
+    op->Close();
+    return total;
+  }
   while (true) {
     RQP_RETURN_IF_ERROR(ctx->CheckGuardrails());
     RowBatch batch;

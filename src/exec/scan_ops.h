@@ -25,6 +25,11 @@ class TableScanOp : public Operator {
   Status Open(ExecContext* ctx) override;
   Status Next(RowBatch* out) override;
   void Close() override;
+  bool supports_columnar() const override { return columnar_; }
+  // Views point into the table's immutable column storage — the same bases
+  // on every fetch — so consumers may hold them across batches.
+  bool stable_columnar_views() const override { return columnar_; }
+  Status NextColumnar(ColumnBatch* out) override;
   const std::vector<std::string>& output_slots() const override {
     return slots_;
   }
@@ -51,6 +56,11 @@ class TableScanOp : public Operator {
   SelectionVector sel_;    ///< surviving rows of the current chunk
   size_t sel_pos_ = 0;     ///< next unconsumed selection entry
   int64_t sel_base_ = 0;   ///< source row of selection index 0
+  // Late-materialized path (ctx->late_materialize()): batches are column
+  // views over Table::column() storage — survivors are never transposed
+  // here. Row-major Next bridges through NextColumnar + MaterializeInto.
+  bool columnar_ = false;
+  ColumnBatch col_scratch_;  ///< bridge scratch — no per-Next allocation
 };
 
 /// Index range scan: descends a sorted index, fetches qualifying rows by

@@ -118,8 +118,14 @@ Status ExprProgram::EvalDense(const int64_t* const* cols, size_t stride,
   for (const Instr& ins : code_) {
     switch (ins.op) {
       case Instr::Op::kLoadCol: {
-        int64_t* dst = stack[depth].data();
-        const int64_t* col = cols[ins.slot];
+        // Operand-stack vectors are distinct allocations and never alias the
+        // source columns (table storage, batch cells, or the gather area
+        // above max_depth_), so every loop below is declared alias-free —
+        // stride-free loads plus __restrict is what lets the compiler emit
+        // straight-line SIMD for the whole interpreter without runtime
+        // overlap checks.
+        int64_t* __restrict dst = stack[depth].data();
+        const int64_t* __restrict col = cols[ins.slot];
         if (stride == 1) {
           std::copy(col, col + n, dst);
         } else {
@@ -135,34 +141,34 @@ Status ExprProgram::EvalDense(const int64_t* const* cols, size_t stride,
         break;
       }
       case Instr::Op::kNeg: {
-        int64_t* a = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) a[i] = WrapNeg(a[i]);
         break;
       }
       case Instr::Op::kAdd: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) a[i] = WrapAdd(a[i], b[i]);
         --depth;
         break;
       }
       case Instr::Op::kSub: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) a[i] = WrapSub(a[i], b[i]);
         --depth;
         break;
       }
       case Instr::Op::kMul: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) a[i] = WrapMul(a[i], b[i]);
         --depth;
         break;
       }
       case Instr::Op::kDiv: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) {
           if (b[i] == 0) return ExprDivisionByZero();
         }
@@ -171,8 +177,8 @@ Status ExprProgram::EvalDense(const int64_t* const* cols, size_t stride,
         break;
       }
       case Instr::Op::kMod: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) {
           if (b[i] == 0) return ExprDivisionByZero();
         }
@@ -181,8 +187,8 @@ Status ExprProgram::EvalDense(const int64_t* const* cols, size_t stride,
         break;
       }
       case Instr::Op::kCmp: {
-        int64_t* a = stack[depth - 2].data();
-        const int64_t* b = stack[depth - 1].data();
+        int64_t* __restrict a = stack[depth - 2].data();
+        const int64_t* __restrict b = stack[depth - 1].data();
         switch (ins.cmp) {
           case CmpOp::kEq:
             for (size_t i = 0; i < n; ++i) a[i] = a[i] == b[i] ? 1 : 0;
@@ -207,9 +213,9 @@ Status ExprProgram::EvalDense(const int64_t* const* cols, size_t stride,
         break;
       }
       case Instr::Op::kCase: {
-        int64_t* cond = stack[depth - 3].data();
-        const int64_t* tv = stack[depth - 2].data();
-        const int64_t* ev = stack[depth - 1].data();
+        int64_t* __restrict cond = stack[depth - 3].data();
+        const int64_t* __restrict tv = stack[depth - 2].data();
+        const int64_t* __restrict ev = stack[depth - 1].data();
         for (size_t i = 0; i < n; ++i) {
           cond[i] = cond[i] != 0 ? tv[i] : ev[i];
         }

@@ -344,10 +344,18 @@ void PredicateProgram::RefineLeaf(const Instr& ins, const int64_t* const* cols,
 
 void PredicateProgram::DenseLeaf(const Instr& ins, const int64_t* const* cols,
                                  size_t stride, size_t n,
-                                 SelectionVector* sel) const {
+                                 SelectionVector* sel, SimdLevel simd) const {
   switch (ins.op) {
     case Instr::Op::kCmp: {
       const int64_t* col = cols[ins.slot];
+      // Stride 1 (zero-copy columnar storage) is the only layout the
+      // intrinsic compare+compact handles; its output matches DenseIf's
+      // unconditional-store compact index for index.
+      if (stride == 1 && simd != SimdLevel::kScalar) {
+        sel->resize(n);
+        sel->resize(SimdDenseCmp(col, n, ins.cmp, ins.lo, sel->data(), simd));
+        return;
+      }
       WithCmp(ins.cmp, ins.lo, [&](auto pred) {
         DenseIf(col, stride, n, sel, pred);
       });
@@ -356,6 +364,11 @@ void PredicateProgram::DenseLeaf(const Instr& ins, const int64_t* const* cols,
     case Instr::Op::kBetween: {
       const int64_t* col = cols[ins.slot];
       const int64_t lo = ins.lo, hi = ins.hi;
+      if (stride == 1 && simd != SimdLevel::kScalar) {
+        sel->resize(n);
+        sel->resize(SimdDenseBetween(col, n, lo, hi, sel->data(), simd));
+        return;
+      }
       DenseIf(col, stride, n, sel,
               [lo, hi](int64_t v) { return v >= lo && v <= hi; });
       return;
@@ -513,14 +526,15 @@ void PredicateProgram::FilterFrom(size_t first, const int64_t* const* cols,
 
 void PredicateProgram::BuildSelection(const int64_t* const* cols,
                                       size_t stride, size_t n,
-                                      SelectionVector* sel) const {
+                                      SelectionVector* sel,
+                                      SimdLevel simd) const {
   // A single-leaf first conjunct evaluates densely over [0, n): the iota
   // initialization fuses with the first refinement so the selection is
   // written once, already compacted (the usual case — a pushed-down range
   // or IN filter leading the conjunction).
   if (!conjuncts_.empty() &&
       conjuncts_[0].end - conjuncts_[0].begin == 1) {
-    DenseLeaf(code_[conjuncts_[0].begin], cols, stride, n, sel);
+    DenseLeaf(code_[conjuncts_[0].begin], cols, stride, n, sel, simd);
     FilterFrom(1, cols, stride, sel);
     return;
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "expr/predicate.h"
+#include "expr/simd.h"
 #include "util/status.h"
 
 namespace rqp {
@@ -50,9 +51,13 @@ class PredicateProgram {
   void FilterSelection(const int64_t* const* cols, size_t stride,
                        SelectionVector* sel) const;
 
-  /// Initializes `sel` to [0, n) and refines it.
+  /// Initializes `sel` to [0, n) and refines it. `simd` selects explicit
+  /// intrinsic kernels for the dense compare/BETWEEN compact at stride 1;
+  /// every level produces byte-identical selections (the kernels are
+  /// integer-exact), so it is purely an instruction-selection knob.
   void BuildSelection(const int64_t* const* cols, size_t stride, size_t n,
-                      SelectionVector* sel) const;
+                      SelectionVector* sel,
+                      SimdLevel simd = SimdLevel::kScalar) const;
 
   /// Scalar evaluation over the flat program (tests, odd single rows).
   bool EvalRow(const int64_t* row) const;
@@ -117,7 +122,7 @@ class PredicateProgram {
   /// Evaluates a leaf over the dense range [0, n), writing survivors to
   /// `sel` — the fused iota+refine fast path for the first conjunct.
   void DenseLeaf(const Instr& ins, const int64_t* const* cols, size_t stride,
-                 size_t n, SelectionVector* sel) const;
+                 size_t n, SelectionVector* sel, SimdLevel simd) const;
   void EvalLeafMask(const Instr& ins, const int64_t* const* cols,
                     size_t stride, const SelectionVector& sel,
                     std::vector<uint8_t>* mask) const;

@@ -1,0 +1,54 @@
+#ifndef RQP_EXPR_SIMD_H_
+#define RQP_EXPR_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "expr/predicate.h"
+
+namespace rqp {
+
+/// Explicit-SIMD dispatch level for the hot vectorized kernels
+/// (compare+compact in the predicate VM and the join probe's hash-mix).
+/// Everything else relies on the stride-free, alias-free scalar loops the
+/// compiler auto-vectorizes. Every SIMD kernel is integer-exact, so its
+/// output is byte-identical to the scalar fallback — the level changes
+/// instruction selection, never results (DESIGN.md §15).
+enum class SimdLevel : uint8_t {
+  kScalar = 0,  ///< portable loops only
+  kAVX2 = 1,    ///< AVX2 compare+compact and hash-mix kernels
+};
+
+/// Resolves the $RQP_SIMD tri-state against the running CPU:
+///   configured < 0 : read $RQP_SIMD — unset/"" → auto-detect, "0" → scalar,
+///                    anything else → auto-detect (forcing a level the CPU
+///                    lacks silently degrades to scalar: dispatch is a
+///                    performance choice, never a correctness one);
+///   configured = 0 : scalar;
+///   configured > 0 : auto-detect.
+/// Auto-detection uses __builtin_cpu_supports("avx2") at runtime, so a
+/// binary built without any -march extension still runs the AVX2 kernels on
+/// hardware that has them (the per-function target attribute compiles them
+/// unconditionally).
+SimdLevel ResolveSimdLevel(int configured);
+
+/// Dense compare+compact: writes the ascending indices i in [0, n) where
+/// `col[i] <cmp> rhs` holds into `sel` (caller guarantees capacity n) and
+/// returns the survivor count. Identical output to the scalar DenseIf loop.
+size_t SimdDenseCmp(const int64_t* col, size_t n, CmpOp cmp, int64_t rhs,
+                    uint32_t* sel, SimdLevel level);
+
+/// Dense BETWEEN+compact: survivors of `lo <= col[i] <= hi`, as above.
+size_t SimdDenseBetween(const int64_t* col, size_t n, int64_t lo, int64_t hi,
+                        uint32_t* sel, SimdLevel level);
+
+/// Batched murmur3 fmix64 (JoinHashTable::Mix): out[i] = Mix(keys[i]).
+/// The AVX2 variant emulates the 64x64 low multiply with _mm256_mul_epu32
+/// cross terms, which is exact — hashes match the scalar finalizer bit for
+/// bit, so bucket placement (and thus match order) cannot drift.
+void SimdMixBatch(const int64_t* keys, size_t n, uint64_t* out,
+                  SimdLevel level);
+
+}  // namespace rqp
+
+#endif  // RQP_EXPR_SIMD_H_

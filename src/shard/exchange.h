@@ -137,6 +137,12 @@ class ShuffleExchangeOp : public Operator {
   RouteFn route_;
   ExchangeChannel* channel_;
   ExecContext* ctx_ = nullptr;
+  // Columnar staging input: rows are gathered straight off the child's
+  // column views into the staging cells (one per-row gather, counted as
+  // materialized) instead of transposing a whole RowBatch first.
+  bool columnar_ = false;
+  ColumnBatch in_col_;
+  std::vector<int64_t> row_scratch_;
 };
 
 /// Replicating exchange for one sender shard: every child row is staged to
@@ -161,6 +167,9 @@ class BroadcastExchangeOp : public Operator {
   OperatorPtr child_;
   ExchangeChannel* channel_;
   ExecContext* ctx_ = nullptr;
+  bool columnar_ = false;  ///< see ShuffleExchangeOp::columnar_
+  ColumnBatch in_col_;
+  std::vector<int64_t> row_scratch_;
 };
 
 }  // namespace rqp

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <variant>
 #include <vector>
 
 #include "optimizer/cost.h"
@@ -28,6 +29,10 @@ std::string ShardQueryPlan::Describe() const {
       out += "(" + d.shuffle_column + ")";
     }
   }
+  if (pruned_shards > 0) {
+    out += " pruned=" + std::to_string(pruned_shards) + "/" +
+           std::to_string(num_shards);
+  }
   return out;
 }
 
@@ -53,6 +58,61 @@ bool FindAnchorEdge(const QuerySpec& spec, const std::string& table,
   return false;
 }
 
+/// Intersects the key bounds implied by `p` for `column` into [lo, hi].
+/// Walks conjunctions only: every conjunct must hold, so any one conjunct's
+/// implied range is a valid superset of the qualifying keys, and ignoring
+/// the rest (disjunctions, negations, IN lists, parameters, other columns)
+/// can only leave the range wider — never wrong. Sets `found` when at least
+/// one bound was tightened and `contradiction` when the range closed empty.
+void TightenKeyRange(const PredicatePtr& p, const std::string& column,
+                     int64_t* lo, int64_t* hi, bool* found,
+                     bool* contradiction) {
+  if (p == nullptr) return;
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  if (const auto* c = std::get_if<Comparison>(&p->node)) {
+    if (c->column != column || c->param_index >= 0) return;
+    switch (c->op) {
+      case CmpOp::kEq:
+        *lo = std::max(*lo, c->value);
+        *hi = std::min(*hi, c->value);
+        *found = true;
+        break;
+      case CmpOp::kLt:
+        if (c->value == kMin) *contradiction = true;
+        else *hi = std::min(*hi, c->value - 1);
+        *found = true;
+        break;
+      case CmpOp::kLe:
+        *hi = std::min(*hi, c->value);
+        *found = true;
+        break;
+      case CmpOp::kGt:
+        if (c->value == kMax) *contradiction = true;
+        else *lo = std::max(*lo, c->value + 1);
+        *found = true;
+        break;
+      case CmpOp::kGe:
+        *lo = std::max(*lo, c->value);
+        *found = true;
+        break;
+      case CmpOp::kNe:
+        break;  // punches a hole, not a contiguous bound
+    }
+    if (*lo > *hi) *contradiction = true;
+  } else if (const auto* b = std::get_if<Between>(&p->node)) {
+    if (b->column != column) return;
+    *lo = std::max(*lo, b->lo);
+    *hi = std::min(*hi, b->hi);
+    *found = true;
+    if (*lo > *hi) *contradiction = true;
+  } else if (const auto* a = std::get_if<Conjunction>(&p->node)) {
+    for (const auto& child : a->children) {
+      TightenKeyRange(child, column, lo, hi, found, contradiction);
+    }
+  }
+}
+
 }  // namespace
 
 ShardQueryPlan PlanShardedQuery(const QuerySpec& spec, const Catalog& catalog,
@@ -60,6 +120,7 @@ ShardQueryPlan PlanShardedQuery(const QuerySpec& spec, const Catalog& catalog,
                                 int num_shards, const CostModel& cm) {
   ShardQueryPlan plan;
   if (num_shards <= 1) return plan;
+  plan.num_shards = num_shards;
 
   // Partitioned tables referenced by the query, largest first (ties by name
   // so the pass is deterministic under equal sizes).
@@ -159,6 +220,55 @@ ShardQueryPlan PlanShardedQuery(const QuerySpec& spec, const Catalog& catalog,
       d.est_cost = broadcast_partner;
       plan.decisions[table] = d;
       plan.est_exchange_cost += d.est_cost;
+    }
+  }
+
+  // ---- range-partition pruning ---------------------------------------------
+  // A range-partitioned anchor that stays put owns a contiguous key slice
+  // per shard; a sargable constant range on the partition column therefore
+  // restricts the qualifying anchor rows to the contiguous shard span
+  // [ShardOf(lo), ShardOf(hi)]. Safe to act on precisely because the anchor
+  // is kLocal: range never hash-aligns, so every partner repair above chose
+  // kBroadcast (shuffle-partner is priced infinite without an anchor hash
+  // column, and reshuffle-anchor would have re-keyed the anchor) — a pruned
+  // shard receives only replicated copies and its own disqualified anchor
+  // rows, so its join output is provably empty.
+  if (anchor_spec.kind == PartitionSpec::Kind::kRange &&
+      plan.decisions.at(plan.anchor).strategy == ShardTableStrategy::kLocal) {
+    const Predicate* anchor_pred = nullptr;
+    PredicatePtr anchor_pred_ptr;
+    for (const auto& ref : spec.tables) {
+      if (ref.table == plan.anchor) {
+        anchor_pred_ptr = ref.predicate;
+        anchor_pred = anchor_pred_ptr.get();
+        break;
+      }
+    }
+    auto anchor_table = catalog.GetTable(plan.anchor);
+    if (anchor_pred != nullptr && anchor_table.ok()) {
+      int64_t lo = std::numeric_limits<int64_t>::min();
+      int64_t hi = std::numeric_limits<int64_t>::max();
+      bool found = false, contradiction = false;
+      TightenKeyRange(anchor_pred_ptr, anchor_spec.column, &lo, &hi, &found,
+                      &contradiction);
+      auto part =
+          TablePartitioner::Make(**anchor_table, anchor_spec, num_shards);
+      if (found && part.ok()) {
+        // ShardOf clamps out-of-domain keys to the edge shards, so one-sided
+        // ranges map to spans touching an edge. A contradictory range keeps
+        // a single shard: never prune all of them (the empty aggregate row
+        // and the merge bookkeeping still need one producer).
+        int s_lo = part->ShardOf(lo);
+        int s_hi = contradiction ? s_lo : part->ShardOf(hi);
+        plan.pruned.assign(static_cast<size_t>(num_shards), false);
+        for (int s = 0; s < num_shards; ++s) {
+          if (s < s_lo || s > s_hi) {
+            plan.pruned[static_cast<size_t>(s)] = true;
+            ++plan.pruned_shards;
+          }
+        }
+        if (plan.pruned_shards == 0) plan.pruned.clear();
+      }
     }
   }
   return plan;

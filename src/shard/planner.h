@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "optimizer/optimizer.h"
 #include "shard/partition.h"
@@ -36,6 +37,18 @@ struct ShardQueryPlan {
   std::string anchor;  ///< largest partitioned table; joins hang off it
   std::map<std::string, ShardTableDecision> decisions;
   double est_exchange_cost = 0;
+
+  /// Range-partition pruning. When the anchor is range-partitioned, stays
+  /// kLocal, and the query carries a sargable constant equality/range
+  /// predicate on the partition column, shards whose key slice cannot
+  /// overlap the predicate are marked pruned: they hold no qualifying
+  /// anchor rows, and every partner repair under a range anchor is a
+  /// broadcast (range never hash-aligns, and a re-shuffled anchor is no
+  /// longer kLocal), so a pruned shard can contribute nothing and is
+  /// skipped at execution. At least one shard always survives.
+  int num_shards = 0;       ///< planning-time shard count (0 when unsharded)
+  int pruned_shards = 0;    ///< how many entries of `pruned` are true
+  std::vector<bool> pruned; ///< size num_shards when pruning applies
 
   std::string Describe() const;
 };

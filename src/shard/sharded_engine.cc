@@ -141,6 +141,17 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
   const CostModel& cm = eopts_.cost_model;
   const int N = shards_;
 
+  // Range-pruned shards hold no qualifying anchor rows (planner.cc): they
+  // still *send* in the exchange phase (their replicated-partner partitions
+  // broadcast to the survivors) but are skipped as stealing participants
+  // and as executors — their per-shard run is provably empty.
+  const bool has_pruning =
+      splan.pruned_shards > 0 &&
+      splan.pruned.size() == static_cast<size_t>(N);
+  auto is_pruned = [&](int s) {
+    return has_pruning && splan.pruned[static_cast<size_t>(s)];
+  };
+
   // Serial coordinator work (hot-key detection, stealing, merge) and one
   // context per sender shard for exchanges — the exchange phase's elapsed
   // contribution is the makespan (max) over senders, its cost the sum.
@@ -317,6 +328,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     while (true) {
       int v = -1, t = -1;
       for (int s = 0; s < N; ++s) {
+        if (is_pruned(s)) continue;  // neither victim nor thief
         if (!ineligible[static_cast<size_t>(s)] &&
             (v < 0 || load[static_cast<size_t>(s)] >
                           load[static_cast<size_t>(v)])) {
@@ -393,6 +405,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
   std::vector<Engine*> run_engines(static_cast<size_t>(N));
   if (!buffers.empty()) {
     for (int s = 0; s < N; ++s) {
+      if (is_pruned(s)) continue;  // never executes: no overlay needed
       auto cat = std::make_unique<Catalog>();
       for (const auto& ref : spec.tables) {
         const Table* global_t = *catalog_->GetTable(ref.table);
@@ -444,6 +457,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(N));
     for (int s = 0; s < N; ++s) {
+      if (is_pruned(s)) continue;
       threads.emplace_back([&, s] {
         shard_results[static_cast<size_t>(s)].emplace(
             run_engines[static_cast<size_t>(s)]->Run(spec,
@@ -453,6 +467,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     for (auto& th : threads) th.join();
   }
   for (int s = 0; s < N; ++s) {
+    if (is_pruned(s)) continue;
     if (!shard_results[static_cast<size_t>(s)]->ok()) {
       return shard_results[static_cast<size_t>(s)]->status();
     }
@@ -471,6 +486,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     std::map<std::vector<int64_t>, std::vector<int64_t>> groups;
     int64_t in_rows = 0;
     for (int s = 0; s < N; ++s) {
+      if (is_pruned(s)) continue;
       for (const RowBatch& b : shard_results[static_cast<size_t>(s)]
                                    ->value()
                                    .rows) {
@@ -502,6 +518,7 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
   } else {
     int64_t rows_total = 0;
     for (int s = 0; s < N; ++s) {
+      if (is_pruned(s)) continue;
       auto& res = shard_results[static_cast<size_t>(s)]->value();
       rows_total += res.output_rows;
       for (RowBatch& b : res.rows) out.rows.push_back(std::move(b));
@@ -520,7 +537,20 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     total.Merge(sc);
   }
   double shard_cost = 0, shard_elapsed_max = 0;
+  bool plan_recorded = false;
   for (int s = 0; s < N; ++s) {
+    if (is_pruned(s)) {
+      // Skipped executor: a zeroed stats row keeps shard_stats addressable
+      // by shard id; the sender-side exchange counters above still count.
+      QueryResult::ShardStats st;
+      st.shard = s;
+      st.rows_shuffled =
+          sender_ctx[static_cast<size_t>(s)]->counters().rows_shuffled;
+      st.rows_broadcast =
+          sender_ctx[static_cast<size_t>(s)]->counters().rows_broadcast;
+      out.shard_stats.push_back(st);
+      continue;
+    }
     const QueryResult& res = shard_results[static_cast<size_t>(s)]->value();
     shard_cost += res.cost;
     shard_elapsed_max = std::max(shard_elapsed_max, res.elapsed);
@@ -545,9 +575,10 @@ StatusOr<QueryResult> ShardedEngine::RunSharded(const QuerySpec& spec,
     out.budget_aborts += res.budget_aborts;
     out.guardrail_retries += res.guardrail_retries;
     out.faults.Accumulate(res.faults);
-    if (s == 0) {
+    if (!plan_recorded) {  // first surviving shard
       out.first_plan = res.first_plan;
       out.final_plan = res.final_plan;
+      plan_recorded = true;
     }
   }
   total.Merge(aux_ctx.counters());

@@ -301,6 +301,78 @@ TEST_F(ShardPlannerTest, LargePartnerReshufflesAnchorInstead) {
   EXPECT_EQ(plan.decisions.at("build").strategy, ShardTableStrategy::kLocal);
 }
 
+TEST_F(ShardPlannerTest, RangeAnchorWithSargablePredicatePrunesShards) {
+  // fk0 spans [0, 999] over 4 range shards (width 250): a constant range
+  // predicate touching only the first slice prunes the other three.
+  PartitionMap parts;
+  parts["fact"] = {PartitionSpec::Kind::kRange, "fk0"};
+  parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  QuerySpec q = workload::StarQuery(1, {5000});
+  q.tables[0].predicate = MakeBetween("fk0", 0, 100);
+  ShardQueryPlan plan = PlanShardedQuery(q, catalog, parts, 4, cm);
+  EXPECT_TRUE(plan.runs_sharded);
+  EXPECT_EQ(plan.num_shards, 4);
+  EXPECT_EQ(plan.pruned_shards, 3);
+  ASSERT_EQ(plan.pruned.size(), 4u);
+  EXPECT_FALSE(plan.pruned[0]);
+  EXPECT_TRUE(plan.pruned[1] && plan.pruned[2] && plan.pruned[3]);
+  EXPECT_NE(plan.Describe().find("pruned=3/4"), std::string::npos)
+      << plan.Describe();
+
+  // One-sided bound: fk0 >= 900 keeps only the last slice.
+  q.tables[0].predicate = MakeCmp("fk0", CmpOp::kGe, 900);
+  plan = PlanShardedQuery(q, catalog, parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 3);
+  ASSERT_EQ(plan.pruned.size(), 4u);
+  EXPECT_FALSE(plan.pruned[3]);
+
+  // Equality: a point keeps exactly its owner shard.
+  q.tables[0].predicate = MakeCmp("fk0", CmpOp::kEq, 500);
+  plan = PlanShardedQuery(q, catalog, parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 3);
+  ASSERT_EQ(plan.pruned.size(), 4u);
+  EXPECT_FALSE(plan.pruned[2]);  // 500 / width 250 = slice 2
+
+  // A contradictory range never prunes every shard.
+  q.tables[0].predicate = MakeBetween("fk0", 200, 100);
+  plan = PlanShardedQuery(q, catalog, parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 3);
+  EXPECT_EQ(std::count(plan.pruned.begin(), plan.pruned.end(), false), 1);
+}
+
+TEST_F(ShardPlannerTest, PruningRequiresRangeAnchorAndSargableBound) {
+  QuerySpec q = workload::StarQuery(1, {5000});
+  q.tables[0].predicate = MakeBetween("fk0", 0, 100);
+
+  // Hash-partitioned anchor: a key range says nothing about hash owners.
+  PartitionMap hash_parts;
+  hash_parts["fact"] = {PartitionSpec::Kind::kHash, "fk0"};
+  hash_parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  ShardQueryPlan plan = PlanShardedQuery(q, catalog, hash_parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 0);
+  EXPECT_TRUE(plan.pruned.empty());
+
+  // Range anchor but the predicate misses the partition column.
+  PartitionMap range_parts;
+  range_parts["fact"] = {PartitionSpec::Kind::kRange, "fk0"};
+  range_parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  q.tables[0].predicate = MakeBetween("measure", 0, 100);
+  plan = PlanShardedQuery(q, catalog, range_parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 0);
+
+  // Disjunctions on the partition column are not sargable conjuncts.
+  q.tables[0].predicate = MakeOr(
+      {MakeCmp("fk0", CmpOp::kLe, 100), MakeCmp("fk0", CmpOp::kGe, 900)});
+  plan = PlanShardedQuery(q, catalog, range_parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 0);
+
+  // No predicate at all.
+  q.tables[0].predicate = nullptr;
+  plan = PlanShardedQuery(q, catalog, range_parts, 4, cm);
+  EXPECT_EQ(plan.pruned_shards, 0);
+  EXPECT_EQ(plan.Describe().find("pruned="), std::string::npos);
+}
+
 TEST_F(ShardPlannerTest, UnpartitionedQueryRunsUnsharded) {
   PartitionMap parts;
   parts["fact"] = {PartitionSpec::Kind::kHash, "fk0"};
@@ -513,6 +585,42 @@ TEST_F(ShardFixture, RangePartitionedAnchorMatchesUnsharded) {
   parts["fact"] = {PartitionSpec::Kind::kRange, "fk0"};
   parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
   CheckAggByteIdentical(GroupByQuery(), parts);
+}
+
+TEST_F(ShardFixture, RangePrunedShardsSkipExecutionWithoutChangingBytes) {
+  // Range anchor + constant range on the partition column: pruned shards
+  // are skipped as executors, and the answer still matches shards=1 bit
+  // for bit (the skipped shards held no qualifying fact rows, and their
+  // partners were broadcast, so they could contribute nothing).
+  PartitionMap parts;
+  parts["fact"] = {PartitionSpec::Kind::kRange, "fk0"};
+  parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  QuerySpec q = GroupByQuery();
+  q.tables[0].predicate = MakeBetween("fk0", 0, 100);
+  CheckAggByteIdentical(q, parts);
+
+  auto got = RunAtShards(&catalog, q, 4, parts);
+  ASSERT_TRUE(got.ok());
+  EXPECT_NE(got->shard_strategy.find("pruned=3/4"), std::string::npos)
+      << got->shard_strategy;
+  ASSERT_EQ(got->shard_stats.size(), 4u);
+  int zeroed = 0;
+  for (const auto& st : got->shard_stats) {
+    if (st.cost == 0 && st.output_rows == 0) ++zeroed;
+  }
+  EXPECT_EQ(zeroed, 3);
+
+  // Skipping three of four executors shrinks the total clock versus the
+  // same query with pruning unavailable (predicate on a non-key column
+  // with matching selectivity shape is not comparable, so compare against
+  // the hash-partitioned layout where pruning can never engage).
+  PartitionMap hash_parts;
+  hash_parts["fact"] = {PartitionSpec::Kind::kHash, "fk0"};
+  hash_parts["dim0"] = {PartitionSpec::Kind::kHash, "id"};
+  auto unpruned = RunAtShards(&catalog, q, 4, hash_parts);
+  ASSERT_TRUE(unpruned.ok());
+  EXPECT_EQ(unpruned->shard_strategy.find("pruned="), std::string::npos);
+  EXPECT_LT(got->cost, unpruned->cost);
 }
 
 TEST_F(ShardFixture, NonAggRowsAreMultisetEqualAcrossShards) {
